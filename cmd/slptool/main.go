@@ -1,0 +1,150 @@
+// Command slptool inspects and edits SLP-compressed document databases.
+//
+// Usage:
+//
+//	slptool -stats -file doc.txt
+//	    compress a file and report SLP statistics
+//
+//	slptool -docs 'D1=fileA,D2=fileB' -edit 'insert(D1, extract(D2,5,21), 12)' [-out result.txt]
+//	    load named documents, evaluate a CDE expression (Section 4.3 of
+//	    the survey), and report/write the result
+//
+//	slptool -docs 'D1=fileA' -access 'D1:100'
+//	    random access into a compressed document (O(log n))
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"docspanner/internal/slp"
+)
+
+func main() {
+	var (
+		stats  = flag.Bool("stats", false, "report compression statistics for -file")
+		file   = flag.String("file", "", "input file for -stats")
+		docs   = flag.String("docs", "", "comma-separated name=file document bindings")
+		edit   = flag.String("edit", "", "CDE expression to evaluate")
+		access = flag.String("access", "", "name:index random access")
+		out    = flag.String("out", "", "write the edit result to this file")
+		save   = flag.String("save", "", "serialize the database (after -edit, if any) to this file")
+		load   = flag.String("load", "", "load a serialized database instead of -docs")
+	)
+	flag.Parse()
+
+	switch {
+	case *stats:
+		if *file == "" {
+			fail(fmt.Errorf("-stats requires -file"))
+		}
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		raw := slp.Compress(data)
+		bal := slp.Balance(raw)
+		fmt.Printf("document:          %d bytes\n", len(data))
+		fmt.Printf("re-pair SLP:       %d nodes (order %d)\n", raw.Size(), raw.Order())
+		fmt.Printf("balanced SLP:      %d nodes (order %d)\n", bal.Size(), bal.Order())
+		fmt.Printf("strongly balanced: %v, 2-shallow: %v\n", bal.StronglyBalanced(), bal.CShallow(2))
+		fmt.Printf("compression ratio: %.2fx\n", float64(len(data))/float64(bal.Size()))
+	case *edit != "":
+		db, err := loadOrBuildDB(*load, *docs)
+		if err != nil {
+			fail(err)
+		}
+		expr, err := slp.ParseCDE(*edit)
+		if err != nil {
+			fail(err)
+		}
+		n, err := db.Eval(expr)
+		if err != nil {
+			fail(err)
+		}
+		db.Add("result", n)
+		fmt.Printf("result: %d bytes, %d SLP nodes, strongly balanced: %v\n",
+			n.Len(), n.Size(), n == nil || n.StronglyBalanced())
+		if *save != "" {
+			f, err := os.Create(*save)
+			if err != nil {
+				fail(err)
+			}
+			if _, err := db.WriteTo(f); err != nil {
+				fail(err)
+			}
+			if err := f.Close(); err != nil {
+				fail(err)
+			}
+			fmt.Printf("database saved to %s\n", *save)
+		}
+		if *out != "" {
+			if err := os.WriteFile(*out, n.Bytes(), 0o644); err != nil {
+				fail(err)
+			}
+			fmt.Printf("written to %s\n", *out)
+		}
+	case *access != "":
+		db, err := loadOrBuildDB(*load, *docs)
+		if err != nil {
+			fail(err)
+		}
+		parts := strings.SplitN(*access, ":", 2)
+		if len(parts) != 2 {
+			fail(fmt.Errorf("bad -access %q (want name:index)", *access))
+		}
+		n, ok := db.Get(parts[0])
+		if !ok {
+			fail(fmt.Errorf("unknown document %q", parts[0]))
+		}
+		i, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil || i < 0 || i >= n.Len() {
+			fail(fmt.Errorf("index %q out of range 0..%d", parts[1], n.Len()-1))
+		}
+		fmt.Printf("%s[%d] = %q\n", parts[0], i, string(n.Byte(i)))
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// loadOrBuildDB loads a serialized database when path is given, otherwise
+// builds one from name=file bindings.
+func loadOrBuildDB(path, spec string) (*slp.DB, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return slp.ReadDB(f)
+	}
+	return loadDB(spec)
+}
+
+func loadDB(spec string) (*slp.DB, error) {
+	db := slp.NewDB()
+	if spec == "" {
+		return db, nil
+	}
+	for _, binding := range strings.Split(spec, ",") {
+		kv := strings.SplitN(binding, "=", 2)
+		if len(kv) != 2 {
+			return nil, fmt.Errorf("bad -docs binding %q (want name=file)", binding)
+		}
+		data, err := os.ReadFile(kv[1])
+		if err != nil {
+			return nil, err
+		}
+		db.Add(kv[0], slp.Balance(slp.Compress(data)))
+	}
+	return db, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "slptool:", err)
+	os.Exit(1)
+}

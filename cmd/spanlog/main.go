@@ -1,0 +1,106 @@
+// Command spanlog evaluates datalog-over-spanners programs (RGXLog-style)
+// on documents.
+//
+// Usage:
+//
+//	spanlog -program rules.dl -file doc.txt -query reach
+//	spanlog -rules 'edge(x,y) :- "!x{a}-!y{b}"(x,y).' -text 'a-b' -query edge
+//
+// Programs consist of rules `head(args) :- body.`; body literals are IDB
+// atoms, quoted spanner patterns applied to their variables, and the
+// builtin eq(x, y) (string equality of span contents). The -query
+// predicate's facts are printed with their span contents.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"docspanner/internal/spanlog"
+)
+
+func main() {
+	var (
+		program  = flag.String("program", "", "program file")
+		rules    = flag.String("rules", "", "inline program text")
+		text     = flag.String("text", "", "document text")
+		file     = flag.String("file", "", "document file")
+		query    = flag.String("query", "", "predicate to print (default: all IDB counts)")
+		alphabet = flag.String("alphabet", "", "pattern alphabet (default: bytes of the document)")
+	)
+	flag.Parse()
+
+	src := *rules
+	if *program != "" {
+		data, err := os.ReadFile(*program)
+		if err != nil {
+			fail(err)
+		}
+		src = string(data)
+	}
+	if src == "" {
+		fmt.Fprintln(os.Stderr, "spanlog: provide -program or -rules")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var doc []byte
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fail(err)
+		}
+		doc = data
+	case *text != "":
+		doc = []byte(*text)
+	default:
+		fail(fmt.Errorf("provide -text or -file"))
+	}
+
+	alpha := []byte(*alphabet)
+	if len(alpha) == 0 {
+		seen := map[byte]bool{}
+		for _, b := range doc {
+			if !seen[b] {
+				seen[b] = true
+				alpha = append(alpha, b)
+			}
+		}
+	}
+
+	prog, err := spanlog.ParseProgram(src, alpha)
+	if err != nil {
+		fail(err)
+	}
+	res, err := prog.Eval(doc)
+	if err != nil {
+		fail(err)
+	}
+
+	if *query == "" {
+		preds := map[string]bool{}
+		for _, r := range prog.Rules {
+			preds[r.Head.Pred] = true
+		}
+		for pred := range preds {
+			fmt.Printf("%s: %d fact(s)\n", pred, res.Count(pred))
+		}
+		return
+	}
+	for _, f := range res.Facts(*query) {
+		parts := make([]string, len(f))
+		for i, s := range f {
+			parts[i] = fmt.Sprintf("%v %q", s, s.Content(doc))
+		}
+		fmt.Println(strings.Join(parts, "  "))
+	}
+	fmt.Fprintf(os.Stderr, "spanlog: %d fact(s) for %s\n", res.Count(*query), *query)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "spanlog:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,163 @@
+package docspanner
+
+import (
+	"fmt"
+	"io"
+	"math/big"
+
+	"docspanner/internal/slp"
+	"docspanner/internal/slpmatch"
+)
+
+// Document is an SLP-compressed document (Section 4 of the survey). It is
+// immutable; edits produce new documents that share structure with the
+// old ones.
+type Document struct {
+	root *slp.Node
+}
+
+// CompressDocument compresses plain bytes into an SLP with Re-Pair and
+// makes it strongly balanced (the precondition of the compressed
+// evaluation and CDE guarantees, Section 4.1).
+func CompressDocument(doc []byte) *Document {
+	return &Document{root: slp.Balance(slp.Compress(doc))}
+}
+
+// DocumentFromBytes wraps plain bytes in a balanced but uncompressed SLP
+// (2n−1 nodes) — the baseline representation.
+func DocumentFromBytes(doc []byte) *Document {
+	return &Document{root: slp.FromBytes(doc)}
+}
+
+// RepeatDocument derives the k-fold repetition of a document using
+// O(log k) additional nodes — exponential compression.
+func RepeatDocument(base *Document, k int64) *Document {
+	return &Document{root: slp.Repeat(base.root, k)}
+}
+
+// Len returns the document length.
+func (d *Document) Len() int64 { return d.root.Len() }
+
+// GrammarSize returns the SLP size |S| (number of distinct DAG nodes).
+func (d *Document) GrammarSize() int { return d.root.Size() }
+
+// Bytes decompresses the document.
+func (d *Document) Bytes() []byte { return d.root.Bytes() }
+
+// Byte returns the i-th byte (0-based) in O(log n).
+func (d *Document) Byte(i int64) byte { return d.root.Byte(i) }
+
+// Node exposes the underlying SLP node for interoperation with the
+// internal/slp package.
+func (d *Document) Node() *slp.Node { return d.root }
+
+// DocDB is an SLP-represented document database supporting complex
+// document editing (Section 4.3).
+type DocDB struct {
+	db *slp.DB
+}
+
+// NewDocDB returns an empty database.
+func NewDocDB() *DocDB { return &DocDB{db: slp.NewDB()} }
+
+// Add stores a document under a name.
+func (db *DocDB) Add(name string, d *Document) { db.db.Add(name, d.Node()) }
+
+// Get retrieves a stored document.
+func (db *DocDB) Get(name string) (*Document, bool) {
+	n, ok := db.db.Get(name)
+	if !ok {
+		return nil, false
+	}
+	return &Document{root: n}, true
+}
+
+// Names lists stored documents.
+func (db *DocDB) Names() []string { return db.db.Names() }
+
+// Size returns the total number of distinct SLP nodes across the
+// database (shared nodes counted once).
+func (db *DocDB) Size() int { return db.db.Size() }
+
+// Edit evaluates a CDE expression such as
+//
+//	insert(delete(D3,2,5), extract(D7,5,21), 12)
+//
+// and stores the result under name, in time O(|φ|·log d) without
+// decompressing any document (Section 4.3). Positions are 1-based and
+// inclusive, following the paper.
+func (db *DocDB) Edit(name, expr string) (*Document, error) {
+	e, err := slp.ParseCDE(expr)
+	if err != nil {
+		return nil, err
+	}
+	n, err := db.db.EvalAndAdd(name, e)
+	if err != nil {
+		return nil, err
+	}
+	return &Document{root: n}, nil
+}
+
+// Index is the compressed-evaluation index of a regular spanner: once
+// built, it enumerates the spanner's results over SLP-compressed
+// documents with preprocessing linear in the SLP size and delay
+// O(log |D|) (Section 4.2), and it extends incrementally across CDE
+// edits (Section 4.3). An Index memoizes per-node data as it goes and is
+// not safe for concurrent use; Documents themselves are immutable and
+// freely shareable.
+type Index struct {
+	ix      *slpmatch.Index
+	counter *slpmatch.Counter
+}
+
+// Index builds (or returns a cached) compressed-evaluation index for a
+// regular spanner.
+func (s *Spanner) Index() (*Index, error) {
+	if !s.IsRegular() {
+		return nil, fmt.Errorf("docspanner: compressed evaluation is implemented for regular spanners")
+	}
+	return &Index{ix: slpmatch.NewIndex(s.dEVA())}, nil
+}
+
+// Warm runs the preprocessing for a document (linear in its SLP size;
+// shared nodes across documents are processed once).
+func (ix *Index) Warm(d *Document) { ix.ix.Warm(d.Node()) }
+
+// Enumerate streams the result tuples on the compressed document.
+func (ix *Index) Enumerate(d *Document, f func(Tuple) bool) {
+	ix.ix.Each(d.Node(), f)
+}
+
+// Count returns the number of result tuples.
+func (ix *Index) Count(d *Document) int { return ix.ix.Count(d.Node()) }
+
+// Eval materializes the result relation.
+func (ix *Index) Eval(d *Document) *Relation { return ix.ix.All(d.Node()) }
+
+// NonEmpty decides S(D) ≠ ∅ in compressed time.
+func (ix *Index) NonEmpty(d *Document) bool { return ix.ix.NonEmpty(d.Node()) }
+
+// ExactCount returns the exact number of result tuples on the compressed
+// document via big-integer matrix counting — polynomial in the SLP size
+// even when the count itself is astronomical.
+func (ix *Index) ExactCount(d *Document) *big.Int {
+	if ix.counter == nil {
+		ix.counter = slpmatch.NewCounter(ix.ix.DEVA())
+	}
+	return ix.counter.Count(d.Node())
+}
+
+// WriteTo serializes the database (the shared SLP DAG plus document
+// roots) without decompressing anything; the output size is proportional
+// to the grammar, not the documents.
+func (db *DocDB) WriteTo(w io.Writer) (int64, error) { return db.db.WriteTo(w) }
+
+// ReadDocDB loads a database written by WriteTo, restoring structure
+// sharing exactly.
+func ReadDocDB(r io.Reader) (*DocDB, error) {
+	inner, err := slp.ReadDB(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DocDB{db: inner}, nil
+}

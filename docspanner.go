@@ -1,0 +1,310 @@
+// Package docspanner is a library for information extraction with
+// document spanners, implementing the framework surveyed by Schmid and
+// Schweikardt, "Document Spanners — A Brief Overview of Concepts, Results,
+// and Recent Developments" (PODS 2022), which goes back to Fagin,
+// Kimelfeld, Reiss, and Vansummeren (J. ACM 2015).
+//
+// A document spanner maps a document D ∈ Σ* to a relation of span tuples:
+// assignments of intervals [i,j⟩ of D to capture variables. This package
+// provides:
+//
+//   - a spanner regex dialect with variable bindings !x{...} and
+//     references &x, compiled to vset-automata (regular spanners) or
+//     ref-automata (refl-spanners);
+//   - evaluation, duplicate-free enumeration with linear preprocessing
+//     and constant delay, and the decision problems ModelChecking,
+//     NonEmptiness, Satisfiability, Hierarchicality, Containment, and
+//     Equivalence;
+//   - the core-spanner algebra (union, natural join, projection,
+//     string-equality selection) with the core-simplification lemma as an
+//     executable rewrite;
+//   - evaluation over SLP-compressed documents: membership, enumeration
+//     with logarithmic delay, and complex document editing in logarithmic
+//     time per operation.
+//
+// The subsystem packages under internal/ (automata, algebra, enum, refl,
+// slp, slpmatch, spanlog, cfg, ...) carry the full machinery; this package
+// is the stable facade.
+package docspanner
+
+import (
+	"fmt"
+	"math/big"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/enum"
+	"docspanner/internal/refl"
+	"docspanner/internal/regex"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+// Re-exported core data model types.
+type (
+	// Span is an interval [Begin,End⟩ of a document (1-based, End
+	// exclusive), denoting the factor doc[Begin-1 : End-1].
+	Span = spans.Span
+	// Var is a capture variable.
+	Var = spans.Var
+	// VarSet is a canonical (sorted, deduplicated) set of variables.
+	VarSet = spans.VarSet
+	// Tuple maps variables to spans; variables may be unassigned under
+	// the schemaless semantics.
+	Tuple = spans.Tuple
+	// Relation is a set of span tuples.
+	Relation = spans.Relation
+)
+
+// NewSpan constructs the span [begin,end⟩.
+func NewSpan(begin, end int) Span { return spans.S(begin, end) }
+
+// NewVarSet builds a canonical variable set.
+func NewVarSet(vars ...Var) VarSet { return spans.NewVarSet(vars...) }
+
+// Options configures compilation.
+type Options struct {
+	// Alphabet is the document alphabet Σ; it resolves the wildcard .
+	// and negated classes. Defaults to the letters mentioned in the
+	// pattern (or printable ASCII if none).
+	Alphabet []byte
+	// Schemaless switches result semantics to partial tuples: variables
+	// bound only on some alternatives stay unassigned instead of
+	// invalidating the match.
+	Schemaless bool
+}
+
+// Spanner is a compiled document spanner: regular (no references) or a
+// refl-spanner (with references &x).
+type Spanner struct {
+	pattern    string
+	nfa        *automata.NFA
+	rspanner   *refl.Spanner // non-nil iff the pattern has references
+	deva       *automata.DEVA
+	schemaless bool
+}
+
+// Compile parses and compiles a spanner pattern, e.g.
+//
+//	s, err := docspanner.Compile(`!key{[a-z]+}=!val{[0-9]+}`, docspanner.Options{})
+//
+// Patterns with references (&x) compile to refl-spanners; everything else
+// compiles to a regular spanner (a vset-automaton).
+func Compile(pattern string, opts Options) (*Spanner, error) {
+	ast, err := regex.Parse(pattern)
+	if err != nil {
+		return nil, err
+	}
+	nfa, err := regex.Compile(ast, regex.Options{Alphabet: opts.Alphabet})
+	if err != nil {
+		return nil, err
+	}
+	s := &Spanner{pattern: pattern, nfa: nfa, schemaless: opts.Schemaless}
+	if nfa.HasRefs() {
+		rs, err := refl.New(nfa)
+		if err != nil {
+			return nil, err
+		}
+		s.rspanner = rs
+		return s, nil
+	}
+	if err := nfa.Validate(!opts.Schemaless); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MustCompile is Compile that panics on error.
+func MustCompile(pattern string, opts Options) *Spanner {
+	s, err := Compile(pattern, opts)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Pattern returns the source pattern.
+func (s *Spanner) Pattern() string { return s.pattern }
+
+// Vars returns the spanner's capture variables.
+func (s *Spanner) Vars() VarSet { return s.nfa.Vars }
+
+// IsRegular reports whether the spanner is a regular spanner (as opposed
+// to a refl-spanner with references).
+func (s *Spanner) IsRegular() bool { return s.rspanner == nil }
+
+func (s *Spanner) semantics() vset.Semantics {
+	if s.schemaless {
+		return vset.Schemaless
+	}
+	return vset.Functional
+}
+
+// dEVA lazily determinizes the automaton (query complexity only).
+func (s *Spanner) dEVA() *automata.DEVA {
+	if s.deva == nil {
+		s.deva = automata.Determinize(s.nfa)
+	}
+	return s.deva
+}
+
+// Eval materializes the full span relation on doc.
+func (s *Spanner) Eval(doc []byte) *Relation {
+	if s.rspanner != nil {
+		return s.rspanner.Eval(doc, !s.schemaless)
+	}
+	out := spans.NewRelation()
+	s.Enumerate(doc, func(t Tuple) bool { out.Add(t); return true })
+	return out
+}
+
+// Enumerate streams the result tuples without duplicates; for regular
+// spanners it uses the linear-preprocessing/constant-delay algorithm
+// (Section 2.5 of the survey). Return false from f to stop early.
+func (s *Spanner) Enumerate(doc []byte, f func(Tuple) bool) {
+	if s.rspanner != nil {
+		rel := s.rspanner.Eval(doc, !s.schemaless)
+		for _, t := range rel.Tuples() {
+			if !f(t) {
+				return
+			}
+		}
+		return
+	}
+	e := enum.NewEnumerator(s.dEVA(), doc)
+	if s.schemaless {
+		e.Each(f)
+		return
+	}
+	vars := s.nfa.Vars
+	e.Each(func(t Tuple) bool {
+		if !t.TotalOn(vars) {
+			return true
+		}
+		return f(t)
+	})
+}
+
+// Count returns the number of result tuples on doc.
+func (s *Spanner) Count(doc []byte) int {
+	n := 0
+	s.Enumerate(doc, func(Tuple) bool { n++; return true })
+	return n
+}
+
+// ModelCheck decides t ∈ S(doc) — linear in |doc| for both regular and
+// refl-spanners (Sections 2.4 and 3.3).
+func (s *Spanner) ModelCheck(doc []byte, t Tuple) (bool, error) {
+	if s.rspanner != nil {
+		return s.rspanner.ModelCheck(doc, t, !s.schemaless)
+	}
+	return vset.ModelCheck(s.nfa, doc, t, s.semantics())
+}
+
+// NonEmpty decides S(doc) ≠ ∅. Polynomial for regular spanners; NP-hard
+// in general for refl-spanners (Section 3.3).
+func (s *Spanner) NonEmpty(doc []byte) bool {
+	if s.rspanner != nil {
+		return s.rspanner.NonEmpty(doc)
+	}
+	return vset.NonEmpty(s.nfa, doc)
+}
+
+// Satisfiable decides whether any document yields a result.
+func (s *Spanner) Satisfiable() bool {
+	if s.rspanner != nil {
+		return s.rspanner.Satisfiable()
+	}
+	return vset.Satisfiable(s.nfa)
+}
+
+// Witness returns a document and tuple witnessing satisfiability.
+func (s *Spanner) Witness() (doc []byte, t Tuple, ok bool) {
+	if s.rspanner != nil {
+		return s.rspanner.Witness()
+	}
+	return vset.Witness(s.nfa)
+}
+
+// Hierarchical decides whether the spanner only extracts tuples whose
+// spans are pairwise disjoint or nested (Section 2.2). Regular spanners
+// only.
+func (s *Spanner) Hierarchical() (bool, error) {
+	if s.rspanner != nil {
+		return false, fmt.Errorf("docspanner: Hierarchical is implemented for regular spanners")
+	}
+	return vset.Hierarchical(s.nfa), nil
+}
+
+// Equivalent decides whether two regular spanners extract the same
+// relation from every document.
+func Equivalent(a, b *Spanner) (bool, error) {
+	if !a.IsRegular() || !b.IsRegular() {
+		return false, fmt.Errorf("docspanner: Equivalence is undecidable beyond regular spanners; use EquivalentUpTo")
+	}
+	return vset.Equivalent(a.nfa, b.nfa), nil
+}
+
+// Contains decides ⟦a⟧(D) ⊆ ⟦b⟧(D) for all documents D (regular only).
+func Contains(a, b *Spanner) (bool, error) {
+	if !a.IsRegular() || !b.IsRegular() {
+		return false, fmt.Errorf("docspanner: Containment is undecidable beyond regular spanners; use EquivalentUpTo")
+	}
+	return vset.Contains(a.nfa, b.nfa), nil
+}
+
+// EquivalentUpTo compares two spanners (or queries) on all documents over
+// the alphabet up to the given length — a bounded refutation procedure
+// for the undecidable cases (core-spanner equivalence, Section 2.4).
+// It returns a counterexample document if one exists within the bound.
+func EquivalentUpTo(a, b interface {
+	Eval(doc []byte) *Relation
+}, alphabet []byte, maxLen int) (equal bool, counterexample []byte) {
+	var doc []byte
+	var rec func(int) []byte
+	rec = func(depth int) []byte {
+		if !a.Eval(doc).Equal(b.Eval(doc)) {
+			return append([]byte(nil), doc...)
+		}
+		if depth == maxLen {
+			return nil
+		}
+		for _, c := range alphabet {
+			doc = append(doc, c)
+			if ce := rec(depth + 1); ce != nil {
+				return ce
+			}
+			doc = doc[:len(doc)-1]
+		}
+		return nil
+	}
+	if ce := rec(0); ce != nil {
+		return false, ce
+	}
+	return true, nil
+}
+
+// ExactCount returns the exact number of result tuples on doc without
+// enumerating them (dynamic programming over the deterministic automaton;
+// polynomial even when the count is astronomical). Regular spanners only.
+func (s *Spanner) ExactCount(doc []byte) (*big.Int, error) {
+	if s.rspanner != nil {
+		return nil, fmt.Errorf("docspanner: ExactCount is implemented for regular spanners")
+	}
+	return enum.FastCount(s.dEVA(), doc), nil
+}
+
+// Difference returns the spanner D ↦ a(D) ∖ b(D). Regular spanners are
+// closed under difference (via the extended-word language view); the
+// result is again a regular spanner usable everywhere a compiled spanner
+// is.
+func Difference(a, b *Spanner) (*Spanner, error) {
+	if !a.IsRegular() || !b.IsRegular() {
+		return nil, fmt.Errorf("docspanner: Difference is implemented for regular spanners")
+	}
+	nfa := vset.Difference(a.nfa, b.nfa)
+	return &Spanner{
+		pattern:    fmt.Sprintf("(%s)\\(%s)", a.pattern, b.pattern),
+		nfa:        nfa,
+		schemaless: true, // the difference may drop variables on some tuples
+	}, nil
+}

@@ -1,0 +1,91 @@
+package docspanner_test
+
+import (
+	"fmt"
+
+	"docspanner"
+)
+
+// Example 1.1 of the survey: every occurrence of b splits the document
+// into (x, y, z).
+func Example() {
+	s := docspanner.MustCompile("!x{(a|b)*}!y{b}!z{(a|b)*}", docspanner.Options{})
+	doc := []byte("ababbab")
+	for _, t := range s.Eval(doc).Sorted() {
+		fmt.Printf("%v %v %v\n", t.Get("x"), t.Get("y"), t.Get("z"))
+	}
+	// Output:
+	// [1,2⟩ [2,3⟩ [3,8⟩
+	// [1,4⟩ [4,5⟩ [5,8⟩
+	// [1,5⟩ [5,6⟩ [6,8⟩
+	// [1,7⟩ [7,8⟩ [8,8⟩
+}
+
+// Key-value extraction with streaming enumeration.
+func ExampleSpanner_Enumerate() {
+	s := docspanner.MustCompile(`(.* )?!key{[a-z]+}=!val{\d+}( .*)?`,
+		docspanner.Options{Alphabet: []byte("abcdefghijklmnopqrstuvwxyz0123456789= ")})
+	doc := []byte("retries=3 timeout=250")
+	s.Enumerate(doc, func(t docspanner.Tuple) bool {
+		fmt.Printf("%s=%s\n", t.Get("key").Content(doc), t.Get("val").Content(doc))
+		return true
+	})
+	// Output:
+	// retries=3
+	// timeout=250
+}
+
+// String-equality selection: the feature that turns regular spanners into
+// core spanners.
+func ExampleQuery_SelectEqual() {
+	pair := docspanner.MustCompile("!x{(a|b)+},!y{(a|b)+}",
+		docspanner.Options{Alphabet: []byte("ab,")})
+	q := docspanner.MustQ(pair).SelectEqual("x", "y")
+	doc := []byte("ab,ab")
+	fmt.Println(q.Eval(doc).Len())
+	doc2 := []byte("ab,ba")
+	fmt.Println(q.Eval(doc2).Len())
+	// Output:
+	// 1
+	// 0
+}
+
+// Complex document editing on compressed documents: edits cost O(log n)
+// and never decompress.
+func ExampleDocDB_Edit() {
+	db := docspanner.NewDocDB()
+	db.Add("greeting", docspanner.CompressDocument([]byte("hello world")))
+	db.Add("name", docspanner.CompressDocument([]byte("spanner ")))
+	d, err := db.Edit("patched", "insert(delete(greeting,7,11), extract(name,1,7), 7)")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println(string(d.Bytes()))
+	// Output:
+	// hello spanner
+}
+
+// Refl-spanners match repeated content with references.
+func ExampleCompile_references() {
+	s := docspanner.MustCompile("!word{[a-z]+} &word",
+		docspanner.Options{Alphabet: []byte("abcdefghijklmnopqrstuvwxyz ")})
+	fmt.Println(s.IsRegular())
+	fmt.Println(s.NonEmpty([]byte("duplicated duplicated")))
+	fmt.Println(s.NonEmpty([]byte("two words")))
+	// Output:
+	// false
+	// true
+	// false
+}
+
+// Exact counting scales to outputs no enumeration could produce.
+func ExampleIndex_ExactCount() {
+	s := docspanner.MustCompile("!x{(a|b)*}!y{(a|b)*}!z{(a|b)*}",
+		docspanner.Options{Alphabet: []byte("ab")})
+	ix, _ := s.Index()
+	doc := docspanner.RepeatDocument(docspanner.DocumentFromBytes([]byte("ab")), 1<<39)
+	fmt.Println(ix.ExactCount(doc)) // (n+1)(n+2)/2 for n = 2^40
+	// Output:
+	// 604462909808963854794753
+}

@@ -1,0 +1,50 @@
+// Quickstart: compile a spanner, extract a span relation, and use the
+// decision procedures. This reproduces Example 1.1 of Schmid and
+// Schweikardt's PODS 2022 survey: on the document ababbab, the spanner
+// !x{(a|b)*} !y{b} !z{(a|b)*} extracts one tuple per occurrence of b.
+package main
+
+import (
+	"fmt"
+
+	"docspanner"
+)
+
+func main() {
+	doc := []byte("ababbab")
+	s := docspanner.MustCompile("!x{(a|b)*}!y{b}!z{(a|b)*}", docspanner.Options{})
+
+	fmt.Printf("document: %s\n", doc)
+	fmt.Printf("spanner:  %s\n\n", s.Pattern())
+
+	// Materialize the span relation (the table of Example 1.1).
+	fmt.Println("  x      y      z        content(y)")
+	for _, t := range s.Eval(doc).Sorted() {
+		fmt.Printf("  %-6v %-6v %-8v %q\n",
+			t.Get("x"), t.Get("y"), t.Get("z"), t.Get("y").Content(doc))
+	}
+
+	// Enumeration streams tuples with constant delay; stop early.
+	fmt.Println("\nfirst two tuples via enumeration:")
+	n := 0
+	s.Enumerate(doc, func(t docspanner.Tuple) bool {
+		fmt.Printf("  %v\n", t)
+		n++
+		return n < 2
+	})
+
+	// ModelChecking: is a specific tuple in the result?
+	tuple := docspanner.Tuple{
+		"x": docspanner.NewSpan(1, 4),
+		"y": docspanner.NewSpan(4, 5),
+		"z": docspanner.NewSpan(5, 8),
+	}
+	ok, err := s.ModelCheck(doc, tuple)
+	fmt.Printf("\nModelCheck(%v) = %v (err=%v)\n", tuple, ok, err)
+
+	// Static analysis.
+	h, _ := s.Hierarchical()
+	fmt.Printf("hierarchical: %v, satisfiable: %v\n", h, s.Satisfiable())
+	wdoc, wtup, _ := s.Witness()
+	fmt.Printf("shortest witness: %q with %v\n", wdoc, wtup)
+}

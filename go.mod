@@ -1,0 +1,3 @@
+module docspanner
+
+go 1.23

@@ -1,0 +1,142 @@
+// Package algebra implements the spanner algebra of Fagin, Kimelfeld,
+// Reiss, and Vansummeren as surveyed in Section 1 and Section 2.3 of
+// Schmid and Schweikardt (PODS 2022): union ∪, natural join ⋈, projection
+// π, and string-equality selection ς=, applied on top of primitive regular
+// spanners. Expressions evaluate in two independent ways — directly over
+// materialized relations (the reference semantics), and via the
+// core-simplification lemma, which rewrites every expression into the
+// normal form π_Y(ς=_{Z1} ... ς=_{Zk}(⟦M⟧)) with M a single vset-automaton.
+package algebra
+
+import (
+	"fmt"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+// Expr is a core-spanner algebra expression.
+type Expr interface {
+	// Vars returns the (visible) variable set of the expression.
+	Vars() spans.VarSet
+	// Eval materializes the span relation on doc under the given
+	// semantics. This is the reference evaluation, used to cross-check
+	// the automaton-level constructions.
+	Eval(doc []byte, sem vset.Semantics) *spans.Relation
+}
+
+// Prim is a primitive regular spanner given by a vset-automaton.
+type Prim struct {
+	A *automata.NFA
+}
+
+// Union is the spanner union L ∪ R.
+type Union struct {
+	L, R Expr
+}
+
+// Join is the natural join L ⋈ R.
+type Join struct {
+	L, R Expr
+}
+
+// Project is the projection π_Keep(Sub).
+type Project struct {
+	Sub  Expr
+	Keep spans.VarSet
+}
+
+// SelectEq is the string-equality selection ς=_Z(Sub): it keeps the tuples
+// whose spans for all variables in Z denote the same factor of the
+// document (possibly at different positions).
+type SelectEq struct {
+	Sub Expr
+	Z   spans.VarSet
+}
+
+// Fuse is the column-fusion operator ⨄_{Lambda→Target} of Section 3.2,
+// used to state the core→refl correspondence.
+type Fuse struct {
+	Sub    Expr
+	Lambda spans.VarSet
+	Target spans.Var
+}
+
+func (p Prim) Vars() spans.VarSet { return p.A.Vars }
+
+func (p Prim) Eval(doc []byte, sem vset.Semantics) *spans.Relation {
+	return vset.Eval(p.A, doc, sem)
+}
+
+func (u Union) Vars() spans.VarSet { return u.L.Vars().Union(u.R.Vars()) }
+
+func (u Union) Eval(doc []byte, sem vset.Semantics) *spans.Relation {
+	return u.L.Eval(doc, sem).Union(u.R.Eval(doc, sem))
+}
+
+func (j Join) Vars() spans.VarSet { return j.L.Vars().Union(j.R.Vars()) }
+
+func (j Join) Eval(doc []byte, sem vset.Semantics) *spans.Relation {
+	return j.L.Eval(doc, sem).Join(j.R.Eval(doc, sem))
+}
+
+func (p Project) Vars() spans.VarSet { return p.Sub.Vars().Intersect(p.Keep) }
+
+func (p Project) Eval(doc []byte, sem vset.Semantics) *spans.Relation {
+	return p.Sub.Eval(doc, sem).Project(p.Keep)
+}
+
+func (s SelectEq) Vars() spans.VarSet { return s.Sub.Vars() }
+
+func (s SelectEq) Eval(doc []byte, sem vset.Semantics) *spans.Relation {
+	return s.Sub.Eval(doc, sem).SelectEqual(doc, s.Z)
+}
+
+func (f Fuse) Vars() spans.VarSet {
+	return f.Sub.Vars().Minus(f.Lambda).Union(spans.NewVarSet(f.Target))
+}
+
+func (f Fuse) Eval(doc []byte, sem vset.Semantics) *spans.Relation {
+	return f.Sub.Eval(doc, sem).Fuse(f.Lambda, f.Target)
+}
+
+// String renders an expression tree.
+func String(e Expr) string {
+	switch m := e.(type) {
+	case Prim:
+		return fmt.Sprintf("⟦M:%dq⟧%v", m.A.NumStates(), m.A.Vars)
+	case Union:
+		return "(" + String(m.L) + " ∪ " + String(m.R) + ")"
+	case Join:
+		return "(" + String(m.L) + " ⋈ " + String(m.R) + ")"
+	case Project:
+		return "π" + m.Keep.String() + "(" + String(m.Sub) + ")"
+	case SelectEq:
+		return "ς=" + m.Z.String() + "(" + String(m.Sub) + ")"
+	case Fuse:
+		return fmt.Sprintf("⨄%v→%s(%s)", m.Lambda, m.Target, String(m.Sub))
+	}
+	return "?"
+}
+
+// HasSelections reports whether the expression uses string-equality
+// selection anywhere, i.e. whether it is a proper core (rather than
+// regular) spanner expression.
+func HasSelections(e Expr) bool {
+	switch m := e.(type) {
+	case Prim:
+		return false
+	case Union:
+		return HasSelections(m.L) || HasSelections(m.R)
+	case Join:
+		return HasSelections(m.L) || HasSelections(m.R)
+	case Project:
+		return HasSelections(m.Sub)
+	case SelectEq:
+		return true
+	case Fuse:
+		return HasSelections(m.Sub)
+	}
+	return false
+}

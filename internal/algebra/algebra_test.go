@@ -1,0 +1,272 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/regex"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+func compile(t *testing.T, src string) *automata.NFA {
+	t.Helper()
+	n, err := regex.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	a, err := regex.Compile(n, regex.Options{Alphabet: []byte("abc")})
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return a
+}
+
+func prim(t *testing.T, src string) Expr { return Prim{A: compile(t, src)} }
+
+func TestSelectEqIntroExample(t *testing.T) {
+	// Section 1: α := !x{(a|b)*}(a|b)*!y{a*b*} on abaaab.
+	// ς={x,y} keeps ([1,3⟩,[5,7⟩) (ab=ab) and discards ([1,3⟩,[4,7⟩).
+	e := SelectEq{Sub: prim(t, "!x{(a|b)*}(a|b)*!y{a*b*}"), Z: spans.NewVarSet("x", "y")}
+	rel := e.Eval([]byte("abaaab"), vset.Functional)
+	keep := spans.NewTuple("x", spans.S(1, 3), "y", spans.S(5, 7))
+	drop := spans.NewTuple("x", spans.S(1, 3), "y", spans.S(4, 7))
+	if !rel.Contains(keep) {
+		t.Error("equal-content tuple discarded")
+	}
+	if rel.Contains(drop) {
+		t.Error("unequal-content tuple kept")
+	}
+}
+
+func TestUnionJoinProjectEval(t *testing.T) {
+	doc := []byte("ab")
+	u := Union{L: prim(t, "!x{a}b"), R: prim(t, "a!x{b}")}
+	got := u.Eval(doc, vset.Functional)
+	want := spans.NewRelation(
+		spans.NewTuple("x", spans.S(1, 2)),
+		spans.NewTuple("x", spans.S(2, 3)),
+	)
+	if !got.Equal(want) {
+		t.Errorf("Union eval = %v", got)
+	}
+
+	j := Join{L: prim(t, "!x{a}!y{b}"), R: prim(t, "!y{b}|!x{a}!y{b}")}
+	gj := j.Eval(doc, vset.Functional)
+	wj := spans.NewRelation(spans.NewTuple("x", spans.S(1, 2), "y", spans.S(2, 3)))
+	if !gj.Equal(wj) {
+		t.Errorf("Join eval = %v", gj)
+	}
+
+	p := Project{Sub: prim(t, "!x{a}!y{b}"), Keep: spans.NewVarSet("y")}
+	gp := p.Eval(doc, vset.Functional)
+	if gp.Len() != 1 || !gp.Contains(spans.NewTuple("y", spans.S(2, 3))) {
+		t.Errorf("Project eval = %v", gp)
+	}
+}
+
+func TestFuseEval(t *testing.T) {
+	e := Fuse{
+		Sub:    prim(t, "!x1{a}b!x2{a}"),
+		Lambda: spans.NewVarSet("x1", "x2"),
+		Target: "x",
+	}
+	got := e.Eval([]byte("aba"), vset.Functional)
+	if got.Len() != 1 || !got.Contains(spans.NewTuple("x", spans.S(1, 4))) {
+		t.Errorf("Fuse eval = %v", got)
+	}
+}
+
+func TestHasSelections(t *testing.T) {
+	plain := Union{L: prim(t, "!x{a}"), R: prim(t, "!x{b}")}
+	if HasSelections(plain) {
+		t.Error("regular expression reported core")
+	}
+	core := Project{Sub: SelectEq{Sub: plain, Z: spans.NewVarSet("x")}, Keep: spans.NewVarSet("x")}
+	if !HasSelections(core) {
+		t.Error("core expression not detected")
+	}
+}
+
+// exprCases are algebra expressions used to cross-validate Simplify
+// against the reference evaluation.
+func exprCases(t *testing.T) map[string]Expr {
+	return map[string]Expr{
+		"prim": prim(t, "!x{(a|b)*}!y{b}!z{(a|b)*}"),
+		"union": Union{
+			L: prim(t, "!x{a}.*"),
+			R: prim(t, ".*!x{b}"),
+		},
+		"join": Join{
+			L: prim(t, ".*!x{ab*}.*"),
+			R: prim(t, ".*!x{a*b}.*"),
+		},
+		"join-disjoint": Join{
+			L: prim(t, "!x{a*}.*"),
+			R: prim(t, ".*!y{b*}"),
+		},
+		"project": Project{
+			Sub:  prim(t, "!x{(a|b)*}!y{b}!z{(a|b)*}"),
+			Keep: spans.NewVarSet("y"),
+		},
+		"select": SelectEq{
+			Sub: prim(t, "!x{(a|b)*}(a|b)*!y{(a|b)*}"),
+			Z:   spans.NewVarSet("x", "y"),
+		},
+		"select-project": Project{
+			Sub: SelectEq{
+				Sub: prim(t, "!x{(a|b)+}.*!y{(a|b)+}"),
+				Z:   spans.NewVarSet("x", "y"),
+			},
+			Keep: spans.NewVarSet("x"),
+		},
+		"select-union": Union{
+			L: SelectEq{
+				Sub: prim(t, "!x{a+}!y{a+}"),
+				Z:   spans.NewVarSet("x", "y"),
+			},
+			R: prim(t, "!x{b}!y{b*}"),
+		},
+		"select-join": Join{
+			L: SelectEq{
+				Sub: prim(t, "!x{a+}.*!y{a+}"),
+				Z:   spans.NewVarSet("x", "y"),
+			},
+			R: prim(t, "!x{aa}.*"),
+		},
+		"nested": Project{
+			Sub: SelectEq{
+				Sub: Union{
+					L: Join{
+						L: prim(t, ".*!x{a+}!y{b+}.*"),
+						R: prim(t, ".*!y{bb}.*"),
+					},
+					R: prim(t, "!x{a}!y{bb}.*"),
+				},
+				Z: spans.NewVarSet("y"),
+			},
+			Keep: spans.NewVarSet("x", "y"),
+		},
+	}
+}
+
+func TestCoreSimplificationLemma(t *testing.T) {
+	docs := [][]byte{
+		nil,
+		[]byte("a"),
+		[]byte("ab"),
+		[]byte("aabb"),
+		[]byte("abab"),
+		[]byte("aaabb"),
+	}
+	for name, e := range exprCases(t) {
+		cf, err := Simplify(e)
+		if err != nil {
+			t.Errorf("%s: Simplify: %v", name, err)
+			continue
+		}
+		for _, doc := range docs {
+			want := e.Eval(doc, vset.Functional)
+			got := cf.Eval(doc, vset.Functional)
+			if !got.Equal(want) {
+				t.Errorf("%s on %q:\nsimplified %v\nreference  %v", name, doc, got, want)
+			}
+		}
+	}
+}
+
+func TestSimplifyStructure(t *testing.T) {
+	// The normal form of a selection-free expression has no selections:
+	// the {∪,⋈,π}-closure of regex formulas is the class of regular
+	// spanners (Section 2.2).
+	e := Project{
+		Sub:  Union{L: prim(t, "!x{a}!y{b}"), R: prim(t, "!x{b}!y{a}")},
+		Keep: spans.NewVarSet("x"),
+	}
+	cf, err := Simplify(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cf.Selections) != 0 {
+		t.Errorf("selection-free expression got %d selections", len(cf.Selections))
+	}
+	if !cf.Visible.Equal(spans.NewVarSet("x")) {
+		t.Errorf("Visible = %v", cf.Visible)
+	}
+
+	// One selection in, one selection out.
+	s := SelectEq{Sub: prim(t, "!x{a+}!y{a+}"), Z: spans.NewVarSet("x", "y")}
+	cs, err := Simplify(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cs.Selections) != 1 {
+		t.Errorf("got %d selections, want 1", len(cs.Selections))
+	}
+}
+
+func TestSimplifyErrors(t *testing.T) {
+	// Selection over a projected-away variable.
+	bad := SelectEq{
+		Sub: Project{Sub: prim(t, "!x{a}!y{b}"), Keep: spans.NewVarSet("x")},
+		Z:   spans.NewVarSet("x", "y"),
+	}
+	if _, err := Simplify(bad); err == nil {
+		t.Error("selection over non-visible variable accepted")
+	}
+	// Fuse is not core algebra.
+	f := Fuse{Sub: prim(t, "!x{a}"), Lambda: spans.NewVarSet("x"), Target: "y"}
+	if _, err := Simplify(f); err == nil {
+		t.Error("Fuse accepted by Simplify")
+	}
+}
+
+func TestSimplifyString(t *testing.T) {
+	e := Project{
+		Sub:  SelectEq{Sub: prim(t, "!x{a}!y{b}"), Z: spans.NewVarSet("x", "y")},
+		Keep: spans.NewVarSet("x"),
+	}
+	s := String(e)
+	if s == "" || s == "?" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestExprVars(t *testing.T) {
+	pa := prim(t, "!x{a}")
+	pb := prim(t, "!y{b}")
+	cases := []struct {
+		e    Expr
+		want spans.VarSet
+	}{
+		{pa, spans.NewVarSet("x")},
+		{Union{L: pa, R: pb}, spans.NewVarSet("x", "y")},
+		{Join{L: pa, R: pb}, spans.NewVarSet("x", "y")},
+		{Project{Sub: Join{L: pa, R: pb}, Keep: spans.NewVarSet("y")}, spans.NewVarSet("y")},
+		{SelectEq{Sub: Join{L: pa, R: pb}, Z: spans.NewVarSet("x", "y")}, spans.NewVarSet("x", "y")},
+		{Fuse{Sub: Join{L: pa, R: pb}, Lambda: spans.NewVarSet("x", "y"), Target: "z"}, spans.NewVarSet("z")},
+	}
+	for i, c := range cases {
+		if !c.e.Vars().Equal(c.want) {
+			t.Errorf("case %d: Vars = %v, want %v", i, c.e.Vars(), c.want)
+		}
+	}
+}
+
+func TestStringAndHasSelectionsAllNodes(t *testing.T) {
+	pa := prim(t, "!x{a}")
+	f := Fuse{Sub: SelectEq{Sub: Project{Sub: Join{L: pa, R: prim(t, "!y{b}")}, Keep: spans.NewVarSet("x", "y")}, Z: spans.NewVarSet("x", "y")}, Lambda: spans.NewVarSet("x", "y"), Target: "z"}
+	s := String(f)
+	for _, frag := range []string{"⨄", "ς=", "π", "⋈"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("String missing %q: %s", frag, s)
+		}
+	}
+	if !HasSelections(f) {
+		t.Error("HasSelections through Fuse/Project failed")
+	}
+	if HasSelections(Fuse{Sub: pa, Lambda: spans.NewVarSet("x"), Target: "z"}) {
+		t.Error("HasSelections false positive")
+	}
+}

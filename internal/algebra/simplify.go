@@ -1,0 +1,279 @@
+package algebra
+
+import (
+	"fmt"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+// CoreForm is the normal form of the core-simplification lemma
+// (Section 2.3): every core spanner equals
+//
+//	π_Visible( ς=_{Selections[0]} ... ς=_{Selections[k-1]} ( ⟦Automaton⟧ ) )
+//
+// where Automaton is a single vset-automaton. The construction introduces
+// auxiliary variables (selection shadows and hidden projection variables),
+// which is why the automaton's variable set is a superset of Visible; the
+// inner evaluation is schemaless, exactly as in the schemaless version of
+// the lemma proved by Schmid and Schweikardt on top of Maturana et al.
+type CoreForm struct {
+	Automaton  *automata.NFA
+	Selections []spans.VarSet
+	Visible    spans.VarSet
+}
+
+// Eval evaluates the normal form on a document.
+func (c *CoreForm) Eval(doc []byte, sem vset.Semantics) *spans.Relation {
+	rel := vset.Eval(c.Automaton, doc, vset.Schemaless)
+	for _, z := range c.Selections {
+		rel = rel.SelectEqual(doc, z)
+	}
+	rel = rel.Project(c.Visible)
+	if sem == vset.Functional {
+		out := spans.NewRelation()
+		for _, t := range rel.Tuples() {
+			if t.TotalOn(c.Visible) {
+				out.Add(t)
+			}
+		}
+		return out
+	}
+	return rel
+}
+
+// Simplify rewrites an algebra expression into CoreForm, implementing the
+// core-simplification lemma constructively:
+//
+//   - ∪, ⋈, π are pushed into the automaton using the closure
+//     constructions of package automata (this is the classical result that
+//     the {∪,⋈,π}-closure of regex-formulas is the class of vset-automata,
+//     Section 2.2);
+//   - every ς=_Z is replaced by a selection over fresh shadow variables
+//     that duplicate the markers of Z inside the branch it applies to and
+//     are bound to empty (hence trivially equal) spans in branches it does
+//     not apply to, so all selections commute to the top;
+//   - projections rename their discarded variables apart and keep them in
+//     the automaton, so a single outer projection remains.
+//
+// Fuse nodes are not part of the classical core algebra and are rejected.
+func Simplify(e Expr) (*CoreForm, error) {
+	g := &gensym{}
+	f, err := simplify(e, g)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+type gensym struct{ n int }
+
+func (g *gensym) fresh(hint string) spans.Var {
+	g.n++
+	return spans.Var(fmt.Sprintf("·%s%d", hint, g.n))
+}
+
+func simplify(e Expr, g *gensym) (*CoreForm, error) {
+	switch m := e.(type) {
+	case Prim:
+		if m.A.HasRefs() {
+			return nil, fmt.Errorf("algebra: primitive spanner has reference transitions; dereference first (package refl)")
+		}
+		return &CoreForm{Automaton: m.A, Visible: m.A.Vars}, nil
+
+	case Union:
+		l, err := simplify(m.L, g)
+		if err != nil {
+			return nil, err
+		}
+		r, err := simplify(m.R, g)
+		if err != nil {
+			return nil, err
+		}
+		// Bind the other side's selection variables to empty spans so its
+		// selections hold trivially on this branch.
+		la := bindEmptyAtStart(l.Automaton, selectionVars(r.Selections))
+		ra := bindEmptyAtStart(r.Automaton, selectionVars(l.Selections))
+		return &CoreForm{
+			Automaton:  automata.Union(la, ra),
+			Selections: append(append([]spans.VarSet{}, l.Selections...), r.Selections...),
+			Visible:    l.Visible.Union(r.Visible),
+		}, nil
+
+	case Join:
+		l, err := simplify(m.L, g)
+		if err != nil {
+			return nil, err
+		}
+		r, err := simplify(m.R, g)
+		if err != nil {
+			return nil, err
+		}
+		la, ra := l.Automaton, r.Automaton
+		if len(la.Vars.Intersect(ra.Vars)) > 0 {
+			// Normalize so both operands present consecutive shared
+			// markers in one canonical order (Section 2.2, Option 1);
+			// the product construction then synchronizes soundly.
+			la = automata.Normalize(la)
+			ra = automata.Normalize(ra)
+		}
+		return &CoreForm{
+			Automaton:  automata.Join(la, ra),
+			Selections: append(append([]spans.VarSet{}, l.Selections...), r.Selections...),
+			Visible:    l.Visible.Union(r.Visible),
+		}, nil
+
+	case Project:
+		sub, err := simplify(m.Sub, g)
+		if err != nil {
+			return nil, err
+		}
+		drop := sub.Visible.Minus(m.Keep)
+		a := sub.Automaton
+		sels := sub.Selections
+		for _, v := range drop {
+			nv := g.fresh("h_" + string(v) + "_")
+			a = automata.RenameVar(a, v, nv)
+			sels = renameInSelections(sels, v, nv)
+		}
+		return &CoreForm{
+			Automaton:  a,
+			Selections: sels,
+			Visible:    sub.Visible.Intersect(m.Keep),
+		}, nil
+
+	case SelectEq:
+		sub, err := simplify(m.Sub, g)
+		if err != nil {
+			return nil, err
+		}
+		if missing := m.Z.Minus(sub.Visible); len(missing) > 0 {
+			return nil, fmt.Errorf("algebra: selection over non-visible variables %v", missing)
+		}
+		a := sub.Automaton
+		shadow := make([]spans.Var, 0, len(m.Z))
+		for _, v := range m.Z {
+			nv := g.fresh("s_" + string(v) + "_")
+			a = shadowCopy(a, v, nv)
+			shadow = append(shadow, nv)
+		}
+		return &CoreForm{
+			Automaton:  a,
+			Selections: append(append([]spans.VarSet{}, sub.Selections...), spans.NewVarSet(shadow...)),
+			Visible:    sub.Visible,
+		}, nil
+
+	case Fuse:
+		return nil, fmt.Errorf("algebra: Fuse is not part of the core algebra; apply it after evaluation")
+	}
+	return nil, fmt.Errorf("algebra: cannot simplify node %T", e)
+}
+
+func selectionVars(sels []spans.VarSet) spans.VarSet {
+	var out spans.VarSet
+	for _, z := range sels {
+		out = out.Union(z)
+	}
+	return out
+}
+
+func renameInSelections(sels []spans.VarSet, oldVar, newVar spans.Var) []spans.VarSet {
+	out := make([]spans.VarSet, len(sels))
+	for i, z := range sels {
+		if z.Contains(oldVar) {
+			out[i] = z.Minus(spans.NewVarSet(oldVar)).Union(spans.NewVarSet(newVar))
+		} else {
+			out[i] = z
+		}
+	}
+	return out
+}
+
+// shadowCopy returns a copy of a in which every marker transition of v is
+// immediately followed by the corresponding marker of shadow, so shadow
+// always extracts exactly the span of v.
+func shadowCopy(a *automata.NFA, v, shadow spans.Var) *automata.NFA {
+	out := automata.NewNFA(a.Vars.Union(spans.NewVarSet(shadow)))
+	base := out.NumStates()
+	for range a.Final {
+		out.AddState()
+	}
+	out.AddEps(out.Start, base+a.Start)
+	for q := range a.Final {
+		if a.Final[q] {
+			out.SetFinal(base + q)
+		}
+		for _, r := range a.Eps[q] {
+			out.AddEps(base+q, base+r)
+		}
+		for b, rs := range a.Letters[q] {
+			for _, r := range rs {
+				out.AddLetter(base+q, b, base+r)
+			}
+		}
+		for mk, rs := range a.Markers[q] {
+			for _, r := range rs {
+				if mk.Var == v {
+					mid := out.AddState()
+					out.AddMarker(base+q, mk, mid)
+					out.AddMarker(mid, automata.Marker{Var: shadow, Close: mk.Close}, base+r)
+				} else {
+					out.AddMarker(base+q, mk, base+r)
+				}
+			}
+		}
+		for rv, rs := range a.Refs[q] {
+			for _, r := range rs {
+				out.AddRef(base+q, rv, base+r)
+			}
+		}
+	}
+	return out
+}
+
+// bindEmptyAtStart prefixes the automaton with empty-span bindings
+// z▷ ◁z (at document position 1) for each of the given variables.
+func bindEmptyAtStart(a *automata.NFA, vars spans.VarSet) *automata.NFA {
+	if len(vars) == 0 {
+		return a
+	}
+	out := automata.NewNFA(a.Vars.Union(vars))
+	cur := out.Start
+	for _, v := range vars {
+		mid := out.AddState()
+		next := out.AddState()
+		out.AddMarker(cur, automata.Marker{Var: v}, mid)
+		out.AddMarker(mid, automata.Marker{Var: v, Close: true}, next)
+		cur = next
+	}
+	base := out.NumStates()
+	for range a.Final {
+		out.AddState()
+	}
+	out.AddEps(cur, base+a.Start)
+	for q := range a.Final {
+		if a.Final[q] {
+			out.SetFinal(base + q)
+		}
+		for _, r := range a.Eps[q] {
+			out.AddEps(base+q, base+r)
+		}
+		for b, rs := range a.Letters[q] {
+			for _, r := range rs {
+				out.AddLetter(base+q, b, base+r)
+			}
+		}
+		for mk, rs := range a.Markers[q] {
+			for _, r := range rs {
+				out.AddMarker(base+q, mk, base+r)
+			}
+		}
+		for rv, rs := range a.Refs[q] {
+			for _, r := range rs {
+				out.AddRef(base+q, rv, base+r)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,226 @@
+package algebra
+
+import (
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+)
+
+// This file constructs the word-combinatorial core spanners discussed in
+// Section 2.4 of the survey (after Freydenberger and Holldack): S_com,
+// which extracts the pairs of factors that commute (u·v = v·u, the word
+// equation xy = yx), and S_cyc, which extracts pairs of factors that are
+// cyclic shifts of each other (the word equation xz = zy). Both are proper
+// core spanners: S_com even requires string-equality selections over
+// overlapping spans, the feature that separates core spanners from
+// refl-spanners (Section 3).
+//
+// Scope note: the spanners constructed here extract the pairs whose two
+// spans are disjoint as intervals (one factor before the other). Covering
+// every relative position of the two spans only multiplies the number of
+// marker interleavings in the union without exercising anything new.
+
+// fragment helpers ---------------------------------------------------------
+
+type frag struct {
+	n        *automata.NFA
+	alphabet []byte
+}
+
+func (f *frag) anyLoop(q int) {
+	for _, b := range f.alphabet {
+		f.n.AddLetter(q, b, q)
+	}
+}
+
+// anyStar adds a fresh state reachable by ε that loops on every letter.
+func (f *frag) anyStar(from int) int {
+	q := f.n.AddState()
+	f.n.AddEps(from, q)
+	f.anyLoop(q)
+	return q
+}
+
+// anyPlus adds states enforcing at least one letter, then loops.
+func (f *frag) anyPlus(from int) int {
+	mid := f.n.AddState()
+	for _, b := range f.alphabet {
+		f.n.AddLetter(from, b, mid)
+	}
+	f.anyLoop(mid)
+	return mid
+}
+
+func (f *frag) markers(from int, ms ...automata.Marker) int {
+	cur := from
+	for _, m := range ms {
+		next := f.n.AddState()
+		f.n.AddMarker(cur, m, next)
+		cur = next
+	}
+	return cur
+}
+
+func open(v spans.Var) automata.Marker  { return automata.Marker{Var: v} }
+func close(v spans.Var) automata.Marker { return automata.Marker{Var: v, Close: true} }
+
+// Commuting returns the core spanner S_com over variables {x, y}: on a
+// document D it extracts exactly the pairs of disjoint spans whose factors
+// u and v satisfy u·v = v·u. The construction implements the periodicity
+// characterization: nonempty u and v commute iff there is a word p such
+// that both have period |p|, start with p, and end with p (then both are
+// powers of p's primitive root); the period test |u|-prefix = |u|-suffix
+// compares two *overlapping* spans of D via string-equality selection.
+// Empty factors commute with everything and are handled by extra branches.
+func Commuting(x, y spans.Var, alphabet []byte) Expr {
+	helpers := func(v spans.Var) (p, s, z1, z2 spans.Var) {
+		return v + "·pfx", v + "·sfx", v + "·per1", v + "·per2"
+	}
+	px, sx, z1x, z2x := helpers(x)
+	py, sy, z1y, z2y := helpers(y)
+
+	var branches []Expr
+	// Main branch: both factors non-empty, in both relative orders.
+	for _, order := range [][2]spans.Var{{x, y}, {y, x}} {
+		first, second := order[0], order[1]
+		fp, fs, fz1, fz2 := helpers(first)
+		sp, ss, sz1, sz2 := helpers(second)
+		for _, caseFirst := range []bool{true, false} {
+			for _, caseSecond := range []bool{true, false} {
+				n := automata.NewNFA(spans.NewVarSet(
+					x, y, px, sx, z1x, z2x, py, sy, z1y, z2y))
+				f := &frag{n: n, alphabet: alphabet}
+				cur := f.anyStar(n.Start)
+				cur = periodFragment(f, cur, first, fp, fs, fz1, fz2, caseFirst)
+				cur = f.anyStar(cur)
+				cur = periodFragment(f, cur, second, sp, ss, sz1, sz2, caseSecond)
+				cur = f.anyStar(cur)
+				n.SetFinal(cur)
+				branches = append(branches, Expr(Prim{A: n}))
+			}
+		}
+	}
+	main := branches[0]
+	for _, b := range branches[1:] {
+		main = Union{L: main, R: b}
+	}
+	selected := SelectEq{
+		Sub: SelectEq{
+			Sub: SelectEq{Sub: main, Z: spans.NewVarSet(px, sx, py, sy)},
+			Z:   spans.NewVarSet(z1x, z2x),
+		},
+		Z: spans.NewVarSet(z1y, z2y),
+	}
+
+	// Empty branches: an empty factor commutes with any factor.
+	emptyX := emptyPairBranch(x, y, alphabet)
+	emptyY := emptyPairBranch(y, x, alphabet)
+
+	return Project{
+		Sub:  Union{L: Union{L: selected, R: emptyX}, R: emptyY},
+		Keep: spans.NewVarSet(x, y),
+	}
+}
+
+// periodFragment appends the marker chain binding, for one factor u
+// starting at the current position: u to v, its prefix/suffix of the
+// (nondeterministically chosen) period length to p and s, and the two
+// overlapping period-test spans to z1 and z2. caseSmall selects the
+// marker order for 2·d ≤ |u| (prefix closes before the period suffix
+// opens); the other order covers |u| < 2·d.
+func periodFragment(f *frag, from int, v, p, s, z1, z2 spans.Var, caseSmall bool) int {
+	if caseSmall {
+		// i: v▷ z1▷ p▷ · d letters · ◁p z2▷ · gap letters · ◁z1 s▷ ·
+		// d letters · ◁s ◁z2 ◁v
+		cur := f.markers(from, open(v), open(z1), open(p))
+		cur = f.anyPlus(cur)
+		cur = f.markers(cur, close(p), open(z2))
+		cur = f.anyStar(cur)
+		cur = f.markers(cur, close(z1), open(s))
+		cur = f.anyPlus(cur)
+		return f.markers(cur, close(s), close(z2), close(v))
+	}
+	// i: v▷ z1▷ p▷ · g1 letters · ◁z1 s▷ · ≥1 letters · ◁p z2▷ ·
+	// g1 letters · ◁s ◁z2 ◁v
+	cur := f.markers(from, open(v), open(z1), open(p))
+	cur = f.anyStar(cur)
+	cur = f.markers(cur, close(z1), open(s))
+	cur = f.anyPlus(cur)
+	cur = f.markers(cur, close(p), open(z2))
+	cur = f.anyStar(cur)
+	return f.markers(cur, close(s), close(z2), close(v))
+}
+
+// emptyPairBranch builds the regular spanner binding e to an empty span
+// and other to an arbitrary factor, with the two spans disjoint (both
+// relative orders included).
+func emptyPairBranch(e, other spans.Var, alphabet []byte) Expr {
+	mk := func(eFirst bool) *automata.NFA {
+		n := automata.NewNFA(spans.NewVarSet(e, other))
+		f := &frag{n: n, alphabet: alphabet}
+		cur := f.anyStar(n.Start)
+		if eFirst {
+			cur = f.markers(cur, open(e), close(e))
+			cur = f.anyStar(cur)
+			cur = f.markers(cur, open(other))
+			cur = f.anyStar(cur)
+			cur = f.markers(cur, close(other))
+		} else {
+			cur = f.markers(cur, open(other))
+			cur = f.anyStar(cur)
+			cur = f.markers(cur, close(other))
+			cur = f.anyStar(cur)
+			cur = f.markers(cur, open(e), close(e))
+		}
+		cur = f.anyStar(cur)
+		n.SetFinal(cur)
+		return n
+	}
+	return Union{L: Prim{A: mk(true)}, R: Prim{A: mk(false)}}
+}
+
+// CyclicShift returns the core spanner S_cyc over variables {x, y}: it
+// extracts exactly the pairs of disjoint spans whose factors u and v are
+// cyclic shifts of each other (u = w1·w2 and v = w2·w1). The witness
+// split is extracted by four helper variables x1 x2 y1 y2 with the two
+// string-equality selections ς={x1,y2} and ς={x2,y1}; the visible columns
+// are obtained with the fusion operator of Section 3.2.
+func CyclicShift(x, y spans.Var, alphabet []byte) Expr {
+	x1, x2 := x+"·1", x+"·2"
+	y1, y2 := y+"·1", y+"·2"
+	mk := func(xFirst bool) *automata.NFA {
+		n := automata.NewNFA(spans.NewVarSet(x1, x2, y1, y2))
+		f := &frag{n: n, alphabet: alphabet}
+		bindSplit := func(cur int, a, b spans.Var) int {
+			cur = f.markers(cur, open(a))
+			cur = f.anyStar(cur)
+			cur = f.markers(cur, close(a), open(b))
+			cur = f.anyStar(cur)
+			return f.markers(cur, close(b))
+		}
+		cur := f.anyStar(n.Start)
+		if xFirst {
+			cur = bindSplit(cur, x1, x2)
+			cur = f.anyStar(cur)
+			cur = bindSplit(cur, y1, y2)
+		} else {
+			cur = bindSplit(cur, y1, y2)
+			cur = f.anyStar(cur)
+			cur = bindSplit(cur, x1, x2)
+		}
+		cur = f.anyStar(cur)
+		n.SetFinal(cur)
+		return n
+	}
+	body := SelectEq{
+		Sub: SelectEq{
+			Sub: Union{L: Prim{A: mk(true)}, R: Prim{A: mk(false)}},
+			Z:   spans.NewVarSet(x1, y2),
+		},
+		Z: spans.NewVarSet(x2, y1),
+	}
+	return Fuse{
+		Sub:    Fuse{Sub: body, Lambda: spans.NewVarSet(x1, x2), Target: x},
+		Lambda: spans.NewVarSet(y1, y2),
+		Target: y,
+	}
+}

@@ -1,0 +1,107 @@
+package algebra
+
+import (
+	"testing"
+
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+// bruteCommuting enumerates disjoint span pairs whose factors commute.
+func bruteCommuting(doc []byte, x, y spans.Var) *spans.Relation {
+	out := spans.NewRelation()
+	n := len(doc)
+	commute := func(u, v []byte) bool {
+		return string(u)+string(v) == string(v)+string(u)
+	}
+	for b1 := 1; b1 <= n+1; b1++ {
+		for e1 := b1; e1 <= n+1; e1++ {
+			for b2 := 1; b2 <= n+1; b2++ {
+				for e2 := b2; e2 <= n+1; e2++ {
+					s1, s2 := spans.S(b1, e1), spans.S(b2, e2)
+					if !(e1 <= b2 || e2 <= b1) {
+						continue // only disjoint pairs are in scope
+					}
+					if commute(s1.Content(doc), s2.Content(doc)) {
+						out.Add(spans.NewTuple(x, s1, y, s2))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bruteCyclic enumerates disjoint span pairs whose factors are cyclic
+// shifts of each other.
+func bruteCyclic(doc []byte, x, y spans.Var) *spans.Relation {
+	out := spans.NewRelation()
+	n := len(doc)
+	cyc := func(u, v []byte) bool {
+		if len(u) != len(v) {
+			return false
+		}
+		for k := 0; k <= len(u); k++ {
+			if string(u[k:])+string(u[:k]) == string(v) {
+				return true
+			}
+		}
+		return false
+	}
+	for b1 := 1; b1 <= n+1; b1++ {
+		for e1 := b1; e1 <= n+1; e1++ {
+			for b2 := 1; b2 <= n+1; b2++ {
+				for e2 := b2; e2 <= n+1; e2++ {
+					s1, s2 := spans.S(b1, e1), spans.S(b2, e2)
+					if !(e1 <= b2 || e2 <= b1) {
+						continue
+					}
+					if cyc(s1.Content(doc), s2.Content(doc)) {
+						out.Add(spans.NewTuple(x, s1, y, s2))
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestCommutingSpanner(t *testing.T) {
+	e := Commuting("x", "y", []byte("ab"))
+	for _, doc := range []string{"", "a", "ab", "aa", "abab", "aabaa", "ababa"} {
+		got := e.Eval([]byte(doc), vset.Functional)
+		want := bruteCommuting([]byte(doc), "x", "y")
+		if !got.Equal(want) {
+			for _, tup := range want.Tuples() {
+				if !got.Contains(tup) {
+					t.Errorf("doc %q: missing %v (u=%q v=%q)", doc, tup,
+						tup.Get("x").Content([]byte(doc)), tup.Get("y").Content([]byte(doc)))
+				}
+			}
+			for _, tup := range got.Tuples() {
+				if !want.Contains(tup) {
+					t.Errorf("doc %q: spurious %v (u=%q v=%q)", doc, tup,
+						tup.Get("x").Content([]byte(doc)), tup.Get("y").Content([]byte(doc)))
+				}
+			}
+		}
+	}
+}
+
+func TestCommutingIsProperCore(t *testing.T) {
+	e := Commuting("x", "y", []byte("ab"))
+	if !HasSelections(e) {
+		t.Error("S_com has no selections")
+	}
+}
+
+func TestCyclicShiftSpanner(t *testing.T) {
+	e := CyclicShift("x", "y", []byte("ab"))
+	for _, doc := range []string{"", "ab", "abba", "aabab"} {
+		got := e.Eval([]byte(doc), vset.Functional)
+		want := bruteCyclic([]byte(doc), "x", "y")
+		if !got.Equal(want) {
+			t.Errorf("doc %q:\n got %v\nwant %v", doc, got, want)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package automata
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the automaton in Graphviz DOT format: double circles are
+// final states, marker transitions are labeled with the survey's x▷ / ◁x
+// notation, reference transitions with ↩x, and ε-transitions are dashed.
+func (n *NFA) Dot(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	fmt.Fprintf(&sb, "  start [shape=point];\n  start -> q%d;\n", n.Start)
+	for q := range n.Final {
+		if n.Final[q] {
+			fmt.Fprintf(&sb, "  q%d [shape=doublecircle];\n", q)
+		}
+	}
+	for q := range n.Final {
+		for _, r := range n.Eps[q] {
+			fmt.Fprintf(&sb, "  q%d -> q%d [label=\"ε\", style=dashed];\n", q, r)
+		}
+		// Group letter edges by target for compact labels.
+		type key struct{ to int }
+		byTarget := map[int][]byte{}
+		for b, rs := range n.Letters[q] {
+			for _, r := range rs {
+				byTarget[r] = append(byTarget[r], b)
+			}
+		}
+		targets := make([]int, 0, len(byTarget))
+		for r := range byTarget {
+			targets = append(targets, r)
+		}
+		sort.Ints(targets)
+		for _, r := range targets {
+			bs := byTarget[r]
+			sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+			fmt.Fprintf(&sb, "  q%d -> q%d [label=%q];\n", q, r, classLabel(bs))
+		}
+		for m, rs := range n.Markers[q] {
+			for _, r := range rs {
+				fmt.Fprintf(&sb, "  q%d -> q%d [label=%q, color=blue];\n", q, r, m.String())
+			}
+		}
+		for v, rs := range n.Refs[q] {
+			for _, r := range rs {
+				fmt.Fprintf(&sb, "  q%d -> q%d [label=\"↩%s\", color=red];\n", q, r, v)
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// classLabel compresses a sorted byte list into a compact range label.
+func classLabel(bs []byte) string {
+	if len(bs) == 1 {
+		return string(bs)
+	}
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i := 0; i < len(bs); {
+		j := i
+		for j+1 < len(bs) && bs[j+1] == bs[j]+1 {
+			j++
+		}
+		sb.WriteByte(bs[i])
+		if j > i {
+			if j > i+1 {
+				sb.WriteByte('-')
+			}
+			sb.WriteByte(bs[j])
+		}
+		i = j + 1
+	}
+	sb.WriteByte(']')
+	return sb.String()
+}
+
+// Dot renders the deterministic extended automaton: mask transitions are
+// labeled with their marker sets.
+func (d *DEVA) Dot(name string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=LR;\n  node [shape=circle];\n", name)
+	fmt.Fprintf(&sb, "  start [shape=point];\n  start -> q%d;\n", d.Start)
+	for q := range d.Final {
+		if d.Final[q] {
+			fmt.Fprintf(&sb, "  q%d [shape=doublecircle];\n", q)
+		}
+	}
+	for q := range d.Final {
+		byTarget := map[int][]byte{}
+		for b, r := range d.Letters[q] {
+			byTarget[r] = append(byTarget[r], b)
+		}
+		targets := make([]int, 0, len(byTarget))
+		for r := range byTarget {
+			targets = append(targets, r)
+		}
+		sort.Ints(targets)
+		for _, r := range targets {
+			bs := byTarget[r]
+			sort.Slice(bs, func(i, j int) bool { return bs[i] < bs[j] })
+			fmt.Fprintf(&sb, "  q%d -> q%d [label=%q];\n", q, r, classLabel(bs))
+		}
+		masks := make([]Mask, 0, len(d.Masks[q]))
+		for m := range d.Masks[q] {
+			masks = append(masks, m)
+		}
+		sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+		for _, m := range masks {
+			fmt.Fprintf(&sb, "  q%d -> q%d [label=%q, color=blue];\n", q, d.Masks[q][m], d.Index.String(m))
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,73 @@
+package automata
+
+import (
+	"strings"
+	"testing"
+
+	"docspanner/internal/spans"
+)
+
+func TestNFADot(t *testing.T) {
+	n := exampleSpanner()
+	dot := n.Dot("example")
+	for _, want := range []string{
+		"digraph \"example\"",
+		"doublecircle",
+		"x▷",
+		"◁z",
+		"rankdir=LR",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot output missing %q", want)
+		}
+	}
+}
+
+func TestNFADotRefs(t *testing.T) {
+	vars := spans.NewVarSet("x")
+	n := NewNFA(vars)
+	s1 := n.AddState()
+	s2 := n.AddState()
+	s3 := n.AddState()
+	n.AddMarker(n.Start, Marker{Var: "x"}, s1)
+	n.AddLetter(s1, 'a', s1)
+	n.AddMarker(s1, Marker{Var: "x", Close: true}, s2)
+	n.AddRef(s2, "x", s3)
+	n.AddEps(s3, s2)
+	n.SetFinal(s3)
+	dot := n.Dot("refs")
+	if !strings.Contains(dot, "↩x") {
+		t.Error("Dot missing reference edge")
+	}
+	if !strings.Contains(dot, "ε") {
+		t.Error("Dot missing epsilon edge")
+	}
+}
+
+func TestDEVADot(t *testing.T) {
+	d := Determinize(exampleSpanner())
+	dot := d.Dot("deva")
+	for _, want := range []string{"digraph \"deva\"", "{x▷}", "doublecircle"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DEVA Dot missing %q", want)
+		}
+	}
+}
+
+func TestClassLabel(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+	}{
+		{"a", "a"},
+		{"ab", "[ab]"},
+		{"abc", "[a-c]"},
+		{"abd", "[abd]"},
+		{"abcxyz", "[a-cx-z]"},
+	}
+	for _, c := range cases {
+		if got := classLabel([]byte(c.in)); got != c.want {
+			t.Errorf("classLabel(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+package automata
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"docspanner/internal/spans"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	n := exampleSpanner()
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back NFA
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(Determinize(n), Determinize(&back)) {
+		t.Error("round trip changed the spanner")
+	}
+	if !back.Vars.Equal(n.Vars) {
+		t.Errorf("Vars = %v", back.Vars)
+	}
+}
+
+func TestJSONRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		n := randomSpanner(rng, []spans.Var{"x", "y"})
+		data, err := json.Marshal(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back NFA
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatal(err)
+		}
+		if !Equivalent(Determinize(n), Determinize(&back)) {
+			t.Fatalf("trial %d: round trip changed the spanner", trial)
+		}
+	}
+}
+
+func TestJSONRoundTripRefs(t *testing.T) {
+	vars := spans.NewVarSet("x")
+	n := NewNFA(vars)
+	s1 := n.AddState()
+	s2 := n.AddState()
+	s3 := n.AddState()
+	n.AddMarker(n.Start, Marker{Var: "x"}, s1)
+	n.AddLetter(s1, 'a', s1)
+	n.AddMarker(s1, Marker{Var: "x", Close: true}, s2)
+	n.AddRef(s2, "x", s3)
+	n.SetFinal(s3)
+	data, err := json.Marshal(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back NFA
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.HasRefs() {
+		t.Error("refs lost in round trip")
+	}
+}
+
+func TestJSONDeterministicOutput(t *testing.T) {
+	n := exampleSpanner()
+	d1, _ := json.Marshal(n)
+	d2, _ := json.Marshal(n)
+	if string(d1) != string(d2) {
+		t.Error("serialization not deterministic")
+	}
+}
+
+func TestJSONRejectsGarbage(t *testing.T) {
+	cases := []string{
+		`{"version":2,"states":1,"start":0}`,                                    // bad version
+		`{"version":1,"states":0,"start":0}`,                                    // no states
+		`{"version":1,"states":2,"start":5}`,                                    // bad start
+		`{"version":1,"states":2,"start":0,"final":[7]}`,                        // bad final
+		`{"version":1,"states":2,"start":0,"eps":[[0,9]]}`,                      // bad edge
+		`{"version":1,"states":2,"start":0,"letters":[{"f":0,"b":"ab","t":1}]}`, // multibyte letter
+		`{"version":1,"states":2,"start":0,"markers":[{"f":0,"v":"x","t":1}]}`,  // undeclared var
+		`{"version":1,"states":2,"start":0,"refs":[{"f":0,"v":"x","t":1}]}`,     // undeclared ref var
+		`not json`,
+	}
+	for _, c := range cases {
+		var back NFA
+		if err := json.Unmarshal([]byte(c), &back); err == nil {
+			t.Errorf("garbage %q accepted", c)
+		}
+	}
+}

@@ -1,0 +1,246 @@
+package automata
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"docspanner/internal/spans"
+)
+
+// randomSpanner builds a small random vset-automaton over {a,b} binding
+// the given variables exactly once on every accepting path (a random
+// linear chain with optional loops — always valid and functional).
+func randomSpanner(rng *rand.Rand, vars []spans.Var) *NFA {
+	n := NewNFA(spans.NewVarSet(vars...))
+	cur := n.Start
+	emit := func() {
+		// Random letter block: loop or step.
+		switch rng.Intn(3) {
+		case 0:
+			n.AddLetter(cur, "ab"[rng.Intn(2)], cur) // self loop
+		case 1:
+			next := n.AddState()
+			n.AddLetter(cur, "ab"[rng.Intn(2)], next)
+			cur = next
+		default:
+			next := n.AddState()
+			n.AddLetter(cur, 'a', next)
+			n.AddLetter(cur, 'b', next)
+			cur = next
+		}
+	}
+	for _, v := range vars {
+		for i := rng.Intn(3); i > 0; i-- {
+			emit()
+		}
+		s1 := n.AddState()
+		n.AddMarker(cur, Marker{Var: v}, s1)
+		cur = s1
+		for i := rng.Intn(3); i > 0; i-- {
+			emit()
+		}
+		s2 := n.AddState()
+		n.AddMarker(cur, Marker{Var: v, Close: true}, s2)
+		cur = s2
+	}
+	for i := rng.Intn(3); i > 0; i-- {
+		emit()
+	}
+	n.SetFinal(cur)
+	return n
+}
+
+func TestUnionCommutativeAssociative(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 15; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x"})
+		b := randomSpanner(rng, []spans.Var{"x"})
+		c := randomSpanner(rng, []spans.Var{"x"})
+		if !Equivalent(Determinize(Union(a, b)), Determinize(Union(b, a))) {
+			t.Fatalf("trial %d: union not commutative", trial)
+		}
+		l := Union(Union(a, b), c)
+		r := Union(a, Union(b, c))
+		if !Equivalent(Determinize(l), Determinize(r)) {
+			t.Fatalf("trial %d: union not associative", trial)
+		}
+		// Idempotence: a ∪ a ≡ a.
+		if !Equivalent(Determinize(Union(a, a)), Determinize(a)) {
+			t.Fatalf("trial %d: union not idempotent", trial)
+		}
+	}
+}
+
+func TestJoinLawsOnDisjointVars(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x"})
+		b := randomSpanner(rng, []spans.Var{"y"})
+		// Commutativity of ⋈ (disjoint variables: cross product on the
+		// same document).
+		ab := Determinize(Join(a, b))
+		ba := Determinize(Join(b, a))
+		if !Equivalent(ab, ba) {
+			t.Fatalf("trial %d: join not commutative", trial)
+		}
+	}
+}
+
+func TestJoinSharedVarIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 10; trial++ {
+		a := Normalize(randomSpanner(rng, []spans.Var{"x"}))
+		if !Equivalent(Determinize(Join(a, a)), Determinize(a)) {
+			t.Fatalf("trial %d: a ⋈ a ≢ a", trial)
+		}
+	}
+}
+
+func TestProjectComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x", "y", "z"})
+		// π_x(π_{x,y}(a)) ≡ π_x(a)
+		l := Project(Project(a, spans.NewVarSet("x", "y")), spans.NewVarSet("x"))
+		r := Project(a, spans.NewVarSet("x"))
+		if !Equivalent(Determinize(l), Determinize(r)) {
+			t.Fatalf("trial %d: projection composition fails", trial)
+		}
+	}
+}
+
+func TestUnionDistributesOverJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 8; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x"})
+		b := randomSpanner(rng, []spans.Var{"y"})
+		c := randomSpanner(rng, []spans.Var{"y"})
+		// a ⋈ (b ∪ c) ≡ (a ⋈ b) ∪ (a ⋈ c)
+		l := Determinize(Join(a, Union(b, c)))
+		r := Determinize(Union(Join(a, b), Join(a, c)))
+		if !Equivalent(l, r) {
+			t.Fatalf("trial %d: join does not distribute over union", trial)
+		}
+	}
+}
+
+func TestTrimPreservesSpanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(66))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x", "y"})
+		// Add junk states.
+		junk := a.AddState()
+		a.AddLetter(junk, 'a', junk)
+		j2 := a.AddState()
+		a.AddEps(a.Start, j2) // reachable but dead
+		if !Equivalent(Determinize(a), Determinize(a.Trim())) {
+			t.Fatalf("trial %d: Trim changed the spanner", trial)
+		}
+	}
+}
+
+func TestDeterminizeIdempotentOnLanguage(t *testing.T) {
+	rng := rand.New(rand.NewSource(67))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x"})
+		d1 := Determinize(a)
+		d2 := Determinize(DEVAToNFA(d1))
+		if !Equivalent(d1, d2) {
+			t.Fatalf("trial %d: determinize ∘ toNFA changed the language", trial)
+		}
+	}
+}
+
+func TestRandomSpannersAreValid(t *testing.T) {
+	rng := rand.New(rand.NewSource(68))
+	for trial := 0; trial < 20; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x", "y"})
+		if err := a.Validate(true); err != nil {
+			t.Fatalf("trial %d: generator produced invalid automaton: %v", trial, err)
+		}
+		if !Equivalent(Determinize(a), Determinize(a.Clone())) {
+			t.Fatalf("trial %d: Clone not equivalent", trial)
+		}
+	}
+}
+
+func TestShortestWitnessIsShortest(t *testing.T) {
+	rng := rand.New(rand.NewSource(69))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x"})
+		w := a.ShortestWitness()
+		if w == nil {
+			t.Fatal("random spanner should be satisfiable")
+		}
+		doc := w.Erase()
+		// No accepted word strictly shorter: check documents of smaller
+		// length via the marker-free projection.
+		d := Determinize(Project(a, nil))
+		for l := 0; l < len(doc); l++ {
+			if acceptsAnyDocOfLength(d, l) {
+				t.Fatalf("trial %d: witness %q not shortest (doc of length %d accepted)", trial, doc, l)
+			}
+		}
+	}
+}
+
+func acceptsAnyDocOfLength(d *DEVA, l int) bool {
+	var rec func(q, remaining int) bool
+	rec = func(q, remaining int) bool {
+		if remaining == 0 {
+			return d.Final[q]
+		}
+		for _, b := range []byte("ab") {
+			if s := d.Step(q, b); s >= 0 && rec(s, remaining-1) {
+				return true
+			}
+		}
+		return false
+	}
+	return rec(d.Start, l)
+}
+
+func TestEquivalentDifferentStructures(t *testing.T) {
+	// Structural variety producing the same spanner: marker around a|b vs
+	// union of two marked branches.
+	vars := spans.NewVarSet("x")
+	mk := func(b byte) *NFA {
+		n := NewNFA(vars)
+		s1 := n.AddState()
+		s2 := n.AddState()
+		s3 := n.AddState()
+		n.AddMarker(n.Start, Marker{Var: "x"}, s1)
+		n.AddLetter(s1, b, s2)
+		n.AddMarker(s2, Marker{Var: "x", Close: true}, s3)
+		n.SetFinal(s3)
+		return n
+	}
+	either := NewNFA(vars)
+	s1 := either.AddState()
+	s2 := either.AddState()
+	s3 := either.AddState()
+	either.AddMarker(either.Start, Marker{Var: "x"}, s1)
+	either.AddLetter(s1, 'a', s2)
+	either.AddLetter(s1, 'b', s2)
+	either.AddMarker(s2, Marker{Var: "x", Close: true}, s3)
+	either.SetFinal(s3)
+
+	u := Union(mk('a'), mk('b'))
+	if !Equivalent(Determinize(u), Determinize(either)) {
+		t.Error("union of branches ≢ merged branch")
+	}
+}
+
+func ExampleNFA_Dot() {
+	n := NewNFA(spans.NewVarSet("x"))
+	s1 := n.AddState()
+	s2 := n.AddState()
+	s3 := n.AddState()
+	n.AddMarker(n.Start, Marker{Var: "x"}, s1)
+	n.AddLetter(s1, 'a', s2)
+	n.AddMarker(s2, Marker{Var: "x", Close: true}, s3)
+	n.SetFinal(s3)
+	fmt.Println(len(n.Dot("tiny")) > 0)
+	// Output: true
+}

@@ -1,0 +1,112 @@
+package automata
+
+import (
+	"fmt"
+	"strings"
+
+	"docspanner/internal/refwords"
+	"docspanner/internal/spans"
+)
+
+// MaxVars is the maximum number of variables per spanner: marker sets are
+// represented as 64-bit masks with two bits per variable.
+const MaxVars = 32
+
+// Mask is a set of markers over a fixed, canonically ordered variable set:
+// bit 2i is the open marker of the i-th variable, bit 2i+1 its close
+// marker. Masks are the "sets of markers" of extended vset-automata
+// (Section 2.2, Option 2 of the survey).
+type Mask uint64
+
+// MaskIndex resolves markers to bit positions for one variable set.
+type MaskIndex struct {
+	vars spans.VarSet
+}
+
+// NewMaskIndex builds the marker-bit assignment for vars. It panics if
+// there are more than MaxVars variables.
+func NewMaskIndex(vars spans.VarSet) MaskIndex {
+	if len(vars) > MaxVars {
+		panic(fmt.Sprintf("automata: %d variables exceed the maximum of %d", len(vars), MaxVars))
+	}
+	return MaskIndex{vars: vars}
+}
+
+// Vars returns the underlying canonical variable set.
+func (ix MaskIndex) Vars() spans.VarSet { return ix.vars }
+
+// Bit returns the bit index of marker m. It panics on unknown variables.
+func (ix MaskIndex) Bit(m Marker) uint {
+	i := ix.vars.Index(m.Var)
+	if i < 0 {
+		panic(fmt.Sprintf("automata: marker %v for unknown variable", m))
+	}
+	b := uint(2 * i)
+	if m.Close {
+		b++
+	}
+	return b
+}
+
+// MaskOf returns the mask containing exactly the given markers.
+func (ix MaskIndex) MaskOf(ms ...Marker) Mask {
+	var out Mask
+	for _, m := range ms {
+		out |= 1 << ix.Bit(m)
+	}
+	return out
+}
+
+// Markers expands a mask back into its sorted marker set.
+func (ix MaskIndex) Markers(m Mask) refwords.MarkerSet {
+	var out refwords.MarkerSet
+	for i, v := range ix.vars {
+		if m&(1<<uint(2*i)) != 0 {
+			out = append(out, Marker{Var: v})
+		}
+		if m&(1<<uint(2*i+1)) != 0 {
+			out = append(out, Marker{Var: v, Close: true})
+		}
+	}
+	refwords.SortMarkers(out)
+	return out
+}
+
+// Project keeps only the marker bits of variables in keep.
+func (ix MaskIndex) Project(m Mask, keep spans.VarSet) Mask {
+	var out Mask
+	for i, v := range ix.vars {
+		if keep.Contains(v) {
+			out |= m & (3 << uint(2*i))
+		}
+	}
+	return out
+}
+
+// Translate converts a mask expressed in this index into one expressed in
+// other; variables missing from other must not occur in m.
+func (ix MaskIndex) Translate(m Mask, other MaskIndex) Mask {
+	var out Mask
+	for i, v := range ix.vars {
+		bits := (m >> uint(2*i)) & 3
+		if bits == 0 {
+			continue
+		}
+		j := other.vars.Index(v)
+		if j < 0 {
+			panic(fmt.Sprintf("automata: cannot translate marker of %s", v))
+		}
+		out |= bits << uint(2*j)
+	}
+	return out
+}
+
+// String renders the mask as {x▷, ◁y} using the index's variables.
+func (ix MaskIndex) String(m Mask) string {
+	ms := ix.Markers(m)
+	parts := make([]string, len(ms))
+	for i, mk := range ms {
+		parts[i] = mk.String()
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}

@@ -1,0 +1,126 @@
+package automata
+
+import "math/bits"
+
+// BoolMatrix is a square Boolean matrix over automaton states, stored as
+// bitset rows. M[p][q] = 1 encodes "state q is reachable from state p by
+// reading the string at hand" — the classical tool for running an NFA over
+// an SLP-compressed string (Section 4.2 of the survey; cf. Lohrey's survey
+// on SLP algorithmics).
+type BoolMatrix struct {
+	N    int
+	rows []uint64 // N rows of ceil(N/64) words each
+}
+
+// NewBoolMatrix returns the N×N all-zero matrix.
+func NewBoolMatrix(n int) *BoolMatrix {
+	w := (n + 63) / 64
+	return &BoolMatrix{N: n, rows: make([]uint64, n*w)}
+}
+
+// IdentityMatrix returns the N×N identity.
+func IdentityMatrix(n int) *BoolMatrix {
+	m := NewBoolMatrix(n)
+	for i := 0; i < n; i++ {
+		m.Set(i, i)
+	}
+	return m
+}
+
+func (m *BoolMatrix) words() int { return (m.N + 63) / 64 }
+
+// Set sets entry (p,q) to 1.
+func (m *BoolMatrix) Set(p, q int) {
+	m.rows[p*m.words()+q/64] |= 1 << uint(q%64)
+}
+
+// Get returns entry (p,q).
+func (m *BoolMatrix) Get(p, q int) bool {
+	return m.rows[p*m.words()+q/64]&(1<<uint(q%64)) != 0
+}
+
+// Row returns the bitset row of state p (shared storage).
+func (m *BoolMatrix) Row(p int) []uint64 {
+	w := m.words()
+	return m.rows[p*w : (p+1)*w]
+}
+
+// Mul returns the Boolean matrix product m·other: (m·o)[p][q] = 1 iff
+// there is an r with m[p][r] = o[r][q] = 1. Runs in O(N³/64) via word-wise
+// row OR-ing.
+func (m *BoolMatrix) Mul(other *BoolMatrix) *BoolMatrix {
+	out := NewBoolMatrix(m.N)
+	w := m.words()
+	for p := 0; p < m.N; p++ {
+		src := m.Row(p)
+		dst := out.rows[p*w : (p+1)*w]
+		for wi, word := range src {
+			for word != 0 {
+				r := wi*64 + bits.TrailingZeros64(word)
+				word &= word - 1
+				orow := other.rows[r*w : (r+1)*w]
+				for k := range dst {
+					dst[k] |= orow[k]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// ApplyLeft returns the row vector v·m for a bitset vector v (reachable
+// target states when starting from any state set in v).
+func (m *BoolMatrix) ApplyLeft(v []uint64) []uint64 {
+	w := m.words()
+	out := make([]uint64, w)
+	for wi, word := range v {
+		for word != 0 {
+			p := wi*64 + bits.TrailingZeros64(word)
+			word &= word - 1
+			row := m.Row(p)
+			for k := range out {
+				out[k] |= row[k]
+			}
+		}
+	}
+	return out
+}
+
+// ApplyRight returns the column image m·v: out[p] = 1 iff ∃q: m[p][q] ∧ v[q].
+// This propagates "can reach acceptance" vectors backwards.
+func (m *BoolMatrix) ApplyRight(v []uint64) []uint64 {
+	w := m.words()
+	out := make([]uint64, w)
+	for p := 0; p < m.N; p++ {
+		row := m.Row(p)
+		for k := range row {
+			if row[k]&v[k] != 0 {
+				out[p/64] |= 1 << uint(p%64)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// Equal reports entry-wise equality.
+func (m *BoolMatrix) Equal(other *BoolMatrix) bool {
+	if m.N != other.N {
+		return false
+	}
+	for i := range m.rows {
+		if m.rows[i] != other.rows[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// BitGet reads bit q of a bitset vector.
+func BitGet(v []uint64, q int) bool { return v[q/64]&(1<<uint(q%64)) != 0 }
+
+// BitSet sets bit q of a bitset vector.
+func BitSet(v []uint64, q int) { v[q/64] |= 1 << uint(q%64) }
+
+// NewBitVec returns an all-zero bitset vector for n states.
+func NewBitVec(n int) []uint64 { return make([]uint64, (n+63)/64) }

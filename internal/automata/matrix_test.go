@@ -1,0 +1,101 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomMatrix(n int, rng *rand.Rand, density float64) *BoolMatrix {
+	m := NewBoolMatrix(n)
+	for p := 0; p < n; p++ {
+		for q := 0; q < n; q++ {
+			if rng.Float64() < density {
+				m.Set(p, q)
+			}
+		}
+	}
+	return m
+}
+
+func naiveMul(a, b *BoolMatrix) *BoolMatrix {
+	out := NewBoolMatrix(a.N)
+	for p := 0; p < a.N; p++ {
+		for r := 0; r < a.N; r++ {
+			if !a.Get(p, r) {
+				continue
+			}
+			for q := 0; q < a.N; q++ {
+				if b.Get(r, q) {
+					out.Set(p, q)
+				}
+			}
+		}
+	}
+	return out
+}
+
+func TestBoolMatrixSetGet(t *testing.T) {
+	m := NewBoolMatrix(70) // spans multiple words per row
+	m.Set(0, 69)
+	m.Set(69, 0)
+	if !m.Get(0, 69) || !m.Get(69, 0) || m.Get(0, 0) {
+		t.Error("Set/Get wrong")
+	}
+}
+
+func TestBoolMatrixMulMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 3, 17, 64, 65, 100} {
+		a := randomMatrix(n, rng, 0.2)
+		b := randomMatrix(n, rng, 0.2)
+		if !a.Mul(b).Equal(naiveMul(a, b)) {
+			t.Errorf("Mul mismatch at n=%d", n)
+		}
+	}
+}
+
+func TestBoolMatrixIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := randomMatrix(33, rng, 0.3)
+	id := IdentityMatrix(33)
+	if !m.Mul(id).Equal(m) || !id.Mul(m).Equal(m) {
+		t.Error("identity law fails")
+	}
+}
+
+func TestBoolMatrixAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20
+		a := randomMatrix(n, rng, 0.15)
+		b := randomMatrix(n, rng, 0.15)
+		c := randomMatrix(n, rng, 0.15)
+		return a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c)))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestApplyLeftRight(t *testing.T) {
+	m := NewBoolMatrix(5)
+	m.Set(0, 2)
+	m.Set(2, 4)
+	m.Set(3, 1)
+
+	v := NewBitVec(5)
+	BitSet(v, 0)
+	BitSet(v, 3)
+	left := m.ApplyLeft(v) // rows 0 and 3 → {2, 1}
+	if !BitGet(left, 2) || !BitGet(left, 1) || BitGet(left, 4) {
+		t.Errorf("ApplyLeft = %b", left)
+	}
+
+	acc := NewBitVec(5)
+	BitSet(acc, 4)
+	right := m.ApplyRight(acc) // who reaches 4? state 2.
+	if !BitGet(right, 2) || BitGet(right, 0) || BitGet(right, 3) {
+		t.Errorf("ApplyRight = %b", right)
+	}
+}

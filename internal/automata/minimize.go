@@ -1,0 +1,191 @@
+package automata
+
+import "sort"
+
+// Minimize returns an equivalent deterministic extended vset-automaton
+// with the minimum number of states (Moore partition refinement over the
+// combined alphabet of letters and marker sets, with an implicit sink for
+// missing transitions). Useful before Equivalent/Contains and before
+// building enumeration indexes — matrix sizes in the compressed setting
+// are quadratic-to-cubic in the state count.
+func Minimize(d *DEVA) *DEVA {
+	letters, masks := d.AlphabetAndMasks()
+	nq := d.NumStates()
+
+	// Trim: keep states reachable from start and co-reachable to final.
+	reach := make([]bool, nq)
+	stack := []int{d.Start}
+	reach[d.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		step := func(r int) {
+			if r >= 0 && !reach[r] {
+				reach[r] = true
+				stack = append(stack, r)
+			}
+		}
+		for _, r := range d.Letters[q] {
+			step(r)
+		}
+		for _, r := range d.Masks[q] {
+			step(r)
+		}
+	}
+	co := make([]bool, nq)
+	for q := 0; q < nq; q++ {
+		if d.Final[q] {
+			co[q] = true
+			stack = append(stack, q)
+		}
+	}
+	rev := make([][]int, nq)
+	for q := 0; q < nq; q++ {
+		for _, r := range d.Letters[q] {
+			rev[r] = append(rev[r], q)
+		}
+		for _, r := range d.Masks[q] {
+			rev[r] = append(rev[r], q)
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !co[p] {
+				co[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	useful := func(q int) bool { return q >= 0 && reach[q] && co[q] }
+
+	if !useful(d.Start) {
+		// Empty language.
+		out := &DEVA{Index: d.Index}
+		out.addState()
+		out.Start = 0
+		return out
+	}
+
+	// Moore refinement: class 0 = sink; useful states partitioned by
+	// finality initially.
+	const sink = 0
+	class := make([]int, nq)
+	for q := 0; q < nq; q++ {
+		switch {
+		case !useful(q):
+			class[q] = sink
+		case d.Final[q]:
+			class[q] = 2
+		default:
+			class[q] = 1
+		}
+	}
+	classOf := func(q int) int {
+		if q < 0 || !useful(q) {
+			return sink
+		}
+		return class[q]
+	}
+
+	type sig struct {
+		base int
+		key  string
+	}
+	for {
+		// Signature: own class + successor classes per symbol.
+		sigs := make(map[sig][]int)
+		for q := 0; q < nq; q++ {
+			if !useful(q) {
+				continue
+			}
+			key := make([]byte, 0, len(letters)+len(masks))
+			for _, b := range letters {
+				key = append(key, byte(classOf(d.Step(q, b))))
+			}
+			for _, m := range masks {
+				key = append(key, byte(classOf(d.StepMask(q, m))))
+			}
+			s := sig{class[q], string(key)}
+			sigs[s] = append(sigs[s], q)
+		}
+		// Deterministic renumbering: sort signature groups by their
+		// smallest member.
+		groups := make([][]int, 0, len(sigs))
+		for _, g := range sigs {
+			sort.Ints(g)
+			groups = append(groups, g)
+		}
+		sort.Slice(groups, func(i, j int) bool { return groups[i][0] < groups[j][0] })
+		next := make([]int, nq)
+		for q := range next {
+			next[q] = sink
+		}
+		for i, g := range groups {
+			for _, q := range g {
+				next[q] = i + 1
+			}
+		}
+		same := true
+		for q := 0; q < nq; q++ {
+			if useful(q) && next[q] != class[q] {
+				same = false
+			}
+		}
+		// Also detect pure renumberings: compare group count.
+		if same || len(groups) == numClasses(class, useful, nq) {
+			class = next
+			break
+		}
+		class = next
+	}
+
+	// Build the quotient automaton.
+	out := &DEVA{Index: d.Index}
+	id := map[int]int{}
+	classes := []int{}
+	for q := 0; q < nq; q++ {
+		if !useful(q) {
+			continue
+		}
+		if _, ok := id[class[q]]; !ok {
+			id[class[q]] = out.addState()
+			classes = append(classes, q)
+		}
+	}
+	for _, rep := range classes {
+		src := id[class[rep]]
+		if d.Final[rep] {
+			out.Final[src] = true
+		}
+		for b, r := range d.Letters[rep] {
+			if useful(r) {
+				if out.Letters[src] == nil {
+					out.Letters[src] = map[byte]int{}
+				}
+				out.Letters[src][b] = id[class[r]]
+			}
+		}
+		for m, r := range d.Masks[rep] {
+			if useful(r) {
+				if out.Masks[src] == nil {
+					out.Masks[src] = map[Mask]int{}
+				}
+				out.Masks[src][m] = id[class[r]]
+			}
+		}
+	}
+	out.Start = id[class[d.Start]]
+	return out
+}
+
+func numClasses(class []int, useful func(int) bool, nq int) int {
+	seen := map[int]bool{}
+	for q := 0; q < nq; q++ {
+		if useful(q) {
+			seen[class[q]] = true
+		}
+	}
+	return len(seen)
+}

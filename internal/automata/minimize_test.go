@@ -1,0 +1,132 @@
+package automata
+
+import (
+	"math/rand"
+	"testing"
+
+	"docspanner/internal/spans"
+)
+
+func TestMinimizePreservesSpanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		n := randomSpanner(rng, []spans.Var{"x", "y"})
+		d := Determinize(n)
+		m := Minimize(d)
+		if !Equivalent(d, m) {
+			t.Fatalf("trial %d: minimization changed the spanner", trial)
+		}
+		if m.NumStates() > d.NumStates() {
+			t.Fatalf("trial %d: minimization grew the automaton (%d -> %d)",
+				trial, d.NumStates(), m.NumStates())
+		}
+	}
+}
+
+func TestMinimizeShrinksRedundancy(t *testing.T) {
+	// Union of a spanner with itself doubles states; the minimal
+	// automaton must collapse back to (at most) the size of the single
+	// automaton's minimization.
+	n := exampleSpanner()
+	single := Minimize(Determinize(n))
+	doubled := Minimize(Determinize(Union(n, n.Clone())))
+	if doubled.NumStates() != single.NumStates() {
+		t.Errorf("union-with-self minimized to %d states, single to %d",
+			doubled.NumStates(), single.NumStates())
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	d := Determinize(exampleSpanner())
+	m1 := Minimize(d)
+	m2 := Minimize(m1)
+	if m1.NumStates() != m2.NumStates() {
+		t.Errorf("second minimization changed size: %d -> %d", m1.NumStates(), m2.NumStates())
+	}
+	if !Equivalent(m1, m2) {
+		t.Error("second minimization changed the language")
+	}
+}
+
+func TestMinimizeEmptyLanguage(t *testing.T) {
+	n := NewNFA(nil) // no final state
+	m := Minimize(Determinize(n))
+	if m.NumStates() != 1 || m.Final[m.Start] {
+		t.Errorf("empty language minimized to %d states", m.NumStates())
+	}
+}
+
+func TestMinimizeDropsDeadStates(t *testing.T) {
+	n := exampleSpanner()
+	// Dead branch: reachable states that never accept.
+	dead := n.AddState()
+	n.AddLetter(n.Start, 'a', dead)
+	dead2 := n.AddState()
+	n.AddLetter(dead, 'b', dead2)
+	d := Determinize(n)
+	m := Minimize(d)
+	if !Equivalent(Determinize(exampleSpanner()), m) {
+		t.Error("minimized automaton differs from the clean spanner")
+	}
+}
+
+func TestMinimizeEquivalenceSpeedup(t *testing.T) {
+	// Equivalence via minimized automata must agree with direct check.
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x"})
+		b := randomSpanner(rng, []spans.Var{"x"})
+		direct := Equivalent(Determinize(a), Determinize(b))
+		viaMin := Equivalent(Minimize(Determinize(a)), Minimize(Determinize(b)))
+		if direct != viaMin {
+			t.Fatalf("trial %d: equivalence disagreement (%v vs %v)", trial, direct, viaMin)
+		}
+	}
+}
+
+func TestDifferenceDEVADirect(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 10; trial++ {
+		a := randomSpanner(rng, []spans.Var{"x"})
+		b := randomSpanner(rng, []spans.Var{"x"})
+		da, db := Determinize(a), Determinize(b)
+		diff := Difference(da, db)
+		// diff ∪ (a ∩ b-ish)... check the defining property instead:
+		// L(diff) ⊆ L(a) and L(diff) ∩ L(b) = ∅ and a ⊆ diff ∪ b.
+		if !Contains(diff, da) {
+			t.Fatalf("trial %d: difference not contained in a", trial)
+		}
+		inter := Difference(diff, Difference(diff, db)) // diff ∩ b
+		if !inter.emptyLanguage() {
+			t.Fatalf("trial %d: difference intersects b", trial)
+		}
+	}
+}
+
+// emptyLanguage reports whether the DEVA accepts nothing (reachable final
+// state search).
+func (d *DEVA) emptyLanguage() bool {
+	seen := make([]bool, d.NumStates())
+	stack := []int{d.Start}
+	seen[d.Start] = true
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if d.Final[q] {
+			return false
+		}
+		push := func(r int) {
+			if r >= 0 && !seen[r] {
+				seen[r] = true
+				stack = append(stack, r)
+			}
+		}
+		for _, r := range d.Letters[q] {
+			push(r)
+		}
+		for _, r := range d.Masks[q] {
+			push(r)
+		}
+	}
+	return true
+}

@@ -1,0 +1,472 @@
+package automata
+
+import (
+	"testing"
+
+	"docspanner/internal/refwords"
+	"docspanner/internal/spans"
+)
+
+// buildLinear builds an NFA accepting exactly the given item sequence.
+func buildLinear(vars spans.VarSet, w refwords.Word) *NFA {
+	n := NewNFA(vars)
+	cur := n.Start
+	for _, it := range w {
+		next := n.AddState()
+		switch it.Kind {
+		case refwords.KindLetter:
+			n.AddLetter(cur, it.Letter, next)
+		case refwords.KindMarker:
+			n.AddMarker(cur, Marker{Var: it.Var, Close: it.Close}, next)
+		}
+		cur = next
+	}
+	n.SetFinal(cur)
+	return n
+}
+
+// exampleSpanner builds the spanner of Example 1.1:
+// x▷(a|b)*◁x · y▷b◁y · z▷(a|b)*◁z.
+func exampleSpanner() *NFA {
+	vars := spans.NewVarSet("x", "y", "z")
+	n := NewNFA(vars)
+	s1 := n.AddState() // after x▷, loop on a,b
+	s2 := n.AddState() // after ◁x
+	s3 := n.AddState() // after y▷
+	s4 := n.AddState() // after b
+	s5 := n.AddState() // after ◁y
+	s6 := n.AddState() // after z▷, loop on a,b
+	s7 := n.AddState() // after ◁z, final
+	n.AddMarker(n.Start, Marker{Var: "x"}, s1)
+	n.AddLetter(s1, 'a', s1)
+	n.AddLetter(s1, 'b', s1)
+	n.AddMarker(s1, Marker{Var: "x", Close: true}, s2)
+	n.AddMarker(s2, Marker{Var: "y"}, s3)
+	n.AddLetter(s3, 'b', s4)
+	n.AddMarker(s4, Marker{Var: "y", Close: true}, s5)
+	n.AddMarker(s5, Marker{Var: "z"}, s6)
+	n.AddLetter(s6, 'a', s6)
+	n.AddLetter(s6, 'b', s6)
+	n.AddMarker(s6, Marker{Var: "z", Close: true}, s7)
+	n.SetFinal(s7)
+	return n
+}
+
+func TestNFABasics(t *testing.T) {
+	n := exampleSpanner()
+	if n.NumStates() != 8 {
+		t.Errorf("NumStates = %d", n.NumStates())
+	}
+	if n.Empty() {
+		t.Error("Empty = true")
+	}
+	if got := n.Alphabet(); len(got) != 2 || got[0] != 'a' || got[1] != 'b' {
+		t.Errorf("Alphabet = %v", got)
+	}
+	if n.CountTransitions() != 11 {
+		t.Errorf("CountTransitions = %d", n.CountTransitions())
+	}
+}
+
+func TestEpsClosure(t *testing.T) {
+	n := NewNFA(nil)
+	a := n.AddState()
+	b := n.AddState()
+	c := n.AddState()
+	n.AddEps(n.Start, a)
+	n.AddEps(a, b)
+	n.AddLetter(b, 'x', c)
+	got := n.EpsClosure([]int{n.Start})
+	if len(got) != 3 || got[0] != 0 || got[1] != a || got[2] != b {
+		t.Errorf("EpsClosure = %v", got)
+	}
+}
+
+func TestTrimAndEmpty(t *testing.T) {
+	n := NewNFA(nil)
+	dead := n.AddState()
+	n.AddLetter(n.Start, 'a', dead) // dead end: no final state
+	if !n.Empty() {
+		t.Error("language should be empty")
+	}
+	tr := n.Trim()
+	if tr.NumStates() != 1 || !tr.Empty() {
+		t.Errorf("Trim of empty = %d states", tr.NumStates())
+	}
+
+	m := exampleSpanner()
+	useless := m.AddState()
+	m.AddLetter(useless, 'a', useless)
+	tm := m.Trim()
+	if tm.NumStates() != 8 {
+		t.Errorf("Trim kept %d states, want 8", tm.NumStates())
+	}
+	if tm.Empty() {
+		t.Error("trimmed spanner empty")
+	}
+}
+
+func TestShortestWitness(t *testing.T) {
+	n := exampleSpanner()
+	w := n.ShortestWitness()
+	if w == nil {
+		t.Fatal("no witness")
+	}
+	// Shortest witness is x▷◁x y▷b◁y z▷◁z = document "b".
+	if got := string(w.Erase()); got != "b" {
+		t.Errorf("witness doc = %q", got)
+	}
+	if err := w.Validate(n.Vars, true); err != nil {
+		t.Errorf("witness invalid: %v", err)
+	}
+
+	empty := NewNFA(nil)
+	if empty.ShortestWitness() != nil {
+		t.Error("empty automaton returned witness")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	n := exampleSpanner()
+	if err := n.Validate(true); err != nil {
+		t.Errorf("valid functional automaton rejected: %v", err)
+	}
+
+	// Automaton binding x twice.
+	vars := spans.NewVarSet("x")
+	bad := buildLinear(vars, refwords.FromString(">xa<x>xb<x"))
+	if err := bad.Validate(false); err == nil {
+		t.Error("double binding accepted")
+	}
+
+	// Automaton that may skip x: valid schemaless, invalid functional.
+	skip := NewNFA(vars)
+	end := skip.AddState()
+	mid := skip.AddState()
+	skip.AddLetter(skip.Start, 'a', end)
+	skip.AddMarker(skip.Start, Marker{Var: "x"}, mid)
+	skip.AddMarker(mid, Marker{Var: "x", Close: true}, end)
+	skip.SetFinal(end)
+	if err := skip.Validate(false); err != nil {
+		t.Errorf("schemaless validation rejected: %v", err)
+	}
+	if err := skip.Validate(true); err == nil {
+		t.Error("functional validation accepted skipping automaton")
+	}
+
+	// Close before open.
+	rev := buildLinear(vars, refwords.Word{refwords.CloseM("x"), refwords.Open("x")})
+	if err := rev.Validate(false); err == nil {
+		t.Error("close-before-open accepted")
+	}
+
+	// Unclosed open.
+	open := buildLinear(vars, refwords.Word{refwords.Open("x")})
+	if err := open.Validate(false); err == nil {
+		t.Error("unclosed marker accepted")
+	}
+}
+
+func TestMaskIndex(t *testing.T) {
+	ix := NewMaskIndex(spans.NewVarSet("x", "y"))
+	mx := ix.MaskOf(Marker{Var: "x"}, Marker{Var: "y", Close: true})
+	if ix.Bit(Marker{Var: "x"}) != 0 || ix.Bit(Marker{Var: "y", Close: true}) != 3 {
+		t.Error("bit layout wrong")
+	}
+	ms := ix.Markers(mx)
+	if len(ms) != 2 || ms[0] != (Marker{Var: "x"}) || ms[1] != (Marker{Var: "y", Close: true}) {
+		t.Errorf("Markers = %v", ms)
+	}
+	if got := ix.Project(mx, spans.NewVarSet("y")); got != ix.MaskOf(Marker{Var: "y", Close: true}) {
+		t.Errorf("Project = %b", got)
+	}
+	other := NewMaskIndex(spans.NewVarSet("w", "x", "y"))
+	tr := ix.Translate(mx, other)
+	if tr != other.MaskOf(Marker{Var: "x"}, Marker{Var: "y", Close: true}) {
+		t.Errorf("Translate = %b", tr)
+	}
+	if s := ix.String(mx); s != "{x▷,◁y}" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestDeterminizeAcceptance(t *testing.T) {
+	n := exampleSpanner()
+	d := Determinize(n)
+	ix := d.Index
+
+	// Document ababbab with tuple x=[1,4⟩ y=[4,5⟩ z=[5,8⟩ (row 2 of
+	// Example 1.1): masks at boundaries 0,3,4 and 7.
+	doc := []byte("ababbab")
+	masks := make([]Mask, len(doc)+1)
+	masks[0] = ix.MaskOf(Marker{Var: "x"})
+	masks[3] = ix.MaskOf(Marker{Var: "x", Close: true}, Marker{Var: "y"})
+	masks[4] = ix.MaskOf(Marker{Var: "y", Close: true}, Marker{Var: "z"})
+	masks[7] = ix.MaskOf(Marker{Var: "z", Close: true})
+	if !d.AcceptsExtended(doc, masks) {
+		t.Error("valid tuple rejected")
+	}
+
+	// y over an 'a' (position 1 of doc index 0) must be rejected:
+	bad := make([]Mask, len(doc)+1)
+	bad[0] = ix.MaskOf(Marker{Var: "x"})
+	bad[2] = ix.MaskOf(Marker{Var: "x", Close: true}, Marker{Var: "y"})
+	bad[3] = ix.MaskOf(Marker{Var: "y", Close: true}, Marker{Var: "z"})
+	bad[7] = ix.MaskOf(Marker{Var: "z", Close: true})
+	if d.AcceptsExtended(doc, bad) {
+		t.Error("tuple with y over 'a' accepted")
+	}
+
+	// No masks at all: not a valid subword-marked word for this spanner.
+	if d.AcceptsExtended(doc, nil) {
+		t.Error("unmarked document accepted")
+	}
+}
+
+func TestDeterminizeIsDeterministic(t *testing.T) {
+	d := Determinize(exampleSpanner())
+	for q := range d.Final {
+		seenB := map[byte]bool{}
+		for b := range d.Letters[q] {
+			if seenB[b] {
+				t.Fatal("duplicate letter transition")
+			}
+			seenB[b] = true
+		}
+	}
+}
+
+func TestEquivalentAndContains(t *testing.T) {
+	n1 := exampleSpanner()
+	d1 := Determinize(n1)
+
+	// A second, structurally different automaton for the same spanner:
+	// route through normalization.
+	n2 := Normalize(n1)
+	d2 := Determinize(n2)
+	if !Equivalent(d1, d2) {
+		t.Error("normalized automaton not equivalent")
+	}
+	if !Contains(d1, d2) || !Contains(d2, d1) {
+		t.Error("mutual containment fails")
+	}
+
+	// Restrict x to even... actually to 'a'* only: strictly contained.
+	vars := spans.NewVarSet("x", "y", "z")
+	n3 := NewNFA(vars)
+	s1 := n3.AddState()
+	s2 := n3.AddState()
+	s3 := n3.AddState()
+	s4 := n3.AddState()
+	s5 := n3.AddState()
+	s6 := n3.AddState()
+	s7 := n3.AddState()
+	n3.AddMarker(n3.Start, Marker{Var: "x"}, s1)
+	n3.AddLetter(s1, 'a', s1) // only a's inside x
+	n3.AddMarker(s1, Marker{Var: "x", Close: true}, s2)
+	n3.AddMarker(s2, Marker{Var: "y"}, s3)
+	n3.AddLetter(s3, 'b', s4)
+	n3.AddMarker(s4, Marker{Var: "y", Close: true}, s5)
+	n3.AddMarker(s5, Marker{Var: "z"}, s6)
+	n3.AddLetter(s6, 'a', s6)
+	n3.AddLetter(s6, 'b', s6)
+	n3.AddMarker(s6, Marker{Var: "z", Close: true}, s7)
+	n3.SetFinal(s7)
+	d3 := Determinize(n3)
+	if !Contains(d3, d1) {
+		t.Error("restricted spanner not contained")
+	}
+	if Contains(d1, d3) {
+		t.Error("reverse containment should fail")
+	}
+	if Equivalent(d1, d3) {
+		t.Error("distinct spanners reported equivalent")
+	}
+}
+
+func TestUnionConcatStar(t *testing.T) {
+	a := buildLinear(nil, refwords.FromString("ab"))
+	b := buildLinear(nil, refwords.FromString("cd"))
+	u := Union(a, b)
+	du := Determinize(u)
+	if !du.AcceptsExtended([]byte("ab"), nil) || !du.AcceptsExtended([]byte("cd"), nil) {
+		t.Error("union misses operand word")
+	}
+	if du.AcceptsExtended([]byte("ad"), nil) {
+		t.Error("union accepts junk")
+	}
+
+	c := Concat(a, b)
+	dc := Determinize(c)
+	if !dc.AcceptsExtended([]byte("abcd"), nil) {
+		t.Error("concat misses abcd")
+	}
+	if dc.AcceptsExtended([]byte("ab"), nil) {
+		t.Error("concat accepts prefix")
+	}
+
+	s := Star(a)
+	ds := Determinize(s)
+	for _, w := range []string{"", "ab", "abab", "ababab"} {
+		if !ds.AcceptsExtended([]byte(w), nil) {
+			t.Errorf("star misses %q", w)
+		}
+	}
+	if ds.AcceptsExtended([]byte("aba"), nil) {
+		t.Error("star accepts junk")
+	}
+}
+
+func TestConcatSharedVarsPanics(t *testing.T) {
+	vars := spans.NewVarSet("x")
+	a := buildLinear(vars, refwords.FromString(">xa<x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("Concat with shared variables did not panic")
+		}
+	}()
+	Concat(a, a)
+}
+
+func TestStarWithMarkersPanics(t *testing.T) {
+	vars := spans.NewVarSet("x")
+	a := buildLinear(vars, refwords.FromString(">xa<x"))
+	defer func() {
+		if recover() == nil {
+			t.Error("Star over markers did not panic")
+		}
+	}()
+	Star(a)
+}
+
+func TestProject(t *testing.T) {
+	n := exampleSpanner()
+	p := Project(n, spans.NewVarSet("y"))
+	if !p.Vars.Equal(spans.NewVarSet("y")) {
+		t.Errorf("Vars = %v", p.Vars)
+	}
+	d := Determinize(p)
+	ix := d.Index
+	doc := []byte("ab")
+	masks := make([]Mask, 3)
+	masks[1] = ix.MaskOf(Marker{Var: "y"})
+	masks[2] = ix.MaskOf(Marker{Var: "y", Close: true})
+	if !d.AcceptsExtended(doc, masks) {
+		t.Error("projection rejects valid tuple")
+	}
+	// y over 'a' still rejected.
+	masks0 := make([]Mask, 3)
+	masks0[0] = ix.MaskOf(Marker{Var: "y"})
+	masks0[1] = ix.MaskOf(Marker{Var: "y", Close: true})
+	if d.AcceptsExtended(doc, masks0) {
+		t.Error("projection accepts y over 'a'")
+	}
+}
+
+func TestJoinSharedVariable(t *testing.T) {
+	// a: binds x to a single letter 'a' anywhere; b: binds x to a letter
+	// followed by 'b'. Join: x = 'a' directly followed by 'b'.
+	mk := func(follow byte, need bool) *NFA {
+		vars := spans.NewVarSet("x")
+		n := NewNFA(vars)
+		loop := n.Start
+		n.AddLetter(loop, 'a', loop)
+		n.AddLetter(loop, 'b', loop)
+		s1 := n.AddState()
+		s2 := n.AddState()
+		n.AddMarker(loop, Marker{Var: "x"}, s1)
+		n.AddLetter(s1, 'a', s2)
+		s3 := n.AddState()
+		n.AddMarker(s2, Marker{Var: "x", Close: true}, s3)
+		end := s3
+		if need {
+			s4 := n.AddState()
+			n.AddLetter(s3, follow, s4)
+			end = s4
+		}
+		n.AddLetter(end, 'a', end)
+		n.AddLetter(end, 'b', end)
+		n.SetFinal(end)
+		return n
+	}
+	a := mk(0, false)
+	b := mk('b', true)
+	j := Join(a, b)
+	d := Determinize(j)
+	ix := d.Index
+
+	doc := []byte("aab")
+	// x = [2,3⟩ ('a' followed by 'b'): accepted.
+	masks := make([]Mask, 4)
+	masks[1] = ix.MaskOf(Marker{Var: "x"})
+	masks[2] = ix.MaskOf(Marker{Var: "x", Close: true})
+	if !d.AcceptsExtended(doc, masks) {
+		t.Error("join rejects valid tuple")
+	}
+	// x = [1,2⟩ ('a' followed by 'a'): rejected.
+	masks2 := make([]Mask, 4)
+	masks2[0] = ix.MaskOf(Marker{Var: "x"})
+	masks2[1] = ix.MaskOf(Marker{Var: "x", Close: true})
+	if d.AcceptsExtended(doc, masks2) {
+		t.Error("join accepts tuple violating second operand")
+	}
+}
+
+func TestIntersectLanguages(t *testing.T) {
+	// L1 = a(a|b)*, L2 = (a|b)*b — the γ construction of Section 3.2.
+	l1 := NewNFA(nil)
+	s := l1.AddState()
+	l1.AddLetter(l1.Start, 'a', s)
+	l1.AddLetter(s, 'a', s)
+	l1.AddLetter(s, 'b', s)
+	l1.SetFinal(s)
+
+	l2 := NewNFA(nil)
+	f := l2.AddState()
+	l2.AddLetter(l2.Start, 'a', l2.Start)
+	l2.AddLetter(l2.Start, 'b', l2.Start)
+	l2.AddLetter(l2.Start, 'b', f)
+	l2.SetFinal(f)
+
+	in := IntersectLanguages(l1, l2)
+	d := Determinize(in)
+	for _, c := range []struct {
+		w    string
+		want bool
+	}{
+		{"ab", true}, {"aab", true}, {"abab", true},
+		{"a", false}, {"b", false}, {"ba", false}, {"bab", false},
+	} {
+		if got := d.AcceptsExtended([]byte(c.w), nil); got != c.want {
+			t.Errorf("intersection on %q = %v, want %v", c.w, got, c.want)
+		}
+	}
+}
+
+func TestRenameVar(t *testing.T) {
+	vars := spans.NewVarSet("x")
+	a := buildLinear(vars, refwords.FromString(">xa<x"))
+	r := RenameVar(a, "x", "y")
+	if !r.Vars.Equal(spans.NewVarSet("y")) {
+		t.Errorf("Vars = %v", r.Vars)
+	}
+	d := Determinize(r)
+	ix := d.Index
+	masks := make([]Mask, 2)
+	masks[0] = ix.MaskOf(Marker{Var: "y"})
+	masks[1] = ix.MaskOf(Marker{Var: "y", Close: true})
+	if !d.AcceptsExtended([]byte("a"), masks) {
+		t.Error("renamed automaton rejects y-marked word")
+	}
+}
+
+func TestNormalizePreservesSpanner(t *testing.T) {
+	n := exampleSpanner()
+	m := Normalize(n)
+	if err := m.Validate(true); err != nil {
+		t.Errorf("normalized automaton invalid: %v", err)
+	}
+	if !Equivalent(Determinize(n), Determinize(m)) {
+		t.Error("normalization changed the spanner")
+	}
+}

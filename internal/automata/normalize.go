@@ -1,0 +1,46 @@
+package automata
+
+// DEVAToNFA converts a deterministic extended vset-automaton back into an
+// NFA whose marker transitions follow the canonical marker order (each
+// mask transition expands into the sorted sequence of its single markers).
+// This is the normalization "Option 1" of Section 2.2: the resulting NFA
+// presents consecutive markers in one fixed order, which makes products
+// such as Join sound on shared variables.
+func DEVAToNFA(d *DEVA) *NFA {
+	out := NewNFA(d.Index.Vars())
+	base := out.NumStates()
+	for range d.Final {
+		out.AddState()
+	}
+	out.AddEps(out.Start, base+d.Start)
+	for q := range d.Final {
+		if d.Final[q] {
+			out.SetFinal(base + q)
+		}
+		for b, r := range d.Letters[q] {
+			out.AddLetter(base+q, b, base+r)
+		}
+		for m, r := range d.Masks[q] {
+			markers := d.Index.Markers(m)
+			cur := base + q
+			for i, mk := range markers {
+				var next int
+				if i == len(markers)-1 {
+					next = base + r
+				} else {
+					next = out.AddState()
+				}
+				out.AddMarker(cur, mk, next)
+				cur = next
+			}
+		}
+	}
+	return out
+}
+
+// Normalize returns an equivalent NFA in canonical marker order by routing
+// through determinization. The result represents the same spanner and can
+// be exponentially larger (query complexity only).
+func Normalize(n *NFA) *NFA {
+	return DEVAToNFA(Determinize(n))
+}

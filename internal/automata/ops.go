@@ -1,0 +1,305 @@
+package automata
+
+import (
+	"fmt"
+
+	"docspanner/internal/spans"
+)
+
+// Union returns an NFA for L(a) ∪ L(b): the spanner union of the two
+// represented spanners. The result's variable set is the union of the
+// operands'. Under the classical (functional) semantics the operands
+// should have equal variable sets; under the schemaless semantics any
+// combination is meaningful (Section 2.2).
+func Union(a, b *NFA) *NFA {
+	out := NewNFA(a.Vars.Union(b.Vars))
+	oa := embed(out, a)
+	ob := embed(out, b)
+	out.AddEps(out.Start, oa)
+	out.AddEps(out.Start, ob)
+	return out
+}
+
+// Concat returns an NFA for L(a)·L(b). It is the building block for regex
+// compilation; for spanners it corresponds to splitting the document.
+// The operands must not share variables (a subword-marked word may contain
+// each marker only once); Concat panics otherwise.
+func Concat(a, b *NFA) *NFA {
+	if len(a.Vars.Intersect(b.Vars)) > 0 {
+		panic(fmt.Sprintf("automata: Concat operands share variables %v", a.Vars.Intersect(b.Vars)))
+	}
+	out := NewNFA(a.Vars.Union(b.Vars))
+	oa := embed(out, a)
+	ob := embed(out, b)
+	out.AddEps(out.Start, oa)
+	// Connect finals of a to start of b, clearing a's finals.
+	base := oa
+	for q := range a.Final {
+		if a.Final[q] {
+			out.Final[base+q] = false
+			out.AddEps(base+q, ob)
+		}
+	}
+	return out
+}
+
+// Star returns an NFA for L(a)*. The operand must bind no variables
+// (markers under a star would repeat); Star panics otherwise.
+func Star(a *NFA) *NFA {
+	if a.hasMarkers() {
+		panic("automata: Star over an automaton with variable markers")
+	}
+	out := NewNFA(a.Vars)
+	oa := embed(out, a)
+	out.AddEps(out.Start, oa)
+	out.SetFinal(out.Start)
+	base := oa
+	for q := range a.Final {
+		if a.Final[q] {
+			out.AddEps(base+q, oa)
+			// finals of a stay final in out (embedded as such)
+		}
+	}
+	return out
+}
+
+func (n *NFA) hasMarkers() bool {
+	for _, tr := range n.Markers {
+		if len(tr) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// embed copies all states and transitions of src into dst and returns the
+// index of src's start state inside dst. Final states keep their flag.
+func embed(dst *NFA, src *NFA) int {
+	base := dst.NumStates()
+	for range src.Final {
+		dst.AddState()
+	}
+	for q := range src.Final {
+		if src.Final[q] {
+			dst.SetFinal(base + q)
+		}
+		for _, r := range src.Eps[q] {
+			dst.AddEps(base+q, base+r)
+		}
+		for b, rs := range src.Letters[q] {
+			for _, r := range rs {
+				dst.AddLetter(base+q, b, base+r)
+			}
+		}
+		for m, rs := range src.Markers[q] {
+			for _, r := range rs {
+				dst.AddMarker(base+q, m, base+r)
+			}
+		}
+		for v, rs := range src.Refs[q] {
+			for _, r := range rs {
+				dst.AddRef(base+q, v, base+r)
+			}
+		}
+	}
+	return base + src.Start
+}
+
+// Project returns the spanner projection π_keep(a): markers of variables
+// outside keep become ε-transitions, and the variable set shrinks to
+// keep ∩ Vars(a).
+func Project(a *NFA, keep spans.VarSet) *NFA {
+	out := NewNFA(a.Vars.Intersect(keep))
+	base := out.NumStates()
+	for range a.Final {
+		out.AddState()
+	}
+	out.AddEps(out.Start, base+a.Start)
+	for q := range a.Final {
+		if a.Final[q] {
+			out.SetFinal(base + q)
+		}
+		for _, r := range a.Eps[q] {
+			out.AddEps(base+q, base+r)
+		}
+		for b, rs := range a.Letters[q] {
+			for _, r := range rs {
+				out.AddLetter(base+q, b, base+r)
+			}
+		}
+		for m, rs := range a.Markers[q] {
+			for _, r := range rs {
+				if keep.Contains(m.Var) {
+					out.AddMarker(base+q, m, base+r)
+				} else {
+					out.AddEps(base+q, base+r)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Join returns the natural join a ⋈ b of two regular spanners as an NFA:
+// letter transitions are synchronized (both automata read the same
+// document), markers of shared variables are synchronized (shared
+// variables must extract identical spans), and markers of private
+// variables interleave freely. This is the closure construction behind
+// the core-simplification lemma (Sections 2.2 and 2.3 of the survey).
+func Join(a, b *NFA) *NFA {
+	shared := a.Vars.Intersect(b.Vars)
+	out := NewNFA(a.Vars.Union(b.Vars))
+
+	type pair struct{ qa, qb int }
+	ids := map[pair]int{}
+	var order []pair
+
+	intern := func(p pair) int {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		var id int
+		if len(ids) == 0 {
+			id = out.Start
+		} else {
+			id = out.AddState()
+		}
+		ids[p] = id
+		order = append(order, p)
+		if a.Final[p.qa] && b.Final[p.qb] {
+			out.SetFinal(id)
+		}
+		return id
+	}
+	intern(pair{a.Start, b.Start})
+
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		src := ids[p]
+
+		// ε moves on either side.
+		for _, r := range a.Eps[p.qa] {
+			out.AddEps(src, intern(pair{r, p.qb}))
+		}
+		for _, r := range b.Eps[p.qb] {
+			out.AddEps(src, intern(pair{p.qa, r}))
+		}
+		// Synchronized letters.
+		for c, ras := range a.Letters[p.qa] {
+			rbs, ok := b.Letters[p.qb][c]
+			if !ok {
+				continue
+			}
+			for _, ra := range ras {
+				for _, rb := range rbs {
+					out.AddLetter(src, c, intern(pair{ra, rb}))
+				}
+			}
+		}
+		// Markers.
+		for m, ras := range a.Markers[p.qa] {
+			if shared.Contains(m.Var) {
+				rbs, ok := b.Markers[p.qb][m]
+				if !ok {
+					continue
+				}
+				for _, ra := range ras {
+					for _, rb := range rbs {
+						out.AddMarker(src, m, intern(pair{ra, rb}))
+					}
+				}
+			} else {
+				for _, ra := range ras {
+					out.AddMarker(src, m, intern(pair{ra, p.qb}))
+				}
+			}
+		}
+		for m, rbs := range b.Markers[p.qb] {
+			if shared.Contains(m.Var) {
+				continue // handled above, synchronized
+			}
+			for _, rb := range rbs {
+				out.AddMarker(src, m, intern(pair{p.qa, rb}))
+			}
+		}
+	}
+	return out
+}
+
+// IntersectLanguages returns an NFA accepting L(a) ∩ L(b) where both are
+// plain automata over Σ (no markers). Used for refining variable content
+// languages in the core→refl translation (Section 3.2) and for the
+// intersection-non-emptiness embedding of Section 2.4.
+func IntersectLanguages(a, b *NFA) *NFA {
+	if a.hasMarkers() || b.hasMarkers() {
+		panic("automata: IntersectLanguages requires marker-free operands")
+	}
+	out := NewNFA(nil)
+	type pair struct{ qa, qb int }
+	ids := map[pair]int{}
+	var order []pair
+	intern := func(p pair) int {
+		if id, ok := ids[p]; ok {
+			return id
+		}
+		var id int
+		if len(ids) == 0 {
+			id = out.Start
+		} else {
+			id = out.AddState()
+		}
+		ids[p] = id
+		order = append(order, p)
+		if a.Final[p.qa] && b.Final[p.qb] {
+			out.SetFinal(id)
+		}
+		return id
+	}
+	intern(pair{a.Start, b.Start})
+	for i := 0; i < len(order); i++ {
+		p := order[i]
+		src := ids[p]
+		for _, r := range a.Eps[p.qa] {
+			out.AddEps(src, intern(pair{r, p.qb}))
+		}
+		for _, r := range b.Eps[p.qb] {
+			out.AddEps(src, intern(pair{p.qa, r}))
+		}
+		for c, ras := range a.Letters[p.qa] {
+			rbs, ok := b.Letters[p.qb][c]
+			if !ok {
+				continue
+			}
+			for _, ra := range ras {
+				for _, rb := range rbs {
+					out.AddLetter(src, c, intern(pair{ra, rb}))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// RenameVar returns a copy of a in which variable old is renamed to new
+// on every marker transition. The new name must not already occur.
+func RenameVar(a *NFA, oldVar, newVar spans.Var) *NFA {
+	if a.Vars.Contains(newVar) {
+		panic(fmt.Sprintf("automata: RenameVar target %s already in use", newVar))
+	}
+	out := a.Clone()
+	out.Vars = a.Vars.Minus(spans.NewVarSet(oldVar)).Union(spans.NewVarSet(newVar))
+	for q := range out.Markers {
+		if out.Markers[q] == nil {
+			continue
+		}
+		nm := make(map[Marker][]int, len(out.Markers[q]))
+		for m, rs := range out.Markers[q] {
+			if m.Var == oldVar {
+				m.Var = newVar
+			}
+			nm[m] = rs
+		}
+		out.Markers[q] = nm
+	}
+	return out
+}

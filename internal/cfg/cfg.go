@@ -1,0 +1,199 @@
+// Package cfg implements context-free document spanners in the sense of
+// Peterfreund (ICDT 2021), which the survey discusses in Section 2.1 as
+// the natural instantiation of the declarative framework with
+// "context-free" in place of "regular": a grammar over the extended
+// alphabet Σ ∪ {x▷, ◁x} whose language is a set of subword-marked words
+// defines a spanner via ⟦L⟧(D) = { st(w) : w ∈ L, e(w) = D }.
+//
+// Evaluation uses an Earley parser in which marker terminals are
+// zero-width: they are consumed at document boundaries without advancing
+// the input. Items carry the set of markers consumed and their positions,
+// so the parser directly produces the span relation. This is a reference
+// implementation: its cost grows with derivation ambiguity (the result
+// relation can be exponential in grammar-dependent ways), which is
+// expected — the survey notes that context-free spanners trade the
+// regular spanners' enumeration guarantees for expressiveness.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"docspanner/internal/refwords"
+	"docspanner/internal/spans"
+)
+
+// SymKind discriminates grammar symbols.
+type SymKind uint8
+
+const (
+	// NonTerm is a nonterminal reference.
+	NonTerm SymKind = iota
+	// Letter is an alphabet terminal.
+	Letter
+	// MarkerSym is a marker terminal x▷ or ◁x (zero document width).
+	MarkerSym
+)
+
+// Sym is one symbol of a production body.
+type Sym struct {
+	Kind   SymKind
+	B      byte
+	Name   string
+	Marker refwords.Marker
+}
+
+// Prod is a production Head → Body (empty Body = ε-production).
+type Prod struct {
+	Head string
+	Body []Sym
+}
+
+// Grammar is a context-free grammar over the extended alphabet.
+type Grammar struct {
+	Start string
+	Prods []Prod
+}
+
+// Vars returns the variables whose markers occur in the grammar.
+func (g *Grammar) Vars() spans.VarSet {
+	var vs []spans.Var
+	for _, p := range g.Prods {
+		for _, s := range p.Body {
+			if s.Kind == MarkerSym {
+				vs = append(vs, s.Marker.Var)
+			}
+		}
+	}
+	return spans.NewVarSet(vs...)
+}
+
+// Parse reads a grammar from a textual notation, one production group per
+// line:
+//
+//	S -> 'a' S 'a' | T
+//	T -> >x B <x
+//	B -> 'b' B | ()
+//
+// Uppercase-led identifiers are nonterminals, 'c' is a letter terminal,
+// >x and <x are the markers of variable x, and () is ε. The start symbol
+// is the head of the first line.
+func Parse(src string) (*Grammar, error) {
+	g := &Grammar{}
+	for ln, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "->", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("cfg: line %d: missing ->", ln+1)
+		}
+		head := strings.TrimSpace(parts[0])
+		if head == "" {
+			return nil, fmt.Errorf("cfg: line %d: empty head", ln+1)
+		}
+		if g.Start == "" {
+			g.Start = head
+		}
+		for _, alt := range strings.Split(parts[1], "|") {
+			body, err := parseBody(strings.TrimSpace(alt))
+			if err != nil {
+				return nil, fmt.Errorf("cfg: line %d: %v", ln+1, err)
+			}
+			g.Prods = append(g.Prods, Prod{Head: head, Body: body})
+		}
+	}
+	if g.Start == "" {
+		return nil, fmt.Errorf("cfg: empty grammar")
+	}
+	return g, nil
+}
+
+func parseBody(src string) ([]Sym, error) {
+	var out []Sym
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t':
+			i++
+		case c == '\'':
+			if i+2 >= len(src) || src[i+2] != '\'' {
+				return nil, fmt.Errorf("bad letter terminal at %q", src[i:])
+			}
+			out = append(out, Sym{Kind: Letter, B: src[i+1]})
+			i += 3
+		case c == '>' || c == '<':
+			j := i + 1
+			for j < len(src) && isIdent(src[j]) {
+				j++
+			}
+			if j == i+1 {
+				return nil, fmt.Errorf("missing variable after %c", c)
+			}
+			out = append(out, Sym{Kind: MarkerSym, Marker: refwords.Marker{
+				Var:   spans.Var(src[i+1 : j]),
+				Close: c == '<',
+			}})
+			i = j
+		case c == '(' && i+1 < len(src) && src[i+1] == ')':
+			i += 2 // ε: contributes nothing
+		case isIdent(c):
+			j := i
+			for j < len(src) && isIdent(src[j]) {
+				j++
+			}
+			out = append(out, Sym{Kind: NonTerm, Name: src[i:j]})
+			i = j
+		default:
+			return nil, fmt.Errorf("unexpected %q", src[i:])
+		}
+	}
+	return out, nil
+}
+
+func isIdent(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_'
+}
+
+// Validate checks that every referenced nonterminal has a production and
+// that each variable's markers both occur.
+func (g *Grammar) Validate() error {
+	heads := map[string]bool{}
+	for _, p := range g.Prods {
+		heads[p.Head] = true
+	}
+	opens := map[spans.Var]bool{}
+	closes := map[spans.Var]bool{}
+	for _, p := range g.Prods {
+		for _, s := range p.Body {
+			switch s.Kind {
+			case NonTerm:
+				if !heads[s.Name] {
+					return fmt.Errorf("cfg: undefined nonterminal %s", s.Name)
+				}
+			case MarkerSym:
+				if s.Marker.Close {
+					closes[s.Marker.Var] = true
+				} else {
+					opens[s.Marker.Var] = true
+				}
+			}
+		}
+	}
+	if !heads[g.Start] {
+		return fmt.Errorf("cfg: undefined start symbol %s", g.Start)
+	}
+	for v := range opens {
+		if !closes[v] {
+			return fmt.Errorf("cfg: variable %s has an open marker but no close marker", v)
+		}
+	}
+	for v := range closes {
+		if !opens[v] {
+			return fmt.Errorf("cfg: variable %s has a close marker but no open marker", v)
+		}
+	}
+	return nil
+}

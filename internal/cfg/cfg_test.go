@@ -1,0 +1,208 @@
+package cfg
+
+import (
+	"testing"
+
+	"docspanner/internal/spans"
+)
+
+func mustGrammar(t *testing.T, src string) *Grammar {
+	t.Helper()
+	g, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestParseAndString(t *testing.T) {
+	g := mustGrammar(t, `
+S -> 'a' S 'a' | T
+T -> >x B <x
+B -> 'b' B | ()
+`)
+	if g.Start != "S" {
+		t.Errorf("Start = %s", g.Start)
+	}
+	if len(g.Prods) != 5 {
+		t.Errorf("%d productions", len(g.Prods))
+	}
+	if !g.Vars().Equal(spans.NewVarSet("x")) {
+		t.Errorf("Vars = %v", g.Vars())
+	}
+	if err := g.Validate(); err != nil {
+		t.Errorf("Validate: %v", err)
+	}
+	if _, err := Parse(g.String()); err != nil {
+		t.Errorf("re-parse of String: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"S 'a'",     // missing ->
+		"S -> 'ab'", // bad terminal
+		"S -> >",    // missing variable
+		"S -> $",    // junk
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+	// Undefined nonterminal / half-marked variable: Validate errors.
+	g := mustGrammar(t, "S -> T")
+	if err := g.Validate(); err == nil {
+		t.Error("undefined nonterminal accepted")
+	}
+	g2 := mustGrammar(t, "S -> >x 'a'")
+	if err := g2.Validate(); err == nil {
+		t.Error("open without close accepted")
+	}
+}
+
+func TestEvalCenterExtraction(t *testing.T) {
+	// Non-regular spanner: x captures the center b-block of a^n b* a^n.
+	g := mustGrammar(t, `
+S -> 'a' S 'a' | T
+T -> >x B <x
+B -> 'b' B | ()
+`)
+	rel, err := g.Eval([]byte("aabbaa"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spans.NewRelation(spans.NewTuple("x", spans.S(3, 5)))
+	if !rel.Equal(want) {
+		t.Errorf("Eval = %v, want %v", rel, want)
+	}
+	// Unbalanced document: no result.
+	rel2, err := g.Eval([]byte("aabba"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel2.Len() != 0 {
+		t.Errorf("unbalanced doc matched: %v", rel2)
+	}
+}
+
+func TestEvalWellNestedBrackets(t *testing.T) {
+	// Dyck words with x on the content of some outermost bracket pair —
+	// inherently context-free.
+	g := mustGrammar(t, `
+S -> D M D
+M -> '(' >x D <x ')'
+D -> '(' D ')' D | ()
+`)
+	rel, err := g.Eval([]byte("()(())"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outermost pairs: positions 1-2 content ε at [2,2⟩; positions 3-6
+	// content "()" at [4,6⟩.
+	want := spans.NewRelation(
+		spans.NewTuple("x", spans.S(2, 2)),
+		spans.NewTuple("x", spans.S(4, 6)),
+	)
+	if !rel.Equal(want) {
+		t.Errorf("Eval = %v, want %v", rel, want)
+	}
+}
+
+func TestEvalRegularFragmentAgreesWithExample(t *testing.T) {
+	// The grammar for Example 1.1's spanner (right-linear = regular).
+	g := mustGrammar(t, `
+S -> >x A
+A -> 'a' A | 'b' A | <x Y
+Y -> >y 'b' <y >z B
+B -> 'a' B | 'b' B | <z
+`)
+	rel, err := g.Eval([]byte("ababbab"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 4 {
+		t.Errorf("Eval returned %d tuples, want 4: %v", rel.Len(), rel)
+	}
+	if !rel.Contains(spans.NewTuple("x", spans.S(1, 4), "y", spans.S(4, 5), "z", spans.S(5, 8))) {
+		t.Error("missing known tuple")
+	}
+}
+
+func TestEvalSchemaless(t *testing.T) {
+	g := mustGrammar(t, `
+S -> >x 'a' <x | 'b'
+`)
+	rel, err := g.Eval([]byte("b"), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || !rel.Contains(spans.Tuple{}) {
+		t.Errorf("schemaless Eval = %v", rel)
+	}
+	relF, err := g.Eval([]byte("b"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relF.Len() != 0 {
+		t.Errorf("functional Eval = %v", relF)
+	}
+}
+
+func TestEvalEmptyDocument(t *testing.T) {
+	g := mustGrammar(t, "S -> >x <x | 'a'")
+	rel, err := g.Eval(nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || !rel.Contains(spans.NewTuple("x", spans.S(1, 1))) {
+		t.Errorf("Eval(ε) = %v", rel)
+	}
+}
+
+func TestSatisfiable(t *testing.T) {
+	ok := mustGrammar(t, "S -> 'a' S | ()")
+	if !ok.Satisfiable() {
+		t.Error("satisfiable grammar reported empty")
+	}
+	// S only derives via itself: unproductive.
+	empty := mustGrammar(t, "S -> 'a' S")
+	if empty.Satisfiable() {
+		t.Error("unproductive grammar reported satisfiable")
+	}
+}
+
+func TestNonEmpty(t *testing.T) {
+	g := mustGrammar(t, `
+S -> 'a' S 'a' | >x 'b' <x
+`)
+	if ok, _ := g.NonEmpty([]byte("aba")); !ok {
+		t.Error("aba should match")
+	}
+	if ok, _ := g.NonEmpty([]byte("ab")); ok {
+		t.Error("ab should not match")
+	}
+}
+
+func TestEvalPalindromeMarking(t *testing.T) {
+	// Even-length palindromes with x marking the first half — the
+	// mirrored structure is not expressible by any regular spanner.
+	g := mustGrammar(t, `
+S -> >x M
+M -> 'a' M 'a' | 'b' M 'b' | <x C
+C -> ()
+`)
+	// Document abba: x = [1,3⟩ ("ab").
+	rel, err := g.Eval([]byte("abba"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := spans.NewRelation(spans.NewTuple("x", spans.S(1, 3)))
+	if !rel.Equal(want) {
+		t.Errorf("Eval = %v, want %v", rel, want)
+	}
+	rel2, _ := g.Eval([]byte("abab"), true)
+	if rel2.Len() != 0 {
+		t.Errorf("non-palindrome matched: %v", rel2)
+	}
+}

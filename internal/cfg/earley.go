@@ -1,0 +1,315 @@
+package cfg
+
+import (
+	"fmt"
+	"sort"
+
+	"docspanner/internal/spans"
+)
+
+// Earley evaluation of a context-free spanner. Marker terminals are
+// zero-width: they fire at a document boundary without consuming a
+// letter. Every item carries the mask and positions of the markers
+// consumed inside its partial derivation; merging rejects duplicate
+// markers, so only valid subword-marked words contribute results.
+
+type item struct {
+	prod   int
+	dot    int
+	origin int
+	mask   uint64
+	asg    string // packed marker positions (4 bytes per marker index)
+}
+
+// Eval computes the span relation of the grammar spanner on doc. Under
+// functional semantics only total tuples are returned.
+func (g *Grammar) Eval(doc []byte, functional bool) (*spans.Relation, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	vars := g.Vars()
+	if len(vars) > 32 {
+		return nil, fmt.Errorf("cfg: more than 32 variables")
+	}
+	markerIdx := func(m spans.Var, close bool) int {
+		i := vars.Index(m) * 2
+		if close {
+			i++
+		}
+		return i
+	}
+	k := len(vars)
+	zeroAsg := string(make([]byte, 4*2*k))
+
+	prodsByHead := map[string][]int{}
+	for i, p := range g.Prods {
+		prodsByHead[p.Head] = append(prodsByHead[p.Head], i)
+	}
+
+	n := len(doc)
+	sets := make([]map[item]bool, n+1)
+	order := make([][]item, n+1)
+	// completions[j][head]: zero-width completions (origin == j) recorded
+	// so that later-added items expecting head at j can still advance.
+	type comp struct {
+		mask uint64
+		asg  string
+	}
+	completions := make([]map[string][]comp, n+1)
+	for i := range sets {
+		sets[i] = map[item]bool{}
+		completions[i] = map[string][]comp{}
+	}
+
+	var push func(j int, it item)
+	push = func(j int, it item) {
+		if sets[j][it] {
+			return
+		}
+		sets[j][it] = true
+		order[j] = append(order[j], it)
+	}
+
+	// Seed: predictions for the start symbol at 0.
+	for _, pi := range prodsByHead[g.Start] {
+		push(0, item{prod: pi, dot: 0, origin: 0, mask: 0, asg: zeroAsg})
+	}
+
+	setPos := func(asg string, idx, pos int) string {
+		b := []byte(asg)
+		off := idx * 4
+		b[off] = byte(pos)
+		b[off+1] = byte(pos >> 8)
+		b[off+2] = byte(pos >> 16)
+		b[off+3] = byte(pos >> 24)
+		return string(b)
+	}
+	getPos := func(asg string, idx int) int {
+		off := idx * 4
+		return int(asg[off]) | int(asg[off+1])<<8 | int(asg[off+2])<<16 | int(asg[off+3])<<24
+	}
+	mergeAsg := func(a, b string, bMask uint64) string {
+		out := []byte(a)
+		for idx := 0; idx < 2*k; idx++ {
+			if bMask&(1<<uint(idx)) != 0 {
+				off := idx * 4
+				copy(out[off:off+4], b[off:off+4])
+			}
+		}
+		return string(out)
+	}
+
+	out := spans.NewRelation()
+
+	for j := 0; j <= n; j++ {
+		for w := 0; w < len(order[j]); w++ {
+			it := order[j][w]
+			p := g.Prods[it.prod]
+			if it.dot == len(p.Body) {
+				// Complete.
+				if it.origin == j {
+					completions[j][p.Head] = append(completions[j][p.Head], comp{it.mask, it.asg})
+				}
+				for _, parent := range order[it.origin] {
+					pp := g.Prods[parent.prod]
+					if parent.dot >= len(pp.Body) {
+						continue
+					}
+					s := pp.Body[parent.dot]
+					if s.Kind != NonTerm || s.Name != p.Head {
+						continue
+					}
+					if parent.mask&it.mask != 0 {
+						continue // duplicate marker: invalid word
+					}
+					push(j, item{
+						prod:   parent.prod,
+						dot:    parent.dot + 1,
+						origin: parent.origin,
+						mask:   parent.mask | it.mask,
+						asg:    mergeAsg(parent.asg, it.asg, it.mask),
+					})
+				}
+				if p.Head == g.Start && it.origin == 0 && j == n {
+					if t, ok := tupleOf(it, vars, k, getPos, functional); ok {
+						out.Add(t)
+					}
+				}
+				continue
+			}
+			s := p.Body[it.dot]
+			switch s.Kind {
+			case NonTerm:
+				for _, pi := range prodsByHead[s.Name] {
+					push(j, item{prod: pi, dot: 0, origin: j, mask: 0, asg: zeroAsg})
+				}
+				// Zero-width completions already recorded for this set.
+				for _, c := range completions[j][s.Name] {
+					if it.mask&c.mask != 0 {
+						continue
+					}
+					push(j, item{
+						prod:   it.prod,
+						dot:    it.dot + 1,
+						origin: it.origin,
+						mask:   it.mask | c.mask,
+						asg:    mergeAsg(it.asg, c.asg, c.mask),
+					})
+				}
+			case MarkerSym:
+				idx := markerIdx(s.Marker.Var, s.Marker.Close)
+				bit := uint64(1) << uint(idx)
+				if it.mask&bit != 0 {
+					continue
+				}
+				if s.Marker.Close {
+					openIdx := idx - 1
+					if it.mask&(1<<uint(openIdx)) == 0 {
+						// The close may still be legal if the open was
+						// consumed by an ancestor/sibling; we cannot see
+						// it here, so allow and validate at the end.
+						_ = openIdx
+					}
+				}
+				push(j, item{
+					prod:   it.prod,
+					dot:    it.dot + 1,
+					origin: it.origin,
+					mask:   it.mask | bit,
+					asg:    setPos(it.asg, idx, j+1),
+				})
+			case Letter:
+				if j < n && doc[j] == s.B {
+					push(j+1, item{
+						prod:   it.prod,
+						dot:    it.dot + 1,
+						origin: it.origin,
+						mask:   it.mask,
+						asg:    it.asg,
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// tupleOf converts a completed start item into a span tuple, rejecting
+// invalid assignments (close before open, half-assigned variables under
+// functional semantics).
+func tupleOf(it item, vars spans.VarSet, k int, getPos func(string, int) int, functional bool) (spans.Tuple, bool) {
+	t := make(spans.Tuple)
+	for i, v := range vars {
+		openBit := uint64(1) << uint(2*i)
+		closeBit := uint64(1) << uint(2*i+1)
+		hasOpen := it.mask&openBit != 0
+		hasClose := it.mask&closeBit != 0
+		switch {
+		case hasOpen && hasClose:
+			b := getPos(it.asg, 2*i)
+			e := getPos(it.asg, 2*i+1)
+			if e < b {
+				return nil, false
+			}
+			t[v] = spans.S(b, e)
+		case !hasOpen && !hasClose:
+			if functional {
+				return nil, false
+			}
+		default:
+			return nil, false
+		}
+	}
+	return t, true
+}
+
+// Satisfiable decides whether the grammar generates any word at all
+// (standard CFG emptiness via productive-nonterminal fixpoint).
+func (g *Grammar) Satisfiable() bool {
+	productive := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range g.Prods {
+			if productive[p.Head] {
+				continue
+			}
+			ok := true
+			for _, s := range p.Body {
+				if s.Kind == NonTerm && !productive[s.Name] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				productive[p.Head] = true
+				changed = true
+			}
+		}
+	}
+	return productive[g.Start]
+}
+
+// NonEmpty decides whether the spanner result on doc is non-empty.
+func (g *Grammar) NonEmpty(doc []byte) (bool, error) {
+	rel, err := g.Eval(doc, false)
+	if err != nil {
+		return false, err
+	}
+	return rel.Len() > 0, nil
+}
+
+// String renders the grammar.
+func (g *Grammar) String() string {
+	byHead := map[string][]string{}
+	var heads []string
+	for _, p := range g.Prods {
+		if _, ok := byHead[p.Head]; !ok {
+			heads = append(heads, p.Head)
+		}
+		var parts []string
+		for _, s := range p.Body {
+			switch s.Kind {
+			case NonTerm:
+				parts = append(parts, s.Name)
+			case Letter:
+				parts = append(parts, "'"+string(s.B)+"'")
+			case MarkerSym:
+				if s.Marker.Close {
+					parts = append(parts, "<"+string(s.Marker.Var))
+				} else {
+					parts = append(parts, ">"+string(s.Marker.Var))
+				}
+			}
+		}
+		body := "()"
+		if len(parts) > 0 {
+			body = ""
+			for i, q := range parts {
+				if i > 0 {
+					body += " "
+				}
+				body += q
+			}
+		}
+		byHead[p.Head] = append(byHead[p.Head], body)
+	}
+	sort.SliceStable(heads, func(i, j int) bool {
+		if heads[i] == g.Start {
+			return heads[j] != g.Start
+		}
+		return false
+	})
+	var sb []byte
+	for _, h := range heads {
+		sb = append(sb, h...)
+		sb = append(sb, " -> "...)
+		for i, alt := range byHead[h] {
+			if i > 0 {
+				sb = append(sb, " | "...)
+			}
+			sb = append(sb, alt...)
+		}
+		sb = append(sb, '\n')
+	}
+	return string(sb)
+}

@@ -1,0 +1,143 @@
+package cfg
+
+import (
+	"fmt"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+// Bridges between grammar spanners and regular spanners, making the
+// inclusion "context-free ⊇ regular" of Section 2.1 constructive in both
+// directions where it holds:
+//
+//   - every right-linear grammar compiles to an equivalent vset-automaton
+//     (ToNFA), connecting the cfg package to the whole regular toolchain
+//     (enumeration, compressed evaluation, static analysis);
+//   - every NFA converts to a right-linear grammar (FromNFA), so any
+//     regular spanner can serve as a sub-grammar.
+
+// IsRightLinear reports whether every production body is a (possibly
+// empty) string of terminals/markers followed by at most one trailing
+// nonterminal.
+func (g *Grammar) IsRightLinear() bool {
+	for _, p := range g.Prods {
+		for i, s := range p.Body {
+			if s.Kind == NonTerm && i != len(p.Body)-1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ToNFA compiles a right-linear grammar into an equivalent NFA over the
+// extended alphabet: one automaton state per nonterminal plus chain
+// states for the terminal prefixes. Returns an error if the grammar is
+// not right-linear.
+func (g *Grammar) ToNFA() (*automata.NFA, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if !g.IsRightLinear() {
+		return nil, fmt.Errorf("cfg: grammar is not right-linear; evaluate with Eval instead")
+	}
+	nfa := automata.NewNFA(g.Vars())
+	accept := nfa.AddState()
+	nfa.SetFinal(accept)
+	stateOf := map[string]int{}
+	for _, p := range g.Prods {
+		if _, ok := stateOf[p.Head]; !ok {
+			stateOf[p.Head] = nfa.AddState()
+		}
+	}
+	nfa.AddEps(nfa.Start, stateOf[g.Start])
+	for _, p := range g.Prods {
+		cur := stateOf[p.Head]
+		last := len(p.Body) - 1
+		endsInNonTerm := last >= 0 && p.Body[last].Kind == NonTerm
+		for i, s := range p.Body {
+			var next int
+			atEnd := i == last
+			switch {
+			case s.Kind == NonTerm:
+				nfa.AddEps(cur, stateOf[s.Name])
+				continue
+			case atEnd && !endsInNonTerm:
+				next = accept
+			default:
+				next = nfa.AddState()
+			}
+			if s.Kind == Letter {
+				nfa.AddLetter(cur, s.B, next)
+			} else {
+				nfa.AddMarker(cur, s.Marker, next)
+			}
+			cur = next
+		}
+		if len(p.Body) == 0 {
+			nfa.AddEps(cur, accept)
+		}
+	}
+	return nfa, nil
+}
+
+// FromNFA converts an NFA over the extended alphabet into an equivalent
+// right-linear grammar: one nonterminal per state, a production per
+// transition, and an ε-production per final state. Reference transitions
+// are rejected (grammars have no reference symbols).
+func FromNFA(nfa *automata.NFA, startName string) (*Grammar, error) {
+	if nfa.HasRefs() {
+		return nil, fmt.Errorf("cfg: reference transitions have no grammar counterpart")
+	}
+	name := func(q int) string {
+		if q == nfa.Start {
+			return startName
+		}
+		return fmt.Sprintf("%s_q%d", startName, q)
+	}
+	g := &Grammar{Start: startName}
+	for q := range nfa.Final {
+		if nfa.Final[q] {
+			g.Prods = append(g.Prods, Prod{Head: name(q)})
+		}
+		for _, r := range nfa.Eps[q] {
+			g.Prods = append(g.Prods, Prod{Head: name(q), Body: []Sym{{Kind: NonTerm, Name: name(r)}}})
+		}
+		for b, rs := range nfa.Letters[q] {
+			for _, r := range rs {
+				g.Prods = append(g.Prods, Prod{Head: name(q), Body: []Sym{
+					{Kind: Letter, B: b},
+					{Kind: NonTerm, Name: name(r)},
+				}})
+			}
+		}
+		for m, rs := range nfa.Markers[q] {
+			for _, r := range rs {
+				g.Prods = append(g.Prods, Prod{Head: name(q), Body: []Sym{
+					{Kind: MarkerSym, Marker: m},
+					{Kind: NonTerm, Name: name(r)},
+				}})
+			}
+		}
+	}
+	return g, nil
+}
+
+// EvalVia evaluates the grammar spanner through the regular toolchain
+// when the grammar is right-linear (falling back to Earley otherwise):
+// a convenience that picks the asymptotically better pipeline.
+func (g *Grammar) EvalVia(doc []byte, functional bool) (*spans.Relation, error) {
+	if g.IsRightLinear() {
+		nfa, err := g.ToNFA()
+		if err == nil {
+			sem := vset.Schemaless
+			if functional {
+				sem = vset.Functional
+			}
+			return vset.Eval(nfa, doc, sem), nil
+		}
+	}
+	return g.Eval(doc, functional)
+}

@@ -1,0 +1,101 @@
+package cfg
+
+import (
+	"testing"
+
+	"docspanner/internal/vset"
+)
+
+const rightLinearExample = `
+S -> >x A
+A -> 'a' A | 'b' A | <x Y
+Y -> >y 'b' <y >z B
+B -> 'a' B | 'b' B | <z
+`
+
+func TestIsRightLinear(t *testing.T) {
+	if !mustGrammar(t, rightLinearExample).IsRightLinear() {
+		t.Error("right-linear grammar misclassified")
+	}
+	center := mustGrammar(t, "S -> 'a' S 'a' | 'b'")
+	if center.IsRightLinear() {
+		t.Error("center-recursive grammar classified right-linear")
+	}
+}
+
+func TestToNFAMatchesEarley(t *testing.T) {
+	g := mustGrammar(t, rightLinearExample)
+	nfa, err := g.ToNFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range []string{"", "b", "ab", "ababbab", "aabba"} {
+		want, err := g.Eval([]byte(doc), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := vset.Eval(nfa, []byte(doc), vset.Functional)
+		if !got.Equal(want) {
+			t.Errorf("doc %q:\n nfa    %v\n earley %v", doc, got, want)
+		}
+	}
+}
+
+func TestToNFARejectsCenterRecursion(t *testing.T) {
+	g := mustGrammar(t, "S -> 'a' S 'a' | 'b'")
+	if _, err := g.ToNFA(); err == nil {
+		t.Error("non-right-linear grammar accepted")
+	}
+}
+
+func TestFromNFARoundTrip(t *testing.T) {
+	g := mustGrammar(t, rightLinearExample)
+	nfa, err := g.ToNFA()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := FromNFA(nfa, "R")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("FromNFA grammar invalid: %v", err)
+	}
+	if !back.IsRightLinear() {
+		t.Error("FromNFA produced non-right-linear grammar")
+	}
+	for _, doc := range []string{"b", "ababbab"} {
+		want, _ := g.Eval([]byte(doc), true)
+		got, err := back.Eval([]byte(doc), true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !got.Equal(want) {
+			t.Errorf("doc %q: round-trip grammar differs", doc)
+		}
+	}
+}
+
+func TestEvalViaPicksNFA(t *testing.T) {
+	g := mustGrammar(t, rightLinearExample)
+	got, err := g.EvalVia([]byte("ababbab"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 4 {
+		t.Errorf("EvalVia = %d tuples", got.Len())
+	}
+	// Non-right-linear grammar falls back to Earley.
+	center := mustGrammar(t, `
+S -> 'a' S 'a' | T
+T -> >x B <x
+B -> 'b' B | ()
+`)
+	rel, err := center.EvalVia([]byte("aabbaa"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 {
+		t.Errorf("fallback EvalVia = %v", rel)
+	}
+}

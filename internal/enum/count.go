@@ -1,0 +1,67 @@
+package enum
+
+import (
+	"math/big"
+
+	"docspanner/internal/automata"
+)
+
+// FastCount returns the exact number of result tuples of the spanner on
+// doc WITHOUT enumerating them: a dynamic program over (state, position)
+// counts the accepting runs of the deterministic extended vset-automaton,
+// and determinism makes runs and tuples coincide. Time O(|doc|·|Q|·|δ|),
+// independent of the output size — the counting analogue of the
+// enumeration result (answer counting for spanners is studied in the
+// literature the survey builds on; for deterministic automata it is this
+// easy, while for nondeterministic representations it is #P-hard).
+func FastCount(d *automata.DEVA, doc []byte) *big.Int {
+	n := len(doc)
+	nq := d.NumStates()
+
+	// runs[q] = number of accepting runs from (q, i) with a mask allowed
+	// at boundary i; computed backwards. noMask[q] = runs whose next
+	// action is the letter at i (or acceptance at i = n).
+	runs := make([]*big.Int, nq)
+	noMask := make([]*big.Int, nq)
+	next := make([]*big.Int, nq)
+	for q := 0; q < nq; q++ {
+		runs[q] = new(big.Int)
+		noMask[q] = new(big.Int)
+		next[q] = new(big.Int)
+	}
+
+	// Boundary n.
+	for q := 0; q < nq; q++ {
+		if d.Final[q] {
+			noMask[q].SetInt64(1)
+		} else {
+			noMask[q].SetInt64(0)
+		}
+	}
+	combine := func() {
+		for q := 0; q < nq; q++ {
+			runs[q].Set(noMask[q])
+			for _, t := range d.Masks[q] {
+				runs[q].Add(runs[q], noMask[t])
+			}
+		}
+	}
+	combine()
+
+	for i := n - 1; i >= 0; i-- {
+		b := doc[i]
+		// next holds runs[] of boundary i+1.
+		for q := 0; q < nq; q++ {
+			next[q].Set(runs[q])
+		}
+		for q := 0; q < nq; q++ {
+			if s := d.Step(q, b); s >= 0 {
+				noMask[q].Set(next[s])
+			} else {
+				noMask[q].SetInt64(0)
+			}
+		}
+		combine()
+	}
+	return new(big.Int).Set(runs[d.Start])
+}

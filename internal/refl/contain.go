@@ -1,0 +1,125 @@
+package refl
+
+import (
+	"fmt"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+)
+
+// Containment for refl-spanners. Section 3.3 of the survey: Containment
+// is undecidable-looking in general but decidable for refl-spanners in
+// which every reference is extracted by its own private extraction
+// variable. The procedure here compares the two REF-LANGUAGES as regular
+// languages, treating each reference symbol as a private letter:
+//
+//   - it is always SOUND: L(a) ⊆ L(b) as ref-languages implies
+//     ⟦a⟧(D) ⊆ ⟦b⟧(D) for every document (dereferencing is a function of
+//     the ref-word);
+//   - under the survey's restriction it is also complete, because the
+//     private extraction variables make the ref-word of a result tuple
+//     unique.
+//
+// A negative answer therefore means "not provably contained"; callers can
+// falsify with EquivalentUpTo-style bounded search.
+
+// ContainsRefLanguage reports whether a's ref-language is contained in
+// b's. Both spanners must be over the same variable set; reference
+// symbols are encoded as reserved letters, so the automata's alphabets
+// must leave at least one unused byte per referenced variable.
+func ContainsRefLanguage(a, b *Spanner) (bool, error) {
+	ea, eb, err := encodeRefPair(a, b)
+	if err != nil {
+		return false, err
+	}
+	return automata.Contains(automata.Determinize(ea), automata.Determinize(eb)), nil
+}
+
+// EquivalentRefLanguage reports ref-language equality — sound for spanner
+// equivalence, complete under the private-extraction-variable restriction.
+func EquivalentRefLanguage(a, b *Spanner) (bool, error) {
+	ea, eb, err := encodeRefPair(a, b)
+	if err != nil {
+		return false, err
+	}
+	return automata.Equivalent(automata.Determinize(ea), automata.Determinize(eb)), nil
+}
+
+// encodeRefPair rewrites both spanners' reference transitions into
+// reserved-letter transitions using one shared encoding.
+func encodeRefPair(a, b *Spanner) (*automata.NFA, *automata.NFA, error) {
+	union := a.A.Vars.Union(b.A.Vars)
+	used := map[byte]bool{}
+	for _, c := range a.A.Alphabet() {
+		used[c] = true
+	}
+	for _, c := range b.A.Alphabet() {
+		used[c] = true
+	}
+	enc := map[spans.Var]byte{}
+	nextFree := 0
+	for _, v := range union {
+		if !hasRefTo(a.A, v) && !hasRefTo(b.A, v) {
+			continue
+		}
+		for nextFree < 256 && used[byte(nextFree)] {
+			nextFree++
+		}
+		if nextFree == 256 {
+			return nil, nil, fmt.Errorf("refl: no free byte to encode reference %s", v)
+		}
+		enc[v] = byte(nextFree)
+		used[byte(nextFree)] = true
+	}
+	ea := encodeRefs(a.A, union, enc)
+	eb := encodeRefs(b.A, union, enc)
+	return ea, eb, nil
+}
+
+func hasRefTo(n *automata.NFA, v spans.Var) bool {
+	for _, tr := range n.Refs {
+		if len(tr[v]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// encodeRefs returns a copy of n (with Vars widened to vars) whose
+// reference transitions read the encoding letters instead.
+func encodeRefs(n *automata.NFA, vars spans.VarSet, enc map[spans.Var]byte) *automata.NFA {
+	out := automata.NewNFA(vars)
+	base := out.NumStates()
+	for range n.Final {
+		out.AddState()
+	}
+	out.AddEps(out.Start, base+n.Start)
+	for q := range n.Final {
+		if n.Final[q] {
+			out.SetFinal(base + q)
+		}
+		for _, r := range n.Eps[q] {
+			out.AddEps(base+q, base+r)
+		}
+		for c, rs := range n.Letters[q] {
+			for _, r := range rs {
+				out.AddLetter(base+q, c, base+r)
+			}
+		}
+		for m, rs := range n.Markers[q] {
+			for _, r := range rs {
+				out.AddMarker(base+q, m, base+r)
+			}
+		}
+		for v, rs := range n.Refs[q] {
+			c, ok := enc[v]
+			if !ok {
+				continue
+			}
+			for _, r := range rs {
+				out.AddLetter(base+q, c, base+r)
+			}
+		}
+	}
+	return out
+}

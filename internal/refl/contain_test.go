@@ -1,0 +1,75 @@
+package refl
+
+import (
+	"testing"
+)
+
+func TestContainsRefLanguagePositive(t *testing.T) {
+	a := mustSpanner(t, "!x{a}b&x", "ab")
+	b := mustSpanner(t, "!x{a|b}b*&x", "ab")
+	ok, err := ContainsRefLanguage(a, b)
+	if err != nil || !ok {
+		t.Errorf("ContainsRefLanguage = %v, %v", ok, err)
+	}
+	rev, err := ContainsRefLanguage(b, a)
+	if err != nil || rev {
+		t.Errorf("reverse containment = %v, %v", rev, err)
+	}
+}
+
+func TestContainsRefLanguageSoundness(t *testing.T) {
+	// L(a) ⊆ L(b) must imply spanner containment on sample documents.
+	a := mustSpanner(t, "!x{ab}c&x", "abc")
+	b := mustSpanner(t, "!x{(a|b)+}c&x", "abc")
+	ok, err := ContainsRefLanguage(a, b)
+	if err != nil || !ok {
+		t.Fatalf("containment = %v, %v", ok, err)
+	}
+	for _, doc := range []string{"abcab", "acbca", "abcba", "bcb"} {
+		ra := a.Eval([]byte(doc), true)
+		rb := b.Eval([]byte(doc), true)
+		for _, tup := range ra.Tuples() {
+			if !rb.Contains(tup) {
+				t.Errorf("doc %q: tuple %v of a missing from b", doc, tup)
+			}
+		}
+	}
+}
+
+func TestEquivalentRefLanguage(t *testing.T) {
+	a := mustSpanner(t, "!x{a|b}&x", "ab")
+	b := mustSpanner(t, "!x{b|a}&x", "ab")
+	ok, err := EquivalentRefLanguage(a, b)
+	if err != nil || !ok {
+		t.Errorf("EquivalentRefLanguage = %v, %v", ok, err)
+	}
+	c := mustSpanner(t, "!x{a}&x", "ab")
+	if ok, _ := EquivalentRefLanguage(a, c); ok {
+		t.Error("distinct ref-languages reported equivalent")
+	}
+}
+
+func TestContainsRefLanguageIncompleteness(t *testing.T) {
+	// Documented incompleteness: the same SPANNER via syntactically
+	// different ref-words. a writes the copy explicitly, b uses a
+	// reference; the ref-languages differ even though the spanners agree
+	// on every document where... here: x over single letter 'a', copy
+	// "aa" spelled out vs via &x.
+	a := mustSpanner(t, "!x{a}a", "a")
+	b := mustSpanner(t, "!x{a}&x", "a")
+	// Same spanner on all docs:
+	for _, doc := range []string{"", "a", "aa", "aaa"} {
+		if !a.Eval([]byte(doc), true).Equal(b.Eval([]byte(doc), true)) {
+			t.Fatalf("premise broken on %q", doc)
+		}
+	}
+	ok, err := ContainsRefLanguage(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Log("note: ref-language containment held here; incompleteness not witnessed by this pair")
+	} else {
+		t.Log("incompleteness witnessed: equal spanners, incomparable ref-languages")
+	}
+}

@@ -1,0 +1,323 @@
+package refl
+
+import (
+	"fmt"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/regex"
+	"docspanner/internal/spans"
+)
+
+// FromRegexCore translates a core spanner of the form
+//
+//	ς=_{Z1} ... ς=_{Zk} ( ⟦α⟧ )    with α a regex formula
+//
+// into an equivalent refl-spanner, implementing the constructive direction
+// of Section 3.2 for non-overlapping, sequential selections. For every
+// selection class Z, the leftmost bound variable becomes the leader: its
+// content language is refined to the INTERSECTION of the content languages
+// of all variables in Z (the γ-construction of the survey's β/β' example),
+// and every other variable of Z re-binds a reference to the leader.
+//
+// Requirements (checked; an error names the violation):
+//   - the selection classes are pairwise disjoint;
+//   - every selected variable is bound on every match path (not under
+//     alternation or optional/bounded repetition);
+//   - no two variables of one class are nested inside each other (the
+//     nested/overlapping selections of Section 3.2's hard examples are
+//     exactly what refl-spanners cannot express).
+func FromRegexCore(ast regex.Node, selections []spans.VarSet, alphabet []byte) (*Spanner, error) {
+	selected := spans.NewVarSet()
+	for _, z := range selections {
+		if dup := selected.Intersect(z); len(dup) > 0 {
+			return nil, fmt.Errorf("refl: variable %s occurs in two selection classes", dup[0])
+		}
+		selected = selected.Union(z)
+	}
+	if missing := selected.Minus(regex.Vars(ast)); len(missing) > 0 {
+		return nil, fmt.Errorf("refl: selection variable %s not bound in the expression", missing[0])
+	}
+
+	info := &coreInfo{
+		selected:  selected,
+		contents:  map[spans.Var]regex.Node{},
+		order:     nil,
+		ancestors: map[spans.Var]spans.VarSet{},
+	}
+	if err := analyze(ast, info, nil, false); err != nil {
+		return nil, err
+	}
+
+	// Determine each class's leader (leftmost in match order) and the
+	// refined content automaton γ.
+	leader := map[spans.Var]spans.Var{}
+	gamma := map[spans.Var]*automata.NFA{}
+	for _, z := range selections {
+		first := ""
+		for _, v := range info.order {
+			if z.Contains(v) {
+				first = string(v)
+				break
+			}
+		}
+		if first == "" {
+			return nil, fmt.Errorf("refl: empty selection class")
+		}
+		for _, v := range z {
+			for _, w := range z {
+				if v != w && info.ancestors[v].Contains(w) {
+					return nil, fmt.Errorf("refl: selection variables %s and %s are nested; not expressible as a refl-spanner", v, w)
+				}
+			}
+		}
+		var g *automata.NFA
+		for _, v := range z {
+			leader[v] = spans.Var(first)
+			c, err := regex.Compile(info.contents[v], regex.Options{Alphabet: alphabet})
+			if err != nil {
+				return nil, err
+			}
+			if g == nil {
+				g = c
+			} else {
+				g = automata.IntersectLanguages(g, c)
+			}
+		}
+		gamma[spans.Var(first)] = g.Trim()
+	}
+
+	b := &coreBuilder{
+		selected: selected,
+		leader:   leader,
+		gamma:    gamma,
+		alphabet: alphabet,
+	}
+	nfa, err := b.build(ast)
+	if err != nil {
+		return nil, err
+	}
+	return New(nfa)
+}
+
+type coreInfo struct {
+	selected  spans.VarSet
+	contents  map[spans.Var]regex.Node
+	order     []spans.Var // selected variables in match (document) order
+	ancestors map[spans.Var]spans.VarSet
+}
+
+// analyze records content expressions, binding order, and ancestor
+// relations of the selected variables, and rejects structures where a
+// selected variable may be skipped or repeated.
+func analyze(n regex.Node, info *coreInfo, enclosing spans.VarSet, underOpt bool) error {
+	switch m := n.(type) {
+	case regex.Empty, regex.Lit, regex.Ref:
+		return nil
+	case regex.Bind:
+		if info.selected.Contains(m.Var) {
+			if underOpt {
+				return fmt.Errorf("refl: selection variable %s bound under alternation or optional repetition", m.Var)
+			}
+			info.contents[m.Var] = m.Sub
+			info.order = append(info.order, m.Var)
+			info.ancestors[m.Var] = enclosing
+		}
+		return analyze(m.Sub, info, enclosing.Union(spans.NewVarSet(m.Var)), underOpt)
+	case regex.Concat:
+		for _, it := range m.Items {
+			if err := analyze(it, info, enclosing, underOpt); err != nil {
+				return err
+			}
+		}
+		return nil
+	case regex.Alt:
+		for _, it := range m.Items {
+			if err := analyze(it, info, enclosing, true); err != nil {
+				return err
+			}
+		}
+		return nil
+	case regex.Repeat:
+		return analyze(m.Sub, info, enclosing, underOpt || m.Min == 0)
+	}
+	return fmt.Errorf("refl: unsupported node %T", n)
+}
+
+type coreBuilder struct {
+	selected spans.VarSet
+	leader   map[spans.Var]spans.Var
+	gamma    map[spans.Var]*automata.NFA
+	alphabet []byte
+}
+
+// build mirrors the regex compiler but substitutes refined content for
+// leaders and references for followers.
+func (b *coreBuilder) build(n regex.Node) (*automata.NFA, error) {
+	if !containsSelected(n, b.selected) {
+		return regex.Compile(n, regex.Options{Alphabet: b.alphabet})
+	}
+	switch m := n.(type) {
+	case regex.Bind:
+		if b.selected.Contains(m.Var) {
+			if g, isLeader := b.gamma[m.Var]; isLeader {
+				return wrapMarkers(g, m.Var), nil
+			}
+			// Follower: bind a reference to the leader.
+			out := automata.NewNFA(spans.NewVarSet(m.Var, b.leader[m.Var]))
+			mid := out.AddState()
+			refEnd := out.AddState()
+			end := out.AddState()
+			out.AddMarker(out.Start, automata.Marker{Var: m.Var}, mid)
+			out.AddRef(mid, b.leader[m.Var], refEnd)
+			out.AddMarker(refEnd, automata.Marker{Var: m.Var, Close: true}, end)
+			out.SetFinal(end)
+			return out, nil
+		}
+		sub, err := b.build(m.Sub)
+		if err != nil {
+			return nil, err
+		}
+		return wrapMarkers(sub, m.Var), nil
+	case regex.Concat:
+		var cur *automata.NFA
+		for _, it := range m.Items {
+			f, err := b.build(it)
+			if err != nil {
+				return nil, err
+			}
+			if cur == nil {
+				cur = f
+			} else {
+				cur = concatKeepRefs(cur, f)
+			}
+		}
+		return cur, nil
+	case regex.Alt:
+		var cur *automata.NFA
+		for _, it := range m.Items {
+			f, err := b.build(it)
+			if err != nil {
+				return nil, err
+			}
+			if cur == nil {
+				cur = f
+			} else {
+				cur = automata.Union(cur, f)
+			}
+		}
+		return cur, nil
+	case regex.Repeat:
+		// Selected binds under repetition were rejected by analyze unless
+		// Min >= 1 and Max == 1; only {1} and {1,1} reach here.
+		if m.Min == 1 && m.Max == 1 {
+			return b.build(m.Sub)
+		}
+		return nil, fmt.Errorf("refl: selection variable under repetition")
+	}
+	return nil, fmt.Errorf("refl: unsupported node %T", n)
+}
+
+func containsSelected(n regex.Node, selected spans.VarSet) bool {
+	return len(regex.Vars(n).Intersect(selected)) > 0
+}
+
+// wrapMarkers surrounds an automaton with v▷ ... ◁v.
+func wrapMarkers(a *automata.NFA, v spans.Var) *automata.NFA {
+	out := automata.NewNFA(a.Vars.Union(spans.NewVarSet(v)))
+	base := out.NumStates()
+	for range a.Final {
+		out.AddState()
+	}
+	entry := out.AddState()
+	exit := out.AddState()
+	out.AddEps(out.Start, entry)
+	out.AddMarker(entry, automata.Marker{Var: v}, base+a.Start)
+	for q := range a.Final {
+		for _, r := range a.Eps[q] {
+			out.AddEps(base+q, base+r)
+		}
+		for c, rs := range a.Letters[q] {
+			for _, r := range rs {
+				out.AddLetter(base+q, c, base+r)
+			}
+		}
+		for mk, rs := range a.Markers[q] {
+			for _, r := range rs {
+				out.AddMarker(base+q, mk, base+r)
+			}
+		}
+		for rv, rs := range a.Refs[q] {
+			for _, r := range rs {
+				out.AddRef(base+q, rv, base+r)
+			}
+		}
+		if a.Final[q] {
+			out.AddMarker(base+q, automata.Marker{Var: v, Close: true}, exit)
+		}
+	}
+	out.SetFinal(exit)
+	return out
+}
+
+// concatKeepRefs concatenates two automata, allowing shared variables in
+// the sense that b may reference variables bound in a (which plain
+// automata.Concat forbids because marker sets must stay disjoint).
+func concatKeepRefs(a, b *automata.NFA) *automata.NFA {
+	markedA, markedB := markedVars(a), markedVars(b)
+	if dup := markedA.Intersect(markedB); len(dup) > 0 {
+		panic(fmt.Sprintf("refl: concat operands both bind %v", dup))
+	}
+	out := automata.NewNFA(a.Vars.Union(b.Vars))
+	baseA := out.NumStates()
+	copyInto(out, a, baseA)
+	baseB := out.NumStates()
+	copyInto(out, b, baseB)
+	out.AddEps(out.Start, baseA+a.Start)
+	for q := range a.Final {
+		if a.Final[q] {
+			out.AddEps(baseA+q, baseB+b.Start)
+		}
+	}
+	for q := range b.Final {
+		if b.Final[q] {
+			out.SetFinal(baseB + q)
+		}
+	}
+	return out
+}
+
+func markedVars(a *automata.NFA) spans.VarSet {
+	var vs []spans.Var
+	for _, tr := range a.Markers {
+		for m := range tr {
+			vs = append(vs, m.Var)
+		}
+	}
+	return spans.NewVarSet(vs...)
+}
+
+func copyInto(dst, src *automata.NFA, base int) {
+	for range src.Final {
+		dst.AddState()
+	}
+	for q := range src.Final {
+		for _, r := range src.Eps[q] {
+			dst.AddEps(base+q, base+r)
+		}
+		for c, rs := range src.Letters[q] {
+			for _, r := range rs {
+				dst.AddLetter(base+q, c, base+r)
+			}
+		}
+		for mk, rs := range src.Markers[q] {
+			for _, r := range rs {
+				dst.AddMarker(base+q, mk, base+r)
+			}
+		}
+		for rv, rs := range src.Refs[q] {
+			for _, r := range rs {
+				dst.AddRef(base+q, rv, base+r)
+			}
+		}
+	}
+}

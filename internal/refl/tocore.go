@@ -1,0 +1,110 @@
+package refl
+
+import (
+	"fmt"
+
+	"docspanner/internal/algebra"
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+)
+
+// ToCore translates a reference-bounded refl-spanner into an equivalent
+// core-spanner algebra expression, following Section 3.2 of the survey:
+// every reference transition is replaced by a fresh variable binding
+// y▷ Σ* ◁y tied to the referenced variable by a string-equality selection
+// ς=_{x,y}, and the auxiliary variables are projected away. Since a run
+// may or may not traverse each reference transition, the construction
+// takes the union over the subsets of reference transitions (each branch
+// keeps exactly the transitions of its subset); reference-boundedness
+// guarantees every run uses each kept transition at most once.
+//
+// The translation is exponential in the number of reference transitions —
+// query complexity only, and unavoidable in this direction (Section 3.2).
+// Spanners that are not reference-bounded are provably not core spanners
+// (the survey cites ⟦a⁺ x▷b⁺◁x (a⁺x)*a⁺⟧, Fagin et al. Theorem 6.1), so
+// ToCore reports an error for them.
+func (s *Spanner) ToCore() (algebra.Expr, error) {
+	if !s.ReferenceBounded() {
+		return nil, fmt.Errorf("refl: spanner is not reference-bounded, hence not a core spanner")
+	}
+	n := s.A.Trim()
+	type refEdge struct {
+		p, r int
+		v    spans.Var
+	}
+	var edges []refEdge
+	for p := range n.Final {
+		for v, rs := range n.Refs[p] {
+			for _, r := range rs {
+				edges = append(edges, refEdge{p, r, v})
+			}
+		}
+	}
+	if len(edges) == 0 {
+		return algebra.Prim{A: n}, nil
+	}
+	if len(edges) > 16 {
+		return nil, fmt.Errorf("refl: ToCore limited to 16 reference transitions (have %d)", len(edges))
+	}
+	alphabet := n.Alphabet()
+
+	var branches []algebra.Expr
+	for subset := 0; subset < 1<<len(edges); subset++ {
+		aux := make([]spans.Var, len(edges))
+		extraVars := make([]spans.Var, 0, len(edges))
+		for i := range edges {
+			if subset&(1<<i) != 0 {
+				aux[i] = spans.Var(fmt.Sprintf("·ref%d", i))
+				extraVars = append(extraVars, aux[i])
+			}
+		}
+		branch := automata.NewNFA(n.Vars.Union(spans.NewVarSet(extraVars...)))
+		base := branch.NumStates()
+		for range n.Final {
+			branch.AddState()
+		}
+		branch.AddEps(branch.Start, base+n.Start)
+		for q := range n.Final {
+			if n.Final[q] {
+				branch.SetFinal(base + q)
+			}
+			for _, r := range n.Eps[q] {
+				branch.AddEps(base+q, base+r)
+			}
+			for b, rs := range n.Letters[q] {
+				for _, r := range rs {
+					branch.AddLetter(base+q, b, base+r)
+				}
+			}
+			for m, rs := range n.Markers[q] {
+				for _, r := range rs {
+					branch.AddMarker(base+q, m, base+r)
+				}
+			}
+		}
+		for i, e := range edges {
+			if subset&(1<<i) == 0 {
+				continue
+			}
+			y := aux[i]
+			loop := branch.AddState()
+			branch.AddMarker(base+e.p, automata.Marker{Var: y}, loop)
+			for _, b := range alphabet {
+				branch.AddLetter(loop, b, loop)
+			}
+			branch.AddMarker(loop, automata.Marker{Var: y, Close: true}, base+e.r)
+		}
+		var expr algebra.Expr = algebra.Prim{A: branch}
+		for i, e := range edges {
+			if subset&(1<<i) != 0 {
+				expr = algebra.SelectEq{Sub: expr, Z: spans.NewVarSet(e.v, aux[i])}
+			}
+		}
+		branches = append(branches, expr)
+	}
+	union := branches[0]
+	for _, b := range branches[1:] {
+		union = algebra.Union{L: union, R: b}
+	}
+	return algebra.Project{Sub: union, Keep: n.Vars}, nil
+}

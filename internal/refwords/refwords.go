@@ -1,0 +1,516 @@
+// Package refwords implements the declarative string representations of
+// document spanners described in Section 2.1 and Section 3.1 of Schmid and
+// Schweikardt's PODS 2022 survey: subword-marked words (documents with
+// marker symbols x▷ and ◁x delimiting the spans of a tuple) and ref-words
+// (subword-marked words that additionally contain reference symbols x
+// denoting a copy of the factor extracted by variable x).
+//
+// A set of subword-marked words over Σ and X is exactly a document spanner
+// via ⟦L⟧(D) = { st(w) : w ∈ L, e(w) = D }, where e(·) erases markers and
+// st(·) reads off the span tuple. Ref-words are first dereferenced by 𝔡(·)
+// (Deref) and then interpreted the same way.
+package refwords
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"docspanner/internal/spans"
+)
+
+// Kind discriminates the three item kinds of a ref-word.
+type Kind uint8
+
+const (
+	// KindLetter is a plain alphabet symbol.
+	KindLetter Kind = iota
+	// KindMarker is an opening or closing marker x▷ / ◁x.
+	KindMarker
+	// KindRef is a reference symbol x (only in ref-words, Section 3.1).
+	KindRef
+)
+
+// Marker is one of the meta symbols x▷ (open) or ◁x (close).
+type Marker struct {
+	Var   spans.Var
+	Close bool
+}
+
+// String renders the marker in the survey's notation.
+func (m Marker) String() string {
+	if m.Close {
+		return "◁" + string(m.Var)
+	}
+	return string(m.Var) + "▷"
+}
+
+// Item is a single symbol of a (ref-)word: a letter, a marker, or a
+// reference.
+type Item struct {
+	Kind   Kind
+	Letter byte      // valid when Kind == KindLetter
+	Var    spans.Var // valid when Kind != KindLetter
+	Close  bool      // valid when Kind == KindMarker
+}
+
+// Letter returns a letter item.
+func Letter(b byte) Item { return Item{Kind: KindLetter, Letter: b} }
+
+// Open returns the marker item x▷.
+func Open(v spans.Var) Item { return Item{Kind: KindMarker, Var: v} }
+
+// CloseM returns the marker item ◁x.
+func CloseM(v spans.Var) Item { return Item{Kind: KindMarker, Var: v, Close: true} }
+
+// Ref returns the reference item x.
+func Ref(v spans.Var) Item { return Item{Kind: KindRef, Var: v} }
+
+// String renders the item.
+func (it Item) String() string {
+	switch it.Kind {
+	case KindLetter:
+		return string(it.Letter)
+	case KindMarker:
+		return Marker{it.Var, it.Close}.String()
+	default:
+		return "↩" + string(it.Var)
+	}
+}
+
+// Word is a sequence of items; depending on its content it is a plain
+// word, a subword-marked word, or a ref-word.
+type Word []Item
+
+// FromString parses a compact textual notation: ">x" is the open marker
+// x▷, "<x" is the close marker ◁x, "&x" is the reference x, spaces are
+// ignored, and every other character is an alphabet symbol. Variable names
+// are a single character, or a parenthesized run such as ">(x1)". It is a
+// convenience for tests and examples.
+func FromString(s string) Word {
+	var w Word
+	for i := 0; i < len(s); {
+		c := s[i]
+		if (c == '>' || c == '<' || c == '&') && i+1 < len(s) {
+			var v spans.Var
+			j := i + 1
+			if s[j] == '(' {
+				k := strings.IndexByte(s[j:], ')')
+				if k < 0 {
+					panic(fmt.Sprintf("refwords.FromString: unclosed variable name in %q", s))
+				}
+				v = spans.Var(s[j+1 : j+k])
+				j += k + 1
+			} else {
+				v = spans.Var(s[j : j+1])
+				j++
+			}
+			switch c {
+			case '>':
+				w = append(w, Open(v))
+			case '<':
+				w = append(w, CloseM(v))
+			case '&':
+				w = append(w, Ref(v))
+			}
+			i = j
+			continue
+		}
+		if c == ' ' {
+			i++
+			continue
+		}
+		w = append(w, Letter(c))
+		i++
+	}
+	return w
+}
+
+// String renders the word in the FromString notation (markers as >x / <x,
+// references as &x).
+func (w Word) String() string {
+	var sb strings.Builder
+	writeVar := func(v spans.Var) {
+		if len(v) == 1 {
+			sb.WriteString(string(v))
+		} else {
+			sb.WriteByte('(')
+			sb.WriteString(string(v))
+			sb.WriteByte(')')
+		}
+	}
+	for _, it := range w {
+		switch it.Kind {
+		case KindLetter:
+			sb.WriteByte(it.Letter)
+		case KindMarker:
+			if it.Close {
+				sb.WriteByte('<')
+			} else {
+				sb.WriteByte('>')
+			}
+			writeVar(it.Var)
+		case KindRef:
+			sb.WriteByte('&')
+			writeVar(it.Var)
+		}
+	}
+	return sb.String()
+}
+
+// Erase implements e(·): it removes all markers and returns the document.
+// References must have been dereferenced first; Erase panics on them.
+func (w Word) Erase() []byte {
+	doc := make([]byte, 0, len(w))
+	for _, it := range w {
+		switch it.Kind {
+		case KindLetter:
+			doc = append(doc, it.Letter)
+		case KindRef:
+			panic("refwords: Erase on word with unresolved references")
+		}
+	}
+	return doc
+}
+
+// HasRefs reports whether the word contains reference items.
+func (w Word) HasRefs() bool {
+	for _, it := range w {
+		if it.Kind == KindRef {
+			return true
+		}
+	}
+	return false
+}
+
+// Vars returns the set of variables whose markers or references occur in w.
+func (w Word) Vars() spans.VarSet {
+	var vs []spans.Var
+	for _, it := range w {
+		if it.Kind != KindLetter {
+			vs = append(vs, it.Var)
+		}
+	}
+	return spans.NewVarSet(vs...)
+}
+
+// Validate checks that w is a well-formed subword-marked word over the
+// given variables: for every variable, the open marker occurs at most once,
+// the close marker occurs at most once, opens precede closes, and a close
+// requires an open. If functional is true, every variable in vars must have
+// both markers (the classical total semantics of Fagin et al.); otherwise
+// markers may be missing entirely (the schemaless semantics, Section 2.2).
+// References are rejected; use ValidateRef for ref-words.
+func (w Word) Validate(vars spans.VarSet, functional bool) error {
+	state := make(map[spans.Var]int) // 0 unseen, 1 open, 2 closed
+	for _, it := range w {
+		switch it.Kind {
+		case KindRef:
+			return fmt.Errorf("refwords: unexpected reference &%s in subword-marked word", it.Var)
+		case KindMarker:
+			if !vars.Contains(it.Var) {
+				return fmt.Errorf("refwords: marker for unknown variable %s", it.Var)
+			}
+			st := state[it.Var]
+			if !it.Close {
+				if st != 0 {
+					return fmt.Errorf("refwords: duplicate open marker %s▷", it.Var)
+				}
+				state[it.Var] = 1
+			} else {
+				if st == 0 {
+					return fmt.Errorf("refwords: close marker ◁%s before open", it.Var)
+				}
+				if st == 2 {
+					return fmt.Errorf("refwords: duplicate close marker ◁%s", it.Var)
+				}
+				state[it.Var] = 2
+			}
+		}
+	}
+	for v, st := range state {
+		if st == 1 {
+			return fmt.Errorf("refwords: unclosed marker %s▷", v)
+		}
+	}
+	if functional {
+		for _, v := range vars {
+			if state[v] != 2 {
+				return fmt.Errorf("refwords: variable %s unassigned in functional word", v)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidateRef checks that w is a well-formed ref-word: marker structure as
+// in Validate, plus no reference x occurs between x▷ and ◁x, and every
+// reference is to a variable whose markers occur in w.
+func (w Word) ValidateRef(vars spans.VarSet, functional bool) error {
+	stripped := make(Word, 0, len(w))
+	for _, it := range w {
+		if it.Kind != KindRef {
+			stripped = append(stripped, it)
+		}
+	}
+	if err := stripped.Validate(vars, functional); err != nil {
+		return err
+	}
+	open := make(map[spans.Var]bool)
+	seen := make(map[spans.Var]bool)
+	for _, it := range w {
+		switch it.Kind {
+		case KindMarker:
+			open[it.Var] = !it.Close
+			if it.Close {
+				seen[it.Var] = true
+			}
+		case KindRef:
+			if open[it.Var] {
+				return fmt.Errorf("refwords: reference &%s inside its own span", it.Var)
+			}
+		}
+	}
+	for _, it := range w {
+		if it.Kind == KindRef {
+			found := false
+			for _, jt := range w {
+				if jt.Kind == KindMarker && jt.Var == it.Var {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("refwords: reference &%s to variable without markers", it.Var)
+			}
+		}
+	}
+	return nil
+}
+
+// SpanTuple implements st(·): it reads off the span tuple encoded by the
+// marker positions of a subword-marked word. The word must be valid and
+// reference-free.
+func (w Word) SpanTuple() spans.Tuple {
+	t := make(spans.Tuple)
+	pos := 1 // 1-based position of the next letter
+	for _, it := range w {
+		switch it.Kind {
+		case KindLetter:
+			pos++
+		case KindMarker:
+			if it.Close {
+				s := t[it.Var]
+				s.End = pos
+				t[it.Var] = s
+			} else {
+				t[it.Var] = spans.Span{Begin: pos, End: pos}
+			}
+		case KindRef:
+			panic("refwords: SpanTuple on word with unresolved references")
+		}
+	}
+	return t
+}
+
+// FromTuple inserts markers into doc as described by t, producing the
+// canonical subword-marked word for (doc, t). At every boundary position
+// the canonical order is: closes of non-empty spans (by variable), then
+// complete empty spans as open-close pairs (by variable), then opens of
+// non-empty spans (by variable). This is the normalization referred to as
+// "Option 1" in Section 2.2 of the survey.
+func FromTuple(doc []byte, t spans.Tuple) Word {
+	n := len(doc)
+	w := make(Word, 0, n+2*len(t))
+	vars := t.Vars()
+	for pos := 1; pos <= n+1; pos++ {
+		w = appendBoundary(w, t, vars, pos)
+		if pos <= n {
+			w = append(w, Letter(doc[pos-1]))
+		}
+	}
+	return w
+}
+
+func appendBoundary(w Word, t spans.Tuple, vars spans.VarSet, pos int) Word {
+	for _, v := range vars {
+		s := t[v]
+		if s.End == pos && s.Begin < pos {
+			w = append(w, CloseM(v))
+		}
+	}
+	for _, v := range vars {
+		s := t[v]
+		if s.Begin == pos && s.End == pos {
+			w = append(w, Open(v), CloseM(v))
+		}
+	}
+	for _, v := range vars {
+		s := t[v]
+		if s.Begin == pos && s.End > pos {
+			w = append(w, Open(v))
+		}
+	}
+	return w
+}
+
+// Canonical reorders every block of consecutive markers into the canonical
+// order of FromTuple, so that two subword-marked words represent the same
+// (document, tuple) pair iff their canonical forms are identical.
+func (w Word) Canonical() Word {
+	doc := w.Erase()
+	return FromTuple(doc, w.SpanTuple())
+}
+
+// Deref implements the dereference function 𝔡(·) of Section 3.1: every
+// reference x is replaced by the factor extracted for variable x, iterating
+// until no references remain (references may depend on each other, as in
+// the survey's example where y's span contains a reference to x). The
+// substituted content is the letter-and-reference sequence between x▷ and
+// ◁x with markers of other variables stripped. Deref returns an error on
+// cyclic dependencies or references to unmarked variables.
+func (w Word) Deref() (Word, error) {
+	cur := w
+	for round := 0; ; round++ {
+		if !cur.HasRefs() {
+			return cur, nil
+		}
+		if round > len(w)+2 {
+			return nil, fmt.Errorf("refwords: cyclic references in %s", w)
+		}
+		content, err := resolvedContents(cur)
+		if err != nil {
+			return nil, err
+		}
+		next := make(Word, 0, len(cur))
+		changed := false
+		for _, it := range cur {
+			if it.Kind == KindRef {
+				if c, ok := content[it.Var]; ok {
+					next = append(next, c...)
+					changed = true
+					continue
+				}
+			}
+			next = append(next, it)
+		}
+		if !changed {
+			return nil, fmt.Errorf("refwords: unresolvable references in %s", w)
+		}
+		cur = next
+	}
+}
+
+// resolvedContents returns, for every variable whose span content contains
+// no unresolved references, that content (letters only).
+func resolvedContents(w Word) (map[spans.Var]Word, error) {
+	out := make(map[spans.Var]Word)
+	depth := make(map[spans.Var]bool)
+	partial := make(map[spans.Var]Word)
+	poisoned := make(map[spans.Var]bool)
+	for _, it := range w {
+		switch it.Kind {
+		case KindLetter:
+			for v, on := range depth {
+				if on && !poisoned[v] {
+					partial[v] = append(partial[v], it)
+				}
+			}
+		case KindRef:
+			for v, on := range depth {
+				if on {
+					poisoned[v] = true
+				}
+			}
+		case KindMarker:
+			if it.Close {
+				if depth[it.Var] {
+					depth[it.Var] = false
+					if !poisoned[it.Var] {
+						c := partial[it.Var]
+						if c == nil {
+							c = Word{}
+						}
+						out[it.Var] = c
+					}
+				}
+			} else {
+				depth[it.Var] = true
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("refwords: no resolvable variable content")
+	}
+	return out, nil
+}
+
+// MarkerSetWord is the extended representation of Section 2.2 (Option 2):
+// a document plus, for every boundary position 1..n+1, the set of markers
+// occurring there. Sets make the representation canonical because the
+// order of consecutive markers is abstracted away.
+type MarkerSetWord struct {
+	Doc  []byte
+	Sets []MarkerSet // length len(Doc)+1; Sets[i] precedes letter i (0-based)
+}
+
+// MarkerSet is an ordered list of distinct markers (canonically sorted).
+type MarkerSet []Marker
+
+// SortMarkers puts a marker set into canonical order: by variable, with
+// the open marker before the close marker of the same variable (so that an
+// empty span flattens into a valid open-close pair). Within a set the
+// relative order of markers carries no meaning (that is the point of the
+// extended representation), so any fixed total order works.
+func SortMarkers(ms MarkerSet) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.Var != b.Var {
+			return a.Var < b.Var
+		}
+		return !a.Close && b.Close
+	})
+}
+
+// ToMarkerSets converts a subword-marked word into the extended
+// representation, collapsing consecutive markers into sets.
+func (w Word) ToMarkerSets() MarkerSetWord {
+	doc := w.Erase()
+	msw := MarkerSetWord{Doc: doc, Sets: make([]MarkerSet, len(doc)+1)}
+	pos := 0
+	for _, it := range w {
+		switch it.Kind {
+		case KindLetter:
+			pos++
+		case KindMarker:
+			msw.Sets[pos] = append(msw.Sets[pos], Marker{it.Var, it.Close})
+		}
+	}
+	for i := range msw.Sets {
+		SortMarkers(msw.Sets[i])
+	}
+	return msw
+}
+
+// ToWord flattens the extended representation back into the canonical
+// subword-marked word.
+func (m MarkerSetWord) ToWord() Word {
+	w := make(Word, 0, len(m.Doc)+4)
+	for i := 0; i <= len(m.Doc); i++ {
+		for _, mk := range m.Sets[i] {
+			if mk.Close {
+				w = append(w, CloseM(mk.Var))
+			} else {
+				w = append(w, Open(mk.Var))
+			}
+		}
+		if i < len(m.Doc) {
+			w = append(w, Letter(m.Doc[i]))
+		}
+	}
+	// Re-canonicalize: sets may interleave opens/closes arbitrarily, but
+	// the flat word must have opens before closes per variable. ToWord is
+	// only used for valid set-words, where SortMarkers already guarantees
+	// open-before-close within each set.
+	return w
+}

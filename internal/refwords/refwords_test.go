@@ -1,0 +1,273 @@
+package refwords
+
+import (
+	"testing"
+	"testing/quick"
+
+	"docspanner/internal/spans"
+)
+
+func TestFromStringAndString(t *testing.T) {
+	w := FromString(">z a >x bc >y ac <x ac <y <z bbaa")
+	if got := w.String(); got != ">za>xbc>yac<xac<y<zbbaa" {
+		t.Errorf("String = %q", got)
+	}
+	if w.HasRefs() {
+		t.Error("no refs expected")
+	}
+	r := FromString(">x ab <x &x")
+	if !r.HasRefs() {
+		t.Error("refs expected")
+	}
+}
+
+func TestEraseAndSpanTuple(t *testing.T) {
+	// The running example of Section 2.1:
+	// z▷ a x▷ bc y▷ ac ◁x ac ◁y ◁z bbaa represents document abcacacbbaa
+	// with t(x)=[2,6⟩, t(y)=[4,8⟩, t(z)=[1,8⟩.
+	w := FromString(">za>xbc>yac<xac<y<zbbaa")
+	if got := string(w.Erase()); got != "abcacacbbaa" {
+		t.Errorf("Erase = %q", got)
+	}
+	tup := w.SpanTuple()
+	want := spans.NewTuple("x", spans.S(2, 6), "y", spans.S(4, 8), "z", spans.S(1, 8))
+	if !tup.Equal(want) {
+		t.Errorf("SpanTuple = %v, want %v", tup, want)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	vars := spans.NewVarSet("x", "y")
+	good := FromString(">xa<x>yb<y")
+	if err := good.Validate(vars, true); err != nil {
+		t.Errorf("valid word rejected: %v", err)
+	}
+	partial := FromString(">xa<x")
+	if err := partial.Validate(vars, true); err == nil {
+		t.Error("functional validation should reject missing variable")
+	}
+	if err := partial.Validate(vars, false); err != nil {
+		t.Errorf("schemaless validation rejected: %v", err)
+	}
+	cases := []string{
+		">xa>xb<x<x", // duplicate open (and close)
+		"<xa>x",      // close before open
+		">xab",       // unclosed
+		">za<z",      // unknown variable
+	}
+	for _, c := range cases {
+		if err := FromString(c).Validate(vars, false); err == nil {
+			t.Errorf("invalid word %q accepted", c)
+		}
+	}
+}
+
+func TestValidateRef(t *testing.T) {
+	vars := spans.NewVarSet("x", "y")
+	good := FromString(">xab<x>y&x<y")
+	if err := good.ValidateRef(vars, true); err != nil {
+		t.Errorf("valid ref-word rejected: %v", err)
+	}
+	inSpan := FromString(">xa&xb<x")
+	if err := inSpan.ValidateRef(vars, false); err == nil {
+		t.Error("reference inside own span accepted")
+	}
+	noMarkers := FromString(">xa<x&y")
+	if err := noMarkers.ValidateRef(spans.NewVarSet("x"), false); err == nil {
+		t.Error("reference to unmarked variable accepted")
+	}
+}
+
+func TestFromTupleRoundTrip(t *testing.T) {
+	doc := []byte("abcacacbbaa")
+	tup := spans.NewTuple("x", spans.S(2, 6), "y", spans.S(4, 8), "z", spans.S(1, 8))
+	w := FromTuple(doc, tup)
+	if string(w.Erase()) != string(doc) {
+		t.Errorf("Erase after FromTuple = %q", w.Erase())
+	}
+	if !w.SpanTuple().Equal(tup) {
+		t.Errorf("SpanTuple after FromTuple = %v", w.SpanTuple())
+	}
+	if err := w.Validate(tup.Vars(), true); err != nil {
+		t.Errorf("FromTuple produced invalid word: %v", err)
+	}
+}
+
+func TestFromTupleEmptySpan(t *testing.T) {
+	doc := []byte("ab")
+	tup := spans.NewTuple("x", spans.S(2, 2))
+	w := FromTuple(doc, tup)
+	if err := w.Validate(tup.Vars(), true); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+	if !w.SpanTuple().Equal(tup) {
+		t.Errorf("empty span round trip = %v", w.SpanTuple())
+	}
+	if got := w.String(); got != "a>x<xb" {
+		t.Errorf("canonical empty-span word = %q", got)
+	}
+}
+
+func TestCanonicalInvariance(t *testing.T) {
+	// Two words with the same (doc, tuple) but different consecutive-marker
+	// order must canonicalize identically (Section 2.2).
+	a := FromString("a<x>yb<y")
+	b := FromString("a>y<xb<y")
+	// give both an open for x first
+	a = append(Word{Open("x")}, a...)
+	b = append(Word{Open("x")}, b...)
+	ca, cb := a.Canonical(), b.Canonical()
+	if ca.String() != cb.String() {
+		t.Errorf("canonical forms differ: %q vs %q", ca, cb)
+	}
+}
+
+func TestDerefSimple(t *testing.T) {
+	// α' from (3): a ref-word like a b x▷ab◁x c y▷ x ◁y b
+	w := FromString("ab>xab<xc>y&x<yb")
+	d, err := w.Deref()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(d.Erase()); got != "ababcabb" {
+		t.Errorf("Deref doc = %q", got)
+	}
+	tup := d.SpanTuple()
+	want := spans.NewTuple("x", spans.S(3, 5), "y", spans.S(6, 8))
+	if !tup.Equal(want) {
+		t.Errorf("Deref tuple = %v, want %v", tup, want)
+	}
+}
+
+func TestDerefChained(t *testing.T) {
+	// The survey's involved example (Section 3.1):
+	// w = x▷ aa y▷ bbb ◁x cc x ◁y abc y
+	// dereferences to aabbbccaabbbabcbbbccaabbb.
+	w := FromString(">xaa>ybbb<xcc&x<yabc&y")
+	d, err := w.Deref()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(d.Erase()); got != "aabbbccaabbbabcbbbccaabbb" {
+		t.Errorf("Deref doc = %q", got)
+	}
+	tup := d.SpanTuple()
+	// x spans aabbb = [1,6⟩; y spans bbbccaabbb = [3,13⟩.
+	want := spans.NewTuple("x", spans.S(1, 6), "y", spans.S(3, 13))
+	if !tup.Equal(want) {
+		t.Errorf("Deref tuple = %v, want %v", tup, want)
+	}
+}
+
+func TestDerefCycle(t *testing.T) {
+	// x's span references y and y's span references x: unresolvable.
+	w := FromString(">xa&y<x>yb&x<y")
+	if _, err := w.Deref(); err == nil {
+		t.Error("cyclic references accepted")
+	}
+}
+
+func TestDerefNoRefs(t *testing.T) {
+	w := FromString(">xa<x")
+	d, err := w.Deref()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.String() != w.String() {
+		t.Error("Deref changed a reference-free word")
+	}
+}
+
+func TestMarkerSetRoundTrip(t *testing.T) {
+	w := FromString(">za>xbc>yac<xac<y<zbbaa")
+	msw := w.ToMarkerSets()
+	if string(msw.Doc) != "abcacacbbaa" {
+		t.Errorf("Doc = %q", msw.Doc)
+	}
+	// Position 7 (0-based boundary): both ◁y and ◁z occur.
+	if len(msw.Sets[7]) != 2 {
+		t.Errorf("Sets[7] = %v", msw.Sets[7])
+	}
+	back := msw.ToWord()
+	if !back.SpanTuple().Equal(w.SpanTuple()) {
+		t.Errorf("round trip tuple = %v", back.SpanTuple())
+	}
+	if string(back.Erase()) != string(msw.Doc) {
+		t.Error("round trip doc mismatch")
+	}
+}
+
+func TestMarkerSetEmptySpan(t *testing.T) {
+	w := FromString("a>x<xb")
+	msw := w.ToMarkerSets()
+	back := msw.ToWord()
+	if err := back.Validate(spans.NewVarSet("x"), true); err != nil {
+		t.Fatalf("flattened empty-span word invalid: %v", err)
+	}
+	if !back.SpanTuple().Equal(w.SpanTuple()) {
+		t.Error("empty span lost in set round trip")
+	}
+}
+
+// Property: FromTuple/SpanTuple/Erase round trip for random tuples.
+func TestRoundTripQuick(t *testing.T) {
+	f := func(docSeed []byte, b1, l1, b2, l2 uint8) bool {
+		doc := make([]byte, len(docSeed)%16+1)
+		for i := range doc {
+			var seed byte
+			if len(docSeed) > 0 {
+				seed = docSeed[i%len(docSeed)]
+			}
+			doc[i] = 'a' + seed%3
+		}
+		n := len(doc)
+		mk := func(b, l uint8) spans.Span {
+			begin := int(b)%n + 1
+			end := begin + int(l)%(n+2-begin)
+			return spans.S(begin, end)
+		}
+		tup := spans.NewTuple("x", mk(b1, l1), "y", mk(b2, l2))
+		w := FromTuple(doc, tup)
+		return string(w.Erase()) == string(doc) &&
+			w.SpanTuple().Equal(tup) &&
+			w.Validate(tup.Vars(), true) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestItemAndMarkerString(t *testing.T) {
+	if got := (Marker{Var: "x"}).String(); got != "x▷" {
+		t.Errorf("open marker String = %q", got)
+	}
+	if got := (Marker{Var: "x", Close: true}).String(); got != "◁x" {
+		t.Errorf("close marker String = %q", got)
+	}
+	if got := Letter('a').String(); got != "a" {
+		t.Errorf("letter String = %q", got)
+	}
+	if got := Open("y").String(); got != "y▷" {
+		t.Errorf("open item String = %q", got)
+	}
+	if got := Ref("z").String(); got != "↩z" {
+		t.Errorf("ref item String = %q", got)
+	}
+}
+
+func TestWordVars(t *testing.T) {
+	w := FromString(">xa<x&y")
+	if !w.Vars().Equal(spans.NewVarSet("x", "y")) {
+		t.Errorf("Vars = %v", w.Vars())
+	}
+}
+
+func TestMultiCharVarNames(t *testing.T) {
+	w := FromString(">(v1)ab<(v1)")
+	if !w.Vars().Equal(spans.NewVarSet("v1")) {
+		t.Errorf("Vars = %v", w.Vars())
+	}
+	if got := w.String(); got != ">(v1)ab<(v1)" {
+		t.Errorf("String = %q", got)
+	}
+}

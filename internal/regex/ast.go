@@ -1,0 +1,283 @@
+// Package regex implements the spanner regular-expression dialect of the
+// library: ordinary regular expressions extended with variable bindings
+// !x{...} (the x▷...◁x of regex-formulas, Section 2.2 of Schmid and
+// Schweikardt's PODS 2022 survey) and references &x (the reference symbols
+// of ref-words, Section 3.1). Expressions without references compile to
+// vset-automata representing regular spanners; expressions built from
+// bindings only (no references) are exactly the regex-formulas RGX of
+// Fagin et al., which are hierarchical by construction.
+package regex
+
+import (
+	"fmt"
+	"strings"
+
+	"docspanner/internal/spans"
+)
+
+// Node is a node of the abstract syntax tree.
+type Node interface {
+	// render writes the canonical textual form.
+	render(sb *strings.Builder)
+}
+
+// Empty matches the empty word ε.
+type Empty struct{}
+
+// Lit matches one letter from a byte class. Negated classes ([^...]) and
+// the any-letter wildcard (.) are resolved against the compilation
+// alphabet, so they are stored symbolically here.
+type Lit struct {
+	Set     ByteSet
+	Negated bool // complement of Set within the alphabet
+	Any     bool // any alphabet letter (the . wildcard)
+}
+
+// Concat matches the concatenation of its items.
+type Concat struct {
+	Items []Node
+}
+
+// Alt matches the union of its items.
+type Alt struct {
+	Items []Node
+}
+
+// Repeat matches Min..Max repetitions of Sub (Max = -1 means unbounded).
+type Repeat struct {
+	Sub      Node
+	Min, Max int
+}
+
+// Bind matches Sub and binds the matched span to Var: !x{Sub} ≙ x▷ Sub ◁x.
+type Bind struct {
+	Var spans.Var
+	Sub Node
+}
+
+// Ref matches a copy of the factor bound to Var: the reference symbol of
+// ref-words (&x). Only meaningful for refl-spanners.
+type Ref struct {
+	Var spans.Var
+}
+
+// ByteSet is a set of byte values.
+type ByteSet [4]uint64
+
+// Add inserts b.
+func (s *ByteSet) Add(b byte) { s[b/64] |= 1 << uint(b%64) }
+
+// AddRange inserts lo..hi inclusive.
+func (s *ByteSet) AddRange(lo, hi byte) {
+	for c := int(lo); c <= int(hi); c++ {
+		s.Add(byte(c))
+	}
+}
+
+// Has reports membership.
+func (s ByteSet) Has(b byte) bool { return s[b/64]&(1<<uint(b%64)) != 0 }
+
+// Complement returns the complement within the given alphabet.
+func (s ByteSet) Complement(alphabet []byte) ByteSet {
+	var out ByteSet
+	for _, b := range alphabet {
+		if !s.Has(b) {
+			out.Add(b)
+		}
+	}
+	return out
+}
+
+// Bytes lists the members in ascending order.
+func (s ByteSet) Bytes() []byte {
+	var out []byte
+	for c := 0; c < 256; c++ {
+		if s.Has(byte(c)) {
+			out = append(out, byte(c))
+		}
+	}
+	return out
+}
+
+// Count returns the number of members.
+func (s ByteSet) Count() int {
+	n := 0
+	for c := 0; c < 256; c++ {
+		if s.Has(byte(c)) {
+			n++
+		}
+	}
+	return n
+}
+
+// SetOf returns the set containing exactly the given bytes.
+func SetOf(bs ...byte) ByteSet {
+	var s ByteSet
+	for _, b := range bs {
+		s.Add(b)
+	}
+	return s
+}
+
+func (Empty) render(sb *strings.Builder) { sb.WriteString("()") }
+
+func (l Lit) render(sb *strings.Builder) {
+	if l.Any {
+		sb.WriteByte('.')
+		return
+	}
+	if l.Negated {
+		sb.WriteString("[^")
+		for _, b := range l.Set.Bytes() {
+			writeEscaped(sb, b)
+		}
+		sb.WriteByte(']')
+		return
+	}
+	bs := l.Set.Bytes()
+	if len(bs) == 1 {
+		writeEscaped(sb, bs[0])
+		return
+	}
+	sb.WriteByte('[')
+	for i := 0; i < len(bs); {
+		j := i
+		for j+1 < len(bs) && bs[j+1] == bs[j]+1 {
+			j++
+		}
+		writeEscaped(sb, bs[i])
+		if j > i {
+			if j > i+1 {
+				sb.WriteByte('-')
+			}
+			writeEscaped(sb, bs[j])
+		}
+		i = j + 1
+	}
+	sb.WriteByte(']')
+}
+
+func (c Concat) render(sb *strings.Builder) {
+	for _, it := range c.Items {
+		if a, ok := it.(Alt); ok && len(a.Items) > 1 {
+			sb.WriteByte('(')
+			it.render(sb)
+			sb.WriteByte(')')
+		} else {
+			it.render(sb)
+		}
+	}
+}
+
+func (a Alt) render(sb *strings.Builder) {
+	for i, it := range a.Items {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		it.render(sb)
+	}
+}
+
+func (r Repeat) render(sb *strings.Builder) {
+	needParens := true
+	switch s := r.Sub.(type) {
+	case Lit:
+		needParens = false
+		_ = s
+	case Bind, Ref, Empty:
+		needParens = false
+	}
+	if needParens {
+		sb.WriteByte('(')
+	}
+	r.Sub.render(sb)
+	if needParens {
+		sb.WriteByte(')')
+	}
+	switch {
+	case r.Min == 0 && r.Max == -1:
+		sb.WriteByte('*')
+	case r.Min == 1 && r.Max == -1:
+		sb.WriteByte('+')
+	case r.Min == 0 && r.Max == 1:
+		sb.WriteByte('?')
+	case r.Max == -1:
+		fmt.Fprintf(sb, "{%d,}", r.Min)
+	case r.Min == r.Max:
+		fmt.Fprintf(sb, "{%d}", r.Min)
+	default:
+		fmt.Fprintf(sb, "{%d,%d}", r.Min, r.Max)
+	}
+}
+
+func (b Bind) render(sb *strings.Builder) {
+	sb.WriteByte('!')
+	sb.WriteString(string(b.Var))
+	sb.WriteByte('{')
+	b.Sub.render(sb)
+	sb.WriteByte('}')
+}
+
+func (r Ref) render(sb *strings.Builder) {
+	sb.WriteByte('&')
+	sb.WriteString(string(r.Var))
+}
+
+func writeEscaped(sb *strings.Builder, b byte) {
+	if strings.IndexByte(`\.[](){}|*+?!&-^`, b) >= 0 {
+		sb.WriteByte('\\')
+	}
+	sb.WriteByte(b)
+}
+
+// Render returns the canonical textual form of the AST.
+func Render(n Node) string {
+	var sb strings.Builder
+	n.render(&sb)
+	return sb.String()
+}
+
+// Vars returns the set of variables bound in n.
+func Vars(n Node) spans.VarSet {
+	var out []spans.Var
+	walk(n, func(m Node) {
+		if b, ok := m.(Bind); ok {
+			out = append(out, b.Var)
+		}
+	})
+	return spans.NewVarSet(out...)
+}
+
+// RefVars returns the set of variables referenced (&x) in n.
+func RefVars(n Node) spans.VarSet {
+	var out []spans.Var
+	walk(n, func(m Node) {
+		if r, ok := m.(Ref); ok {
+			out = append(out, r.Var)
+		}
+	})
+	return spans.NewVarSet(out...)
+}
+
+// HasRefs reports whether n contains any reference.
+func HasRefs(n Node) bool {
+	return len(RefVars(n)) > 0
+}
+
+func walk(n Node, f func(Node)) {
+	f(n)
+	switch m := n.(type) {
+	case Concat:
+		for _, it := range m.Items {
+			walk(it, f)
+		}
+	case Alt:
+		for _, it := range m.Items {
+			walk(it, f)
+		}
+	case Repeat:
+		walk(m.Sub, f)
+	case Bind:
+		walk(m.Sub, f)
+	}
+}

@@ -1,0 +1,197 @@
+package regex
+
+import (
+	"fmt"
+
+	"docspanner/internal/automata"
+)
+
+// Options configures compilation.
+type Options struct {
+	// Alphabet is the document alphabet Σ used to resolve the wildcard .
+	// and negated classes [^...]. If nil, the alphabet defaults to the
+	// letters occurring literally in the expression; if the expression
+	// uses . or [^...] and mentions no letters, DefaultAlphabet is used.
+	Alphabet []byte
+}
+
+// DefaultAlphabet is the printable-ASCII fallback alphabet (space through
+// tilde, plus tab and newline).
+func DefaultAlphabet() []byte {
+	out := make([]byte, 0, 97)
+	out = append(out, '\t', '\n')
+	for c := byte(' '); c <= '~'; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Compile translates a parsed expression into a vset-automaton over the
+// extended alphabet (or, if the expression contains references, into a
+// ref-automaton with reference transitions). The result is a Thompson-
+// style construction of size linear in the expression (with bounded
+// repetitions expanded).
+func Compile(n Node, opts Options) (*automata.NFA, error) {
+	alphabet := opts.Alphabet
+	if alphabet == nil {
+		alphabet = inferAlphabet(n)
+	}
+	c := &compiler{alphabet: alphabet}
+	nfa := automata.NewNFA(Vars(n).Union(RefVars(n)))
+	start, end, err := c.build(nfa, n)
+	if err != nil {
+		return nil, err
+	}
+	nfa.AddEps(nfa.Start, start)
+	nfa.SetFinal(end)
+	return nfa, nil
+}
+
+// MustCompile parses and compiles src, panicking on error. For tests and
+// package-level variables.
+func MustCompile(src string, opts Options) *automata.NFA {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	a, err := Compile(n, opts)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+func inferAlphabet(n Node) []byte {
+	var set ByteSet
+	sawLetter := false
+	walk(n, func(m Node) {
+		if l, ok := m.(Lit); ok && !l.Any {
+			for _, b := range l.Set.Bytes() {
+				set.Add(b)
+				sawLetter = true
+			}
+		}
+	})
+	if !sawLetter {
+		return DefaultAlphabet()
+	}
+	return set.Bytes()
+}
+
+type compiler struct {
+	alphabet []byte
+}
+
+// build adds a fragment for n to the automaton and returns its entry and
+// exit states (single entry, single exit, à la Thompson).
+func (c *compiler) build(nfa *automata.NFA, n Node) (start, end int, err error) {
+	switch m := n.(type) {
+	case Empty:
+		s := nfa.AddState()
+		return s, s, nil
+
+	case Lit:
+		s := nfa.AddState()
+		e := nfa.AddState()
+		var bytes []byte
+		switch {
+		case m.Any:
+			bytes = c.alphabet
+		case m.Negated:
+			bytes = m.Set.Complement(c.alphabet).Bytes()
+		default:
+			bytes = m.Set.Bytes()
+		}
+		if len(bytes) == 0 {
+			return 0, 0, fmt.Errorf("regex: empty character class (alphabet too small?)")
+		}
+		for _, b := range bytes {
+			nfa.AddLetter(s, b, e)
+		}
+		return s, e, nil
+
+	case Ref:
+		s := nfa.AddState()
+		e := nfa.AddState()
+		nfa.AddRef(s, m.Var, e)
+		return s, e, nil
+
+	case Bind:
+		s := nfa.AddState()
+		e := nfa.AddState()
+		is, ie, err := c.build(nfa, m.Sub)
+		if err != nil {
+			return 0, 0, err
+		}
+		nfa.AddMarker(s, automata.Marker{Var: m.Var}, is)
+		nfa.AddMarker(ie, automata.Marker{Var: m.Var, Close: true}, e)
+		return s, e, nil
+
+	case Concat:
+		s := nfa.AddState()
+		cur := s
+		for _, it := range m.Items {
+			is, ie, err := c.build(nfa, it)
+			if err != nil {
+				return 0, 0, err
+			}
+			nfa.AddEps(cur, is)
+			cur = ie
+		}
+		return s, cur, nil
+
+	case Alt:
+		s := nfa.AddState()
+		e := nfa.AddState()
+		for _, it := range m.Items {
+			is, ie, err := c.build(nfa, it)
+			if err != nil {
+				return 0, 0, err
+			}
+			nfa.AddEps(s, is)
+			nfa.AddEps(ie, e)
+		}
+		return s, e, nil
+
+	case Repeat:
+		s := nfa.AddState()
+		cur := s
+		// Mandatory copies.
+		for i := 0; i < m.Min; i++ {
+			is, ie, err := c.build(nfa, m.Sub)
+			if err != nil {
+				return 0, 0, err
+			}
+			nfa.AddEps(cur, is)
+			cur = ie
+		}
+		if m.Max == -1 {
+			// Kleene tail.
+			is, ie, err := c.build(nfa, m.Sub)
+			if err != nil {
+				return 0, 0, err
+			}
+			loop := nfa.AddState()
+			nfa.AddEps(cur, loop)
+			nfa.AddEps(loop, is)
+			nfa.AddEps(ie, loop)
+			return s, loop, nil
+		}
+		// Optional copies.
+		e := nfa.AddState()
+		nfa.AddEps(cur, e)
+		for i := m.Min; i < m.Max; i++ {
+			is, ie, err := c.build(nfa, m.Sub)
+			if err != nil {
+				return 0, 0, err
+			}
+			nfa.AddEps(cur, is)
+			nfa.AddEps(ie, e)
+			cur = ie
+		}
+		return s, e, nil
+
+	default:
+		return 0, 0, fmt.Errorf("regex: cannot compile node %T", n)
+	}
+}

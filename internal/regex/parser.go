@@ -1,0 +1,430 @@
+package regex
+
+import (
+	"fmt"
+
+	"docspanner/internal/spans"
+)
+
+// Parse parses the spanner regex dialect:
+//
+//	literal characters          a b 0 , _ ...
+//	escapes                     \. \* \\ \n \t and any escaped special
+//	any letter of the alphabet  .
+//	character classes           [abc] [a-z0-9] [^ab]
+//	grouping                    ( ... )
+//	empty word                  ()
+//	union                       α|β
+//	repetition                  α* α+ α? α{m} α{m,} α{m,n}
+//	variable binding            !x{α}        (x▷ α ◁x)
+//	reference                   &x           (refl-spanners, Section 3.1)
+//
+// Variable names are runs of letters, digits, and underscores. Parse
+// reports syntax errors and static binding errors: a variable bound more
+// than once on a path (e.g. !x{a}!x{b} or !x{a}* ) and a reference inside
+// its own binding (&x within !x{...}).
+func Parse(src string) (Node, error) {
+	p := &parser{src: src}
+	n, err := p.parseAlt()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	if err := checkBindings(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) peek() (byte, bool) {
+	if p.pos < len(p.src) {
+		return p.src[p.pos], true
+	}
+	return 0, false
+}
+
+func (p *parser) parseAlt() (Node, error) {
+	var items []Node
+	first, err := p.parseConcat()
+	if err != nil {
+		return nil, err
+	}
+	items = append(items, first)
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			break
+		}
+		p.pos++
+		next, err := p.parseConcat()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, next)
+	}
+	if len(items) == 1 {
+		return items[0], nil
+	}
+	return Alt{Items: items}, nil
+}
+
+func (p *parser) parseConcat() (Node, error) {
+	var items []Node
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' || c == '}' {
+			break
+		}
+		item, err := p.parseRepeat()
+		if err != nil {
+			return nil, err
+		}
+		items = append(items, item)
+	}
+	switch len(items) {
+	case 0:
+		return Empty{}, nil
+	case 1:
+		return items[0], nil
+	}
+	return Concat{Items: items}, nil
+}
+
+func (p *parser) parseRepeat() (Node, error) {
+	atom, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return atom, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			atom = Repeat{Sub: atom, Min: 0, Max: -1}
+		case '+':
+			p.pos++
+			atom = Repeat{Sub: atom, Min: 1, Max: -1}
+		case '?':
+			p.pos++
+			atom = Repeat{Sub: atom, Min: 0, Max: 1}
+		case '{':
+			min, max, ok, err := p.tryParseBounds()
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				return atom, nil
+			}
+			atom = Repeat{Sub: atom, Min: min, Max: max}
+		default:
+			return atom, nil
+		}
+	}
+}
+
+// tryParseBounds parses {m}, {m,}, {m,n}; it reports ok=false without
+// consuming input if the braces do not contain a bound spec.
+func (p *parser) tryParseBounds() (min, max int, ok bool, err error) {
+	save := p.pos
+	p.pos++ // consume '{'
+	readInt := func() (int, bool) {
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+			p.pos++
+		}
+		if p.pos == start {
+			return 0, false
+		}
+		v := 0
+		for _, d := range p.src[start:p.pos] {
+			v = v*10 + int(d-'0')
+		}
+		return v, true
+	}
+	m, has := readInt()
+	if !has {
+		p.pos = save
+		return 0, 0, false, nil
+	}
+	min, max = m, m
+	if c, _ := p.peek(); c == ',' {
+		p.pos++
+		if n, has := readInt(); has {
+			max = n
+		} else {
+			max = -1
+		}
+	}
+	if c, okc := p.peek(); !okc || c != '}' {
+		p.pos = save
+		return 0, 0, false, nil
+	}
+	p.pos++
+	if max != -1 && max < min {
+		return 0, 0, false, fmt.Errorf("regex: invalid bounds {%d,%d}", min, max)
+	}
+	return min, max, true, nil
+}
+
+func (p *parser) parseAtom() (Node, error) {
+	c, ok := p.peek()
+	if !ok {
+		return nil, fmt.Errorf("regex: unexpected end of expression")
+	}
+	switch c {
+	case '(':
+		p.pos++
+		if c2, ok := p.peek(); ok && c2 == ')' {
+			p.pos++
+			return Empty{}, nil
+		}
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if c2, ok := p.peek(); !ok || c2 != ')' {
+			return nil, fmt.Errorf("regex: missing ) at offset %d", p.pos)
+		}
+		p.pos++
+		return inner, nil
+	case '[':
+		return p.parseClass()
+	case '.':
+		p.pos++
+		return Lit{Any: true}, nil
+	case '!':
+		p.pos++
+		v, err := p.parseVarName()
+		if err != nil {
+			return nil, err
+		}
+		if c2, ok := p.peek(); !ok || c2 != '{' {
+			return nil, fmt.Errorf("regex: expected { after !%s", v)
+		}
+		p.pos++
+		inner, err := p.parseAlt()
+		if err != nil {
+			return nil, err
+		}
+		if c2, ok := p.peek(); !ok || c2 != '}' {
+			return nil, fmt.Errorf("regex: missing } closing !%s{", v)
+		}
+		p.pos++
+		return Bind{Var: v, Sub: inner}, nil
+	case '&':
+		p.pos++
+		v, err := p.parseVarName()
+		if err != nil {
+			return nil, err
+		}
+		return Ref{Var: v}, nil
+	case '\\':
+		p.pos++
+		e, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("regex: dangling escape")
+		}
+		p.pos++
+		if set, ok := classEscape(e); ok {
+			return Lit{Set: set}, nil
+		}
+		return Lit{Set: SetOf(unescape(e))}, nil
+	case '*', '+', '?', '|', ')', '}', ']':
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d", c, p.pos)
+	default:
+		p.pos++
+		return Lit{Set: SetOf(c)}, nil
+	}
+}
+
+// classEscape resolves the predefined classes \d (digits), \w (word
+// characters), and \s (whitespace).
+func classEscape(e byte) (ByteSet, bool) {
+	var set ByteSet
+	switch e {
+	case 'd':
+		set.AddRange('0', '9')
+	case 'w':
+		set.AddRange('a', 'z')
+		set.AddRange('A', 'Z')
+		set.AddRange('0', '9')
+		set.Add('_')
+	case 's':
+		for _, c := range []byte(" \t\n\r") {
+			set.Add(c)
+		}
+	default:
+		return set, false
+	}
+	return set, true
+}
+
+func unescape(e byte) byte {
+	switch e {
+	case 'n':
+		return '\n'
+	case 't':
+		return '\t'
+	case 'r':
+		return '\r'
+	case '0':
+		return 0
+	}
+	return e
+}
+
+func (p *parser) parseVarName() (spans.Var, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isIdent(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("regex: missing variable name at offset %d", p.pos)
+	}
+	return spans.Var(p.src[start:p.pos]), nil
+}
+
+func isIdent(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= 'A' && b <= 'Z' || b >= '0' && b <= '9' || b == '_'
+}
+
+func (p *parser) parseClass() (Node, error) {
+	p.pos++ // consume '['
+	negate := false
+	if c, ok := p.peek(); ok && c == '^' {
+		negate = true
+		p.pos++
+	}
+	var set ByteSet
+	count := 0
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return nil, fmt.Errorf("regex: unterminated character class")
+		}
+		if c == ']' && count > 0 {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			p.pos++
+			e, ok := p.peek()
+			if !ok {
+				return nil, fmt.Errorf("regex: dangling escape in class")
+			}
+			if cls, isClass := classEscape(e); isClass {
+				p.pos++
+				for _, cb := range cls.Bytes() {
+					set.Add(cb)
+				}
+				count++
+				continue
+			}
+			c = unescape(e)
+		}
+		p.pos++
+		// Range?
+		if r, ok := p.peek(); ok && r == '-' && p.pos+1 < len(p.src) && p.src[p.pos+1] != ']' {
+			p.pos++
+			hi, _ := p.peek()
+			if hi == '\\' {
+				p.pos++
+				hi2, ok := p.peek()
+				if !ok {
+					return nil, fmt.Errorf("regex: dangling escape in class")
+				}
+				hi = unescape(hi2)
+			}
+			p.pos++
+			if hi < c {
+				return nil, fmt.Errorf("regex: inverted range %c-%c", c, hi)
+			}
+			set.AddRange(c, hi)
+		} else {
+			set.Add(c)
+		}
+		count++
+	}
+	if negate {
+		return Lit{Set: set, Negated: true}, nil
+	}
+	return Lit{Set: set}, nil
+}
+
+// checkBindings rejects expressions whose bindings could repeat on a match
+// path, nested rebinding of the same variable, and references inside their
+// own binding. These are exactly the syntactic conditions making an
+// expression a well-formed spanner regex.
+func checkBindings(n Node) error {
+	_, err := bindCheck(n, nil)
+	return err
+}
+
+// bindCheck returns the set of variables that MAY be bound by n and
+// validates. enclosing is the set of variables whose Bind encloses n.
+func bindCheck(n Node, enclosing spans.VarSet) (spans.VarSet, error) {
+	switch m := n.(type) {
+	case Empty, Lit:
+		return nil, nil
+	case Ref:
+		if enclosing.Contains(m.Var) {
+			return nil, fmt.Errorf("regex: reference &%s inside its own binding", m.Var)
+		}
+		return nil, nil
+	case Bind:
+		if enclosing.Contains(m.Var) {
+			return nil, fmt.Errorf("regex: variable %s bound inside its own binding", m.Var)
+		}
+		sub, err := bindCheck(m.Sub, enclosing.Union(spans.NewVarSet(m.Var)))
+		if err != nil {
+			return nil, err
+		}
+		if sub.Contains(m.Var) {
+			return nil, fmt.Errorf("regex: variable %s bound twice", m.Var)
+		}
+		return sub.Union(spans.NewVarSet(m.Var)), nil
+	case Concat:
+		var all spans.VarSet
+		for _, it := range m.Items {
+			vs, err := bindCheck(it, enclosing)
+			if err != nil {
+				return nil, err
+			}
+			if dup := all.Intersect(vs); len(dup) > 0 {
+				return nil, fmt.Errorf("regex: variable %s bound twice in concatenation", dup[0])
+			}
+			all = all.Union(vs)
+		}
+		return all, nil
+	case Alt:
+		var all spans.VarSet
+		for _, it := range m.Items {
+			vs, err := bindCheck(it, enclosing)
+			if err != nil {
+				return nil, err
+			}
+			all = all.Union(vs)
+		}
+		return all, nil
+	case Repeat:
+		vs, err := bindCheck(m.Sub, enclosing)
+		if err != nil {
+			return nil, err
+		}
+		if len(vs) > 0 && (m.Max == -1 || m.Max > 1) {
+			return nil, fmt.Errorf("regex: variable %s bound under repetition", vs[0])
+		}
+		return vs, nil
+	}
+	return nil, fmt.Errorf("regex: unknown node %T", n)
+}

@@ -1,0 +1,265 @@
+package regex
+
+import (
+	"strings"
+	"testing"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+)
+
+func mustParse(t *testing.T, src string) Node {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return n
+}
+
+func TestParseBasics(t *testing.T) {
+	for _, src := range []string{
+		"abc", "a|b", "a*", "a+", "a?", "(ab)*", "a{3}", "a{2,}", "a{2,4}",
+		"[abc]", "[a-z]", "[^ab]", ".", "()", "!x{ab}", "!x{a|b}c", "&x",
+		"!x{a}!y{b}", "!x{!y{a}b}", "a\\*b", "\\\\",
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"(", ")", "a)", "*", "a**b(", "[", "[]", "[z-a]", "!x", "!x{a",
+		"!x{a}!x{b}", // double binding
+		"!x{!x{a}}",  // nested rebinding
+		"(!x{a})*",   // binding under star
+		"(!x{a}){2}", // binding under bounded repeat > 1
+		"!x{a&x}",    // reference inside own binding
+		"a{3,2}", "\\", "&",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseBindingUnderOptionalAllowed(t *testing.T) {
+	// max = 1 repetitions keep the binding at most once: allowed.
+	for _, src := range []string{"(!x{a})?", "(!x{a}){1}", "(!x{a}){0,1}"} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("Parse(%q) rejected: %v", src, err)
+		}
+	}
+}
+
+func TestVarsAndRefs(t *testing.T) {
+	n := mustParse(t, "!x{a!y{b}}&z")
+	if !Vars(n).Equal(spans.NewVarSet("x", "y")) {
+		t.Errorf("Vars = %v", Vars(n))
+	}
+	if !RefVars(n).Equal(spans.NewVarSet("z")) {
+		t.Errorf("RefVars = %v", RefVars(n))
+	}
+	if !HasRefs(n) {
+		t.Error("HasRefs = false")
+	}
+	if HasRefs(mustParse(t, "!x{a}")) {
+		t.Error("HasRefs on plain bind")
+	}
+}
+
+func TestRenderRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"abc", "a|b", "(a|b)c", "a*", "!x{a|b}", "[a-c]", "a{2,4}", "&x",
+		"!x{!y{ab}}", "a?b+c*",
+	} {
+		n := mustParse(t, src)
+		rendered := Render(n)
+		n2 := mustParse(t, rendered)
+		if Render(n2) != rendered {
+			t.Errorf("render not stable: %q -> %q -> %q", src, rendered, Render(n2))
+		}
+	}
+}
+
+func TestByteSet(t *testing.T) {
+	s := SetOf('a', 'c')
+	if !s.Has('a') || s.Has('b') {
+		t.Error("Has wrong")
+	}
+	var r ByteSet
+	r.AddRange('a', 'e')
+	if r.Count() != 5 {
+		t.Errorf("Count = %d", r.Count())
+	}
+	comp := s.Complement([]byte("abc"))
+	if comp.Has('a') || !comp.Has('b') || comp.Has('c') {
+		t.Error("Complement wrong")
+	}
+}
+
+// accepts runs a compiled marker-free automaton on a document.
+func accepts(t *testing.T, nfa *automata.NFA, doc string) bool {
+	t.Helper()
+	d := automata.Determinize(nfa)
+	return d.AcceptsExtended([]byte(doc), nil)
+}
+
+func TestCompilePlain(t *testing.T) {
+	cases := []struct {
+		re  string
+		yes []string
+		no  []string
+	}{
+		{"abc", []string{"abc"}, []string{"", "ab", "abcd"}},
+		{"a|b", []string{"a", "b"}, []string{"", "ab"}},
+		{"a*", []string{"", "a", "aaaa"}, []string{"b", "ab"}},
+		{"a+b?", []string{"a", "ab", "aab"}, []string{"", "b", "abb"}},
+		{"(ab)*", []string{"", "ab", "abab"}, []string{"a", "aba"}},
+		{"a{2,3}", []string{"aa", "aaa"}, []string{"a", "aaaa"}},
+		{"a{2,}", []string{"aa", "aaaaa"}, []string{"a", ""}},
+		{"[ab]c", []string{"ac", "bc"}, []string{"cc", "c"}},
+		{"[^a]", []string{"b", "c"}, []string{"a", ""}}, // alphabet inferred {a,b,c}? no letters b,c...
+	}
+	for _, c := range cases {
+		n := mustParse(t, c.re)
+		nfa, err := Compile(n, Options{Alphabet: []byte("abc")})
+		if err != nil {
+			t.Fatalf("Compile(%q): %v", c.re, err)
+		}
+		for _, w := range c.yes {
+			if !accepts(t, nfa, w) {
+				t.Errorf("%q should accept %q", c.re, w)
+			}
+		}
+		for _, w := range c.no {
+			if accepts(t, nfa, w) {
+				t.Errorf("%q should reject %q", c.re, w)
+			}
+		}
+	}
+}
+
+func TestCompileDotUsesAlphabet(t *testing.T) {
+	nfa := MustCompile(".", Options{Alphabet: []byte("xy")})
+	if !accepts(t, nfa, "x") || !accepts(t, nfa, "y") || accepts(t, nfa, "z") {
+		t.Error("dot should match exactly the alphabet")
+	}
+}
+
+func TestCompileExample11(t *testing.T) {
+	// α := !x{(a|b)*} !y{b} !z{(a|b)*} — Example 1.1.
+	nfa := MustCompile("!x{(a|b)*}!y{b}!z{(a|b)*}", Options{})
+	if err := nfa.Validate(true); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	d := automata.Determinize(nfa)
+	ix := d.Index
+	doc := []byte("ababbab")
+	masks := make([]automata.Mask, len(doc)+1)
+	masks[0] = ix.MaskOf(automata.Marker{Var: "x"})
+	masks[3] = ix.MaskOf(automata.Marker{Var: "x", Close: true}, automata.Marker{Var: "y"})
+	masks[4] = ix.MaskOf(automata.Marker{Var: "y", Close: true}, automata.Marker{Var: "z"})
+	masks[7] = ix.MaskOf(automata.Marker{Var: "z", Close: true})
+	if !d.AcceptsExtended(doc, masks) {
+		t.Error("Example 1.1 tuple rejected")
+	}
+}
+
+func TestCompileRefTransitions(t *testing.T) {
+	nfa := MustCompile("!x{a+}&x", Options{})
+	if !nfa.HasRefs() {
+		t.Error("compiled automaton should have ref transitions")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Determinize on ref automaton should panic")
+		}
+	}()
+	automata.Determinize(nfa)
+}
+
+func TestCompileEmptyClassError(t *testing.T) {
+	n := mustParse(t, "[^abc]")
+	if _, err := Compile(n, Options{Alphabet: []byte("abc")}); err == nil {
+		t.Error("negation covering whole alphabet should fail")
+	}
+}
+
+func TestRenderEscaping(t *testing.T) {
+	n := mustParse(t, `a\*b`)
+	r := Render(n)
+	if !strings.Contains(r, `\*`) {
+		t.Errorf("Render = %q, want escaped star", r)
+	}
+	if _, err := Parse(r); err != nil {
+		t.Errorf("re-parse of %q failed: %v", r, err)
+	}
+}
+
+func TestClassEscapes(t *testing.T) {
+	d := MustCompile(`\d+`, Options{Alphabet: []byte("0123456789x")})
+	if !accepts(t, d, "42") || accepts(t, d, "4x") {
+		t.Error(`\d wrong`)
+	}
+	w := MustCompile(`\w+`, Options{Alphabet: []byte("aZ0_ ")})
+	if !accepts(t, w, "aZ0_") || accepts(t, w, "a b") {
+		t.Error(`\w wrong`)
+	}
+	sp := MustCompile(`a\sb`, Options{Alphabet: []byte("ab \t")})
+	if !accepts(t, sp, "a b") || !accepts(t, sp, "a\tb") || accepts(t, sp, "ab") {
+		t.Error(`\s wrong`)
+	}
+	// Inside classes.
+	mix := MustCompile(`[\dx]+`, Options{Alphabet: []byte("0123456789xy")})
+	if !accepts(t, mix, "1x2") || accepts(t, mix, "y") {
+		t.Error(`[\d...] wrong`)
+	}
+	// Escaped literal d still works.
+	lit := MustCompile(`\t`, Options{Alphabet: []byte("\t")})
+	if !accepts(t, lit, "\t") {
+		t.Error(`\t wrong`)
+	}
+}
+
+func TestDefaultAlphabetUsed(t *testing.T) {
+	// No letters in the pattern and no explicit alphabet: the printable
+	// ASCII default resolves the dot.
+	nfa := MustCompile("!x{.}", Options{})
+	d := automata.Determinize(nfa)
+	ix := d.Index
+	masks := make([]automata.Mask, 2)
+	masks[0] = ix.MaskOf(automata.Marker{Var: "x"})
+	masks[1] = ix.MaskOf(automata.Marker{Var: "x", Close: true})
+	for _, c := range []byte{'a', 'Z', '~', ' ', '\t'} {
+		if !d.AcceptsExtended([]byte{c}, masks) {
+			t.Errorf("default alphabet misses %q", c)
+		}
+	}
+}
+
+func TestRenderNegatedAndWildcard(t *testing.T) {
+	n := mustParse(t, "[^ab].")
+	r := Render(n)
+	if r != "[^ab]." {
+		t.Errorf("Render = %q", r)
+	}
+	if _, err := Parse(r); err != nil {
+		t.Errorf("re-parse: %v", err)
+	}
+}
+
+func TestUnescapeControl(t *testing.T) {
+	for _, c := range []struct {
+		src string
+		b   byte
+	}{{`\r`, '\r'}, {`\0`, 0}, {`\n`, '\n'}} {
+		nfa := MustCompile(c.src, Options{Alphabet: []byte{c.b}})
+		d := automata.Determinize(nfa)
+		if !d.AcceptsExtended([]byte{c.b}, nil) {
+			t.Errorf("escape %q does not match %q", c.src, c.b)
+		}
+	}
+}

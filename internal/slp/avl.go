@@ -1,0 +1,114 @@
+package slp
+
+// AVL-style operations on strongly balanced SLPs, following the approach
+// the survey attributes to Rytter (Section 4.1) and used for complex
+// document editing (Section 4.3): concatenation inserts the smaller tree
+// at the right depth of the larger one and repairs the at-most-2
+// imbalances with rotations, in time O(|ord(a) − ord(b)|); extraction
+// splits along one root-to-leaf path in O(ord). All operations are
+// persistent: existing nodes are never mutated, so every intermediate
+// document version in a database remains valid and shares structure.
+
+// Concat returns an SLP deriving 𝔇(a)·𝔇(b). If both operands are strongly
+// balanced, the result is strongly balanced and the operation creates
+// O(|ord(a) − ord(b)| + 1) new nodes.
+func Concat(a, b *Node) *Node {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return join(a, b)
+}
+
+func join(l, r *Node) *Node {
+	d := l.order - r.order
+	if -1 <= d && d <= 1 {
+		return Pair(l, r)
+	}
+	if d > 0 {
+		// Descend the right spine of l.
+		return rebalance(l.left, join(l.right, r))
+	}
+	return rebalance(join(l, r.left), r.right)
+}
+
+// rebalance combines two subtrees whose orders may differ by 2 (the
+// invariant maintained by join) using the AVL single/double rotations.
+func rebalance(l, r *Node) *Node {
+	d := l.order - r.order
+	switch {
+	case d >= -1 && d <= 1:
+		return Pair(l, r)
+	case d == 2:
+		if l.left.order >= l.right.order {
+			// single rotation:  (ll lr) r  →  ll (lr r)
+			return Pair(l.left, Pair(l.right, r))
+		}
+		// double rotation: (ll (lrl lrr)) r → (ll lrl) (lrr r)
+		lr := l.right
+		return Pair(Pair(l.left, lr.left), Pair(lr.right, r))
+	case d == -2:
+		if r.right.order >= r.left.order {
+			return Pair(Pair(l, r.left), r.right)
+		}
+		rl := r.left
+		return Pair(Pair(l, rl.left), Pair(rl.right, r.right))
+	}
+	// Orders differ by more than 2: fall back to a full join (can only
+	// happen when operands were not strongly balanced to begin with).
+	if d > 0 {
+		return join(Pair(l.left, l.right), r)
+	}
+	return join(l, Pair(r.left, r.right))
+}
+
+// Extract returns an SLP deriving the factor doc[i:j] (0-based byte
+// offsets, i ≤ j ≤ len). On strongly balanced SLPs it creates O(ord(n))
+// new nodes and preserves strong balance. The empty factor is nil.
+func Extract(n *Node, i, j int64) *Node {
+	if n == nil || i >= j {
+		return nil
+	}
+	if i <= 0 && j >= n.length {
+		return n
+	}
+	if n.IsLeaf() {
+		return n // i < j and length 1 implies the whole leaf
+	}
+	ll := n.left.length
+	if j <= ll {
+		return Extract(n.left, i, j)
+	}
+	if i >= ll {
+		return Extract(n.right, i-ll, j-ll)
+	}
+	return Concat(Extract(n.left, i, ll), Extract(n.right, 0, j-ll))
+}
+
+// Balance returns a strongly balanced SLP deriving the same document,
+// processing the DAG bottom-up with memoization: bal(A) =
+// Concat(bal(left), bal(right)). Shared nodes are converted once, so the
+// running time is O(|S| · ord) — the Rytter-style bound the survey quotes
+// in Section 4.1 (the log-factor is unavoidable by Ganardi's lower
+// bound for strongly balanced SLPs).
+func Balance(n *Node) *Node {
+	memo := map[*Node]*Node{}
+	var rec func(*Node) *Node
+	rec = func(m *Node) *Node {
+		if m == nil {
+			return nil
+		}
+		if m.IsLeaf() {
+			return m
+		}
+		if r, ok := memo[m]; ok {
+			return r
+		}
+		r := Concat(rec(m.left), rec(m.right))
+		memo[m] = r
+		return r
+	}
+	return rec(n)
+}

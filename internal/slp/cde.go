@@ -1,0 +1,397 @@
+package slp
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Complex document editing (CDE), Section 4.3 of the survey: expressions
+// over a document database built from the operations concat, extract,
+// delete, insert, and copy. Evaluating a CDE expression φ on a strongly
+// balanced SLP-represented database takes O(|φ|·log d) time, where d
+// bounds the documents involved — the documents are never decompressed.
+//
+// Positions follow the paper's convention: 1-based and inclusive, so
+// extract(D, i, j) is the factor from position i to position j.
+
+// CDE is a node of a CDE expression.
+type CDE interface {
+	cde()
+	String() string
+}
+
+// DocRef names a document of the database.
+type DocRef struct{ Name string }
+
+// CDEConcat is concat(L, R).
+type CDEConcat struct{ L, R CDE }
+
+// CDEExtract is extract(D, I, J).
+type CDEExtract struct {
+	D    CDE
+	I, J int64
+}
+
+// CDEDelete is delete(D, I, J).
+type CDEDelete struct {
+	D    CDE
+	I, J int64
+}
+
+// CDEInsert is insert(D, D', K): insert D' at position K of D.
+type CDEInsert struct {
+	D, D2 CDE
+	K     int64
+}
+
+// CDECopy is copy(D, I, J, K): copy the factor from I to J and paste it
+// at position K.
+type CDECopy struct {
+	D       CDE
+	I, J, K int64
+}
+
+func (DocRef) cde()     {}
+func (CDEConcat) cde()  {}
+func (CDEExtract) cde() {}
+func (CDEDelete) cde()  {}
+func (CDEInsert) cde()  {}
+func (CDECopy) cde()    {}
+
+func (d DocRef) String() string { return d.Name }
+func (c CDEConcat) String() string {
+	return fmt.Sprintf("concat(%s,%s)", c.L, c.R)
+}
+func (e CDEExtract) String() string {
+	return fmt.Sprintf("extract(%s,%d,%d)", e.D, e.I, e.J)
+}
+func (e CDEDelete) String() string {
+	return fmt.Sprintf("delete(%s,%d,%d)", e.D, e.I, e.J)
+}
+func (e CDEInsert) String() string {
+	return fmt.Sprintf("insert(%s,%s,%d)", e.D, e.D2, e.K)
+}
+func (e CDECopy) String() string {
+	return fmt.Sprintf("copy(%s,%d,%d,%d)", e.D, e.I, e.J, e.K)
+}
+
+// SizeOf returns |φ|, the number of operations in the expression.
+func SizeOf(e CDE) int {
+	switch m := e.(type) {
+	case DocRef:
+		return 1
+	case CDEConcat:
+		return 1 + SizeOf(m.L) + SizeOf(m.R)
+	case CDEExtract:
+		return 1 + SizeOf(m.D)
+	case CDEDelete:
+		return 1 + SizeOf(m.D)
+	case CDEInsert:
+		return 1 + SizeOf(m.D) + SizeOf(m.D2)
+	case CDECopy:
+		return 1 + SizeOf(m.D)
+	}
+	return 1
+}
+
+// DB is an SLP-represented document database: named documents whose SLP
+// nodes may share structure (a single underlying DAG, as in Figure 1 of
+// the survey).
+type DB struct {
+	docs  map[string]*Node
+	names []string
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{docs: map[string]*Node{}} }
+
+// Add stores a document under a name (replacing any previous binding).
+// The node should be strongly balanced for the CDE complexity guarantees;
+// use Balance if in doubt.
+func (db *DB) Add(name string, n *Node) {
+	if _, ok := db.docs[name]; !ok {
+		db.names = append(db.names, name)
+	}
+	db.docs[name] = n
+}
+
+// Get returns the named document's SLP node.
+func (db *DB) Get(name string) (*Node, bool) {
+	n, ok := db.docs[name]
+	return n, ok
+}
+
+// Names lists the documents in insertion order.
+func (db *DB) Names() []string { return append([]string(nil), db.names...) }
+
+// Size returns the number of distinct nodes of the whole database DAG.
+func (db *DB) Size() int {
+	visited := map[*Node]bool{}
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m == nil || visited[m] {
+			return
+		}
+		visited[m] = true
+		rec(m.left)
+		rec(m.right)
+	}
+	for _, n := range db.docs {
+		rec(n)
+	}
+	return len(visited)
+}
+
+// Eval evaluates a CDE expression against the database, returning the SLP
+// node of the resulting document without decompressing anything. Each
+// operation costs O(log d) on strongly balanced operands.
+func (db *DB) Eval(e CDE) (*Node, error) {
+	switch m := e.(type) {
+	case DocRef:
+		n, ok := db.docs[m.Name]
+		if !ok {
+			return nil, fmt.Errorf("slp: unknown document %q", m.Name)
+		}
+		return n, nil
+	case CDEConcat:
+		l, err := db.Eval(m.L)
+		if err != nil {
+			return nil, err
+		}
+		r, err := db.Eval(m.R)
+		if err != nil {
+			return nil, err
+		}
+		return Concat(l, r), nil
+	case CDEExtract:
+		d, err := db.Eval(m.D)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(d, m.I, m.J); err != nil {
+			return nil, err
+		}
+		return Extract(d, m.I-1, m.J), nil
+	case CDEDelete:
+		d, err := db.Eval(m.D)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(d, m.I, m.J); err != nil {
+			return nil, err
+		}
+		return Concat(Extract(d, 0, m.I-1), Extract(d, m.J, d.Len())), nil
+	case CDEInsert:
+		d, err := db.Eval(m.D)
+		if err != nil {
+			return nil, err
+		}
+		d2, err := db.Eval(m.D2)
+		if err != nil {
+			return nil, err
+		}
+		if m.K < 1 || m.K > d.Len()+1 {
+			return nil, fmt.Errorf("slp: insert position %d out of range 1..%d", m.K, d.Len()+1)
+		}
+		return Concat(Concat(Extract(d, 0, m.K-1), d2), Extract(d, m.K-1, d.Len())), nil
+	case CDECopy:
+		d, err := db.Eval(m.D)
+		if err != nil {
+			return nil, err
+		}
+		if err := checkRange(d, m.I, m.J); err != nil {
+			return nil, err
+		}
+		if m.K < 1 || m.K > d.Len()+1 {
+			return nil, fmt.Errorf("slp: paste position %d out of range 1..%d", m.K, d.Len()+1)
+		}
+		factor := Extract(d, m.I-1, m.J)
+		return Concat(Concat(Extract(d, 0, m.K-1), factor), Extract(d, m.K-1, d.Len())), nil
+	}
+	return nil, fmt.Errorf("slp: unknown CDE node %T", e)
+}
+
+func checkRange(d *Node, i, j int64) error {
+	if i < 1 || j < i-1 || j > d.Len() {
+		return fmt.Errorf("slp: range [%d,%d] out of bounds for document of length %d", i, j, d.Len())
+	}
+	return nil
+}
+
+// EvalAndAdd evaluates φ and stores the result, implementing the update
+// task of Section 4.3: DDB becomes DDB ∪ {eval(φ)}.
+func (db *DB) EvalAndAdd(name string, e CDE) (*Node, error) {
+	n, err := db.Eval(e)
+	if err != nil {
+		return nil, err
+	}
+	db.Add(name, n)
+	return n, nil
+}
+
+// ParseCDE parses the textual form of a CDE expression, e.g.
+//
+//	insert(delete(D3,2,5), extract(D7,5,21), 12)
+//
+// Identifiers are document names; the operations are concat/2, extract/3,
+// delete/3, insert/3, and copy/4.
+func ParseCDE(src string) (CDE, error) {
+	p := &cdeParser{src: src}
+	e, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("slp: trailing input at offset %d", p.pos)
+	}
+	return e, nil
+}
+
+type cdeParser struct {
+	src string
+	pos int
+}
+
+func (p *cdeParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t' || p.src[p.pos] == '\n') {
+		p.pos++
+	}
+}
+
+func (p *cdeParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.' || c == '-' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *cdeParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("slp: expected %q at offset %d", c, p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *cdeParser) number() (int64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, fmt.Errorf("slp: expected number at offset %d", start)
+	}
+	return strconv.ParseInt(p.src[start:p.pos], 10, 64)
+}
+
+func (p *cdeParser) parse() (CDE, error) {
+	p.skipSpace()
+	name := p.ident()
+	if name == "" {
+		return nil, fmt.Errorf("slp: expected identifier at offset %d", p.pos)
+	}
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
+		return DocRef{Name: name}, nil
+	}
+	op := strings.ToLower(name)
+	p.pos++ // consume '('
+	switch op {
+	case "concat":
+		l, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		r, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return CDEConcat{L: l, R: r}, nil
+	case "extract", "delete":
+		d, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		i, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		j, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		if op == "extract" {
+			return CDEExtract{D: d, I: i, J: j}, nil
+		}
+		return CDEDelete{D: d, I: i, J: j}, nil
+	case "insert":
+		d, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		d2, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(','); err != nil {
+			return nil, err
+		}
+		k, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return CDEInsert{D: d, D2: d2, K: k}, nil
+	case "copy":
+		d, err := p.parse()
+		if err != nil {
+			return nil, err
+		}
+		var nums [3]int64
+		for i := 0; i < 3; i++ {
+			if err := p.expect(','); err != nil {
+				return nil, err
+			}
+			v, err := p.number()
+			if err != nil {
+				return nil, err
+			}
+			nums[i] = v
+		}
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return CDECopy{D: d, I: nums[0], J: nums[1], K: nums[2]}, nil
+	}
+	return nil, fmt.Errorf("slp: unknown operation %q", name)
+}

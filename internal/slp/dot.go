@@ -1,0 +1,68 @@
+package slp
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dot renders the SLP DAG in Graphviz DOT format in the style of the
+// survey's Figure 1: inner nodes with l/r labeled arcs, leaves as the
+// terminal boxes T_x. roots maps display names (e.g. "A1") to designated
+// nodes; shared structure appears once.
+func Dot(name string, roots map[string]*Node) string {
+	// Stable ids via DFS over sorted root names.
+	names := make([]string, 0, len(roots))
+	for n := range roots {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	ids := map[*Node]string{}
+	counter := 0
+	var assign func(n *Node)
+	assign = func(n *Node) {
+		if n == nil || ids[n] != "" {
+			return
+		}
+		if n.IsLeaf() {
+			ids[n] = fmt.Sprintf("T_%c", n.LeafByte())
+			return
+		}
+		counter++
+		ids[n] = fmt.Sprintf("n%d", counter)
+		assign(n.left)
+		assign(n.right)
+	}
+	for _, nm := range names {
+		assign(roots[nm])
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", name)
+	emitted := map[*Node]bool{}
+	var emit func(n *Node)
+	emit = func(n *Node) {
+		if n == nil || emitted[n] {
+			return
+		}
+		emitted[n] = true
+		if n.IsLeaf() {
+			fmt.Fprintf(&sb, "  %q [shape=box, label=\"T_%c\"];\n", ids[n], n.LeafByte())
+			return
+		}
+		fmt.Fprintf(&sb, "  %q [label=\"%s\\nlen=%d ord=%d\"];\n", ids[n], ids[n], n.Len(), n.Order())
+		fmt.Fprintf(&sb, "  %q -> %q [label=\"l\"];\n", ids[n], ids[n.left])
+		fmt.Fprintf(&sb, "  %q -> %q [label=\"r\"];\n", ids[n], ids[n.right])
+		emit(n.left)
+		emit(n.right)
+	}
+	for _, nm := range names {
+		emit(roots[nm])
+	}
+	for _, nm := range names {
+		fmt.Fprintf(&sb, "  %q [shape=plaintext];\n  %q -> %q [style=dotted];\n", "doc_"+nm, "doc_"+nm, ids[roots[nm]])
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,189 @@
+package slp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomNode(rng *rand.Rand, maxLen int) *Node {
+	n := rng.Intn(maxLen)
+	if n == 0 {
+		return nil
+	}
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = "abc"[rng.Intn(3)]
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return FromBytes(b)
+	case 1:
+		return Balance(Compress(b))
+	default:
+		// Repetitive with a random base.
+		base := FromBytes(b[:rng.Intn(len(b))+1])
+		return Extract(Repeat(base, int64(n/int(base.Len())+1)), 0, int64(n))
+	}
+}
+
+func TestConcatAssociativeLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	for trial := 0; trial < 40; trial++ {
+		a := randomNode(rng, 60)
+		b := randomNode(rng, 60)
+		c := randomNode(rng, 60)
+		l := Concat(Concat(a, b), c)
+		r := Concat(a, Concat(b, c))
+		if string(l.Bytes()) != string(r.Bytes()) {
+			t.Fatalf("trial %d: associativity violated", trial)
+		}
+		if l != nil && !l.StronglyBalanced() {
+			t.Fatalf("trial %d: left association unbalanced", trial)
+		}
+		if r != nil && !r.StronglyBalanced() {
+			t.Fatalf("trial %d: right association unbalanced", trial)
+		}
+	}
+}
+
+func TestConcatIdentityLaw(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	a := randomNode(rng, 40)
+	if Concat(a, nil) != a || Concat(nil, a) != a {
+		t.Error("nil is not a Concat identity")
+	}
+}
+
+func TestExtractComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	for trial := 0; trial < 60; trial++ {
+		a := randomNode(rng, 80)
+		if a == nil {
+			continue
+		}
+		n := a.Len()
+		i := rng.Int63n(n + 1)
+		j := i + rng.Int63n(n+1-i)
+		inner := Extract(a, i, j)
+		if inner == nil {
+			continue
+		}
+		m := inner.Len()
+		p := rng.Int63n(m + 1)
+		q := p + rng.Int63n(m+1-p)
+		// Extract(Extract(a,i,j),p,q) ≡ Extract(a, i+p, i+q).
+		l := Extract(inner, p, q)
+		r := Extract(a, i+p, i+q)
+		var ls, rs string
+		if l != nil {
+			ls = string(l.Bytes())
+		}
+		if r != nil {
+			rs = string(r.Bytes())
+		}
+		if ls != rs {
+			t.Fatalf("trial %d: composition violated: %q vs %q", trial, ls, rs)
+		}
+	}
+}
+
+func TestConcatExtractInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(84))
+	for trial := 0; trial < 40; trial++ {
+		a := randomNode(rng, 60)
+		if a == nil {
+			continue
+		}
+		k := rng.Int63n(a.Len() + 1)
+		// Concat(Extract(a,0,k), Extract(a,k,n)) ≡ a (by content).
+		back := Concat(Extract(a, 0, k), Extract(a, k, a.Len()))
+		if string(back.Bytes()) != string(a.Bytes()) {
+			t.Fatalf("trial %d: split/concat roundtrip failed", trial)
+		}
+	}
+}
+
+func TestBalanceIdempotent(t *testing.T) {
+	rng := rand.New(rand.NewSource(85))
+	for trial := 0; trial < 20; trial++ {
+		a := randomNode(rng, 80)
+		b1 := Balance(a)
+		b2 := Balance(b1)
+		var s1, s2 string
+		if b1 != nil {
+			s1 = string(b1.Bytes())
+		}
+		if b2 != nil {
+			s2 = string(b2.Bytes())
+		}
+		if s1 != s2 {
+			t.Fatalf("trial %d: Balance changed content on second application", trial)
+		}
+		if b2 != nil && !b2.StronglyBalanced() {
+			t.Fatalf("trial %d: Balance∘Balance unbalanced", trial)
+		}
+	}
+}
+
+func TestByteMatchesBytesQuick(t *testing.T) {
+	f := func(seed []byte, idx uint16) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		doc := make([]byte, len(seed))
+		for i := range seed {
+			doc[i] = 'a' + seed[i]%3
+		}
+		n := Balance(Compress(doc))
+		i := int64(idx) % int64(len(doc))
+		return n.Byte(i) == doc[i]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWriteRangeMatchesBytesQuick(t *testing.T) {
+	f := func(seed []byte, a, b uint16) bool {
+		if len(seed) == 0 {
+			return true
+		}
+		doc := make([]byte, len(seed))
+		for i := range seed {
+			doc[i] = 'a' + seed[i]%3
+		}
+		n := FromBytes(doc)
+		i := int64(a) % int64(len(doc)+1)
+		j := i + int64(b)%(int64(len(doc))+1-i)
+		got := n.WriteRange(nil, i, j)
+		return string(got) == string(doc[i:j])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRepeatMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(86))
+	for trial := 0; trial < 20; trial++ {
+		base := randomNode(rng, 10)
+		if base == nil {
+			continue
+		}
+		k := int64(rng.Intn(20))
+		r := Repeat(base, k)
+		want := ""
+		s := string(base.Bytes())
+		for i := int64(0); i < k; i++ {
+			want += s
+		}
+		var got string
+		if r != nil {
+			got = string(r.Bytes())
+		}
+		if got != want {
+			t.Fatalf("Repeat(%q, %d) = %q", s, k, got)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package slp
+
+// Re-Pair grammar compression (Larsson & Moffat): repeatedly replace the
+// most frequent adjacent symbol pair with a fresh nonterminal until no
+// pair occurs twice. The resulting grammar is an SLP; the survey
+// (Section 4) treats such practical compressors as the standard way
+// documents arrive in SLP form. Computing a *smallest* SLP is NP-complete
+// (the survey cites Charikar et al. and Casel et al.), so a greedy
+// compressor is the right tool.
+//
+// This implementation rescans the sequence each round; because every
+// round with a repeating pair shrinks the sequence, total work is
+// O(n · rounds) with rounds logarithmic on repetitive inputs.
+
+// Compress builds an SLP for doc with Re-Pair. The result is NOT
+// necessarily balanced; apply Balance before using algorithms that need
+// strong balance or shallowness. Returns nil for the empty document.
+func Compress(doc []byte) *Node {
+	if len(doc) == 0 {
+		return nil
+	}
+	// Work over int symbols: 0..255 terminals, ≥256 nonterminals.
+	seq := make([]int32, len(doc))
+	for i, b := range doc {
+		seq[i] = int32(b)
+	}
+	type rule struct{ l, r int32 }
+	var rules []rule
+	next := int32(256)
+
+	counts := make(map[[2]int32]int32)
+	for len(seq) > 1 {
+		clear(counts)
+		var best [2]int32
+		bestCount := int32(1)
+		prevPair := [2]int32{-1, -1}
+		for i := 0; i+1 < len(seq); i++ {
+			p := [2]int32{seq[i], seq[i+1]}
+			// Avoid counting overlapping occurrences (aaa has one "aa").
+			if p == prevPair && p[0] == p[1] {
+				prevPair = [2]int32{-1, -1}
+				continue
+			}
+			prevPair = p
+			counts[p]++
+			if counts[p] > bestCount || (counts[p] == bestCount && better(p, best)) {
+				best = p
+				bestCount = counts[p]
+			}
+		}
+		if bestCount < 2 {
+			break
+		}
+		// Replace non-overlapping occurrences of best left to right.
+		sym := next
+		next++
+		rules = append(rules, rule{best[0], best[1]})
+		out := seq[:0]
+		for i := 0; i < len(seq); {
+			if i+1 < len(seq) && seq[i] == best[0] && seq[i+1] == best[1] {
+				out = append(out, sym)
+				i += 2
+			} else {
+				out = append(out, seq[i])
+				i++
+			}
+		}
+		seq = out
+	}
+
+	// Materialize nodes: terminals are leaves, nonterminals are pairs
+	// (shared: one node per rule).
+	nodes := make([]*Node, int(next))
+	for b := 0; b < 256; b++ {
+		nodes[b] = Leaf(byte(b))
+	}
+	for i, r := range rules {
+		nodes[256+i] = Pair(nodes[r.l], nodes[r.r])
+	}
+	// Combine the final sequence with a balanced fold.
+	var fold func(lo, hi int) *Node
+	fold = func(lo, hi int) *Node {
+		if hi-lo == 1 {
+			return nodes[seq[lo]]
+		}
+		mid := (lo + hi) / 2
+		return Pair(fold(lo, mid), fold(mid, hi))
+	}
+	return fold(0, len(seq))
+}
+
+// better is an arbitrary deterministic tie-break so compression is
+// reproducible across runs.
+func better(a, b [2]int32) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}

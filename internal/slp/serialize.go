@@ -1,0 +1,200 @@
+package slp
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary serialization of SLP document databases, so compressed archives
+// persist without ever being decompressed. The format stores the shared
+// DAG once — nodes in topological order, leaves inline — and the list of
+// designated roots, mirroring how Figure 1 of the survey presents a
+// database as one grammar with designated nonterminals.
+//
+// Layout (all integers little-endian):
+//
+//	magic   "SLP1"
+//	uint32  node count N
+//	N ×     node: tag byte (0 = leaf, 1 = pair);
+//	        leaf: 1 byte symbol; pair: uvarint left id, uvarint right id
+//	        (ids index previously written nodes)
+//	uint32  root count R
+//	R ×     uvarint name length, name bytes, uvarint node id + 1 (0 = ε)
+
+const slpMagic = "SLP1"
+
+// WriteTo serializes the database to w.
+func (db *DB) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var written int64
+	count := func(n int, err error) error {
+		written += int64(n)
+		return err
+	}
+
+	// Topological order over the shared DAG.
+	ids := map[*Node]uint64{}
+	var order []*Node
+	var visit func(*Node)
+	visit = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if _, ok := ids[n]; ok {
+			return
+		}
+		visit(n.left)
+		visit(n.right)
+		ids[n] = uint64(len(order))
+		order = append(order, n)
+	}
+	for _, name := range db.names {
+		visit(db.docs[name])
+	}
+
+	if err := count(bw.WriteString(slpMagic)); err != nil {
+		return written, err
+	}
+	var buf [binary.MaxVarintLen64]byte
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(buf[:4], v)
+		return count(bw.Write(buf[:4]))
+	}
+	writeUvarint := func(v uint64) error {
+		n := binary.PutUvarint(buf[:], v)
+		return count(bw.Write(buf[:n]))
+	}
+	if err := writeU32(uint32(len(order))); err != nil {
+		return written, err
+	}
+	for _, n := range order {
+		if n.IsLeaf() {
+			if err := count(bw.Write([]byte{0, n.leaf})); err != nil {
+				return written, err
+			}
+			continue
+		}
+		if err := count(bw.Write([]byte{1})); err != nil {
+			return written, err
+		}
+		if err := writeUvarint(ids[n.left]); err != nil {
+			return written, err
+		}
+		if err := writeUvarint(ids[n.right]); err != nil {
+			return written, err
+		}
+	}
+	if err := writeU32(uint32(len(db.names))); err != nil {
+		return written, err
+	}
+	for _, name := range db.names {
+		if err := writeUvarint(uint64(len(name))); err != nil {
+			return written, err
+		}
+		if err := count(bw.WriteString(name)); err != nil {
+			return written, err
+		}
+		id := uint64(0)
+		if n := db.docs[name]; n != nil {
+			id = ids[n] + 1
+		}
+		if err := writeUvarint(id); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// ReadDB deserializes a database written by WriteTo. Structure sharing is
+// restored exactly (shared subtrees are one node again).
+func ReadDB(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("slp: reading magic: %w", err)
+	}
+	if string(magic) != slpMagic {
+		return nil, fmt.Errorf("slp: bad magic %q", magic)
+	}
+	readU32 := func() (uint32, error) {
+		b := make([]byte, 4)
+		if _, err := io.ReadFull(br, b); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(b), nil
+	}
+	n, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	const maxNodes = 1 << 28
+	if n > maxNodes {
+		return nil, fmt.Errorf("slp: node count %d exceeds limit", n)
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		tag, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch tag {
+		case 0:
+			b, err := br.ReadByte()
+			if err != nil {
+				return nil, err
+			}
+			nodes[i] = Leaf(b)
+		case 1:
+			l, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			r2, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if l >= uint64(i) || r2 >= uint64(i) {
+				return nil, fmt.Errorf("slp: node %d references forward node", i)
+			}
+			nodes[i] = Pair(nodes[l], nodes[r2])
+		default:
+			return nil, fmt.Errorf("slp: bad node tag %d", tag)
+		}
+	}
+	rootCount, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if rootCount > maxNodes {
+		return nil, fmt.Errorf("slp: root count %d exceeds limit", rootCount)
+	}
+	db := NewDB()
+	for i := uint32(0); i < rootCount; i++ {
+		nameLen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nameLen > 1<<16 {
+			return nil, fmt.Errorf("slp: name length %d exceeds limit", nameLen)
+		}
+		name := make([]byte, nameLen)
+		if _, err := io.ReadFull(br, name); err != nil {
+			return nil, err
+		}
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if id == 0 {
+			db.Add(string(name), nil)
+			continue
+		}
+		if id > uint64(len(nodes)) {
+			return nil, fmt.Errorf("slp: root %q references node %d of %d", name, id-1, len(nodes))
+		}
+		db.Add(string(name), nodes[id-1])
+	}
+	return db, nil
+}

@@ -1,0 +1,18 @@
+package slp
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestWriteToReturnsByteCount(t *testing.T) {
+	db := figure1DB()
+	var buf bytes.Buffer
+	n, err := db.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo returned %d, buffer has %d", n, buf.Len())
+	}
+}

@@ -1,0 +1,217 @@
+package slp
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestSerializeRoundTripFigure1(t *testing.T) {
+	db := figure1DB()
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range db.Names() {
+		orig, _ := db.Get(name)
+		got, ok := back.Get(name)
+		if !ok {
+			t.Fatalf("document %s missing", name)
+		}
+		if string(got.Bytes()) != string(orig.Bytes()) {
+			t.Errorf("document %s content changed", name)
+		}
+	}
+	// Structure sharing restored: same DAG size.
+	if back.Size() != db.Size() {
+		t.Errorf("DAG size %d, want %d (sharing lost)", back.Size(), db.Size())
+	}
+}
+
+func TestSerializeEmptyAndNilDocs(t *testing.T) {
+	db := NewDB()
+	db.Add("empty", nil)
+	db.Add("one", FromBytes([]byte("x")))
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, ok := back.Get("empty"); !ok || n.Len() != 0 {
+		t.Error("empty document lost")
+	}
+	if n, ok := back.Get("one"); !ok || string(n.Bytes()) != "x" {
+		t.Error("one-byte document lost")
+	}
+}
+
+func TestSerializeRandomDatabases(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 10; trial++ {
+		db := NewDB()
+		contents := map[string]string{}
+		for d := 0; d < rng.Intn(5)+1; d++ {
+			name := string(rune('A' + d))
+			doc := make([]byte, rng.Intn(200))
+			for i := range doc {
+				doc[i] = "abcd"[rng.Intn(4)]
+			}
+			contents[name] = string(doc)
+			db.Add(name, Balance(Compress(doc)))
+		}
+		var buf bytes.Buffer
+		if _, err := db.WriteTo(&buf); err != nil {
+			t.Fatal(err)
+		}
+		back, err := ReadDB(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name, want := range contents {
+			n, ok := back.Get(name)
+			if !ok {
+				t.Fatalf("trial %d: %s missing", trial, name)
+			}
+			var got string
+			if n != nil {
+				got = string(n.Bytes())
+			}
+			if got != want {
+				t.Fatalf("trial %d: %s changed", trial, name)
+			}
+		}
+	}
+}
+
+func TestSerializeCompactness(t *testing.T) {
+	// A 2^20-byte repetitive document must serialize in O(log n) bytes.
+	db := NewDB()
+	db.Add("big", Repeat(FromBytes([]byte("ab")), 1<<19))
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() > 1024 {
+		t.Errorf("serialized 1MB repetitive doc to %d bytes, want few hundred", buf.Len())
+	}
+	back, err := ReadDB(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, _ := back.Get("big")
+	if n.Len() != 1<<20 || n.Byte(0) != 'a' || n.Byte(1<<20-1) != 'b' {
+		t.Error("content wrong after round trip")
+	}
+}
+
+func TestReadDBRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		[]byte("XXXX"),
+		[]byte("SLP1"),                     // truncated counts
+		append([]byte("SLP1"), 1, 0, 0, 0), // truncated node
+		append([]byte("SLP1"), 1, 0, 0, 0, 1, 0, 0), // pair referencing forward
+	}
+	for i, c := range cases {
+		if _, err := ReadDB(bytes.NewReader(c)); err == nil {
+			t.Errorf("case %d: garbage accepted", i)
+		}
+	}
+}
+
+// TestCDEFuzzAgainstPlainModel drives the SLP database with random CDE
+// operations and cross-checks every result against a plain-bytes
+// reference model, including balance invariants — a model-based fuzz of
+// the whole Section 4.3 machinery.
+func TestCDEFuzzAgainstPlainModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(31337))
+	trials := 25
+	if testing.Short() {
+		trials = 5
+	}
+	for trial := 0; trial < trials; trial++ {
+		db := NewDB()
+		model := map[string]string{}
+		// Seed documents of assorted representations.
+		seed := strings.Repeat("abrakadabra", rng.Intn(20)+1)
+		db.Add("D0", Balance(Compress([]byte(seed))))
+		model["D0"] = seed
+		db.Add("D1", FromBytes([]byte("xyxy")))
+		model["D1"] = "xyxy"
+
+		names := []string{"D0", "D1"}
+		for step := 0; step < 30; step++ {
+			src := names[rng.Intn(len(names))]
+			cur := model[src]
+			n := int64(len(cur))
+			var expr string
+			var want string
+			switch op := rng.Intn(5); {
+			case op == 0: // concat with a random existing doc
+				other := names[rng.Intn(len(names))]
+				expr = "concat(" + src + "," + other + ")"
+				want = cur + model[other]
+			case op == 1 && n >= 1: // extract
+				i := rng.Int63n(n) + 1
+				j := i + rng.Int63n(n-i+1)
+				expr = sprintf("extract(%s,%d,%d)", src, i, j)
+				want = cur[i-1 : j]
+			case op == 2 && n >= 1: // delete
+				i := rng.Int63n(n) + 1
+				j := i + rng.Int63n(n-i+1)
+				expr = sprintf("delete(%s,%d,%d)", src, i, j)
+				want = cur[:i-1] + cur[j:]
+			case op == 3: // insert
+				other := names[rng.Intn(len(names))]
+				k := rng.Int63n(n+1) + 1
+				expr = sprintf("insert(%s,%s,%d)", src, other, k)
+				want = cur[:k-1] + model[other] + cur[k-1:]
+			case op == 4 && n >= 1: // copy
+				i := rng.Int63n(n) + 1
+				j := i + rng.Int63n(n-i+1)
+				k := rng.Int63n(n+1) + 1
+				expr = sprintf("copy(%s,%d,%d,%d)", src, i, j, k)
+				want = cur[:k-1] + cur[i-1:j] + cur[k-1:]
+			default:
+				continue
+			}
+			if len(want) > 1<<16 {
+				continue // keep the model cheap
+			}
+			e, err := ParseCDE(expr)
+			if err != nil {
+				t.Fatalf("trial %d step %d: parse %q: %v", trial, step, expr, err)
+			}
+			name := sprintf("S%d_%d", trial, step)
+			node, err := db.EvalAndAdd(name, e)
+			if err != nil {
+				t.Fatalf("trial %d step %d: eval %q: %v", trial, step, expr, err)
+			}
+			var got string
+			if node != nil {
+				got = string(node.Bytes())
+			}
+			if got != want {
+				t.Fatalf("trial %d step %d: %q\n got  %q\n want %q", trial, step, expr, got, want)
+			}
+			if node != nil && !node.StronglyBalanced() {
+				t.Fatalf("trial %d step %d: %q result unbalanced", trial, step, expr)
+			}
+			model[name] = want
+			names = append(names, name)
+		}
+	}
+}
+
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

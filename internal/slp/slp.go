@@ -1,0 +1,271 @@
+// Package slp implements straight-line programs (SLPs): DAG-shaped
+// grammars in Chomsky normal form in which every node derives exactly one
+// string. SLPs are the compressed document representation of Section 4 of
+// Schmid and Schweikardt's PODS 2022 survey. The package provides
+//
+//   - persistent (immutable, structure-shared) SLP nodes with cached
+//     length and order, so documents can be composed without copying;
+//   - the balance notions of Section 4.1 (order, bal, strongly balanced,
+//     c-shallow) and a Balance transformation in the style of Rytter that
+//     makes any SLP strongly balanced in O(|S|·log n);
+//   - AVL-style Concat/Extract in O(log n) — the machinery behind complex
+//     document editing (Section 4.3);
+//   - a Re-Pair compressor producing small SLPs from plain documents;
+//   - document databases with the CDE expression algebra (concat,
+//     extract, delete, insert, copy).
+package slp
+
+import (
+	"fmt"
+)
+
+// Node is an SLP node. A leaf derives a single byte; an inner node derives
+// the concatenation of its children's derivations. Nodes are immutable;
+// different documents share subtrees freely (that is the compression).
+// The nil *Node derives the empty document ε.
+type Node struct {
+	left, right *Node
+	length      int64
+	order       int32
+	leaf        byte
+}
+
+var leaves [256]*Node
+
+func init() {
+	for b := 0; b < 256; b++ {
+		leaves[b] = &Node{length: 1, order: 1, leaf: byte(b)}
+	}
+}
+
+// Leaf returns the (interned) leaf node deriving the byte b.
+func Leaf(b byte) *Node { return leaves[b] }
+
+// Pair returns the raw inner node with the given children, without any
+// rebalancing — this is how arbitrary (unbalanced) SLPs such as Re-Pair
+// grammars are represented. Both children must be non-nil.
+func Pair(l, r *Node) *Node {
+	if l == nil || r == nil {
+		panic("slp: Pair with nil child")
+	}
+	o := l.order
+	if r.order > o {
+		o = r.order
+	}
+	return &Node{left: l, right: r, length: l.length + r.length, order: o + 1}
+}
+
+// Len returns the length of the derived document (0 for nil).
+func (n *Node) Len() int64 {
+	if n == nil {
+		return 0
+	}
+	return n.length
+}
+
+// Order returns ord(n) as defined in Section 4.1: leaves have order 1, an
+// inner node has 1 + max of its children's orders.
+func (n *Node) Order() int32 {
+	if n == nil {
+		return 0
+	}
+	return n.order
+}
+
+// IsLeaf reports whether the node derives a single byte.
+func (n *Node) IsLeaf() bool { return n != nil && n.left == nil }
+
+// Left and Right return the children (nil for leaves).
+func (n *Node) Left() *Node  { return n.left }
+func (n *Node) Right() *Node { return n.right }
+
+// LeafByte returns the byte of a leaf node.
+func (n *Node) LeafByte() byte { return n.leaf }
+
+// Bal returns bal(n) = ord(left) − ord(right) for inner nodes, 0 for
+// leaves (Section 4.1).
+func (n *Node) Bal() int {
+	if n == nil || n.IsLeaf() {
+		return 0
+	}
+	return int(n.left.order - n.right.order)
+}
+
+// StronglyBalanced reports whether n and all its descendants have
+// bal ∈ {−1, 0, 1} (Section 4.1, the AVL condition).
+func (n *Node) StronglyBalanced() bool {
+	ok := true
+	visited := map[*Node]bool{}
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m == nil || m.IsLeaf() || visited[m] || !ok {
+			return
+		}
+		visited[m] = true
+		if b := m.Bal(); b < -1 || b > 1 {
+			ok = false
+			return
+		}
+		rec(m.left)
+		rec(m.right)
+	}
+	rec(n)
+	return ok
+}
+
+// CShallow reports whether every node m reachable from n satisfies
+// ord(m) ≤ c·log₂|𝔇(m)| + 1 (Section 4.1; the +1 accounts for leaves,
+// whose derivation has length 1 and order 1).
+func (n *Node) CShallow(c float64) bool {
+	ok := true
+	visited := map[*Node]bool{}
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m == nil || visited[m] || !ok {
+			return
+		}
+		visited[m] = true
+		if float64(m.order) > c*log2(m.length)+1 {
+			ok = false
+			return
+		}
+		rec(m.left)
+		rec(m.right)
+	}
+	rec(n)
+	return ok
+}
+
+func log2(n int64) float64 {
+	l := 0.0
+	for n > 1 {
+		l++
+		n >>= 1
+	}
+	return l
+}
+
+// Size returns the number of distinct nodes in the DAG rooted at n — the
+// size |S| of the SLP.
+func (n *Node) Size() int {
+	visited := map[*Node]bool{}
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m == nil || visited[m] {
+			return
+		}
+		visited[m] = true
+		rec(m.left)
+		rec(m.right)
+	}
+	rec(n)
+	return len(visited)
+}
+
+// Byte returns the i-th byte (0-based) of the derived document, in
+// O(ord(n)) time — random access on the compressed representation.
+func (n *Node) Byte(i int64) byte {
+	for !n.IsLeaf() {
+		if i < n.left.length {
+			n = n.left
+		} else {
+			i -= n.left.length
+			n = n.right
+		}
+	}
+	return n.leaf
+}
+
+// Bytes decompresses the full document. O(|𝔇(n)|).
+func (n *Node) Bytes() []byte {
+	out := make([]byte, 0, n.Len())
+	var rec func(*Node)
+	rec = func(m *Node) {
+		if m == nil {
+			return
+		}
+		if m.IsLeaf() {
+			out = append(out, m.leaf)
+			return
+		}
+		rec(m.left)
+		rec(m.right)
+	}
+	rec(n)
+	return out
+}
+
+// WriteRange appends doc[i:j] (0-based byte offsets) to dst without
+// decompressing the rest. O(ord(n) + (j−i)).
+func (n *Node) WriteRange(dst []byte, i, j int64) []byte {
+	var rec func(m *Node, i, j int64)
+	rec = func(m *Node, i, j int64) {
+		if m == nil || i >= j {
+			return
+		}
+		if m.IsLeaf() {
+			dst = append(dst, m.leaf)
+			return
+		}
+		ll := m.left.length
+		if i < ll {
+			e := j
+			if e > ll {
+				e = ll
+			}
+			rec(m.left, i, e)
+		}
+		if j > ll {
+			s := i - ll
+			if s < 0 {
+				s = 0
+			}
+			rec(m.right, s, j-ll)
+		}
+	}
+	rec(n, i, j)
+	return dst
+}
+
+// FromBytes builds a perfectly balanced SLP for the document — the
+// uncompressed baseline: 2n−1 nodes (leaves interned), order ⌈log n⌉+1.
+func FromBytes(doc []byte) *Node {
+	if len(doc) == 0 {
+		return nil
+	}
+	var build func(lo, hi int) *Node
+	build = func(lo, hi int) *Node {
+		if hi-lo == 1 {
+			return Leaf(doc[lo])
+		}
+		mid := (lo + hi) / 2
+		return Pair(build(lo, mid), build(mid, hi))
+	}
+	return build(0, len(doc))
+}
+
+// Repeat returns an SLP for k copies of base using O(log k) extra nodes
+// (binary powering with full sharing) — the construction achieving
+// exponential compression, |S| = O(log |D|).
+func Repeat(base *Node, k int64) *Node {
+	if base == nil || k <= 0 {
+		return nil
+	}
+	var out *Node
+	pow := base
+	for k > 0 {
+		if k&1 == 1 {
+			out = Concat(out, pow)
+		}
+		k >>= 1
+		if k > 0 {
+			pow = Concat(pow, pow)
+		}
+	}
+	return out
+}
+
+// String summarizes the SLP.
+func (n *Node) String() string {
+	return fmt.Sprintf("SLP{len=%d, size=%d, ord=%d}", n.Len(), n.Size(), n.Order())
+}

@@ -1,0 +1,315 @@
+package slp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// figure1 reconstructs the SLP of Figure 1 of the survey:
+//
+//	E=(Ta,Tb) F=(Tb,Tc) C=(F,Ta) B=(E,C) D=(C,B) A3=(E,B) A1=(A3,C) A2=(C,D)
+//
+// with designated nodes A1, A2, A3 representing the document database
+// DDB = {ababbcabca, bcabcaabbca, ababbca}.
+func figure1() (a1, a2, a3, b, c, d, e, f *Node) {
+	ta, tb, tc := Leaf('a'), Leaf('b'), Leaf('c')
+	e = Pair(ta, tb)
+	f = Pair(tb, tc)
+	c = Pair(f, ta)
+	b = Pair(e, c)
+	d = Pair(c, b)
+	a3 = Pair(e, b)
+	a1 = Pair(a3, c)
+	a2 = Pair(c, d)
+	return
+}
+
+func TestFigure1Documents(t *testing.T) {
+	a1, a2, a3, b, c, _, _, _ := figure1()
+	if got := string(a1.Bytes()); got != "ababbcabca" {
+		t.Errorf("D1 = %q", got)
+	}
+	if got := string(a2.Bytes()); got != "bcabcaabbca" {
+		t.Errorf("D2 = %q", got)
+	}
+	if got := string(a3.Bytes()); got != "ababbca" {
+		t.Errorf("D3 = %q", got)
+	}
+	if got := string(b.Bytes()); got != "abbca" {
+		t.Errorf("𝔇(B) = %q", got)
+	}
+	if got := string(c.Bytes()); got != "bca" {
+		t.Errorf("𝔇(C) = %q", got)
+	}
+}
+
+func TestFigure1Orders(t *testing.T) {
+	a1, a2, a3, b, c, d, e, f := figure1()
+	// Section 4.1: ord(F)=ord(E)=2, ord(C)=3, ord(B)=4,
+	// ord(D)=ord(A3)=5, ord(A1)=ord(A2)=6.
+	for _, tc := range []struct {
+		n    *Node
+		want int32
+		name string
+	}{
+		{e, 2, "E"}, {f, 2, "F"}, {c, 3, "C"}, {b, 4, "B"},
+		{d, 5, "D"}, {a3, 5, "A3"}, {a1, 6, "A1"}, {a2, 6, "A2"},
+	} {
+		if tc.n.Order() != tc.want {
+			t.Errorf("ord(%s) = %d, want %d", tc.name, tc.n.Order(), tc.want)
+		}
+	}
+	// All nodes balanced except A1 (bal 2) and A2, A3 (bal −2).
+	if a1.Bal() != 2 || a2.Bal() != -2 || a3.Bal() != -2 {
+		t.Errorf("bal(A1,A2,A3) = %d,%d,%d, want 2,-2,-2", a1.Bal(), a2.Bal(), a3.Bal())
+	}
+	for _, tc := range []struct {
+		n    *Node
+		name string
+	}{{b, "B"}, {c, "C"}, {d, "D"}, {e, "E"}, {f, "F"}} {
+		if bl := tc.n.Bal(); bl < -1 || bl > 1 {
+			t.Errorf("bal(%s) = %d, want balanced", tc.name, bl)
+		}
+	}
+	if a1.StronglyBalanced() {
+		t.Error("A1 reported strongly balanced")
+	}
+	if !d.StronglyBalanced() {
+		t.Error("D not strongly balanced")
+	}
+}
+
+func TestFigure1GreyExtension(t *testing.T) {
+	a1, a2, _, b, _, d, _, _ := figure1()
+	// Section 4.3: A4 = (A2, A1) adds D4 = D2·D1; G = (D, B) and
+	// A5 = (B, G) add D5 = 𝔇(B)𝔇(D)𝔇(B).
+	a4 := Pair(a2, a1)
+	g := Pair(d, b)
+	a5 := Pair(b, g)
+	if got := string(a4.Bytes()); got != "bcabcaabbca"+"ababbcabca" {
+		t.Errorf("D4 = %q", got)
+	}
+	if got := string(a5.Bytes()); got != "abbcabcaabbcaabbca" {
+		t.Errorf("D5 = %q", got)
+	}
+}
+
+func TestFigure1DatabaseSharing(t *testing.T) {
+	a1, a2, a3, _, _, _, _, _ := figure1()
+	db := NewDB()
+	db.Add("D1", a1)
+	db.Add("D2", a2)
+	db.Add("D3", a3)
+	// The shared DAG has exactly the 8 inner nodes + 3 leaves.
+	if got := db.Size(); got != 11 {
+		t.Errorf("database DAG size = %d, want 11", got)
+	}
+}
+
+func TestByteAndWriteRange(t *testing.T) {
+	a1, _, _, _, _, _, _, _ := figure1()
+	doc := "ababbcabca"
+	for i := 0; i < len(doc); i++ {
+		if got := a1.Byte(int64(i)); got != doc[i] {
+			t.Errorf("Byte(%d) = %c, want %c", i, got, doc[i])
+		}
+	}
+	got := a1.WriteRange(nil, 2, 7)
+	if string(got) != doc[2:7] {
+		t.Errorf("WriteRange = %q, want %q", got, doc[2:7])
+	}
+}
+
+func TestFromBytesRoundTrip(t *testing.T) {
+	for _, doc := range []string{"", "a", "ab", "hello world", strings.Repeat("abc", 100)} {
+		n := FromBytes([]byte(doc))
+		if string(n.Bytes()) != doc {
+			t.Errorf("round trip failed for %q", doc)
+		}
+		if doc != "" && !n.StronglyBalanced() {
+			t.Errorf("FromBytes(%q) not strongly balanced", doc)
+		}
+	}
+}
+
+func TestRepeatExponentialCompression(t *testing.T) {
+	base := FromBytes([]byte("ab"))
+	n := Repeat(base, 1<<20)
+	if n.Len() != 2<<20 {
+		t.Errorf("Len = %d", n.Len())
+	}
+	if n.Size() > 100 {
+		t.Errorf("Size = %d, want O(log n)", n.Size())
+	}
+	if !n.StronglyBalanced() {
+		t.Error("Repeat result not strongly balanced")
+	}
+	// Spot-check contents.
+	if n.Byte(0) != 'a' || n.Byte(1) != 'b' || n.Byte(2<<20-1) != 'b' {
+		t.Error("content wrong")
+	}
+}
+
+func TestConcatCorrectAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	mk := func(n int) (*Node, string) {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = "abc"[rng.Intn(3)]
+		}
+		return FromBytes(b), string(b)
+	}
+	for trial := 0; trial < 50; trial++ {
+		na, sa := mk(rng.Intn(200))
+		nb, sb := mk(rng.Intn(200))
+		c := Concat(na, nb)
+		if string(c.Bytes()) != sa+sb {
+			t.Fatalf("Concat content wrong")
+		}
+		if c != nil && !c.StronglyBalanced() {
+			t.Fatalf("Concat result unbalanced (lens %d+%d)", len(sa), len(sb))
+		}
+	}
+	// Extremely skewed concat.
+	big, sbig := mk(1 << 12)
+	small, ssmall := mk(1)
+	c := Concat(big, small)
+	if string(c.Bytes()) != sbig+ssmall || !c.StronglyBalanced() {
+		t.Error("skewed Concat wrong")
+	}
+}
+
+func TestExtractCorrectAndBalanced(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	b := make([]byte, 500)
+	for i := range b {
+		b[i] = "ab"[rng.Intn(2)]
+	}
+	n := FromBytes(b)
+	for trial := 0; trial < 100; trial++ {
+		i := rng.Int63n(int64(len(b)) + 1)
+		j := i + rng.Int63n(int64(len(b))+1-i)
+		e := Extract(n, i, j)
+		if string(e.Bytes()) != string(b[i:j]) {
+			t.Fatalf("Extract(%d,%d) wrong", i, j)
+		}
+		if e != nil && !e.StronglyBalanced() {
+			t.Fatalf("Extract(%d,%d) unbalanced", i, j)
+		}
+	}
+	if Extract(n, 5, 5) != nil {
+		t.Error("empty Extract should be nil")
+	}
+}
+
+func TestBalance(t *testing.T) {
+	// A maximally skewed SLP: left-deep chain.
+	n := Leaf('a')
+	for i := 0; i < 200; i++ {
+		n = Pair(n, Leaf('b'))
+	}
+	if n.StronglyBalanced() {
+		t.Fatal("chain should be unbalanced")
+	}
+	bal := Balance(n)
+	if string(bal.Bytes()) != string(n.Bytes()) {
+		t.Error("Balance changed the document")
+	}
+	if !bal.StronglyBalanced() {
+		t.Error("Balance result not strongly balanced")
+	}
+	// Strong balance implies 2-shallowness (Section 4.1).
+	if !bal.CShallow(2) {
+		t.Error("strongly balanced SLP not 2-shallow")
+	}
+}
+
+func TestBalancePreservesSharingStructure(t *testing.T) {
+	// Balance of an already balanced tree keeps sizes modest.
+	base := FromBytes([]byte("abcabcab"))
+	n := Repeat(base, 1024)
+	bal := Balance(n)
+	if string(bal.Bytes()) != string(n.Bytes()) {
+		t.Error("content changed")
+	}
+	if bal.Size() > 4*n.Size()+64 {
+		t.Errorf("Balance blew up size: %d -> %d", n.Size(), bal.Size())
+	}
+}
+
+func TestCompressRoundTripAndShrink(t *testing.T) {
+	docs := []string{
+		"",
+		"a",
+		"abab",
+		strings.Repeat("abc", 200),
+		strings.Repeat("a", 1000),
+		"the quick brown fox jumps over the lazy dog",
+		strings.Repeat("to be or not to be ", 50),
+	}
+	for _, doc := range docs {
+		n := Compress([]byte(doc))
+		if string(n.Bytes()) != doc {
+			t.Errorf("Compress round trip failed for %q...", doc[:min(20, len(doc))])
+		}
+		if len(doc) >= 100 && n.Size() >= len(doc) {
+			t.Errorf("no compression on repetitive input: %d nodes for %d bytes", n.Size(), len(doc))
+		}
+	}
+	// Highly repetitive: size should be tiny.
+	rep := Compress([]byte(strings.Repeat("ab", 1<<12)))
+	if rep.Size() > 64 {
+		t.Errorf("repetitive doc compressed to %d nodes", rep.Size())
+	}
+}
+
+func TestCompressQuick(t *testing.T) {
+	f := func(seed []byte) bool {
+		doc := make([]byte, len(seed))
+		for i := range seed {
+			doc[i] = 'a' + seed[i]%4
+		}
+		n := Compress(doc)
+		return string(n.Bytes()) == string(doc)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceAfterCompress(t *testing.T) {
+	doc := []byte(strings.Repeat("abracadabra", 100))
+	n := Compress(doc)
+	b := Balance(n)
+	if !b.StronglyBalanced() || string(b.Bytes()) != string(doc) {
+		t.Error("Balance after Compress broken")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestDotFigure1(t *testing.T) {
+	a1, a2, a3, _, _, _, _, _ := figure1()
+	dot := Dot("figure1", map[string]*Node{"A1": a1, "A2": a2, "A3": a3})
+	for _, want := range []string{
+		"digraph \"figure1\"",
+		"T_a", "T_b", "T_c",
+		"doc_A1", "doc_A2", "doc_A3",
+		"label=\"l\"", "label=\"r\"",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("Dot missing %q", want)
+		}
+	}
+	// Shared nodes emitted once: exactly 8 inner node declarations.
+	if got := strings.Count(dot, "ord="); got != 8 {
+		t.Errorf("Dot emitted %d inner nodes, want 8", got)
+	}
+}

@@ -1,0 +1,338 @@
+package slpmatch
+
+import (
+	"sort"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/slp"
+	"docspanner/internal/spans"
+)
+
+// Index holds, for one deterministic extended vset-automaton, the
+// per-SLP-node data used to enumerate the spanner over compressed
+// documents: the deterministic pure-letter step function P, the
+// mask-anywhere reachability matrix E (at every boundary before a letter,
+// at most one mask may fire), and the at-least-one-mask matrix E⁺ used to
+// prune subtrees without result events. All three are memoized per node,
+// so they are computed once per distinct node of a document database and
+// extended on demand when CDE updates create fresh nodes.
+type Index struct {
+	d         *automata.DEVA
+	nq        int
+	maskEdges [][]maskEdge // per state, sorted: deterministic enumeration order
+	pure      map[*slp.Node][]int32
+	em        map[*slp.Node]*automata.BoolMatrix
+	ep        map[*slp.Node]*automata.BoolMatrix
+
+	pureLeaf map[byte][]int32
+	emLeaf   map[byte]*automata.BoolMatrix
+	epLeaf   map[byte]*automata.BoolMatrix
+}
+
+// maskEdge is a sorted mask transition.
+type maskEdge struct {
+	mask automata.Mask
+	to   int
+}
+
+// NewIndex prepares an index for the given deterministic eVA.
+func NewIndex(d *automata.DEVA) *Index {
+	ix := &Index{
+		d:         d,
+		nq:        d.NumStates(),
+		maskEdges: sortedMaskEdges(d),
+		pure:      map[*slp.Node][]int32{},
+		em:        map[*slp.Node]*automata.BoolMatrix{},
+		ep:        map[*slp.Node]*automata.BoolMatrix{},
+		pureLeaf:  map[byte][]int32{},
+		emLeaf:    map[byte]*automata.BoolMatrix{},
+		epLeaf:    map[byte]*automata.BoolMatrix{},
+	}
+	letters, _ := d.AlphabetAndMasks()
+	for _, b := range letters {
+		ix.buildLeaf(b)
+	}
+	return ix
+}
+
+// sortedMaskEdges indexes each state's mask transitions in mask order.
+func sortedMaskEdges(d *automata.DEVA) [][]maskEdge {
+	out := make([][]maskEdge, d.NumStates())
+	for q := range out {
+		for m, t := range d.Masks[q] {
+			out[q] = append(out[q], maskEdge{m, t})
+		}
+		sort.Slice(out[q], func(i, j int) bool { return out[q][i].mask < out[q][j].mask })
+	}
+	return out
+}
+
+func (ix *Index) buildLeaf(b byte) {
+	nq := ix.nq
+	p := make([]int32, nq)
+	em := automata.NewBoolMatrix(nq)
+	ep := automata.NewBoolMatrix(nq)
+	for q := 0; q < nq; q++ {
+		s := ix.d.Step(q, b)
+		p[q] = int32(s)
+		if s >= 0 {
+			em.Set(q, s)
+		}
+		for _, t := range ix.d.Masks[q] {
+			if s2 := ix.d.Step(t, b); s2 >= 0 {
+				em.Set(q, s2)
+				ep.Set(q, s2)
+			}
+		}
+	}
+	ix.pureLeaf[b] = p
+	ix.emLeaf[b] = em
+	ix.epLeaf[b] = ep
+}
+
+func (ix *Index) leafData(b byte) ([]int32, *automata.BoolMatrix, *automata.BoolMatrix) {
+	if _, ok := ix.pureLeaf[b]; !ok {
+		ix.buildLeaf(b)
+	}
+	return ix.pureLeaf[b], ix.emLeaf[b], ix.epLeaf[b]
+}
+
+// node computes (memoized) the P/E/E⁺ data of an SLP node.
+func (ix *Index) node(n *slp.Node) ([]int32, *automata.BoolMatrix, *automata.BoolMatrix) {
+	if n.IsLeaf() {
+		return ix.leafData(n.LeafByte())
+	}
+	if p, ok := ix.pure[n]; ok {
+		return p, ix.em[n], ix.ep[n]
+	}
+	pl, eml, epl := ix.node(n.Left())
+	pr, emr, epr := ix.node(n.Right())
+	nq := ix.nq
+	p := make([]int32, nq)
+	for q := 0; q < nq; q++ {
+		if pl[q] >= 0 {
+			p[q] = pr[pl[q]]
+		} else {
+			p[q] = -1
+		}
+	}
+	em := eml.Mul(emr)
+	// E⁺_AB = E⁺_A·E_B  ∨  P_A ; E⁺_B (mask in the left part, or pure
+	// left then mask in the right part).
+	ep := epl.Mul(emr)
+	for q := 0; q < nq; q++ {
+		if pl[q] >= 0 {
+			src := epr.Row(int(pl[q]))
+			dst := ep.Row(q)
+			for k := range dst {
+				dst[k] |= src[k]
+			}
+		}
+	}
+	ix.pure[n] = p
+	ix.em[n] = em
+	ix.ep[n] = ep
+	return p, em, ep
+}
+
+// DEVA returns the underlying deterministic automaton.
+func (ix *Index) DEVA() *automata.DEVA { return ix.d }
+
+// Warm precomputes the index for all nodes of a document — the
+// preprocessing phase, linear in the SLP size (data complexity).
+func (ix *Index) Warm(root *slp.Node) {
+	if root != nil {
+		ix.node(root)
+	}
+}
+
+// CachedNodes reports the number of inner SLP nodes with computed data.
+func (ix *Index) CachedNodes() int { return len(ix.pure) }
+
+// NonEmpty decides whether the spanner result on 𝔇(root) is non-empty,
+// in compressed time (no decompression).
+func (ix *Index) NonEmpty(root *slp.Node) bool {
+	finalVec := ix.finalAlive()
+	if root == nil {
+		return vecGet(finalVec, ix.d.Start)
+	}
+	_, em, _ := ix.node(root)
+	v := em.ApplyRight(finalVec)
+	return vecGet(v, ix.d.Start)
+}
+
+// finalAlive returns the vector of states accepting at the end boundary
+// (directly final, or final after one last mask).
+func (ix *Index) finalAlive() []uint64 {
+	v := automata.NewBitVec(ix.nq)
+	for q := 0; q < ix.nq; q++ {
+		if ix.d.Final[q] {
+			automata.BitSet(v, q)
+			continue
+		}
+		for _, t := range ix.d.Masks[q] {
+			if ix.d.Final[t] {
+				automata.BitSet(v, q)
+				break
+			}
+		}
+	}
+	return v
+}
+
+// event mirrors the uncompressed enumerator's event type.
+type event struct {
+	boundary int64
+	mask     automata.Mask
+}
+
+// Each enumerates the spanner's result tuples on 𝔇(root) without
+// decompressing the document: after Warm (linear in |S|), the delay
+// between consecutive tuples is O(ord(root) · poly(automaton)) — i.e.
+// O(log |D|) on balanced SLPs, matching the survey's Section 4 bound.
+// Enumeration stops early when f returns false.
+func (ix *Index) Each(root *slp.Node, f func(spans.Tuple) bool) {
+	ix.Warm(root)
+	e := &cenum{ix: ix, root: root, emit: f}
+	e.dfs(ix.d.Start, 0, nil)
+}
+
+// Count returns the number of result tuples.
+func (ix *Index) Count(root *slp.Node) int {
+	n := 0
+	ix.Each(root, func(spans.Tuple) bool { n++; return true })
+	return n
+}
+
+// All materializes the relation (tests and small outputs only).
+func (ix *Index) All(root *slp.Node) *spans.Relation {
+	out := spans.NewRelation()
+	ix.Each(root, func(t spans.Tuple) bool { out.Add(t); return true })
+	return out
+}
+
+type cenum struct {
+	ix      *Index
+	root    *slp.Node
+	emit    func(spans.Tuple) bool
+	aborted bool
+}
+
+// dfs enumerates all accepting runs from state q at absolute boundary
+// pos, with the given event prefix; no mask has fired at pos yet.
+func (e *cenum) dfs(q int, pos int64, events []event) {
+	if e.aborted {
+		return
+	}
+	n := e.root.Len()
+	if pos == n {
+		e.finish(q, events)
+		return
+	}
+	avRoot := e.ix.finalAlive()
+	exit := e.walk(e.root, q, pos, avRoot, 0, events)
+	if e.aborted || exit < 0 {
+		return
+	}
+	e.finish(int(exit), events)
+}
+
+// finish handles the end-of-document boundary: emit the pure run and the
+// runs taking one final mask.
+func (e *cenum) finish(q int, events []event) {
+	d := e.ix.d
+	if d.Final[q] {
+		if !e.emit(e.tuple(events)) {
+			e.aborted = true
+			return
+		}
+	}
+	for _, me := range e.ix.maskEdges[q] {
+		if d.Final[me.to] {
+			ev := append(events, event{e.root.Len(), me.mask})
+			if !e.emit(e.tuple(ev)) {
+				e.aborted = true
+				return
+			}
+		}
+	}
+}
+
+// walk processes node a from local offset i entering state q; av is the
+// alive vector for the boundary after a. It fires every productive event
+// inside a (recursing into dfs for the continuation) and returns the
+// pure-letter exit state (−1 if the pure run dies).
+func (e *cenum) walk(a *slp.Node, q int, i int64, av []uint64, off int64, events []event) int32 {
+	if e.aborted {
+		return -1
+	}
+	ix := e.ix
+	if a.IsLeaf() {
+		b := a.LeafByte()
+		d := ix.d
+		for _, me := range ix.maskEdges[q] {
+			s := d.Step(me.to, b)
+			if s < 0 || !vecGet(av, s) {
+				continue
+			}
+			ev := append(events, event{off, me.mask})
+			e.dfs(s, off+1, ev)
+			if e.aborted {
+				return -1
+			}
+		}
+		pure, _, _ := ix.leafData(b)
+		return pure[q]
+	}
+	llen := a.Left().Len()
+	if i >= llen {
+		return e.walk(a.Right(), q, i-llen, av, off+llen, events)
+	}
+	// Prune whole subtrees without productive events (only valid from
+	// offset 0, where E⁺ describes the whole node).
+	if i == 0 {
+		p, _, epa := ix.node(a)
+		if !rowMeets(epa, q, av) {
+			return p[q]
+		}
+	}
+	_, emr, _ := ix.node(a.Right())
+	avL := emr.ApplyRight(av)
+	ls := e.walk(a.Left(), q, i, avL, off, events)
+	if e.aborted || ls < 0 {
+		return -1
+	}
+	return e.walk(a.Right(), int(ls), 0, av, off+llen, events)
+}
+
+// rowMeets reports whether row q of m intersects vector v.
+func rowMeets(m *automata.BoolMatrix, q int, v []uint64) bool {
+	row := m.Row(q)
+	for k := range row {
+		if row[k]&v[k] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func vecGet(v []uint64, q int) bool { return automata.BitGet(v, q) }
+
+// tuple converts events into a span tuple (1-based positions).
+func (e *cenum) tuple(events []event) spans.Tuple {
+	t := make(spans.Tuple)
+	mi := e.ix.d.Index
+	for _, ev := range events {
+		pos := int(ev.boundary) + 1
+		for _, mk := range mi.Markers(ev.mask) {
+			if mk.Close {
+				s := t[mk.Var]
+				s.End = pos
+				t[mk.Var] = s
+			} else {
+				t[mk.Var] = spans.S(pos, pos)
+			}
+		}
+	}
+	return t
+}

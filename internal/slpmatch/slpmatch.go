@@ -1,0 +1,116 @@
+// Package slpmatch implements algorithmics on SLP-compressed strings for
+// document spanners (Section 4 of Schmid and Schweikardt's PODS 2022
+// survey): membership of a compressed document in an NFA language via
+// Boolean matrix products in O(|S|·n³) (Section 4.2, after Plandowski &
+// Rytter and Lohrey's survey), and enumeration of a regular spanner's
+// result over an SLP-compressed document with preprocessing linear in the
+// SLP size and delay O(log |D|) on balanced SLPs (after Schmid &
+// Schweikardt, PODS 2021).
+//
+// All per-node data is memoized in maps keyed by the (immutable, shared)
+// SLP nodes, so a persistent Index amortizes across the documents of a
+// database and is maintained for free under CDE updates: an update adds
+// O(log d) fresh nodes, and only those need new matrices (Section 4.3).
+//
+// Matcher, Index, and Counter mutate their memo tables on use and are NOT
+// safe for concurrent use; share one per goroutine, or guard externally.
+package slpmatch
+
+import (
+	"fmt"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/slp"
+)
+
+// Matcher decides membership of SLP-compressed documents in the language
+// of a plain NFA (no markers): the classical compressed-membership tool.
+type Matcher struct {
+	nfa     *automata.NFA
+	nq      int
+	letters map[byte]*automata.BoolMatrix
+	closure *automata.BoolMatrix
+	memo    map[*slp.Node]*automata.BoolMatrix
+}
+
+// NewMatcher prepares per-letter transition matrices. The automaton must
+// have no marker or reference transitions.
+func NewMatcher(nfa *automata.NFA) (*Matcher, error) {
+	if nfa.HasRefs() {
+		return nil, fmt.Errorf("slpmatch: automaton has reference transitions")
+	}
+	for _, tr := range nfa.Markers {
+		if len(tr) > 0 {
+			return nil, fmt.Errorf("slpmatch: automaton has marker transitions; use Index for spanners")
+		}
+	}
+	nq := nfa.NumStates()
+	m := &Matcher{
+		nfa:     nfa,
+		nq:      nq,
+		letters: map[byte]*automata.BoolMatrix{},
+		memo:    map[*slp.Node]*automata.BoolMatrix{},
+	}
+	// Reflexive-transitive ε-closure matrix C.
+	c := automata.IdentityMatrix(nq)
+	for q := 0; q < nq; q++ {
+		for _, r := range nfa.EpsClosure([]int{q}) {
+			c.Set(q, r)
+		}
+	}
+	m.closure = c
+	for _, b := range nfa.Alphabet() {
+		s := automata.NewBoolMatrix(nq)
+		for p := 0; p < nq; p++ {
+			for _, r := range nfa.Letters[p][b] {
+				s.Set(p, r)
+			}
+		}
+		// L_b = C·S_b·C; products of these compose correctly because C
+		// is idempotent.
+		m.letters[b] = c.Mul(s).Mul(c)
+	}
+	return m, nil
+}
+
+// matrix returns (memoized) the reachability matrix for the derivation of
+// node n.
+func (m *Matcher) matrix(n *slp.Node) *automata.BoolMatrix {
+	if mt, ok := m.memo[n]; ok {
+		return mt
+	}
+	var mt *automata.BoolMatrix
+	if n.IsLeaf() {
+		mt = m.letters[n.LeafByte()]
+		if mt == nil {
+			mt = automata.NewBoolMatrix(m.nq) // letter unknown to the NFA
+		}
+	} else {
+		mt = m.matrix(n.Left()).Mul(m.matrix(n.Right()))
+	}
+	m.memo[n] = mt
+	return mt
+}
+
+// Accepts decides 𝔇(root) ∈ L(nfa) without decompressing, in time
+// O(|S|·n³/64) for the new nodes of root.
+func (m *Matcher) Accepts(root *slp.Node) bool {
+	if root == nil {
+		for _, q := range m.nfa.EpsClosure([]int{m.nfa.Start}) {
+			if m.nfa.Final[q] {
+				return true
+			}
+		}
+		return false
+	}
+	mt := m.matrix(root)
+	for q, f := range m.nfa.Final {
+		if f && mt.Get(m.nfa.Start, q) {
+			return true
+		}
+	}
+	return false
+}
+
+// CachedNodes reports how many SLP nodes have matrices computed.
+func (m *Matcher) CachedNodes() int { return len(m.memo) }

@@ -1,0 +1,115 @@
+package spanlog
+
+import (
+	"testing"
+)
+
+const negProgram = `
+tok(x)      :- "(.*,)?!x{[ab]+}(,.*)?"(x).
+dup(x)      :- tok(x), tok(y), eq(x, y), neq_pos(x, y).
+neq_pos(x, y) :- tok(x), tok(y), before(x, y).
+before(x, y) :- "(.*,)?!x{[ab]+},(.*,)?!y{[ab]+}(,.*)?"(x, y).
+uniq(x)     :- tok(x), !dup(x).
+`
+
+func TestStratifiedNegation(t *testing.T) {
+	prog, err := ParseProgram(negProgram, []byte("ab,"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// dup holds for tokens with an equal-content counterpart at a
+	// different position (before, either direction via the two roles);
+	// uniq = the rest. Document: ab, b, ab → "b" is unique... note dup as
+	// written only marks the EARLIER duplicate (x before y); adjust
+	// expectation accordingly.
+	doc := []byte("ab,b,ab")
+	res, err := prog.Eval(doc) // auto-routes to EvalStratified
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count("tok") != 3 {
+		t.Fatalf("tok = %d", res.Count("tok"))
+	}
+	uniqContents := map[string]bool{}
+	for _, f := range res.Facts("uniq") {
+		uniqContents[string(f[0].Content(doc))] = true
+	}
+	// The first "ab" has a later equal token -> dup; the second "ab" has
+	// none after it -> uniq; "b" is unique.
+	if !uniqContents["b"] {
+		t.Errorf("b not unique: %v", uniqContents)
+	}
+	if res.Count("dup") != 1 {
+		t.Errorf("dup = %d, want 1 (the earlier ab)", res.Count("dup"))
+	}
+}
+
+func TestStratifyRejectsNegativeCycle(t *testing.T) {
+	src := `
+p(x) :- "!x{a}"(x), !q(x).
+q(x) :- "!x{a}"(x), !p(x).
+`
+	prog, err := ParseProgram(src, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.EvalStratified([]byte("a")); err == nil {
+		t.Error("negation through recursion accepted")
+	}
+}
+
+func TestNegationSafety(t *testing.T) {
+	// Variable only in a negated literal: unsafe.
+	src := `
+p(x) :- "!x{a}"(x), !q(x, y).
+q(x, y) :- "!x{a}!y{a}"(x, y).
+`
+	prog, err := ParseProgram(src, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := prog.EvalStratified([]byte("aa")); err == nil {
+		t.Error("unsafe negation accepted")
+	}
+}
+
+func TestNegatedSpannerLiteralRejected(t *testing.T) {
+	src := `p(x) :- "!x{a}"(x), !"!x{b}"(x).`
+	if _, err := ParseProgram(src, []byte("ab")); err == nil {
+		t.Error("negated spanner literal accepted")
+	}
+}
+
+func TestStratifyLevels(t *testing.T) {
+	prog, err := ParseProgram(negProgram, []byte("ab,"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strata, err := prog.Stratify()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(strata["uniq"] > strata["dup"]) {
+		t.Errorf("uniq stratum %d should exceed dup stratum %d", strata["uniq"], strata["dup"])
+	}
+}
+
+func TestNegationOnPositiveProgramIsNoop(t *testing.T) {
+	prog, err := ParseProgram(exampleProgram, []byte("abcdefghijklmnopqrstuvwxyz;->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("a->b;b->c")
+	r1, err := prog.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := prog.EvalStratified(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Count("reach") != r2.Count("reach") {
+		t.Errorf("stratified evaluation differs on positive program: %d vs %d",
+			r1.Count("reach"), r2.Count("reach"))
+	}
+}

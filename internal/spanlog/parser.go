@@ -1,0 +1,222 @@
+package spanlog
+
+import (
+	"fmt"
+	"strings"
+
+	"docspanner/internal/regex"
+	"docspanner/internal/spans"
+)
+
+// ParseProgram reads a spanlog program in a datalog-like syntax, one rule
+// per '.', e.g.
+//
+//	edge(x, y)  :- "(.*;)?!x{[a-z]+}->!y{[a-z]+}(;.*)?"(x, y).
+//	reach(x, y) :- edge(x, y).
+//	reach(x, z) :- reach(x, y), edge(y, z).
+//	same(x, y)  :- edge(x, y), eq(x, y).
+//
+// Body literals are IDB atoms p(args), the builtin eq(x, y), or a
+// double-quoted spanner pattern applied to a subset of its variables.
+// Lines starting with # (or % ) are comments. Patterns are compiled over
+// the given alphabet.
+func ParseProgram(src string, alphabet []byte) (*Program, error) {
+	// Strip comments.
+	var sb strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		trimmed := strings.TrimSpace(line)
+		if strings.HasPrefix(trimmed, "#") || strings.HasPrefix(trimmed, "%") {
+			continue
+		}
+		sb.WriteString(line)
+		sb.WriteByte('\n')
+	}
+	p := &ruleParser{src: sb.String(), alphabet: alphabet}
+	prog := &Program{}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.src) {
+			break
+		}
+		r, err := p.rule()
+		if err != nil {
+			return nil, err
+		}
+		prog.Rules = append(prog.Rules, r)
+	}
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+type ruleParser struct {
+	src      string
+	pos      int
+	alphabet []byte
+}
+
+func (p *ruleParser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *ruleParser) errf(format string, args ...any) error {
+	prefix := p.src[:min(p.pos, len(p.src))]
+	line := strings.Count(prefix, "\n") + 1
+	return fmt.Errorf("spanlog: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (p *ruleParser) ident() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return p.src[start:p.pos]
+}
+
+func (p *ruleParser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+func (p *ruleParser) args() ([]spans.Var, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var out []spans.Var
+	for {
+		p.skipSpace()
+		name := p.ident()
+		if name == "" {
+			return nil, p.errf("expected variable name")
+		}
+		out = append(out, spans.Var(name))
+		p.skipSpace()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *ruleParser) rule() (Rule, error) {
+	p.skipSpace()
+	head := p.ident()
+	if head == "" {
+		return Rule{}, p.errf("expected rule head")
+	}
+	args, err := p.args()
+	if err != nil {
+		return Rule{}, err
+	}
+	r := Rule{Head: Atom{Pred: head, Args: args}}
+	p.skipSpace()
+	if strings.HasPrefix(p.src[p.pos:], ":-") {
+		p.pos += 2
+		for {
+			lit, err := p.literal()
+			if err != nil {
+				return Rule{}, err
+			}
+			r.Body = append(r.Body, lit)
+			p.skipSpace()
+			if p.pos < len(p.src) && p.src[p.pos] == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+	}
+	if err := p.expect('.'); err != nil {
+		return Rule{}, err
+	}
+	return r, nil
+}
+
+func (p *ruleParser) literal() (Literal, error) {
+	p.skipSpace()
+	if p.pos < len(p.src) && p.src[p.pos] == '!' {
+		p.pos++
+		lit, err := p.literal()
+		if err != nil {
+			return Literal{}, err
+		}
+		if lit.Spanner != nil || lit.StrEq {
+			return Literal{}, p.errf("only IDB literals can be negated")
+		}
+		lit.Negated = true
+		return lit, nil
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '"' {
+		// Spanner literal: quoted pattern followed by (args).
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != '"' {
+			if p.src[p.pos] == '\\' && p.pos+1 < len(p.src) {
+				p.pos++
+			}
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return Literal{}, p.errf("unterminated pattern")
+		}
+		pattern := p.src[start:p.pos]
+		p.pos++ // closing quote
+		args, err := p.args()
+		if err != nil {
+			return Literal{}, err
+		}
+		ast, err := regex.Parse(pattern)
+		if err != nil {
+			return Literal{}, p.errf("pattern %q: %v", pattern, err)
+		}
+		nfa, err := regex.Compile(ast, regex.Options{Alphabet: p.alphabet})
+		if err != nil {
+			return Literal{}, p.errf("pattern %q: %v", pattern, err)
+		}
+		return Literal{Atom: Atom{Pred: "match", Args: args}, Spanner: nfa}, nil
+	}
+	name := p.ident()
+	if name == "" {
+		return Literal{}, p.errf("expected literal")
+	}
+	args, err := p.args()
+	if err != nil {
+		return Literal{}, err
+	}
+	if name == "eq" {
+		if len(args) != 2 {
+			return Literal{}, p.errf("eq takes two arguments")
+		}
+		return Literal{Atom: Atom{Pred: "eq", Args: args}, StrEq: true}, nil
+	}
+	return Literal{Atom: Atom{Pred: name, Args: args}}, nil
+}

@@ -1,0 +1,111 @@
+package spanlog
+
+import (
+	"strings"
+	"testing"
+
+	"docspanner/internal/spans"
+)
+
+const exampleProgram = `
+# causality edges extracted from the document
+edge(x, y)  :- "(.*;)?!x{[a-z]+}->!y{[a-z]+}(;.*)?"(x, y).
+reach(x, y) :- edge(x, y).
+reach(x, z) :- reach(x, y), edge(y2, z), eq(y, y2).
+`
+
+func TestParseProgram(t *testing.T) {
+	prog, err := ParseProgram(exampleProgram, []byte("abcdefghijklmnopqrstuvwxyz;->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 3 {
+		t.Fatalf("%d rules", len(prog.Rules))
+	}
+	if prog.Rules[0].Head.Pred != "edge" || len(prog.Rules[0].Body) != 1 {
+		t.Errorf("rule 0 = %+v", prog.Rules[0])
+	}
+	if prog.Rules[0].Body[0].Spanner == nil {
+		t.Error("rule 0 body should be a spanner literal")
+	}
+	if !prog.Rules[2].Body[2].StrEq {
+		t.Error("rule 2 third literal should be eq")
+	}
+}
+
+func TestParsedProgramEvaluates(t *testing.T) {
+	prog, err := ParseProgram(exampleProgram, []byte("abcdefghijklmnopqrstuvwxyz;->"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("a->b;b->c;c->d")
+	res, err := prog.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count("edge") != 3 {
+		t.Errorf("edge = %d, want 3", res.Count("edge"))
+	}
+	// reach: (a,b),(b,c),(c,d),(a,c),(b,d),(a,d) — with distinct span
+	// positions for repeated names; count pairs of contents instead.
+	contents := map[string]bool{}
+	for _, f := range res.Facts("reach") {
+		contents[string(f[0].Content(doc))+">"+string(f[1].Content(doc))] = true
+	}
+	want := []string{"a>b", "b>c", "c>d", "a>c", "b>d", "a>d"}
+	for _, w := range want {
+		if !contents[w] {
+			t.Errorf("missing reach %s (have %v)", w, contents)
+		}
+	}
+	if len(contents) != len(want) {
+		t.Errorf("reach contents = %v", contents)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"p(x)",                  // missing period
+		"p(x) :- .",             // empty body
+		`p(x) :- "unclosed(x).`, // unterminated pattern
+		`p(x) :- "!y{a}"(x).`,   // foreign spanner variable
+		"p(x) :- eq(x, y, z).",  // eq arity
+		"p() :- q(x).",          // empty head args
+		"p(x) :- q(x), r(y)",    // missing period at end
+		`p(x) :- "!x{["(x).`,    // bad pattern
+	} {
+		if _, err := ParseProgram(src, []byte("a")); err == nil {
+			t.Errorf("ParseProgram(%q) accepted", src)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := strings.Join([]string{
+		"# leading comment",
+		`fact(x) :- "!x{a}"(x).`,
+		"% trailing comment",
+	}, "\n")
+	prog, err := ParseProgram(src, []byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Rules) != 1 {
+		t.Errorf("%d rules", len(prog.Rules))
+	}
+}
+
+func TestFactsAsColumns(t *testing.T) {
+	prog, err := ParseProgram(`pair(x, y) :- "!x{a}!y{b}"(x, y).`, []byte("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := prog.Eval([]byte("ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := res.FactsAs("pair", "u", "v")
+	if rel.Len() != 1 || !rel.Contains(spans.NewTuple("u", spans.S(1, 2), "v", spans.S(2, 3))) {
+		t.Errorf("FactsAs = %v", rel)
+	}
+}

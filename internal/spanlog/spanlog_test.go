@@ -1,0 +1,170 @@
+package spanlog
+
+import (
+	"testing"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/regex"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+func sp(t *testing.T, src string) *automata.NFA {
+	t.Helper()
+	n, err := regex.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := regex.Compile(n, regex.Options{Alphabet: []byte("ab,")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSpanlogBasicExtraction(t *testing.T) {
+	// token(x): maximal runs of a/b delimited by commas (here: simply any
+	// run between boundaries for test purposes).
+	prog := &Program{Rules: []Rule{
+		{
+			Head: Atom{Pred: "token", Args: []spans.Var{"x"}},
+			Body: []Literal{{
+				Atom:    Atom{Pred: "m", Args: []spans.Var{"x"}},
+				Spanner: sp(t, "(.*,)?!x{(a|b)+}(,.*)?"),
+			}},
+		},
+	}}
+	res, err := prog.Eval([]byte("ab,ba"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.FactsAs("token", "x")
+	want := spans.NewRelation(
+		spans.NewTuple("x", spans.S(1, 3)),
+		spans.NewTuple("x", spans.S(4, 6)),
+	)
+	if !got.Equal(want) {
+		t.Errorf("token = %v, want %v", got, want)
+	}
+}
+
+func TestSpanlogStrEqExpressesCoreSelection(t *testing.T) {
+	// same(x,y) :- pair(x,y), eq(x,y) — exactly ς={x,y} on a regular
+	// spanner, the core-spanner feature (datalog over regular spanners
+	// covers core spanners, Section 1).
+	pairSp := sp(t, "!x{(a|b)+},!y{(a|b)+}")
+	prog := &Program{Rules: []Rule{
+		{
+			Head: Atom{Pred: "same", Args: []spans.Var{"x", "y"}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "p", Args: []spans.Var{"x", "y"}}, Spanner: pairSp},
+				{Atom: Atom{Args: []spans.Var{"x", "y"}}, StrEq: true},
+			},
+		},
+	}}
+	doc := []byte("ab,ab")
+	res, err := prog.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.FactsAs("same", "x", "y")
+	// Cross-check against the algebraic core spanner.
+	rel := vset.Eval(pairSp, doc, vset.Functional).SelectEqual(doc, spans.NewVarSet("x", "y"))
+	if !got.Equal(rel) {
+		t.Errorf("same = %v, want %v", got, rel)
+	}
+	if got.Len() != 1 {
+		t.Errorf("expected exactly one equal pair, got %v", got)
+	}
+}
+
+func TestSpanlogRecursion(t *testing.T) {
+	// Transitive closure over adjacency: next(x,y) holds for adjacent
+	// tokens; reach = next⁺. Document: a,b,a,b → 3 next facts, 6 reach.
+	nextSp := sp(t, "(.*,)?!x{(a|b)+},!y{(a|b)+}(,.*)?")
+	prog := &Program{Rules: []Rule{
+		{
+			Head: Atom{Pred: "next", Args: []spans.Var{"x", "y"}},
+			Body: []Literal{{Atom: Atom{Args: []spans.Var{"x", "y"}}, Spanner: nextSp}},
+		},
+		{
+			Head: Atom{Pred: "reach", Args: []spans.Var{"x", "y"}},
+			Body: []Literal{{Atom: Atom{Pred: "next", Args: []spans.Var{"x", "y"}}}},
+		},
+		{
+			Head: Atom{Pred: "reach", Args: []spans.Var{"x", "z"}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "reach", Args: []spans.Var{"x", "y"}}},
+				{Atom: Atom{Pred: "next", Args: []spans.Var{"y", "z"}}},
+			},
+		},
+	}}
+	res, err := prog.Eval([]byte("a,b,a,b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count("next") != 3 {
+		t.Errorf("next has %d facts, want 3", res.Count("next"))
+	}
+	if res.Count("reach") != 6 {
+		t.Errorf("reach has %d facts, want 6", res.Count("reach"))
+	}
+}
+
+func TestSpanlogSameGeneration(t *testing.T) {
+	// Equal-content transitive chains: pairs chained by eq — a datalog
+	// query beyond a single core selection.
+	tokSp := sp(t, "(.*,)?!x{(a|b)+}(,.*)?")
+	prog := &Program{Rules: []Rule{
+		{
+			Head: Atom{Pred: "tok", Args: []spans.Var{"x"}},
+			Body: []Literal{{Atom: Atom{Args: []spans.Var{"x"}}, Spanner: tokSp}},
+		},
+		{
+			Head: Atom{Pred: "cls", Args: []spans.Var{"x", "y"}},
+			Body: []Literal{
+				{Atom: Atom{Pred: "tok", Args: []spans.Var{"x"}}},
+				{Atom: Atom{Pred: "tok", Args: []spans.Var{"y"}}},
+				{Atom: Atom{Args: []spans.Var{"x", "y"}}, StrEq: true},
+			},
+		},
+	}}
+	res, err := prog.Eval([]byte("ab,b,ab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tokens: ab(2) b(1) ab — cls: (t,t) for all + (t1,t3),(t3,t1) = 3+2.
+	if res.Count("cls") != 5 {
+		t.Errorf("cls has %d facts, want 5: %v", res.Count("cls"), res.Facts("cls"))
+	}
+}
+
+func TestSpanlogValidation(t *testing.T) {
+	// Unrestricted head variable.
+	bad := &Program{Rules: []Rule{
+		{
+			Head: Atom{Pred: "p", Args: []spans.Var{"x"}},
+			Body: []Literal{{Atom: Atom{Args: []spans.Var{"x", "x"}}, StrEq: true}},
+		},
+	}}
+	if err := bad.Validate(); err == nil {
+		t.Error("unrestricted rule accepted")
+	}
+	// Spanner literal with foreign variable.
+	bad2 := &Program{Rules: []Rule{
+		{
+			Head: Atom{Pred: "p", Args: []spans.Var{"w"}},
+			Body: []Literal{{Atom: Atom{Args: []spans.Var{"w"}}, Spanner: sp(t, "!x{a}")}},
+		},
+	}}
+	if err := bad2.Validate(); err == nil {
+		t.Error("foreign spanner variable accepted")
+	}
+}
+
+func TestSpanlogAtomString(t *testing.T) {
+	a := Atom{Pred: "reach", Args: []spans.Var{"x", "y"}}
+	if a.String() != "reach(x, y)" {
+		t.Errorf("String = %q", a.String())
+	}
+}

@@ -1,0 +1,208 @@
+package spans
+
+import (
+	"strings"
+)
+
+// Relation is an (X,D)-relation: a set of span tuples. The zero value is
+// the empty relation. Set semantics are maintained through Add, which
+// deduplicates by the canonical tuple key.
+type Relation struct {
+	tuples []Tuple
+	index  map[string]int
+}
+
+// NewRelation returns a relation containing the given tuples (with
+// duplicates removed).
+func NewRelation(tuples ...Tuple) *Relation {
+	r := &Relation{}
+	for _, t := range tuples {
+		r.Add(t)
+	}
+	return r
+}
+
+// Add inserts t if not already present and reports whether it was new.
+func (r *Relation) Add(t Tuple) bool {
+	if r.index == nil {
+		r.index = make(map[string]int)
+	}
+	k := t.Key()
+	if _, ok := r.index[k]; ok {
+		return false
+	}
+	r.index[k] = len(r.tuples)
+	r.tuples = append(r.tuples, t)
+	return true
+}
+
+// Contains reports whether t is a member of the relation.
+func (r *Relation) Contains(t Tuple) bool {
+	if r == nil || r.index == nil {
+		return false
+	}
+	_, ok := r.index[t.Key()]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.tuples)
+}
+
+// Empty reports whether the relation has no tuples.
+func (r *Relation) Empty() bool { return r.Len() == 0 }
+
+// Tuples returns the tuples in insertion order. The slice is shared;
+// callers must not modify it.
+func (r *Relation) Tuples() []Tuple {
+	if r == nil {
+		return nil
+	}
+	return r.tuples
+}
+
+// Sorted returns the tuples in the canonical Compare order (a fresh slice).
+func (r *Relation) Sorted() []Tuple {
+	out := make([]Tuple, r.Len())
+	copy(out, r.Tuples())
+	SortTuples(out)
+	return out
+}
+
+// Equal reports whether two relations contain exactly the same tuples.
+func (r *Relation) Equal(other *Relation) bool {
+	if r.Len() != other.Len() {
+		return false
+	}
+	for _, t := range r.Tuples() {
+		if !other.Contains(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// Union returns r ∪ other as a new relation.
+func (r *Relation) Union(other *Relation) *Relation {
+	out := NewRelation()
+	for _, t := range r.Tuples() {
+		out.Add(t)
+	}
+	for _, t := range other.Tuples() {
+		out.Add(t)
+	}
+	return out
+}
+
+// Join returns the natural join r ⋈ other: all unions of compatible
+// tuples. Under the schemaless semantics, compatibility only constrains
+// variables assigned on both sides.
+func (r *Relation) Join(other *Relation) *Relation {
+	out := NewRelation()
+	for _, t := range r.Tuples() {
+		for _, u := range other.Tuples() {
+			if t.Compatible(u) {
+				out.Add(t.Join(u))
+			}
+		}
+	}
+	return out
+}
+
+// Project returns π_vars(r): every tuple restricted to vars.
+func (r *Relation) Project(vars VarSet) *Relation {
+	out := NewRelation()
+	for _, t := range r.Tuples() {
+		out.Add(t.Project(vars))
+	}
+	return out
+}
+
+// SelectEqual returns ς=_Z(r) on document doc: the tuples of r for which
+// the spans of all variables in z denote the same factor of doc.
+// Following the schemaless convention of Schmid and Schweikardt, a tuple
+// passes the selection only if it assigns every variable in z.
+func (r *Relation) SelectEqual(doc []byte, z VarSet) *Relation {
+	out := NewRelation()
+	for _, t := range r.Tuples() {
+		if tupleSatisfiesEquality(doc, t, z) {
+			out.Add(t)
+		}
+	}
+	return out
+}
+
+func tupleSatisfiesEquality(doc []byte, t Tuple, z VarSet) bool {
+	if len(z) == 0 {
+		return true
+	}
+	first, ok := t[z[0]]
+	if !ok {
+		return false
+	}
+	ref := first.Content(doc)
+	for _, v := range z[1:] {
+		s, ok := t[v]
+		if !ok {
+			return false
+		}
+		if string(s.Content(doc)) != string(ref) {
+			return false
+		}
+	}
+	return true
+}
+
+// Fuse applies the column-fusion operator ⨄_{λ→x} to every tuple.
+func (r *Relation) Fuse(lambda VarSet, target Var) *Relation {
+	out := NewRelation()
+	for _, t := range r.Tuples() {
+		out.Add(t.Fuse(lambda, target))
+	}
+	return out
+}
+
+// Functional reports whether every tuple is total on vars (Section 2.2).
+func (r *Relation) Functional(vars VarSet) bool {
+	for _, t := range r.Tuples() {
+		if !t.TotalOn(vars) {
+			return false
+		}
+	}
+	return true
+}
+
+// Hierarchical reports whether every tuple is hierarchical.
+func (r *Relation) Hierarchical() bool {
+	for _, t := range r.Tuples() {
+		if !t.Hierarchical() {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the relation as one tuple per line in canonical order.
+func (r *Relation) String() string {
+	ts := r.Sorted()
+	parts := make([]string, len(ts))
+	for i, t := range ts {
+		parts[i] = t.String()
+	}
+	return "{" + strings.Join(parts, "\n ") + "}"
+}
+
+// Minus returns r ∖ other as a new relation.
+func (r *Relation) Minus(other *Relation) *Relation {
+	out := NewRelation()
+	for _, t := range r.Tuples() {
+		if !other.Contains(t) {
+			out.Add(t)
+		}
+	}
+	return out
+}

@@ -1,0 +1,199 @@
+// Package spans defines the basic data model of document spanners: spans,
+// span tuples, and span relations over a document.
+//
+// A document D = a1 a2 ... an is a []byte over a finite alphabet. Following
+// Fagin, Kimelfeld, Reiss, and Vansummeren (J. ACM 2015) and the survey by
+// Schmid and Schweikardt (PODS 2022), a span of D is an interval [i,j⟩ with
+// 1 <= i <= j <= |D|+1 that represents the factor a_i ... a_{j-1}. Span
+// tuples map variables to spans (possibly partially, under the schemaless
+// semantics), and span relations are sets of span tuples.
+package spans
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is an interval [Begin,End⟩ of a document, using the paper's 1-based
+// convention: a span of a document D satisfies 1 <= Begin <= End <= |D|+1
+// and denotes the factor D[Begin-1 : End-1].
+type Span struct {
+	Begin int
+	End   int
+}
+
+// Undefined is the span value used for unassigned variables under the
+// schemaless semantics (written ⊥ in the literature). It is not a valid
+// span of any document.
+var Undefined = Span{0, 0}
+
+// S is a shorthand constructor for the span [begin,end⟩.
+func S(begin, end int) Span { return Span{Begin: begin, End: end} }
+
+// IsDefined reports whether s is an actual span rather than ⊥.
+func (s Span) IsDefined() bool { return s.Begin >= 1 }
+
+// Len returns the length of the factor denoted by s.
+func (s Span) Len() int { return s.End - s.Begin }
+
+// In reports whether s is a valid span of a document of length n, i.e.
+// whether 1 <= Begin <= End <= n+1.
+func (s Span) In(n int) bool {
+	return 1 <= s.Begin && s.Begin <= s.End && s.End <= n+1
+}
+
+// Content returns the factor of doc denoted by s. It panics if s is not a
+// valid span of doc, mirroring out-of-range slice indexing.
+func (s Span) Content(doc []byte) []byte {
+	return doc[s.Begin-1 : s.End-1]
+}
+
+// Overlaps reports whether s and t overlap without one containing the
+// other being required; two spans overlap if they share at least one
+// position, i.e. their intersection [max(b), min(e)⟩ is non-empty.
+// Empty spans overlap nothing.
+func (s Span) Overlaps(t Span) bool {
+	b := s.Begin
+	if t.Begin > b {
+		b = t.Begin
+	}
+	e := s.End
+	if t.End < e {
+		e = t.End
+	}
+	return b < e
+}
+
+// Contains reports whether t lies fully inside s ([s ⊇ t]).
+func (s Span) Contains(t Span) bool {
+	return s.Begin <= t.Begin && t.End <= s.End
+}
+
+// DisjointOrNested reports whether s and t are hierarchically compatible:
+// either one contains the other, or they do not properly overlap. This is
+// the pairwise condition defining hierarchical span tuples (Section 2.2 of
+// the survey): bracket pairs are strictly nested or disjoint.
+func (s Span) DisjointOrNested(t Span) bool {
+	if s.Contains(t) || t.Contains(s) {
+		return true
+	}
+	// Disjoint as intervals of *positions between letters*: the bracket
+	// sequence x▷ ... ◁x  y▷ ... ◁y is well-nested iff the intervals
+	// [Begin,End] viewed on marker positions do not interleave.
+	return s.End <= t.Begin || t.End <= s.Begin
+}
+
+// String renders the span in the paper's [i,j⟩ notation.
+func (s Span) String() string {
+	if !s.IsDefined() {
+		return "⊥"
+	}
+	return fmt.Sprintf("[%d,%d⟩", s.Begin, s.End)
+}
+
+// Compare orders spans lexicographically by (Begin, End); Undefined sorts
+// before all defined spans.
+func (s Span) Compare(t Span) int {
+	switch {
+	case s.Begin < t.Begin:
+		return -1
+	case s.Begin > t.Begin:
+		return 1
+	case s.End < t.End:
+		return -1
+	case s.End > t.End:
+		return 1
+	}
+	return 0
+}
+
+// Var is a capture variable of a spanner. Variables are identified by
+// name; the ordering used to present tuples is lexicographic.
+type Var string
+
+// VarSet is an ordered set of variables. The canonical form is sorted and
+// duplicate-free; NewVarSet establishes it.
+type VarSet []Var
+
+// NewVarSet returns the canonical (sorted, deduplicated) variable set
+// containing the given variables.
+func NewVarSet(vars ...Var) VarSet {
+	vs := make(VarSet, len(vars))
+	copy(vs, vars)
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	out := vs[:0]
+	for i, v := range vs {
+		if i == 0 || v != vs[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Contains reports whether v is a member of the set.
+func (vs VarSet) Contains(v Var) bool {
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] >= v })
+	return i < len(vs) && vs[i] == v
+}
+
+// Index returns the position of v in the canonical order, or -1.
+func (vs VarSet) Index(v Var) int {
+	i := sort.Search(len(vs), func(i int) bool { return vs[i] >= v })
+	if i < len(vs) && vs[i] == v {
+		return i
+	}
+	return -1
+}
+
+// Union returns the canonical union of vs and other.
+func (vs VarSet) Union(other VarSet) VarSet {
+	all := make([]Var, 0, len(vs)+len(other))
+	all = append(all, vs...)
+	all = append(all, other...)
+	return NewVarSet(all...)
+}
+
+// Intersect returns the canonical intersection of vs and other.
+func (vs VarSet) Intersect(other VarSet) VarSet {
+	var out []Var
+	for _, v := range vs {
+		if other.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return NewVarSet(out...)
+}
+
+// Minus returns vs \ other in canonical form.
+func (vs VarSet) Minus(other VarSet) VarSet {
+	var out []Var
+	for _, v := range vs {
+		if !other.Contains(v) {
+			out = append(out, v)
+		}
+	}
+	return NewVarSet(out...)
+}
+
+// Equal reports whether two canonical variable sets are equal.
+func (vs VarSet) Equal(other VarSet) bool {
+	if len(vs) != len(other) {
+		return false
+	}
+	for i := range vs {
+		if vs[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the set as {x, y, z}.
+func (vs VarSet) String() string {
+	parts := make([]string, len(vs))
+	for i, v := range vs {
+		parts[i] = string(v)
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

@@ -1,0 +1,186 @@
+package spans
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSpanContent(t *testing.T) {
+	doc := []byte("ababbab")
+	cases := []struct {
+		s    Span
+		want string
+	}{
+		{Span{1, 2}, "a"},
+		{Span{2, 3}, "b"},
+		{Span{3, 8}, "abbab"},
+		{Span{1, 8}, "ababbab"},
+		{Span{4, 4}, ""},
+		{Span{8, 8}, ""},
+	}
+	for _, c := range cases {
+		if got := string(c.s.Content(doc)); got != c.want {
+			t.Errorf("Content(%v) = %q, want %q", c.s, got, c.want)
+		}
+		if !c.s.In(len(doc)) {
+			t.Errorf("%v.In(%d) = false, want true", c.s, len(doc))
+		}
+	}
+}
+
+func TestSpanIn(t *testing.T) {
+	n := 5
+	invalid := []Span{{0, 1}, {1, 0}, {3, 2}, {1, 7}, {7, 7}, {-1, 2}}
+	for _, s := range invalid {
+		if s.In(n) {
+			t.Errorf("%v.In(%d) = true, want false", s, n)
+		}
+	}
+	valid := []Span{{1, 1}, {1, 6}, {6, 6}, {3, 4}}
+	for _, s := range valid {
+		if !s.In(n) {
+			t.Errorf("%v.In(%d) = false, want true", s, n)
+		}
+	}
+}
+
+func TestSpanLenAndDefined(t *testing.T) {
+	if Undefined.IsDefined() {
+		t.Error("Undefined.IsDefined() = true")
+	}
+	if !(Span{2, 5}).IsDefined() {
+		t.Error("Span{2,5}.IsDefined() = false")
+	}
+	if got := (Span{2, 5}).Len(); got != 3 {
+		t.Errorf("Len = %d, want 3", got)
+	}
+	if got := (Span{4, 4}).Len(); got != 0 {
+		t.Errorf("Len = %d, want 0", got)
+	}
+}
+
+func TestSpanOverlaps(t *testing.T) {
+	cases := []struct {
+		a, b Span
+		want bool
+	}{
+		{Span{1, 3}, Span{2, 4}, true},
+		{Span{1, 3}, Span{3, 5}, false},
+		{Span{1, 5}, Span{2, 3}, true},
+		{Span{2, 2}, Span{1, 5}, false}, // empty span overlaps nothing
+		{Span{1, 2}, Span{4, 6}, false},
+	}
+	for _, c := range cases {
+		if got := c.a.Overlaps(c.b); got != c.want {
+			t.Errorf("%v.Overlaps(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.Overlaps(c.a); got != c.want {
+			t.Errorf("overlaps not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestSpanDisjointOrNested(t *testing.T) {
+	cases := []struct {
+		a, b Span
+		want bool
+	}{
+		{Span{1, 5}, Span{2, 3}, true},  // nested
+		{Span{1, 3}, Span{3, 5}, true},  // adjacent = disjoint
+		{Span{1, 3}, Span{2, 4}, false}, // proper overlap
+		{Span{2, 6}, Span{4, 8}, false}, // the overlapping pair from §2.1
+		{Span{1, 8}, Span{2, 6}, true},
+		{Span{1, 8}, Span{4, 8}, true},
+	}
+	for _, c := range cases {
+		if got := c.a.DisjointOrNested(c.b); got != c.want {
+			t.Errorf("%v.DisjointOrNested(%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := c.b.DisjointOrNested(c.a); got != c.want {
+			t.Errorf("DisjointOrNested not symmetric for %v, %v", c.a, c.b)
+		}
+	}
+}
+
+func TestSpanString(t *testing.T) {
+	if got := (Span{1, 4}).String(); got != "[1,4⟩" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Undefined.String(); got != "⊥" {
+		t.Errorf("Undefined.String = %q", got)
+	}
+}
+
+func TestSpanCompare(t *testing.T) {
+	if (Span{1, 2}).Compare(Span{1, 3}) != -1 {
+		t.Error("Compare by End failed")
+	}
+	if (Span{2, 2}).Compare(Span{1, 9}) != 1 {
+		t.Error("Compare by Begin failed")
+	}
+	if (Span{3, 4}).Compare(Span{3, 4}) != 0 {
+		t.Error("Compare equal failed")
+	}
+}
+
+func TestVarSetBasics(t *testing.T) {
+	vs := NewVarSet("z", "x", "y", "x")
+	if len(vs) != 3 {
+		t.Fatalf("len = %d, want 3 (dedup)", len(vs))
+	}
+	if vs[0] != "x" || vs[1] != "y" || vs[2] != "z" {
+		t.Fatalf("not sorted: %v", vs)
+	}
+	if !vs.Contains("y") || vs.Contains("w") {
+		t.Error("Contains wrong")
+	}
+	if vs.Index("z") != 2 || vs.Index("q") != -1 {
+		t.Error("Index wrong")
+	}
+}
+
+func TestVarSetOps(t *testing.T) {
+	a := NewVarSet("x", "y")
+	b := NewVarSet("y", "z")
+	if got := a.Union(b); !got.Equal(NewVarSet("x", "y", "z")) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); !got.Equal(NewVarSet("y")) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); !got.Equal(NewVarSet("x")) {
+		t.Errorf("Minus = %v", got)
+	}
+	if a.Equal(b) {
+		t.Error("Equal wrong")
+	}
+}
+
+func TestVarSetString(t *testing.T) {
+	if got := NewVarSet("y", "x").String(); got != "{x, y}" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+// Property: spans overlap symmetric; DisjointOrNested is the negation of
+// proper interleaving.
+func TestSpanPropertiesQuick(t *testing.T) {
+	f := func(a1, a2, b1, b2 uint8) bool {
+		a := Span{int(a1%20) + 1, int(a1%20) + 1 + int(a2%20)}
+		b := Span{int(b1%20) + 1, int(b1%20) + 1 + int(b2%20)}
+		if a.Overlaps(b) != b.Overlaps(a) {
+			return false
+		}
+		if a.DisjointOrNested(b) != b.DisjointOrNested(a) {
+			return false
+		}
+		// Containment implies DisjointOrNested.
+		if a.Contains(b) && !a.DisjointOrNested(b) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

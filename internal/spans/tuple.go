@@ -1,0 +1,203 @@
+package spans
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is an (X,D)-tuple: a mapping from variables to spans of a document.
+// Under the classical semantics the mapping is total on the spanner's
+// variable set; under the schemaless semantics of Maturana, Riveros, and
+// Vrgoč variables may be unassigned, represented by absence from the map
+// (equivalently, by the Undefined span).
+type Tuple map[Var]Span
+
+// NewTuple builds a tuple from alternating variable/span pairs.
+func NewTuple(pairs ...any) Tuple {
+	if len(pairs)%2 != 0 {
+		panic("spans.NewTuple: odd number of arguments")
+	}
+	t := make(Tuple, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		v, ok := pairs[i].(Var)
+		if !ok {
+			v = Var(pairs[i].(string))
+		}
+		t[v] = pairs[i+1].(Span)
+	}
+	return t
+}
+
+// Get returns the span assigned to v, or Undefined.
+func (t Tuple) Get(v Var) Span {
+	if s, ok := t[v]; ok {
+		return s
+	}
+	return Undefined
+}
+
+// Vars returns the canonical set of variables assigned by t.
+func (t Tuple) Vars() VarSet {
+	vars := make([]Var, 0, len(t))
+	for v := range t {
+		vars = append(vars, v)
+	}
+	return NewVarSet(vars...)
+}
+
+// TotalOn reports whether t assigns a span to every variable in vars,
+// i.e. whether t is functional with respect to vars (Section 2.2).
+func (t Tuple) TotalOn(vars VarSet) bool {
+	for _, v := range vars {
+		if _, ok := t[v]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Hierarchical reports whether the assigned spans are pairwise nested or
+// disjoint (Section 2.2): no two bracket pairs interleave.
+func (t Tuple) Hierarchical() bool {
+	vars := t.Vars()
+	for i := 0; i < len(vars); i++ {
+		for j := i + 1; j < len(vars); j++ {
+			if !t[vars[i]].DisjointOrNested(t[vars[j]]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Project returns the restriction of t to vars. Variables in vars that t
+// does not assign stay unassigned in the result.
+func (t Tuple) Project(vars VarSet) Tuple {
+	out := make(Tuple, len(vars))
+	for _, v := range vars {
+		if s, ok := t[v]; ok {
+			out[v] = s
+		}
+	}
+	return out
+}
+
+// Compatible reports whether t and u agree on every variable they share,
+// the precondition for their natural join.
+func (t Tuple) Compatible(u Tuple) bool {
+	for v, s := range t {
+		if s2, ok := u[v]; ok && s2 != s {
+			return false
+		}
+	}
+	return true
+}
+
+// Join returns the union of two compatible tuples. The caller must have
+// checked Compatible.
+func (t Tuple) Join(u Tuple) Tuple {
+	out := make(Tuple, len(t)+len(u))
+	for v, s := range t {
+		out[v] = s
+	}
+	for v, s := range u {
+		out[v] = s
+	}
+	return out
+}
+
+// Equal reports whether two tuples assign exactly the same spans.
+func (t Tuple) Equal(u Tuple) bool {
+	if len(t) != len(u) {
+		return false
+	}
+	for v, s := range t {
+		if s2, ok := u[v]; !ok || s2 != s {
+			return false
+		}
+	}
+	return true
+}
+
+// Fuse implements the column-fusion operator ⨄_{λ→x} of Schmid and
+// Schweikardt (Section 3.2): the variables in lambda are removed and a new
+// variable target is assigned the span from the minimum left bound to the
+// maximum right bound of their spans. Variables in lambda that are
+// unassigned are ignored; if none of them is assigned, target is left
+// unassigned. It panics if target is already assigned and not in lambda.
+func (t Tuple) Fuse(lambda VarSet, target Var) Tuple {
+	out := make(Tuple, len(t))
+	begin, end := 0, 0
+	for v, s := range t {
+		if lambda.Contains(v) {
+			if begin == 0 || s.Begin < begin {
+				begin = s.Begin
+			}
+			if s.End > end {
+				end = s.End
+			}
+			continue
+		}
+		if v == target {
+			panic(fmt.Sprintf("spans.Fuse: target %s already assigned", target))
+		}
+		out[v] = s
+	}
+	if begin != 0 {
+		out[target] = Span{begin, end}
+	}
+	return out
+}
+
+// Key returns a canonical string encoding of t, usable as a set key.
+// Variables appear in sorted order.
+func (t Tuple) Key() string {
+	vars := t.Vars()
+	var sb strings.Builder
+	for _, v := range vars {
+		s := t[v]
+		fmt.Fprintf(&sb, "%s=%d:%d;", v, s.Begin, s.End)
+	}
+	return sb.String()
+}
+
+// String renders the tuple with variables in sorted order, e.g.
+// (x: [1,2⟩, y: [2,3⟩).
+func (t Tuple) String() string {
+	vars := t.Vars()
+	parts := make([]string, len(vars))
+	for i, v := range vars {
+		parts[i] = fmt.Sprintf("%s: %s", v, t[v])
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Compare orders tuples first by their variable sets, then pointwise by
+// span. It induces the deterministic output order used by Relation.Sorted.
+func (t Tuple) Compare(u Tuple) int {
+	tv, uv := t.Vars(), u.Vars()
+	for i := 0; i < len(tv) && i < len(uv); i++ {
+		if tv[i] != uv[i] {
+			if tv[i] < uv[i] {
+				return -1
+			}
+			return 1
+		}
+		if c := t[tv[i]].Compare(u[uv[i]]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(tv) < len(uv):
+		return -1
+	case len(tv) > len(uv):
+		return 1
+	}
+	return 0
+}
+
+// SortTuples sorts ts in place into the canonical Compare order.
+func SortTuples(ts []Tuple) {
+	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+}

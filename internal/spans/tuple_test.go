@@ -1,0 +1,228 @@
+package spans
+
+import (
+	"testing"
+)
+
+func TestTupleBasics(t *testing.T) {
+	tp := NewTuple("x", Span{1, 2}, "y", Span{2, 3})
+	if tp.Get("x") != (Span{1, 2}) {
+		t.Error("Get x wrong")
+	}
+	if tp.Get("z") != Undefined {
+		t.Error("Get missing should be Undefined")
+	}
+	if !tp.Vars().Equal(NewVarSet("x", "y")) {
+		t.Errorf("Vars = %v", tp.Vars())
+	}
+	if !tp.TotalOn(NewVarSet("x", "y")) {
+		t.Error("TotalOn {x,y} should hold")
+	}
+	if tp.TotalOn(NewVarSet("x", "y", "z")) {
+		t.Error("TotalOn {x,y,z} should fail")
+	}
+}
+
+func TestTupleHierarchical(t *testing.T) {
+	// The overlapping example of Section 2.1: x=[2,6⟩ y=[4,8⟩ z=[1,8⟩.
+	overlapping := NewTuple("x", Span{2, 6}, "y", Span{4, 8}, "z", Span{1, 8})
+	if overlapping.Hierarchical() {
+		t.Error("overlapping tuple reported hierarchical")
+	}
+	nested := NewTuple("x", Span{1, 5}, "y", Span{2, 4}, "z", Span{5, 9})
+	if !nested.Hierarchical() {
+		t.Error("nested tuple reported non-hierarchical")
+	}
+}
+
+func TestTupleProjectJoin(t *testing.T) {
+	tp := NewTuple("x", Span{1, 2}, "y", Span{2, 3})
+	p := tp.Project(NewVarSet("x", "z"))
+	if !p.Equal(NewTuple("x", Span{1, 2})) {
+		t.Errorf("Project = %v", p)
+	}
+
+	u := NewTuple("y", Span{2, 3}, "z", Span{3, 4})
+	if !tp.Compatible(u) {
+		t.Fatal("should be compatible")
+	}
+	j := tp.Join(u)
+	if !j.Equal(NewTuple("x", Span{1, 2}, "y", Span{2, 3}, "z", Span{3, 4})) {
+		t.Errorf("Join = %v", j)
+	}
+
+	bad := NewTuple("y", Span{5, 6})
+	if tp.Compatible(bad) {
+		t.Error("should be incompatible")
+	}
+}
+
+func TestTupleFuse(t *testing.T) {
+	// The paper's example (§3.2): t = ([1,3⟩, [2,6⟩, [3,7⟩) on x1,x2,x3;
+	// fusing {x1,x3} into y yields ([1,7⟩, [2,6⟩) on (y, x2).
+	tp := NewTuple("x1", Span{1, 3}, "x2", Span{2, 6}, "x3", Span{3, 7})
+	got := tp.Fuse(NewVarSet("x1", "x3"), "y")
+	want := NewTuple("y", Span{1, 7}, "x2", Span{2, 6})
+	if !got.Equal(want) {
+		t.Errorf("Fuse = %v, want %v", got, want)
+	}
+}
+
+func TestTupleFuseUnassigned(t *testing.T) {
+	tp := NewTuple("x", Span{1, 3})
+	got := tp.Fuse(NewVarSet("a", "b"), "y")
+	if !got.Equal(NewTuple("x", Span{1, 3})) {
+		t.Errorf("Fuse over unassigned vars = %v", got)
+	}
+}
+
+func TestTupleKeyAndCompare(t *testing.T) {
+	a := NewTuple("x", Span{1, 2})
+	b := NewTuple("x", Span{1, 2})
+	c := NewTuple("x", Span{1, 3})
+	if a.Key() != b.Key() {
+		t.Error("equal tuples with different keys")
+	}
+	if a.Key() == c.Key() {
+		t.Error("distinct tuples with equal keys")
+	}
+	if a.Compare(c) >= 0 {
+		t.Error("Compare order wrong")
+	}
+	d := NewTuple("x", Span{1, 2}, "y", Span{2, 2})
+	if a.Compare(d) >= 0 {
+		t.Error("shorter tuple should sort first")
+	}
+}
+
+func TestRelationSetSemantics(t *testing.T) {
+	r := NewRelation()
+	if !r.Add(NewTuple("x", Span{1, 2})) {
+		t.Error("first Add should be new")
+	}
+	if r.Add(NewTuple("x", Span{1, 2})) {
+		t.Error("duplicate Add should report false")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+	if !r.Contains(NewTuple("x", Span{1, 2})) {
+		t.Error("Contains failed")
+	}
+}
+
+func TestRelationAlgebra(t *testing.T) {
+	doc := []byte("abaaab")
+	r := NewRelation(
+		NewTuple("x", Span{1, 3}, "y", Span{5, 7}), // ab vs ab -> equal
+		NewTuple("x", Span{1, 3}, "y", Span{4, 7}), // ab vs aab -> not equal
+	)
+	sel := r.SelectEqual(doc, NewVarSet("x", "y"))
+	if sel.Len() != 1 || !sel.Contains(NewTuple("x", Span{1, 3}, "y", Span{5, 7})) {
+		t.Errorf("SelectEqual = %v", sel)
+	}
+
+	p := r.Project(NewVarSet("x"))
+	if p.Len() != 1 { // both tuples project to the same x
+		t.Errorf("Project len = %d", p.Len())
+	}
+
+	other := NewRelation(NewTuple("x", Span{1, 3}, "z", Span{2, 2}))
+	j := r.Join(other)
+	if j.Len() != 2 {
+		t.Errorf("Join len = %d", j.Len())
+	}
+	u := r.Union(other)
+	if u.Len() != 3 {
+		t.Errorf("Union len = %d", u.Len())
+	}
+}
+
+func TestRelationSelectEqualSchemaless(t *testing.T) {
+	doc := []byte("aa")
+	r := NewRelation(NewTuple("x", Span{1, 2})) // y unassigned
+	sel := r.SelectEqual(doc, NewVarSet("x", "y"))
+	if sel.Len() != 0 {
+		t.Error("tuple with unassigned equality variable must be discarded")
+	}
+}
+
+func TestRelationFunctionalHierarchical(t *testing.T) {
+	r := NewRelation(
+		NewTuple("x", Span{1, 2}, "y", Span{2, 3}),
+		NewTuple("x", Span{1, 2}),
+	)
+	if r.Functional(NewVarSet("x", "y")) {
+		t.Error("relation with partial tuple reported functional")
+	}
+	if !r.Hierarchical() {
+		t.Error("disjoint spans reported non-hierarchical")
+	}
+}
+
+func TestRelationEqualSorted(t *testing.T) {
+	a := NewRelation(NewTuple("x", Span{2, 3}), NewTuple("x", Span{1, 2}))
+	b := NewRelation(NewTuple("x", Span{1, 2}), NewTuple("x", Span{2, 3}))
+	if !a.Equal(b) {
+		t.Error("order-insensitive equality failed")
+	}
+	s := a.Sorted()
+	if s[0].Get("x") != (Span{1, 2}) {
+		t.Error("Sorted order wrong")
+	}
+}
+
+func TestRelationExample11(t *testing.T) {
+	// Example 1.1 of the survey: on ababbab, spanner S extracts
+	// ([1,i⟩,[i,i+1⟩,[i+1,8⟩) for every position i of a 'b'.
+	doc := []byte("ababbab")
+	want := NewRelation(
+		NewTuple("x", Span{1, 2}, "y", Span{2, 3}, "z", Span{3, 8}),
+		NewTuple("x", Span{1, 4}, "y", Span{4, 5}, "z", Span{5, 8}),
+		NewTuple("x", Span{1, 5}, "y", Span{5, 6}, "z", Span{6, 8}),
+		NewTuple("x", Span{1, 7}, "y", Span{7, 8}, "z", Span{8, 8}),
+	)
+	got := NewRelation()
+	for i := 1; i <= len(doc); i++ {
+		if doc[i-1] == 'b' {
+			got.Add(NewTuple("x", Span{1, i}, "y", Span{i, i + 1}, "z", Span{i + 1, len(doc) + 1}))
+		}
+	}
+	if !got.Equal(want) {
+		t.Errorf("Example 1.1 relation mismatch:\n got %v\nwant %v", got, want)
+	}
+}
+
+func TestRelationMiscAccessors(t *testing.T) {
+	var nilRel *Relation
+	if nilRel.Len() != 0 || nilRel.Contains(NewTuple("x", S(1, 2))) || nilRel.Tuples() != nil {
+		t.Error("nil relation accessors wrong")
+	}
+	r := NewRelation()
+	if !r.Empty() {
+		t.Error("fresh relation not empty")
+	}
+	r.Add(NewTuple("x", S(1, 2)))
+	if r.Empty() {
+		t.Error("non-empty relation reported empty")
+	}
+	if s := r.String(); s != "{(x: [1,2⟩)}" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRelationFuseAndMinus(t *testing.T) {
+	r := NewRelation(
+		NewTuple("a", S(1, 2), "b", S(3, 5)),
+		NewTuple("a", S(2, 3), "b", S(3, 4)),
+	)
+	fused := r.Fuse(NewVarSet("a", "b"), "c")
+	if fused.Len() != 2 || !fused.Contains(NewTuple("c", S(1, 5))) || !fused.Contains(NewTuple("c", S(2, 4))) {
+		t.Errorf("Fuse = %v", fused)
+	}
+	other := NewRelation(NewTuple("a", S(1, 2), "b", S(3, 5)))
+	m := r.Minus(other)
+	if m.Len() != 1 || !m.Contains(NewTuple("a", S(2, 3), "b", S(3, 4))) {
+		t.Errorf("Minus = %v", m)
+	}
+}

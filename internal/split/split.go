@@ -1,0 +1,215 @@
+// Package split implements split-correctness for regular spanners, after
+// Doleschal, Kimelfeld, Martens, Nahshon, and Neven (PODS 2019), cited in
+// the survey's bibliography: in practice a document is often split (into
+// lines, sentences, records) by a *splitter* spanner, and the extraction
+// spanner runs on each split separately. The spanner P is split-correct
+// with respect to splitter S when evaluating P inside every split (and
+// shifting the spans back) yields exactly P's result on the whole
+// document.
+//
+// For regular spanners the package offers the real decision procedure:
+// the split evaluation itself is a regular spanner obtained by a product
+// construction (Compose), so split-correctness reduces to spanner
+// equivalence — decidable, unlike for core spanners.
+package split
+
+import (
+	"fmt"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+// Splits returns the spans extracted by the splitter's split variable on
+// doc, in document order.
+func Splits(splitter *automata.NFA, splitVar spans.Var, doc []byte) []spans.Span {
+	rel := vset.Eval(splitter, doc, vset.Schemaless)
+	var out []spans.Span
+	seen := map[spans.Span]bool{}
+	for _, t := range rel.Tuples() {
+		if s, ok := t[splitVar]; ok && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	// Document order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Compare(out[j-1]) < 0; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// EvalSplit evaluates p on every split of doc and shifts the extracted
+// spans back into whole-document coordinates — the operational
+// "split-then-extract" pipeline.
+func EvalSplit(p *automata.NFA, splitter *automata.NFA, splitVar spans.Var, doc []byte, sem vset.Semantics) *spans.Relation {
+	out := spans.NewRelation()
+	for _, s := range Splits(splitter, splitVar, doc) {
+		factor := s.Content(doc)
+		rel := vset.Eval(p, factor, sem)
+		for _, t := range rel.Tuples() {
+			shifted := make(spans.Tuple, len(t))
+			for v, sp := range t {
+				shifted[v] = spans.S(sp.Begin+s.Begin-1, sp.End+s.Begin-1)
+			}
+			out.Add(shifted)
+		}
+	}
+	return out
+}
+
+// Compose builds the split evaluation as a single regular spanner: a
+// product automaton that runs the splitter over the whole document and,
+// inside the chosen split, runs p on the split's factor as if it were the
+// entire document. The splitter's own variables are hidden; the result's
+// variables are p's. Both automata must be reference-free.
+func Compose(p *automata.NFA, splitter *automata.NFA, splitVar spans.Var) (*automata.NFA, error) {
+	if p.HasRefs() || splitter.HasRefs() {
+		return nil, fmt.Errorf("split: reference transitions unsupported")
+	}
+	if !splitter.Vars.Contains(splitVar) {
+		return nil, fmt.Errorf("split: splitter does not bind %s", splitVar)
+	}
+	// Hide the splitter's other variables; keep splitVar markers as the
+	// region delimiters.
+	s := automata.Project(splitter, spans.NewVarSet(splitVar))
+
+	out := automata.NewNFA(p.Vars)
+	type phase uint8
+	const (
+		before phase = iota
+		inside
+		after
+	)
+	type state struct {
+		qs int
+		ph phase
+		qp int // meaningful when ph == inside
+	}
+	ids := map[state]int{}
+	var order []state
+	intern := func(st state) int {
+		if id, ok := ids[st]; ok {
+			return id
+		}
+		var id int
+		if len(ids) == 0 {
+			id = out.Start
+		} else {
+			id = out.AddState()
+		}
+		ids[st] = id
+		order = append(order, st)
+		if st.ph == after && s.Final[st.qs] {
+			out.SetFinal(id)
+		}
+		return id
+	}
+	intern(state{s.Start, before, -1})
+
+	openM := automata.Marker{Var: splitVar}
+	closeM := automata.Marker{Var: splitVar, Close: true}
+
+	for i := 0; i < len(order); i++ {
+		st := order[i]
+		src := ids[st]
+		switch st.ph {
+		case before, after:
+			for _, r := range s.Eps[st.qs] {
+				out.AddEps(src, intern(state{r, st.ph, -1}))
+			}
+			for b, rs := range s.Letters[st.qs] {
+				for _, r := range rs {
+					out.AddLetter(src, b, intern(state{r, st.ph, -1}))
+				}
+			}
+			if st.ph == before {
+				for _, r := range s.Markers[st.qs][openM] {
+					// Enter the split: activate p at its start.
+					out.AddEps(src, intern(state{r, inside, p.Start}))
+				}
+			}
+		case inside:
+			// Either automaton's ε moves.
+			for _, r := range s.Eps[st.qs] {
+				out.AddEps(src, intern(state{r, inside, st.qp}))
+			}
+			for _, r := range p.Eps[st.qp] {
+				out.AddEps(src, intern(state{st.qs, inside, r}))
+			}
+			// p's markers fire freely inside.
+			for m, rs := range p.Markers[st.qp] {
+				for _, r := range rs {
+					out.AddMarker(src, m, intern(state{st.qs, inside, r}))
+				}
+			}
+			// Letters advance both.
+			for b, rsS := range s.Letters[st.qs] {
+				rsP, ok := p.Letters[st.qp][b]
+				if !ok {
+					continue
+				}
+				for _, rS := range rsS {
+					for _, rP := range rsP {
+						out.AddLetter(src, b, intern(state{rS, inside, rP}))
+					}
+				}
+			}
+			// Leave the split: p must accept its factor.
+			if p.Final[st.qp] {
+				for _, r := range s.Markers[st.qs][closeM] {
+					out.AddEps(src, intern(state{r, after, -1}))
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// Result reports the outcome of a split-correctness check.
+type Result struct {
+	Correct bool
+	// Counterexample is a document on which split evaluation and direct
+	// evaluation differ (present when Correct is false and the witness
+	// search succeeded).
+	Counterexample []byte
+}
+
+// Correct decides split-correctness of p with respect to the splitter —
+// exactly, via equivalence of regular spanners (Compose(p, splitter) ≡ p).
+// When incorrect, a short counterexample document is searched for by
+// bounded enumeration over the given alphabet.
+func Correct(p *automata.NFA, splitter *automata.NFA, splitVar spans.Var, alphabet []byte, maxWitness int) (Result, error) {
+	composed, err := Compose(p, splitter, splitVar)
+	if err != nil {
+		return Result{}, err
+	}
+	if vset.Equivalent(composed, p) {
+		return Result{Correct: true}, nil
+	}
+	// Find a witness by bounded search.
+	var doc []byte
+	var rec func(depth int) []byte
+	rec = func(depth int) []byte {
+		direct := vset.Eval(p, doc, vset.Schemaless)
+		split := EvalSplit(p, splitter, splitVar, doc, vset.Schemaless)
+		if !direct.Equal(split) {
+			return append([]byte(nil), doc...)
+		}
+		if depth == maxWitness {
+			return nil
+		}
+		for _, c := range alphabet {
+			doc = append(doc, c)
+			if w := rec(depth + 1); w != nil {
+				return w
+			}
+			doc = doc[:len(doc)-1]
+		}
+		return nil
+	}
+	return Result{Correct: false, Counterexample: rec(0)}, nil
+}

@@ -1,0 +1,159 @@
+package split
+
+import (
+	"testing"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/regex"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+const alphabet = "ab;"
+
+func compile(t *testing.T, src string) *automata.NFA {
+	t.Helper()
+	ast, err := regex.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa, err := regex.Compile(ast, regex.Options{Alphabet: []byte(alphabet)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nfa
+}
+
+// segmentSplitter splits the document at semicolons: s ranges over the
+// maximal ;-free segments.
+func segmentSplitter(t *testing.T) *automata.NFA {
+	return compile(t, "(.*;)?!s{[ab]*}(;.*)?")
+}
+
+func TestSplits(t *testing.T) {
+	sp := segmentSplitter(t)
+	doc := []byte("ab;a;;bb")
+	got := Splits(sp, "s", doc)
+	want := []spans.Span{spans.S(1, 3), spans.S(4, 5), spans.S(6, 6), spans.S(7, 9)}
+	if len(got) != len(want) {
+		t.Fatalf("Splits = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("split %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEvalSplitShiftsSpans(t *testing.T) {
+	sp := segmentSplitter(t)
+	p := compile(t, ".*!x{aa}.*")
+	doc := []byte("b;aab;aa")
+	rel := EvalSplit(p, sp, "s", doc, vset.Schemaless)
+	want := spans.NewRelation(
+		spans.NewTuple("x", spans.S(3, 5)),
+		spans.NewTuple("x", spans.S(7, 9)),
+	)
+	if !rel.Equal(want) {
+		t.Errorf("EvalSplit = %v, want %v", rel, want)
+	}
+}
+
+func TestComposeMatchesEvalSplit(t *testing.T) {
+	sp := segmentSplitter(t)
+	for _, psrc := range []string{
+		".*!x{aa}.*",
+		"!x{[ab]*}",
+		".*!x{a}!y{b}.*",
+		".*!x{a;a}.*", // cannot match inside any split
+	} {
+		p := compile(t, psrc)
+		composed, err := Compose(p, sp, "s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, doc := range []string{"", "a", "ab;ba", "aa;a;aa", "a;a", ";;", "ab", "aabb;ab"} {
+			want := EvalSplit(p, sp, "s", []byte(doc), vset.Schemaless)
+			got := vset.Eval(composed, []byte(doc), vset.Schemaless)
+			if !got.Equal(want) {
+				t.Errorf("%s on %q:\n composed  %v\n evalsplit %v", psrc, doc, got, want)
+			}
+		}
+	}
+}
+
+func TestCorrectPositive(t *testing.T) {
+	// aa cannot cross a semicolon, so extracting it per segment is
+	// split-correct.
+	sp := segmentSplitter(t)
+	p := compile(t, ".*!x{aa}.*")
+	res, err := Correct(p, sp, "s", []byte(alphabet), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Errorf("expected split-correct; counterexample %q", res.Counterexample)
+	}
+}
+
+func TestCorrectNegative(t *testing.T) {
+	// a;a crosses segment boundaries: not split-correct, with a short
+	// counterexample.
+	sp := segmentSplitter(t)
+	p := compile(t, ".*!x{a;a}.*")
+	res, err := Correct(p, sp, "s", []byte(alphabet), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Correct {
+		t.Fatal("expected split-incorrect")
+	}
+	if res.Counterexample == nil {
+		t.Fatal("no counterexample found")
+	}
+	doc := res.Counterexample
+	direct := vset.Eval(p, doc, vset.Schemaless)
+	splitEval := EvalSplit(p, sp, "s", doc, vset.Schemaless)
+	if direct.Equal(splitEval) {
+		t.Errorf("counterexample %q does not separate the evaluations", doc)
+	}
+}
+
+func TestCorrectErrors(t *testing.T) {
+	sp := segmentSplitter(t)
+	p := compile(t, ".*!x{aa}.*")
+	if _, err := Correct(p, sp, "nosuchvar", []byte(alphabet), 2); err == nil {
+		t.Error("unknown split variable accepted")
+	}
+	// Reference automaton rejected.
+	ast, err := regex.Parse("!x{a}&x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := regex.Compile(ast, regex.Options{Alphabet: []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compose(ref, sp, "s"); err == nil {
+		t.Error("ref automaton accepted")
+	}
+}
+
+func TestComposeEmptySplit(t *testing.T) {
+	// Empty segments: p must accept ε to contribute.
+	sp := segmentSplitter(t)
+	pEps := compile(t, "!x{a*}")
+	composed, err := Compose(pEps, sp, "s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte(";;")
+	got := vset.Eval(composed, doc, vset.Schemaless)
+	want := EvalSplit(pEps, sp, "s", doc, vset.Schemaless)
+	if !got.Equal(want) {
+		t.Errorf("empty-split compose = %v, want %v", got, want)
+	}
+	if want.Len() != 3 { // empty x at positions 1, 2, 3
+		t.Errorf("EvalSplit = %v", want)
+	}
+}

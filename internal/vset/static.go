@@ -1,0 +1,175 @@
+package vset
+
+import (
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+)
+
+// Hierarchical decides the Hierarchicality problem: whether every tuple
+// the spanner extracts from any document has pairwise nested-or-disjoint
+// spans (Section 2.2). The decision procedure runs, for every pair of
+// variables, a product of the automaton with a small monitor that tracks
+// the relative order (with ties) in which the four markers x▷ ◁x y▷ ◁y
+// fire; a reachable accepting configuration whose order pattern implies a
+// proper overlap refutes hierarchicality.
+func Hierarchical(n *automata.NFA) bool {
+	if n.HasRefs() {
+		panic("vset: Hierarchical on an automaton with reference transitions")
+	}
+	trimmed := n.Trim()
+	for i := 0; i < len(n.Vars); i++ {
+		for j := i + 1; j < len(n.Vars); j++ {
+			if overlapPossible(trimmed, n.Vars[i], n.Vars[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// monitor encodes the firing history of the four markers of a variable
+// pair as an ordered partition: groups[g] is the set (bitmask over
+// {openX:1, closeX:2, openY:4, closeY:8}) of markers that fired at the
+// same boundary g. sealed marks whether a letter has been read since the
+// last marker (so the next marker starts a new group).
+type monitor struct {
+	groups [4]uint8
+	ngroup uint8
+	sealed bool
+}
+
+func (m monitor) fire(bit uint8) monitor {
+	if (m.ngroup == 0 || m.sealed) && m.ngroup < 4 {
+		m.groups[m.ngroup] = bit
+		m.ngroup++
+		m.sealed = false
+		return m
+	}
+	// Merging into the current group; the ngroup == 4 guard only matters
+	// for invalid automata that re-fire a marker.
+	m.groups[m.ngroup-1] |= bit
+	return m
+}
+
+func (m monitor) seal() monitor {
+	m.sealed = true
+	return m
+}
+
+// groupOf returns the group index at which the marker bit fired, or -1.
+func (m monitor) groupOf(bit uint8) int {
+	for g := 0; g < int(m.ngroup); g++ {
+		if m.groups[g]&bit != 0 {
+			return g
+		}
+	}
+	return -1
+}
+
+// properOverlap evaluates, at acceptance, whether the firing pattern
+// encodes two spans that are neither disjoint nor nested. Group indices
+// serve as (order-isomorphic) boundary positions.
+func (m monitor) properOverlap() bool {
+	b1, e1 := m.groupOf(1), m.groupOf(2)
+	b2, e2 := m.groupOf(4), m.groupOf(8)
+	if b1 < 0 || e1 < 0 || b2 < 0 || e2 < 0 {
+		return false // a variable unassigned: no overlap constraint
+	}
+	s1 := spans.S(b1+1, e1+1)
+	s2 := spans.S(b2+1, e2+1)
+	return !s1.DisjointOrNested(s2)
+}
+
+func overlapPossible(n *automata.NFA, x, y spans.Var) bool {
+	type cfg struct {
+		q int
+		m monitor
+	}
+	bitFor := func(mk automata.Marker) uint8 {
+		switch {
+		case mk.Var == x && !mk.Close:
+			return 1
+		case mk.Var == x && mk.Close:
+			return 2
+		case mk.Var == y && !mk.Close:
+			return 4
+		case mk.Var == y && mk.Close:
+			return 8
+		}
+		return 0
+	}
+	start := cfg{n.Start, monitor{}}
+	seen := map[cfg]bool{start: true}
+	stack := []cfg{start}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n.Final[c.q] && c.m.properOverlap() {
+			return true
+		}
+		push := func(nc cfg) {
+			if !seen[nc] {
+				seen[nc] = true
+				stack = append(stack, nc)
+			}
+		}
+		for _, r := range n.Eps[c.q] {
+			push(cfg{r, c.m})
+		}
+		for _, rs := range n.Letters[c.q] {
+			for _, r := range rs {
+				push(cfg{r, c.m.seal()})
+			}
+		}
+		for mk, rs := range n.Markers[c.q] {
+			nm := c.m
+			if bit := bitFor(mk); bit != 0 {
+				nm = c.m.fire(bit)
+			}
+			for _, r := range rs {
+				push(cfg{r, nm})
+			}
+		}
+	}
+	return false
+}
+
+// alignVars returns copies of a and b whose Vars fields are both the
+// union, so that their determinizations share one mask layout.
+func alignVars(a, b *automata.NFA) (*automata.NFA, *automata.NFA) {
+	union := a.Vars.Union(b.Vars)
+	ca, cb := a, b
+	if !a.Vars.Equal(union) {
+		ca = a.Clone()
+		ca.Vars = union
+	}
+	if !b.Vars.Equal(union) {
+		cb = b.Clone()
+		cb.Vars = union
+	}
+	return ca, cb
+}
+
+// Contains decides the Containment problem for regular spanners:
+// ⟦a⟧(D) ⊆ ⟦b⟧(D) for all documents D. It determinizes both automata over
+// the extended alphabet and checks language containment — PSpace-style
+// worst case in the automata, independent of any document.
+func Contains(a, b *automata.NFA) bool {
+	ca, cb := alignVars(a, b)
+	return automata.Contains(automata.Determinize(ca), automata.Determinize(cb))
+}
+
+// Equivalent decides the Equivalence problem for regular spanners.
+func Equivalent(a, b *automata.NFA) bool {
+	ca, cb := alignVars(a, b)
+	return automata.Equivalent(automata.Determinize(ca), automata.Determinize(cb))
+}
+
+// Difference returns a vset-automaton for the spanner
+// D ↦ ⟦a⟧(D) ∖ ⟦b⟧(D) — regular spanners are closed under difference,
+// via determinization over the extended-word alphabet.
+func Difference(a, b *automata.NFA) *automata.NFA {
+	ca, cb := alignVars(a, b)
+	d := automata.Difference(automata.Determinize(ca), automata.Determinize(cb))
+	return automata.DEVAToNFA(automata.Minimize(d))
+}

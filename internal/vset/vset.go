@@ -1,0 +1,345 @@
+// Package vset interprets NFAs over the extended alphabet as document
+// spanners (vset-automata) and implements their evaluation and static
+// analysis: the problems ModelChecking, NonEmptiness, Satisfiability,
+// Hierarchicality, Containment, and Equivalence of Section 2.4 of Schmid
+// and Schweikardt's PODS 2022 survey. For regular spanners all of these
+// are decidable with the complexities the survey reports: the evaluation
+// problems are polynomial in the document, the static analysis problems
+// are polynomial to exponential in the automaton (query complexity only).
+package vset
+
+import (
+	"fmt"
+	"sort"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/refwords"
+	"docspanner/internal/spans"
+)
+
+// Semantics selects between the classical total-function semantics of
+// Fagin et al. and the schemaless (partial tuple) semantics of Maturana,
+// Riveros, and Vrgoč (Section 2.2).
+type Semantics int
+
+const (
+	// Functional requires every variable to be assigned in every tuple.
+	Functional Semantics = iota
+	// Schemaless permits unassigned variables (t(x) = ⊥).
+	Schemaless
+)
+
+// Eval computes the span relation ⟦M⟧(doc) by a breadth-first search over
+// configurations (state, position, partial assignment). This is the
+// reference ("naive") evaluation: correct for every valid vset-automaton,
+// polynomial in |doc| for a fixed automaton, with output-sensitive cost in
+// the number of result tuples. The enumeration package provides the
+// linear-preprocessing/constant-delay alternative of Section 2.5.
+func Eval(n *automata.NFA, doc []byte, sem Semantics) *spans.Relation {
+	if n.HasRefs() {
+		panic("vset: Eval on an automaton with reference transitions; use package refl")
+	}
+	k := len(n.Vars)
+	type cfg struct {
+		q   int
+		pos int
+		asg string // 2k little-endian uint32 begin/end marks; 0 = unset
+	}
+	zero := make([]byte, 8*k)
+	encode := func(b []byte) string { return string(b) }
+
+	setMark := func(asg string, idx int, val int) string {
+		b := []byte(asg)
+		off := idx * 4
+		b[off] = byte(val)
+		b[off+1] = byte(val >> 8)
+		b[off+2] = byte(val >> 16)
+		b[off+3] = byte(val >> 24)
+		return encode(b)
+	}
+	getMark := func(asg string, idx int) int {
+		off := idx * 4
+		return int(asg[off]) | int(asg[off+1])<<8 | int(asg[off+2])<<16 | int(asg[off+3])<<24
+	}
+
+	start := cfg{n.Start, 0, encode(zero)}
+	seen := map[cfg]bool{start: true}
+	queue := []cfg{start}
+	out := spans.NewRelation()
+
+	push := func(c cfg, queueRef *[]cfg) {
+		if !seen[c] {
+			seen[c] = true
+			*queueRef = append(*queueRef, c)
+		}
+	}
+
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+
+		if c.pos == len(doc) && n.Final[c.q] {
+			t := make(spans.Tuple)
+			complete := true
+			for i, v := range n.Vars {
+				b := getMark(c.asg, 2*i)
+				e := getMark(c.asg, 2*i+1)
+				switch {
+				case b > 0 && e > 0:
+					t[v] = spans.S(b, e)
+				case b == 0 && e == 0:
+					complete = false
+				default:
+					complete = false // half-open assignment: invalid word
+					t = nil
+				}
+				if t == nil {
+					break
+				}
+			}
+			if t != nil && (sem == Schemaless || complete) {
+				out.Add(t)
+			}
+		}
+
+		for _, r := range n.Eps[c.q] {
+			push(cfg{r, c.pos, c.asg}, &queue)
+		}
+		if c.pos < len(doc) {
+			for _, r := range n.Letters[c.q][doc[c.pos]] {
+				push(cfg{r, c.pos + 1, c.asg}, &queue)
+			}
+		}
+		for m, rs := range n.Markers[c.q] {
+			i := n.Vars.Index(m.Var)
+			if i < 0 {
+				continue
+			}
+			var idx int
+			if m.Close {
+				idx = 2*i + 1
+				if getMark(c.asg, 2*i) == 0 || getMark(c.asg, idx) != 0 {
+					continue // close before open, or duplicate close
+				}
+			} else {
+				idx = 2 * i
+				if getMark(c.asg, idx) != 0 {
+					continue // duplicate open
+				}
+			}
+			nasg := setMark(c.asg, idx, c.pos+1)
+			for _, r := range rs {
+				push(cfg{r, c.pos, nasg}, &queue)
+			}
+		}
+	}
+	return out
+}
+
+// AcceptsMarked decides whether the NFA accepts the subword-marked word
+// given in extended (marker-set) form, simulating marker-order
+// non-determinism at each boundary. It runs in O(|doc| · poly(|M|)) time —
+// the ModelChecking routine for regular spanners.
+func AcceptsMarked(n *automata.NFA, msw refwords.MarkerSetWord) bool {
+	cur := n.EpsClosure([]int{n.Start})
+	for i := 0; i <= len(msw.Doc); i++ {
+		if len(msw.Sets[i]) > 0 {
+			cur = boundaryStep(n, cur, msw.Sets[i])
+			if len(cur) == 0 {
+				return false
+			}
+		}
+		if i < len(msw.Doc) {
+			cur = letterStep(n, cur, msw.Doc[i])
+			if len(cur) == 0 {
+				return false
+			}
+		}
+	}
+	for _, q := range cur {
+		if n.Final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// boundaryStep returns the ε-closed set of states reachable from cur by
+// reading exactly the markers of set (in any order, ε interleaved).
+func boundaryStep(n *automata.NFA, cur []int, set refwords.MarkerSet) []int {
+	full := uint32(1)<<uint(len(set)) - 1
+	bitOf := make(map[automata.Marker]uint32, len(set))
+	for i, m := range set {
+		bitOf[m] = 1 << uint(i)
+	}
+	type cfg struct {
+		q    int
+		used uint32
+	}
+	seen := make(map[cfg]bool)
+	var stack []cfg
+	for _, q := range cur {
+		c := cfg{q, 0}
+		seen[c] = true
+		stack = append(stack, c)
+	}
+	var outSet map[int]bool
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c.used == full {
+			if outSet == nil {
+				outSet = make(map[int]bool)
+			}
+			outSet[c.q] = true
+		}
+		push := func(nc cfg) {
+			if !seen[nc] {
+				seen[nc] = true
+				stack = append(stack, nc)
+			}
+		}
+		for _, r := range n.Eps[c.q] {
+			push(cfg{r, c.used})
+		}
+		for m, rs := range n.Markers[c.q] {
+			bit, ok := bitOf[m]
+			if !ok || c.used&bit != 0 {
+				continue
+			}
+			for _, r := range rs {
+				push(cfg{r, c.used | bit})
+			}
+		}
+	}
+	if outSet == nil {
+		return nil
+	}
+	out := make([]int, 0, len(outSet))
+	for q := range outSet {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+func letterStep(n *automata.NFA, cur []int, b byte) []int {
+	next := make(map[int]bool)
+	for _, q := range cur {
+		for _, r := range n.Letters[q][b] {
+			next[r] = true
+		}
+	}
+	if len(next) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(next))
+	for q := range next {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return n.EpsClosure(out)
+}
+
+// ModelCheck decides t ∈ ⟦M⟧(doc) (the ModelChecking problem). For
+// regular spanners this runs in time linear in |doc| (data complexity):
+// the tuple is turned into an extended subword-marked word and membership
+// is checked on the fly, handling the consecutive-marker-order issue of
+// Section 2.2 by working with marker sets.
+func ModelCheck(n *automata.NFA, doc []byte, t spans.Tuple, sem Semantics) (bool, error) {
+	for v, s := range t {
+		if !n.Vars.Contains(v) {
+			return false, fmt.Errorf("vset: tuple assigns unknown variable %s", v)
+		}
+		if !s.In(len(doc)) {
+			return false, fmt.Errorf("vset: span %v of %s out of range for document of length %d", s, v, len(doc))
+		}
+	}
+	if sem == Functional && !t.TotalOn(n.Vars) {
+		return false, nil
+	}
+	w := refwords.FromTuple(doc, t)
+	return AcceptsMarked(n, w.ToMarkerSets()), nil
+}
+
+// NonEmpty decides ⟦M⟧(doc) ≠ ∅ (the NonEmptiness problem) by treating
+// marker transitions as ε and checking plain NFA membership of doc —
+// polynomial, as the survey describes for regular spanners.
+func NonEmpty(n *automata.NFA, doc []byte) bool {
+	if n.HasRefs() {
+		panic("vset: NonEmpty on an automaton with reference transitions; use package refl")
+	}
+	cur := markerFreeClosure(n, []int{n.Start})
+	for i := 0; i < len(doc); i++ {
+		next := make(map[int]bool)
+		for _, q := range cur {
+			for _, r := range n.Letters[q][doc[i]] {
+				next[r] = true
+			}
+		}
+		if len(next) == 0 {
+			return false
+		}
+		lst := make([]int, 0, len(next))
+		for q := range next {
+			lst = append(lst, q)
+		}
+		sort.Ints(lst)
+		cur = markerFreeClosure(n, lst)
+	}
+	for _, q := range cur {
+		if n.Final[q] {
+			return true
+		}
+	}
+	return false
+}
+
+// markerFreeClosure closes a state set under ε and marker transitions.
+func markerFreeClosure(n *automata.NFA, states []int) []int {
+	seen := make(map[int]bool, len(states))
+	stack := append([]int(nil), states...)
+	for _, q := range states {
+		seen[q] = true
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		push := func(r int) {
+			if !seen[r] {
+				seen[r] = true
+				stack = append(stack, r)
+			}
+		}
+		for _, r := range n.Eps[q] {
+			push(r)
+		}
+		for _, rs := range n.Markers[q] {
+			for _, r := range rs {
+				push(r)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for q := range seen {
+		out = append(out, q)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Satisfiable decides whether some document yields a non-empty result
+// (the Satisfiability problem): NFA non-emptiness, polynomial time.
+func Satisfiable(n *automata.NFA) bool {
+	return !n.Empty()
+}
+
+// Witness returns a document witnessing satisfiability along with the
+// extracted tuple of a shortest accepting run, or ok=false.
+func Witness(n *automata.NFA) (doc []byte, t spans.Tuple, ok bool) {
+	w := n.ShortestWitness()
+	if w == nil {
+		return nil, nil, false
+	}
+	return w.Erase(), w.SpanTuple(), true
+}

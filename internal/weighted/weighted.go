@@ -1,0 +1,426 @@
+// Package weighted implements weight annotation for document spanners in
+// the sense of Doleschal, Kimelfeld, Martens, and Peterfreund (ICDT
+// 2020), cited in the survey's overview of recent developments: a
+// K-weighted vset-automaton annotates every transition with an element of
+// a commutative semiring K, and the weight of a span tuple is the sum,
+// over all accepting runs producing that tuple, of the product of the
+// transition weights along the run.
+//
+// Instantiations provided here: the counting semiring (how ambiguous is a
+// tuple?), the Viterbi semiring (most-probable extraction), and the
+// tropical semiring (cheapest extraction under per-transition costs).
+package weighted
+
+import (
+	"fmt"
+	"sort"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+)
+
+// Semiring is a commutative semiring over T.
+type Semiring[T any] interface {
+	Zero() T
+	One() T
+	Add(a, b T) T
+	Mul(a, b T) T
+	Equal(a, b T) bool
+}
+
+// CountSemiring is (ℕ, +, ·): weights count accepting runs.
+type CountSemiring struct{}
+
+func (CountSemiring) Zero() int           { return 0 }
+func (CountSemiring) One() int            { return 1 }
+func (CountSemiring) Add(a, b int) int    { return a + b }
+func (CountSemiring) Mul(a, b int) int    { return a * b }
+func (CountSemiring) Equal(a, b int) bool { return a == b }
+
+// ViterbiSemiring is ([0,1], max, ·): most probable run per tuple.
+type ViterbiSemiring struct{}
+
+func (ViterbiSemiring) Zero() float64 { return 0 }
+func (ViterbiSemiring) One() float64  { return 1 }
+func (ViterbiSemiring) Add(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (ViterbiSemiring) Mul(a, b float64) float64 { return a * b }
+func (ViterbiSemiring) Equal(a, b float64) bool  { return a == b }
+
+// TropicalSemiring is (ℝ∪{∞}, min, +): cheapest run per tuple.
+type TropicalSemiring struct{}
+
+// TropicalInf represents +∞ (the semiring zero).
+const TropicalInf = 1e308
+
+func (TropicalSemiring) Zero() float64 { return TropicalInf }
+func (TropicalSemiring) One() float64  { return 0 }
+func (TropicalSemiring) Add(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (TropicalSemiring) Mul(a, b float64) float64 { return a + b }
+func (TropicalSemiring) Equal(a, b float64) bool  { return a == b }
+
+// Automaton is a K-weighted vset-automaton. It wraps an unweighted NFA
+// (the support) together with a weight for every transition; transitions
+// not present in the weight maps carry weight One. ε-transitions always
+// carry One and must not form cycles through useful states (weighted sums
+// over infinitely many runs are not defined here; the ICDT 2020 paper
+// handles this with ε-trim normalization, which our compiler guarantees).
+type Automaton[T any] struct {
+	SR  Semiring[T]
+	NFA *automata.NFA
+
+	letterW map[edgeKey]T
+	markerW map[edgeKey]T
+}
+
+type edgeKey struct {
+	from, to int
+	sym      byte
+	marker   automata.Marker
+	isMarker bool
+}
+
+// New wraps an NFA with all transition weights One.
+func New[T any](sr Semiring[T], nfa *automata.NFA) (*Automaton[T], error) {
+	if nfa.HasRefs() {
+		return nil, fmt.Errorf("weighted: reference transitions unsupported")
+	}
+	return &Automaton[T]{
+		SR:      sr,
+		NFA:     nfa,
+		letterW: map[edgeKey]T{},
+		markerW: map[edgeKey]T{},
+	}, nil
+}
+
+// SetLetterWeight assigns a weight to the transition from→to on b.
+func (a *Automaton[T]) SetLetterWeight(from int, b byte, to int, w T) {
+	a.letterW[edgeKey{from: from, to: to, sym: b}] = w
+}
+
+// SetMarkerWeight assigns a weight to the marker transition from→to.
+func (a *Automaton[T]) SetMarkerWeight(from int, m automata.Marker, to int, w T) {
+	a.markerW[edgeKey{from: from, to: to, marker: m, isMarker: true}] = w
+}
+
+// WeightLetterClass assigns w to every letter transition whose byte is in
+// class — convenient for scoring whole character classes.
+func (a *Automaton[T]) WeightLetterClass(class func(byte) bool, w T) {
+	for q := range a.NFA.Final {
+		for b, rs := range a.NFA.Letters[q] {
+			if !class(b) {
+				continue
+			}
+			for _, r := range rs {
+				a.SetLetterWeight(q, b, r, w)
+			}
+		}
+	}
+}
+
+func (a *Automaton[T]) letterWeight(from int, b byte, to int) T {
+	if w, ok := a.letterW[edgeKey{from: from, to: to, sym: b}]; ok {
+		return w
+	}
+	return a.SR.One()
+}
+
+func (a *Automaton[T]) markerWeight(from int, m automata.Marker, to int) T {
+	if w, ok := a.markerW[edgeKey{from: from, to: to, marker: m, isMarker: true}]; ok {
+		return w
+	}
+	return a.SR.One()
+}
+
+// WeightedTuple pairs a span tuple with its annotation.
+type WeightedTuple[T any] struct {
+	Tuple  spans.Tuple
+	Weight T
+}
+
+// Eval computes the K-annotated relation of the spanner on doc: the
+// weight of every tuple is the semiring sum over its accepting runs of
+// the product of transition weights. Runs are explored over the
+// configuration DAG (state, position, assignment); ε-cycles through
+// useful configurations are reported as an error.
+func (a *Automaton[T]) Eval(doc []byte) ([]WeightedTuple[T], error) {
+	n := a.NFA
+	sr := a.SR
+	k := len(n.Vars)
+
+	type cfg struct {
+		q   int
+		pos int
+		asg string
+	}
+	zero := make([]byte, 8*k)
+	getMark := func(asg string, idx int) int {
+		off := idx * 4
+		return int(asg[off]) | int(asg[off+1])<<8 | int(asg[off+2])<<16 | int(asg[off+3])<<24
+	}
+	setMark := func(asg string, idx, val int) string {
+		b := []byte(asg)
+		off := idx * 4
+		b[off] = byte(val)
+		b[off+1] = byte(val >> 8)
+		b[off+2] = byte(val >> 16)
+		b[off+3] = byte(val >> 24)
+		return string(b)
+	}
+
+	// Discover all reachable configurations and their edges.
+	type edge struct {
+		to cfg
+		w  T
+	}
+	start := cfg{n.Start, 0, string(zero)}
+	adj := map[cfg][]edge{}
+	seen := map[cfg]bool{start: true}
+	queue := []cfg{start}
+	for len(queue) > 0 {
+		c := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		push := func(nc cfg, w T) {
+			adj[c] = append(adj[c], edge{nc, w})
+			if !seen[nc] {
+				seen[nc] = true
+				queue = append(queue, nc)
+			}
+		}
+		for _, r := range n.Eps[c.q] {
+			push(cfg{r, c.pos, c.asg}, sr.One())
+		}
+		if c.pos < len(doc) {
+			for _, r := range n.Letters[c.q][doc[c.pos]] {
+				push(cfg{r, c.pos + 1, c.asg}, a.letterWeight(c.q, doc[c.pos], r))
+			}
+		}
+		for m, rs := range n.Markers[c.q] {
+			i := n.Vars.Index(m.Var)
+			if i < 0 {
+				continue
+			}
+			var idx int
+			if m.Close {
+				idx = 2*i + 1
+				if getMark(c.asg, 2*i) == 0 || getMark(c.asg, idx) != 0 {
+					continue
+				}
+			} else {
+				idx = 2 * i
+				if getMark(c.asg, idx) != 0 {
+					continue
+				}
+			}
+			nasg := setMark(c.asg, idx, c.pos+1)
+			for _, r := range rs {
+				push(cfg{r, c.pos, nasg}, a.markerWeight(c.q, m, r))
+			}
+		}
+	}
+
+	// Topological order: Kahn over the config DAG; a remaining cycle is
+	// an ε-cycle (letters strictly advance pos, markers strictly grow the
+	// assignment).
+	indeg := map[cfg]int{}
+	for c := range seen {
+		if _, ok := indeg[c]; !ok {
+			indeg[c] = 0
+		}
+		for _, e := range adj[c] {
+			indeg[e.to]++
+		}
+	}
+	order := make([]cfg, 0, len(seen))
+	var ready []cfg
+	for c, d := range indeg {
+		if d == 0 {
+			ready = append(ready, c)
+		}
+	}
+	for len(ready) > 0 {
+		c := ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		order = append(order, c)
+		for _, e := range adj[c] {
+			indeg[e.to]--
+			if indeg[e.to] == 0 {
+				ready = append(ready, e.to)
+			}
+		}
+	}
+	if len(order) != len(seen) {
+		return nil, fmt.Errorf("weighted: ε-cycle through useful configurations; weights undefined")
+	}
+
+	// Forward DP.
+	weight := map[cfg]T{start: sr.One()}
+	for c := range seen {
+		if c != start {
+			weight[c] = sr.Zero()
+		}
+	}
+	for _, c := range order {
+		wc := weight[c]
+		if sr.Equal(wc, sr.Zero()) {
+			continue
+		}
+		for _, e := range adj[c] {
+			weight[e.to] = sr.Add(weight[e.to], sr.Mul(wc, e.w))
+		}
+	}
+
+	// Collect accepting configurations into tuples.
+	byTuple := map[string]WeightedTuple[T]{}
+	for c, w := range weight {
+		if c.pos != len(doc) || !n.Final[c.q] || sr.Equal(w, sr.Zero()) {
+			continue
+		}
+		t := make(spans.Tuple)
+		valid := true
+		for i, v := range n.Vars {
+			bm := getMark(c.asg, 2*i)
+			em := getMark(c.asg, 2*i+1)
+			switch {
+			case bm > 0 && em > 0:
+				t[v] = spans.S(bm, em)
+			case bm == 0 && em == 0:
+				// unassigned: schemaless
+			default:
+				valid = false
+			}
+		}
+		if !valid {
+			continue
+		}
+		key := t.Key()
+		if prev, ok := byTuple[key]; ok {
+			byTuple[key] = WeightedTuple[T]{Tuple: t, Weight: sr.Add(prev.Weight, w)}
+		} else {
+			byTuple[key] = WeightedTuple[T]{Tuple: t, Weight: w}
+		}
+	}
+	keys := make([]string, 0, len(byTuple))
+	for k2 := range byTuple {
+		keys = append(keys, k2)
+	}
+	sort.Strings(keys)
+	out := make([]WeightedTuple[T], 0, len(byTuple))
+	for _, k2 := range keys {
+		out = append(out, byTuple[k2])
+	}
+	return out, nil
+}
+
+// Best returns the tuple with the maximal weight under less (e.g. highest
+// Viterbi probability, or pass an inverted comparison for tropical costs).
+func Best[T any](rel []WeightedTuple[T], less func(a, b T) bool) (WeightedTuple[T], bool) {
+	if len(rel) == 0 {
+		return WeightedTuple[T]{}, false
+	}
+	best := rel[0]
+	for _, wt := range rel[1:] {
+		if less(best.Weight, wt.Weight) {
+			best = wt
+		}
+	}
+	return best, true
+}
+
+// WeightLetterClassInside assigns w to letter transitions in class that
+// lie strictly inside the binding region of variable v (reachable from
+// an open-marker target and co-reachable from a close-marker source) —
+// the common way to score the CONTENT of an extraction rather than its
+// context.
+func (a *Automaton[T]) WeightLetterClassInside(v spans.Var, class func(byte) bool, w T) {
+	inside := insideRegion(a.NFA, v)
+	for q := range a.NFA.Final {
+		if !inside[q] {
+			continue
+		}
+		for b, rs := range a.NFA.Letters[q] {
+			if !class(b) {
+				continue
+			}
+			for _, r := range rs {
+				if inside[r] {
+					a.SetLetterWeight(q, b, r, w)
+				}
+			}
+		}
+	}
+}
+
+// insideRegion returns the states between v's open and close markers.
+func insideRegion(nfa *automata.NFA, v spans.Var) map[int]bool {
+	var openTargets, closeSources []int
+	for q := range nfa.Final {
+		for m, rs := range nfa.Markers[q] {
+			if m.Var != v {
+				continue
+			}
+			if m.Close {
+				closeSources = append(closeSources, q)
+			} else {
+				openTargets = append(openTargets, rs...)
+			}
+		}
+	}
+	fwd := reachLetters(nfa, openTargets, false)
+	bwd := reachLetters(nfa, closeSources, true)
+	inside := map[int]bool{}
+	for q := range fwd {
+		if bwd[q] {
+			inside[q] = true
+		}
+	}
+	return inside
+}
+
+// reachLetters is reachability over ε and letter transitions only
+// (marker transitions delimit the region).
+func reachLetters(nfa *automata.NFA, from []int, reverse bool) map[int]bool {
+	adj := make([][]int, nfa.NumStates())
+	addEdge := func(p, q int) {
+		if reverse {
+			adj[q] = append(adj[q], p)
+		} else {
+			adj[p] = append(adj[p], q)
+		}
+	}
+	for p := range nfa.Final {
+		for _, q := range nfa.Eps[p] {
+			addEdge(p, q)
+		}
+		for _, qs := range nfa.Letters[p] {
+			for _, q := range qs {
+				addEdge(p, q)
+			}
+		}
+	}
+	seen := map[int]bool{}
+	stack := append([]int{}, from...)
+	for _, q := range from {
+		seen[q] = true
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range adj[q] {
+			if !seen[r] {
+				seen[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+	return seen
+}

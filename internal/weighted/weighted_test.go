@@ -1,0 +1,222 @@
+package weighted
+
+import (
+	"testing"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/regex"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+func compile(t *testing.T, src string) *automata.NFA {
+	t.Helper()
+	ast, err := regex.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa, err := regex.Compile(ast, regex.Options{Alphabet: []byte("ab")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nfa
+}
+
+func TestCountSemiringMatchesUnweighted(t *testing.T) {
+	// With all weights One, counting weights count the accepting runs per
+	// tuple, and the support equals the unweighted relation.
+	nfa := compile(t, "!x{(a|b)*}!y{b}!z{(a|b)*}")
+	a, err := New[int](CountSemiring{}, nfa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("ababbab")
+	rel, err := a.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := vset.Eval(nfa, doc, vset.Schemaless)
+	if len(rel) != want.Len() {
+		t.Fatalf("support size %d, want %d", len(rel), want.Len())
+	}
+	for _, wt := range rel {
+		if !want.Contains(wt.Tuple) {
+			t.Errorf("unexpected tuple %v", wt.Tuple)
+		}
+		if wt.Weight != 1 {
+			t.Errorf("tuple %v has %d runs, want 1 (unambiguous spanner)", wt.Tuple, wt.Weight)
+		}
+	}
+}
+
+func TestCountSemiringAmbiguity(t *testing.T) {
+	// !x{a}(a|a?a) style ambiguity: two derivations of the same tuple.
+	// Pattern: !x{a}(ab|a(b)) — both alternatives read "ab" identically.
+	nfa := compile(t, "!x{a}(ab|a(b))")
+	a, err := New[int](CountSemiring{}, nfa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := a.Eval([]byte("aab"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 1 {
+		t.Fatalf("rel = %v", rel)
+	}
+	if rel[0].Weight != 2 {
+		t.Errorf("ambiguity count = %d, want 2", rel[0].Weight)
+	}
+}
+
+func TestViterbiMostProbableExtraction(t *testing.T) {
+	// Score 'b' letters INSIDE x with probability 0.5, everything else
+	// 1.0: the most probable x minimizes the number of b's it covers.
+	nfa := compile(t, ".*!x{(a|b)+}.*")
+	a, err := New[float64](ViterbiSemiring{}, nfa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.WeightLetterClassInside("x", func(b byte) bool { return b == 'b' }, 0.5)
+	doc := []byte("babab")
+	rel, err := a.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := Best(rel, func(x, y float64) bool { return x < y })
+	if !ok {
+		t.Fatal("empty relation")
+	}
+	content := string(best.Tuple.Get("x").Content(doc))
+	if content != "a" {
+		t.Errorf("most probable x = %q (weight %v), want a single a", content, best.Weight)
+	}
+	if best.Weight != 1.0 {
+		t.Errorf("best weight = %v, want 1.0 (no b inside x)", best.Weight)
+	}
+	// A tuple covering one b has weight 0.5.
+	for _, wt := range rel {
+		c := string(wt.Tuple.Get("x").Content(doc))
+		bs := 0
+		for _, ch := range c {
+			if ch == 'b' {
+				bs++
+			}
+		}
+		wantW := 1.0
+		for i := 0; i < bs; i++ {
+			wantW *= 0.5
+		}
+		if wt.Weight != wantW {
+			t.Errorf("x=%q weight %v, want %v", c, wt.Weight, wantW)
+		}
+	}
+}
+
+func TestTropicalCheapestExtraction(t *testing.T) {
+	// Cost 1 per letter inside x (length cost): cheapest tuple has the
+	// shortest x.
+	nfa := compile(t, ".*!x{(a|b)+}.*")
+	a, err := New[float64](TropicalSemiring{}, nfa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Letters inside x: transitions between the marker states. Weight
+	// every letter transition 1, then discount context by weighting only
+	// transitions reachable... simpler: weight ALL letter transitions 1;
+	// every run costs |doc| regardless. Instead weight b's only:
+	a.WeightLetterClass(func(b byte) bool { return b == 'b' }, 1)
+	doc := []byte("abba")
+	rel, err := a.Eval(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := Best(rel, func(x, y float64) bool { return x > y }) // min cost
+	if !ok {
+		t.Fatal("empty")
+	}
+	// Every run passes both b's somewhere (inside or outside x): total
+	// cost 2 for all tuples.
+	if best.Weight != 2 {
+		t.Errorf("cheapest cost = %v, want 2", best.Weight)
+	}
+	if len(rel) != vset.Eval(nfa, doc, vset.Schemaless).Len() {
+		t.Error("support size mismatch")
+	}
+}
+
+func TestMarkerWeights(t *testing.T) {
+	// Pay a cost for opening x late: weight x▷ transitions by... marker
+	// weights are uniform per transition; verify they multiply in.
+	nfa := compile(t, "a*!x{b}a*")
+	a, err := New[int](CountSemiring{}, nfa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Double-count runs through the x▷ marker: weight 3.
+	for q := range nfa.Final {
+		for m, rs := range nfa.Markers[q] {
+			if !m.Close {
+				for _, r := range rs {
+					a.SetMarkerWeight(q, m, r, 3)
+				}
+			}
+		}
+	}
+	rel, err := a.Eval([]byte("aba"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 1 || rel[0].Weight != 3 {
+		t.Errorf("rel = %v, want single tuple with weight 3", rel)
+	}
+}
+
+func TestRefsRejected(t *testing.T) {
+	ast, err := regex.Parse("!x{a}&x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	nfa, err := regex.Compile(ast, regex.Options{Alphabet: []byte("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New[int](CountSemiring{}, nfa); err == nil {
+		t.Error("ref automaton accepted")
+	}
+}
+
+func TestEpsilonCycleDetected(t *testing.T) {
+	nfa := automata.NewNFA(spans.NewVarSet())
+	s1 := nfa.AddState()
+	nfa.AddEps(nfa.Start, s1)
+	nfa.AddEps(s1, nfa.Start) // ε-cycle
+	s2 := nfa.AddState()
+	nfa.AddLetter(s1, 'a', s2)
+	nfa.SetFinal(s2)
+	a, err := New[int](CountSemiring{}, nfa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Eval([]byte("a")); err == nil {
+		t.Error("ε-cycle not detected")
+	}
+}
+
+func TestEmptyRelation(t *testing.T) {
+	nfa := compile(t, "!x{a}")
+	a, err := New[int](CountSemiring{}, nfa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := a.Eval([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rel) != 0 {
+		t.Errorf("rel = %v", rel)
+	}
+	if _, ok := Best(rel, func(a, b int) bool { return a < b }); ok {
+		t.Error("Best on empty relation")
+	}
+}

@@ -1,0 +1,117 @@
+package docspanner
+
+import (
+	"fmt"
+
+	"docspanner/internal/algebra"
+	"docspanner/internal/vset"
+)
+
+// Query is a core-spanner algebra expression over regular spanners:
+// primitive spanners combined with union, natural join, projection, and
+// string-equality selection (Section 1 of the survey). Queries evaluate
+// by materialization; Normalize rewrites them into the normal form of the
+// core-simplification lemma (Section 2.3).
+type Query struct {
+	expr       algebra.Expr
+	schemaless bool
+}
+
+// Q lifts a compiled regular spanner into a query.
+func Q(s *Spanner) (*Query, error) {
+	if !s.IsRegular() {
+		return nil, fmt.Errorf("docspanner: queries take regular spanners; translate refl-spanners with ToCore first")
+	}
+	return &Query{expr: algebra.Prim{A: s.nfa}, schemaless: s.schemaless}, nil
+}
+
+// MustQ is Q that panics on error.
+func MustQ(s *Spanner) *Query {
+	q, err := Q(s)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+// Vars returns the query's visible variables.
+func (q *Query) Vars() VarSet { return q.expr.Vars() }
+
+// Union returns q ∪ other.
+func (q *Query) Union(other *Query) *Query {
+	return &Query{expr: algebra.Union{L: q.expr, R: other.expr}, schemaless: q.schemaless || other.schemaless}
+}
+
+// Join returns the natural join q ⋈ other.
+func (q *Query) Join(other *Query) *Query {
+	return &Query{expr: algebra.Join{L: q.expr, R: other.expr}, schemaless: q.schemaless || other.schemaless}
+}
+
+// Project returns π_keep(q).
+func (q *Query) Project(keep ...Var) *Query {
+	return &Query{expr: algebra.Project{Sub: q.expr, Keep: NewVarSet(keep...)}, schemaless: q.schemaless}
+}
+
+// SelectEqual returns ς=_z(q): tuples whose spans for all variables in z
+// have the same content. This is the operation that takes queries from
+// regular to core spanners (Section 2.3).
+func (q *Query) SelectEqual(z ...Var) *Query {
+	return &Query{expr: algebra.SelectEq{Sub: q.expr, Z: NewVarSet(z...)}, schemaless: q.schemaless}
+}
+
+// Fuse applies the column-fusion operator ⨄_{lambda→target} (Section 3.2).
+func (q *Query) Fuse(target Var, lambda ...Var) *Query {
+	return &Query{expr: algebra.Fuse{Sub: q.expr, Lambda: NewVarSet(lambda...), Target: target}, schemaless: q.schemaless}
+}
+
+// IsCore reports whether the query uses string-equality selection.
+func (q *Query) IsCore() bool { return algebra.HasSelections(q.expr) }
+
+// Eval materializes the query result on doc.
+func (q *Query) Eval(doc []byte) *Relation {
+	sem := vset.Functional
+	if q.schemaless {
+		sem = vset.Schemaless
+	}
+	return q.expr.Eval(doc, sem)
+}
+
+// String renders the expression tree.
+func (q *Query) String() string { return algebra.String(q.expr) }
+
+// NormalForm is the core-simplification normal form
+// π_Visible(ς=_{Z1} ... ς=_{Zk}(⟦M⟧)) of a query (Section 2.3).
+type NormalForm struct {
+	cf         *algebra.CoreForm
+	schemaless bool
+}
+
+// Normalize rewrites the query into core-simplification normal form: a
+// single vset-automaton, a list of string-equality selections over
+// auxiliary variables, and one outer projection.
+func (q *Query) Normalize() (*NormalForm, error) {
+	cf, err := algebra.Simplify(q.expr)
+	if err != nil {
+		return nil, err
+	}
+	return &NormalForm{cf: cf, schemaless: q.schemaless}, nil
+}
+
+// Eval evaluates the normal form (must agree with Query.Eval — the
+// content of the core-simplification lemma).
+func (nf *NormalForm) Eval(doc []byte) *Relation {
+	sem := vset.Functional
+	if nf.schemaless {
+		sem = vset.Schemaless
+	}
+	return nf.cf.Eval(doc, sem)
+}
+
+// Selections returns the number of string-equality selections.
+func (nf *NormalForm) Selections() int { return len(nf.cf.Selections) }
+
+// AutomatonStates returns the size of the single underlying automaton.
+func (nf *NormalForm) AutomatonStates() int { return nf.cf.Automaton.NumStates() }
+
+// Visible returns the visible (projected) variables.
+func (nf *NormalForm) Visible() VarSet { return nf.cf.Visible }

@@ -1,0 +1,91 @@
+package docspanner
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestSpannerSaveLoad(t *testing.T) {
+	s := MustCompile("!x{(a|b)*}!y{b}!z{(a|b)*}", Options{})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSpanner(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := []byte("ababbab")
+	if !back.Eval(doc).Equal(s.Eval(doc)) {
+		t.Error("loaded spanner evaluates differently")
+	}
+	if back.Pattern() != s.Pattern() {
+		t.Errorf("Pattern = %q", back.Pattern())
+	}
+	ok, err := Equivalent(s, back)
+	if err != nil || !ok {
+		t.Errorf("Equivalent = %v, %v", ok, err)
+	}
+}
+
+func TestSpannerSaveLoadRefl(t *testing.T) {
+	s := MustCompile("!x{(a|b)+}c!y{&x}", Options{})
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadSpanner(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.IsRegular() {
+		t.Error("refl spanner loaded as regular")
+	}
+	doc := []byte("abcab")
+	if !back.Eval(doc).Equal(s.Eval(doc)) {
+		t.Error("loaded refl spanner evaluates differently")
+	}
+}
+
+func TestLoadSpannerErrors(t *testing.T) {
+	for _, c := range []string{
+		`{"version":2,"automaton":null}`,
+		`{"version":1}`,
+		`garbage`,
+	} {
+		if _, err := LoadSpanner([]byte(c)); err == nil {
+			t.Errorf("LoadSpanner(%q) accepted", c)
+		}
+	}
+}
+
+func TestSpannerDot(t *testing.T) {
+	s := MustCompile("!x{ab}", Options{})
+	dot := s.Dot()
+	if len(dot) == 0 || dot[0] != 'd' {
+		t.Errorf("Dot = %q...", dot[:20])
+	}
+}
+
+func TestTuplesIterator(t *testing.T) {
+	s := MustCompile(".*!x{a}.*", Options{Alphabet: []byte("a")})
+	doc := []byte("aaaaa")
+	n := 0
+	for t2 := range s.Tuples(doc) {
+		_ = t2
+		n++
+		if n == 2 {
+			break // early break must stop enumeration cleanly
+		}
+	}
+	if n != 2 {
+		t.Errorf("iterated %d", n)
+	}
+	total := 0
+	for range s.Tuples(doc) {
+		total++
+	}
+	if total != 5 {
+		t.Errorf("total = %d, want 5", total)
+	}
+}
