@@ -1,5 +1,5 @@
 // Command benchrunner regenerates the experiment tables of EXPERIMENTS.md:
-// one table per experiment ID (F1, E1–E13), each validating a formal claim
+// one table per experiment ID (F1, E1–E14), each validating a formal claim
 // of Schmid & Schweikardt's PODS 2022 survey on the implementation. Run
 // with -experiment to select a single one, e.g.
 //
@@ -8,13 +8,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
+	"docspanner"
 	"docspanner/internal/algebra"
 	"docspanner/internal/automata"
 	"docspanner/internal/enum"
@@ -27,7 +30,7 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "", "run only this experiment (F1, E1..E13); empty = all")
+	which := flag.String("experiment", "", "run only this experiment (F1, E1..E14); empty = all")
 	flag.Parse()
 
 	experiments := []struct {
@@ -37,7 +40,7 @@ func main() {
 		{"F1", runF1}, {"E1", runE1}, {"E2", runE2}, {"E3", runE3},
 		{"E4", runE4}, {"E5", runE5}, {"E6", runE6}, {"E7", runE7},
 		{"E8", runE8}, {"E9", runE9}, {"E10", runE10}, {"E11", runE11},
-		{"E12", runE12}, {"E13", runE13},
+		{"E12", runE12}, {"E13", runE13}, {"E14", runE14},
 	}
 	ran := false
 	for _, e := range experiments {
@@ -527,4 +530,59 @@ func runE13() {
 	}
 	fmt.Println("expected: plain DP linear in n; compressed counter linear in |S| = O(log n),")
 	fmt.Println("delivering counts with dozens of digits that enumeration could never reach")
+}
+
+func runE14() {
+	header("E14", "parallel evaluation: batch worker pool and split-correct sharding (Doleschal et al., PODS 2019)")
+	fmt.Printf("GOMAXPROCS=%d\n", runtime.GOMAXPROCS(0))
+	ctx := context.Background()
+
+	s := docspanner.MustCompile(".*!x{ab}.*", docspanner.Options{Alphabet: []byte("ab")})
+	docs := make([][]byte, 16)
+	for i := range docs {
+		docs[i] = randomDoc(1<<12, int64(40+i))
+	}
+	s.Eval(docs[0]) // warm the lazy determinization once for all variants
+	fmt.Printf("%-26s %-14s\n", "batch of 16×4KiB docs", "time/batch")
+	fmt.Printf("%-26s %-14v\n", "serial loop", timeIt(func() {
+		for _, d := range docs {
+			s.Eval(d)
+		}
+	}))
+	for _, w := range []int{1, 2, 4} {
+		t := timeIt(func() {
+			if _, err := docspanner.EvalDocs(ctx, s, docs, docspanner.ParallelOptions{Workers: w}); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("EvalDocs workers=%-9d %-14v\n", w, t)
+	}
+
+	opts := docspanner.Options{Alphabet: []byte("ab;")}
+	p := docspanner.MustCompile(".*!x{aa}.*", opts)
+	splitter := docspanner.MustCompile("(.*;)?!s{[ab]*}(;.*)?", opts)
+	var correct bool
+	tv := timeIt(func() {
+		var err error
+		correct, _, err = docspanner.CheckSplitCorrect(p, splitter, "s", nil, 4)
+		if err != nil {
+			panic(err)
+		}
+	})
+	fmt.Printf("\nsplit-correctness check (document-independent, once): %v in %v\n", correct, tv)
+	fmt.Printf("%-26s %-14s %-14s\n", "segments", "serial Eval", "EvalSharded w=4")
+	for _, segs := range []int{64, 512} {
+		doc := []byte(strings.Repeat("abaab;", segs))
+		doc = doc[:len(doc)-1]
+		ts := timeIt(func() { p.Eval(doc) })
+		tp := timeIt(func() {
+			if _, err := docspanner.EvalSharded(ctx, p, splitter, "s", doc, docspanner.ShardOptions{Workers: 4}); err != nil {
+				panic(err)
+			}
+		})
+		fmt.Printf("%-26d %-14v %-14v\n", segs, ts, tp)
+	}
+	fmt.Println("expected: identical relations in every variant; with k cores the parallel")
+	fmt.Println("variants approach 1/k of serial; with GOMAXPROCS=1 they expose only the")
+	fmt.Println("pool and per-shard preprocessing overhead")
 }

@@ -1,0 +1,156 @@
+// Race-regression tests for shared compiled artifacts. Run with
+// `go test -race`: on the pre-fix code the unsynchronized dEVA
+// memoization makes TestSharedSpannerConcurrentUse fail with a race
+// report; with the sync.Once guard the whole file must be race-clean.
+package docspanner
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// runShared fans work out to 8 goroutines, each performing iters rounds,
+// and reports every failure message produced.
+func runShared(t *testing.T, iters int, round func(g, rep int) error) {
+	t.Helper()
+	const workers = 8
+	errs := make(chan error, workers*iters)
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < iters; rep++ {
+				if err := round(g, rep); err != nil {
+					errs <- err
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+func TestSharedSpannerConcurrentUse(t *testing.T) {
+	const pattern = "!x{(a|b)*}!y{b}!z{(a|b)*}"
+	doc := []byte("ababbab")
+	// Expected values come from a private instance so that the shared
+	// spanner reaches the goroutines with its lazy determinization still
+	// pending — the exact state in which the original race fired.
+	ref := MustCompile(pattern, Options{})
+	want := ref.Eval(doc)
+	tup := want.Tuples()[0]
+
+	s := MustCompile(pattern, Options{})
+	runShared(t, 6, func(g, rep int) error {
+		switch (g + rep) % 4 {
+		case 0:
+			if got := s.Eval(doc); !got.Equal(want) {
+				return fmt.Errorf("Eval = %v, want %v", got, want)
+			}
+		case 1:
+			n := 0
+			s.Enumerate(doc, func(Tuple) bool { n++; return true })
+			if n != want.Len() {
+				return fmt.Errorf("Enumerate yielded %d tuples, want %d", n, want.Len())
+			}
+		case 2:
+			ok, err := s.ModelCheck(doc, tup)
+			if err != nil || !ok {
+				return fmt.Errorf("ModelCheck = %v, %v", ok, err)
+			}
+		case 3:
+			if !s.NonEmpty(doc) {
+				return fmt.Errorf("NonEmpty = false")
+			}
+		}
+		return nil
+	})
+}
+
+func TestSharedReflSpannerConcurrentUse(t *testing.T) {
+	doc := []byte("abcab")
+	ref := MustCompile("!x{(a|b)*}c!y{&x}", Options{Alphabet: []byte("abc")})
+	want := ref.Eval(doc)
+	tup := want.Tuples()[0]
+
+	s := MustCompile("!x{(a|b)*}c!y{&x}", Options{Alphabet: []byte("abc")})
+	runShared(t, 6, func(g, rep int) error {
+		switch (g + rep) % 3 {
+		case 0:
+			if got := s.Eval(doc); !got.Equal(want) {
+				return fmt.Errorf("refl Eval = %v, want %v", got, want)
+			}
+		case 1:
+			ok, err := s.ModelCheck(doc, tup)
+			if err != nil || !ok {
+				return fmt.Errorf("refl ModelCheck = %v, %v", ok, err)
+			}
+		case 2:
+			if !s.NonEmpty(doc) {
+				return fmt.Errorf("refl NonEmpty = false")
+			}
+		}
+		return nil
+	})
+}
+
+func TestSharedQueryConcurrentEval(t *testing.T) {
+	doc := []byte("ab,ab")
+	opts := Options{Alphabet: []byte("ab,")}
+	build := func() *Query {
+		pair := MustCompile("!x{(a|b)+},!y{(a|b)+}", opts)
+		return MustQ(pair).SelectEqual("x", "y").Project("x")
+	}
+	want := build().Eval(doc)
+
+	q := build()
+	runShared(t, 6, func(g, rep int) error {
+		if got := q.Eval(doc); !got.Equal(want) {
+			return fmt.Errorf("Query.Eval = %v, want %v", got, want)
+		}
+		return nil
+	})
+}
+
+func TestSharedNormalFormConcurrentEval(t *testing.T) {
+	doc := []byte("ab,ab")
+	opts := Options{Alphabet: []byte("ab,")}
+	pair := MustCompile("!x{(a|b)+},!y{(a|b)+}", opts)
+	q := MustQ(pair).SelectEqual("x", "y").Project("x")
+	want := q.Eval(doc)
+	nf, err := q.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	runShared(t, 6, func(g, rep int) error {
+		if got := nf.Eval(doc); !got.Equal(want) {
+			return fmt.Errorf("NormalForm.Eval = %v, want %v", got, want)
+		}
+		return nil
+	})
+}
+
+// TestSharedSpannerEnumerateEarlyStop exercises concurrent early
+// termination: aborted enumerations must not corrupt shared state for the
+// other goroutines.
+func TestSharedSpannerEnumerateEarlyStop(t *testing.T) {
+	s := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")})
+	doc := []byte("abababab")
+	total := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")}).Count(doc)
+
+	runShared(t, 6, func(g, rep int) error {
+		stopAt := 1 + (g+rep)%3
+		n := 0
+		s.Enumerate(doc, func(Tuple) bool { n++; return n < stopAt })
+		if n != stopAt && n != total {
+			return fmt.Errorf("early-stop enumeration yielded %d tuples", n)
+		}
+		return nil
+	})
+}

@@ -30,6 +30,7 @@ package docspanner
 import (
 	"fmt"
 	"math/big"
+	"sync"
 
 	"docspanner/internal/automata"
 	"docspanner/internal/enum"
@@ -61,6 +62,10 @@ func NewSpan(begin, end int) Span { return spans.S(begin, end) }
 // NewVarSet builds a canonical variable set.
 func NewVarSet(vars ...Var) VarSet { return spans.NewVarSet(vars...) }
 
+// NewRelation returns a relation containing the given tuples (with
+// duplicates removed).
+func NewRelation(tuples ...Tuple) *Relation { return spans.NewRelation(tuples...) }
+
 // Options configures compilation.
 type Options struct {
 	// Alphabet is the document alphabet Σ; it resolves the wildcard .
@@ -75,10 +80,17 @@ type Options struct {
 
 // Spanner is a compiled document spanner: regular (no references) or a
 // refl-spanner (with references &x).
+//
+// A compiled Spanner is immutable and safe for concurrent use by multiple
+// goroutines: all evaluation methods (Eval, Enumerate, Count, ModelCheck,
+// NonEmpty, ExactCount, ...) may be called simultaneously on a shared
+// instance. The lazy determinization used by the enumeration methods is
+// guarded internally and runs at most once.
 type Spanner struct {
 	pattern    string
 	nfa        *automata.NFA
 	rspanner   *refl.Spanner // non-nil iff the pattern has references
+	devaOnce   sync.Once
 	deva       *automata.DEVA
 	schemaless bool
 }
@@ -139,11 +151,14 @@ func (s *Spanner) semantics() vset.Semantics {
 	return vset.Functional
 }
 
-// dEVA lazily determinizes the automaton (query complexity only).
+// dEVA lazily determinizes the automaton (query complexity only). The
+// memoization is guarded by a sync.Once so that a compiled spanner can be
+// shared across goroutines: concurrent first calls determinize exactly
+// once, and every caller observes the fully constructed automaton.
 func (s *Spanner) dEVA() *automata.DEVA {
-	if s.deva == nil {
+	s.devaOnce.Do(func() {
 		s.deva = automata.Determinize(s.nfa)
-	}
+	})
 	return s.deva
 }
 
@@ -159,15 +174,13 @@ func (s *Spanner) Eval(doc []byte) *Relation {
 
 // Enumerate streams the result tuples without duplicates; for regular
 // spanners it uses the linear-preprocessing/constant-delay algorithm
-// (Section 2.5 of the survey). Return false from f to stop early.
+// (Section 2.5 of the survey). Return false from f to stop early. Early
+// termination saves work for both classes: regular spanners stop the
+// constant-delay walk, and refl-spanners abort the configuration search
+// instead of materializing the full relation first.
 func (s *Spanner) Enumerate(doc []byte, f func(Tuple) bool) {
 	if s.rspanner != nil {
-		rel := s.rspanner.Eval(doc, !s.schemaless)
-		for _, t := range rel.Tuples() {
-			if !f(t) {
-				return
-			}
-		}
+		s.rspanner.Enumerate(doc, !s.schemaless, f)
 		return
 	}
 	e := enum.NewEnumerator(s.dEVA(), doc)
@@ -256,9 +269,18 @@ func Contains(a, b *Spanner) (bool, error) {
 // the alphabet up to the given length — a bounded refutation procedure
 // for the undecidable cases (core-spanner equivalence, Section 2.4).
 // It returns a counterexample document if one exists within the bound.
+// The alphabet must be non-empty whenever maxLen > 0; otherwise only the
+// empty document would be compared and "equal" would be vacuous, so that
+// call is rejected with an error.
 func EquivalentUpTo(a, b interface {
 	Eval(doc []byte) *Relation
-}, alphabet []byte, maxLen int) (equal bool, counterexample []byte) {
+}, alphabet []byte, maxLen int) (equal bool, counterexample []byte, err error) {
+	if maxLen < 0 {
+		return false, nil, fmt.Errorf("docspanner: EquivalentUpTo: negative maxLen %d", maxLen)
+	}
+	if len(alphabet) == 0 && maxLen > 0 {
+		return false, nil, fmt.Errorf("docspanner: EquivalentUpTo: empty alphabet with maxLen %d would compare only the empty document", maxLen)
+	}
 	var doc []byte
 	var rec func(int) []byte
 	rec = func(depth int) []byte {
@@ -278,9 +300,9 @@ func EquivalentUpTo(a, b interface {
 		return nil
 	}
 	if ce := rec(0); ce != nil {
-		return false, ce
+		return false, ce, nil
 	}
-	return true, nil
+	return true, nil, nil
 }
 
 // ExactCount returns the exact number of result tuples on doc without

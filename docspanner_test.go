@@ -101,7 +101,10 @@ func TestDecisionProblemsAPI(t *testing.T) {
 	if _, err := Equivalent(a, r); err == nil {
 		t.Error("Equivalent accepted refl spanner")
 	}
-	eq, ce := EquivalentUpTo(a, r, []byte("a"), 4)
+	eq, ce, err := EquivalentUpTo(a, r, []byte("a"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if eq {
 		t.Error("distinct spanners reported equal up to length 4")
 	}
@@ -250,9 +253,29 @@ func TestRefusedOperations(t *testing.T) {
 func TestEquivalentUpToPositive(t *testing.T) {
 	a := MustCompile("!x{ab}", Options{Alphabet: []byte("ab")})
 	b := MustCompile("!x{ab}", Options{Alphabet: []byte("ab")})
-	eq, ce := EquivalentUpTo(a, b, []byte("ab"), 4)
+	eq, ce, err := EquivalentUpTo(a, b, []byte("ab"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !eq || ce != nil {
 		t.Errorf("EquivalentUpTo = %v, %q", eq, ce)
+	}
+}
+
+func TestEquivalentUpToRejectsEmptyAlphabet(t *testing.T) {
+	a := MustCompile("!x{ab}", Options{Alphabet: []byte("ab")})
+	b := MustCompile("!x{ab}", Options{Alphabet: []byte("ab")})
+	if _, _, err := EquivalentUpTo(a, b, nil, 4); err == nil {
+		t.Error("empty alphabet with maxLen > 0 accepted")
+	}
+	if _, _, err := EquivalentUpTo(a, b, []byte("ab"), -1); err == nil {
+		t.Error("negative maxLen accepted")
+	}
+	// maxLen 0 with an empty alphabet is a legitimate (if trivial)
+	// comparison of the empty document only.
+	eq, ce, err := EquivalentUpTo(a, b, nil, 0)
+	if err != nil || !eq || ce != nil {
+		t.Errorf("EquivalentUpTo(nil, 0) = %v, %q, %v", eq, ce, err)
 	}
 }
 

@@ -16,7 +16,9 @@ import (
 	"docspanner/internal/vset"
 )
 
-// Expr is a core-spanner algebra expression.
+// Expr is a core-spanner algebra expression. Expressions are immutable
+// trees over immutable automata: Eval allocates all of its working state
+// per call, so a shared expression may be evaluated concurrently.
 type Expr interface {
 	// Vars returns the (visible) variable set of the expression.
 	Vars() spans.VarSet

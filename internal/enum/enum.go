@@ -31,7 +31,10 @@ type maskEdge struct {
 }
 
 // Enumerator holds the preprocessed data structures for one (spanner,
-// document) pair.
+// document) pair. After NewEnumerator returns, the tables are read-only:
+// Each, Count, and All may run concurrently from multiple goroutines, and
+// several Enumerators may share one DEVA (which Determinize returns fully
+// built and is never mutated here).
 type Enumerator struct {
 	d     *automata.DEVA
 	doc   []byte

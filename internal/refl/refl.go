@@ -20,11 +20,15 @@ import (
 )
 
 // Spanner is a refl-spanner: an NFA over Σ ∪ markers ∪ references.
+// Evaluation (Eval, Enumerate, ModelCheck, NonEmpty) allocates its search
+// state per call, so a shared Spanner is safe for concurrent use as long
+// as NaiveCompare is set before the instance is shared.
 type Spanner struct {
 	A *automata.NFA
 	// NaiveCompare disables the rolling-hash string structure and
 	// compares referenced factors byte by byte — the quadratic baseline
 	// of Section 3.3, kept as an ablation switch for the benchmarks.
+	// Configure it before sharing the spanner across goroutines.
 	NaiveCompare bool
 }
 
@@ -126,6 +130,25 @@ func (s *Spanner) Eval(doc []byte, functional bool) *spans.Relation {
 		return true
 	})
 	return out
+}
+
+// Enumerate streams the result tuples on doc without duplicates, calling
+// f for each; the search stops as soon as f returns false. Unlike Eval it
+// never materializes the full relation, so early termination (taking the
+// first k tuples, or probing for non-emptiness) does only the work needed
+// to produce the tuples actually delivered. Distinct search configurations
+// can reach the same tuple, so duplicates are suppressed on the fly by
+// canonical tuple key.
+func (s *Spanner) Enumerate(doc []byte, functional bool, f func(spans.Tuple) bool) {
+	seen := map[string]bool{}
+	s.search(doc, functional, func(t spans.Tuple) bool {
+		k := t.Key()
+		if seen[k] {
+			return true
+		}
+		seen[k] = true
+		return f(t)
+	})
 }
 
 // NonEmpty decides ⟦L⟧(doc) ≠ ∅ — NP-hard for refl-spanners (Section

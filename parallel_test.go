@@ -1,0 +1,312 @@
+package docspanner
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+// The split-correct configuration used throughout: documents over {a,b,;}
+// are split at semicolons, and the extraction spanner matches inside a
+// single segment (aa cannot cross a ';'), exactly the positive instance
+// of the internal/split tests.
+const (
+	shardAlphabet   = "ab;"
+	segmentSplitter = "(.*;)?!s{[ab]*}(;.*)?"
+	segmentPattern  = ".*!x{aa}.*"
+)
+
+func shardFixture(t testing.TB) (p, splitter *Spanner) {
+	t.Helper()
+	opts := Options{Alphabet: []byte(shardAlphabet)}
+	return MustCompile(segmentPattern, opts), MustCompile(segmentSplitter, opts)
+}
+
+func batchDocs(n int) [][]byte {
+	docs := make([][]byte, n)
+	for i := range docs {
+		docs[i] = []byte(fmt.Sprintf("aa;a%saa;b", string("ab"[i%2])))
+	}
+	return docs
+}
+
+func TestEvalDocsMatchesSerial(t *testing.T) {
+	s := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")})
+	docs := [][]byte{
+		[]byte("abab"),
+		[]byte("bbbb"),
+		[]byte(""),
+		[]byte("aab"),
+		[]byte("ababab"),
+	}
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := EvalDocs(context.Background(), s, docs, ParallelOptions{Workers: workers})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(got) != len(docs) {
+			t.Fatalf("workers=%d: %d results for %d docs", workers, len(got), len(docs))
+		}
+		for i, doc := range docs {
+			if want := s.Eval(doc); !got[i].Equal(want) {
+				t.Errorf("workers=%d doc %d: %v, want %v", workers, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestEvalDocsWithQueryAndNormalForm(t *testing.T) {
+	opts := Options{Alphabet: []byte("ab,")}
+	pair := MustCompile("!x{(a|b)+},!y{(a|b)+}", opts)
+	q := MustQ(pair).SelectEqual("x", "y").Project("x")
+	nf, err := q.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := [][]byte{[]byte("ab,ab"), []byte("a,b"), []byte("ba,ba")}
+	for _, ev := range []Evaluator{q, nf} {
+		got, err := EvalDocs(context.Background(), ev, docs, ParallelOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, doc := range docs {
+			if want := ev.Eval(doc); !got[i].Equal(want) {
+				t.Errorf("%T doc %d: %v, want %v", ev, i, got[i], want)
+			}
+		}
+	}
+}
+
+func TestEvalDocsCancellation(t *testing.T) {
+	s := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvalDocs(ctx, s, batchDocs(64), ParallelOptions{Workers: 2}); err == nil {
+		t.Error("cancelled EvalDocs returned nil error")
+	}
+}
+
+func TestEvalDocsEmptyBatch(t *testing.T) {
+	s := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")})
+	got, err := EvalDocs(context.Background(), s, nil, ParallelOptions{})
+	if err != nil || len(got) != 0 {
+		t.Errorf("EvalDocs(nil batch) = %v, %v", got, err)
+	}
+}
+
+// tupleSeq flattens an EnumerateDocs run into a comparable trace.
+func tupleSeq(t *testing.T, s *Spanner, docs [][]byte, workers int) []string {
+	t.Helper()
+	var seq []string
+	err := EnumerateDocs(context.Background(), s, docs, ParallelOptions{Workers: workers}, func(doc int, tu Tuple) bool {
+		seq = append(seq, fmt.Sprintf("%d:%s", doc, tu.Key()))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return seq
+}
+
+func TestEnumerateDocsDeterministicOrder(t *testing.T) {
+	s := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")})
+	docs := [][]byte{[]byte("abab"), []byte("ab"), []byte("bbbb"), []byte("aabab")}
+
+	// Serial reference: documents in order, tuples in enumeration order.
+	var want []string
+	for i, doc := range docs {
+		s.Enumerate(doc, func(tu Tuple) bool {
+			want = append(want, fmt.Sprintf("%d:%s", i, tu.Key()))
+			return true
+		})
+	}
+	for _, workers := range []int{1, 2, 8} {
+		for rep := 0; rep < 3; rep++ {
+			if got := tupleSeq(t, s, docs, workers); !reflect.DeepEqual(got, want) {
+				t.Errorf("workers=%d rep=%d: order %v, want %v", workers, rep, got, want)
+			}
+		}
+	}
+}
+
+func TestEnumerateDocsEarlyStop(t *testing.T) {
+	s := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")})
+	docs := batchDocs(16)
+	for i := range docs {
+		docs[i] = []byte("abababab")
+	}
+	seen := 0
+	err := EnumerateDocs(context.Background(), s, docs, ParallelOptions{Workers: 4}, func(doc int, tu Tuple) bool {
+		seen++
+		return seen < 3
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != 3 {
+		t.Errorf("early stop delivered %d tuples, want 3", seen)
+	}
+}
+
+func TestEnumerateDocsCancellation(t *testing.T) {
+	s := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := EnumerateDocs(ctx, s, batchDocs(64), ParallelOptions{Workers: 2}, func(int, Tuple) bool { return true })
+	if err == nil {
+		t.Error("cancelled EnumerateDocs returned nil error")
+	}
+}
+
+// TestEvalShardedMatchesSerial is the cross-validation required by the
+// split-correctness guarantee: on a split-correct (spanner, splitter)
+// pair, the parallel sharded evaluation must equal the direct serial one
+// on every document.
+func TestEvalShardedMatchesSerial(t *testing.T) {
+	p, splitter := shardFixture(t)
+	docs := []string{"", "aa", "b;aab;aa", "aa;a;aa", ";;", "aabb;ab;aa;", "aaaa;aaaa"}
+	for _, workers := range []int{0, 1, 4} {
+		for _, doc := range docs {
+			got, err := EvalSharded(context.Background(), p, splitter, "s", []byte(doc),
+				ShardOptions{Workers: workers, Verify: true})
+			if err != nil {
+				t.Fatalf("workers=%d doc=%q: %v", workers, doc, err)
+			}
+			want := p.Eval([]byte(doc))
+			if !got.Equal(want) {
+				t.Errorf("workers=%d doc=%q: sharded %v, serial %v", workers, doc, got, want)
+			}
+		}
+	}
+}
+
+func TestEvalShardedRejectsSplitIncorrect(t *testing.T) {
+	opts := Options{Alphabet: []byte(shardAlphabet)}
+	// a;a crosses segment boundaries — the negative instance of the
+	// internal/split tests.
+	p := MustCompile(".*!x{a;a}.*", opts)
+	splitter := MustCompile(segmentSplitter, opts)
+	_, err := EvalSharded(context.Background(), p, splitter, "s", []byte("a;a"), ShardOptions{Verify: true})
+	if err == nil {
+		t.Fatal("split-incorrect spanner accepted with Verify")
+	}
+	// Without verification the caller gets per-shard semantics: no match,
+	// since a;a cannot occur inside any ;-free shard.
+	got, err := EvalSharded(context.Background(), p, splitter, "s", []byte("a;a"), ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 0 {
+		t.Errorf("per-shard evaluation of a;a = %v, want empty", got)
+	}
+}
+
+func TestEvalShardedRefl(t *testing.T) {
+	opts := Options{Alphabet: []byte(shardAlphabet)}
+	// Square detection inside each segment — a refl-spanner, so Verify is
+	// unavailable; validate against the serial shard-by-shard pipeline.
+	p := MustCompile("!x{(a|b)+}&x", opts)
+	splitter := MustCompile(segmentSplitter, opts)
+	doc := []byte("abab;aa;ba")
+	got, err := EvalSharded(context.Background(), p, splitter, "s", doc, ShardOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards, err := SplitSpans(splitter, "s", doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := NewRelation()
+	for _, sh := range shards {
+		for _, tu := range p.Eval(sh.Content(doc)).Tuples() {
+			nt := make(Tuple, len(tu))
+			for v, sp := range tu {
+				nt[v] = NewSpan(sp.Begin+sh.Begin-1, sp.End+sh.Begin-1)
+			}
+			want.Add(nt)
+		}
+	}
+	if !got.Equal(want) {
+		t.Errorf("refl sharded = %v, want %v", got, want)
+	}
+	if got.Len() == 0 {
+		t.Error("expected squares in abab and aa")
+	}
+	if _, _, err := CheckSplitCorrect(p, splitter, "s", nil, 2); err == nil {
+		t.Error("CheckSplitCorrect accepted a refl-spanner")
+	}
+}
+
+func TestEvalShardedErrors(t *testing.T) {
+	p, splitter := shardFixture(t)
+	if _, err := EvalSharded(context.Background(), p, splitter, "nosuchvar", []byte("aa"), ShardOptions{}); err == nil {
+		t.Error("unknown split variable accepted")
+	}
+	refl := MustCompile("!x{a}&x", Options{Alphabet: []byte("a")})
+	if _, err := EvalSharded(context.Background(), p, refl, "x", []byte("aa"), ShardOptions{}); err == nil {
+		t.Error("refl splitter accepted")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := EvalSharded(ctx, p, splitter, "s", []byte("aa;aa;aa;aa"), ShardOptions{Workers: 2}); err == nil {
+		t.Error("cancelled EvalSharded returned nil error")
+	}
+}
+
+func TestSplitSpans(t *testing.T) {
+	_, splitter := shardFixture(t)
+	got, err := SplitSpans(splitter, "s", []byte("ab;a;;bb"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Span{NewSpan(1, 3), NewSpan(4, 5), NewSpan(6, 6), NewSpan(7, 9)}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("SplitSpans = %v, want %v", got, want)
+	}
+}
+
+func TestCheckSplitCorrect(t *testing.T) {
+	p, splitter := shardFixture(t)
+	correct, ce, err := CheckSplitCorrect(p, splitter, "s", nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !correct || ce != nil {
+		t.Errorf("CheckSplitCorrect = %v, %q", correct, ce)
+	}
+	bad := MustCompile(".*!x{a;a}.*", Options{Alphabet: []byte(shardAlphabet)})
+	correct, ce, err = CheckSplitCorrect(bad, splitter, "s", nil, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if correct {
+		t.Error("split-incorrect spanner reported correct")
+	}
+	if ce == nil {
+		t.Error("no counterexample found for split-incorrect spanner")
+	}
+}
+
+// TestReflEnumerateStreams checks the work-saving property of the
+// streaming refl enumeration: an early-stopping callback sees exactly k
+// tuples, and NonEmpty-style probing does not materialize the relation.
+func TestReflEnumerateStreams(t *testing.T) {
+	s := MustCompile("!x{(a|b)+}&x", Options{Alphabet: []byte("ab")})
+	doc := []byte("abab")
+	full := s.Count(doc)
+	if full == 0 {
+		t.Fatal("fixture has no results")
+	}
+	n := 0
+	s.Enumerate(doc, func(Tuple) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early-stop enumeration delivered %d tuples, want 1", n)
+	}
+	// Streaming must agree with materialization.
+	streamed := NewRelation()
+	s.Enumerate(doc, func(tu Tuple) bool { streamed.Add(tu); return true })
+	if !streamed.Equal(s.Eval(doc)) {
+		t.Errorf("streamed = %v, want %v", streamed, s.Eval(doc))
+	}
+}

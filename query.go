@@ -12,6 +12,11 @@ import (
 // string-equality selection (Section 1 of the survey). Queries evaluate
 // by materialization; Normalize rewrites them into the normal form of the
 // core-simplification lemma (Section 2.3).
+//
+// A Query is immutable — the combinators (Union, Join, Project, ...)
+// return new queries — and safe for concurrent use: Eval and Normalize
+// keep all evaluation state on the stack and may be called from multiple
+// goroutines on a shared instance.
 type Query struct {
 	expr       algebra.Expr
 	schemaless bool
@@ -80,7 +85,8 @@ func (q *Query) Eval(doc []byte) *Relation {
 func (q *Query) String() string { return algebra.String(q.expr) }
 
 // NormalForm is the core-simplification normal form
-// π_Visible(ς=_{Z1} ... ς=_{Zk}(⟦M⟧)) of a query (Section 2.3).
+// π_Visible(ς=_{Z1} ... ς=_{Zk}(⟦M⟧)) of a query (Section 2.3). Like
+// Query it is immutable after construction and safe for concurrent Eval.
 type NormalForm struct {
 	cf         *algebra.CoreForm
 	schemaless bool
