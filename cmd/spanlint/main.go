@@ -1,0 +1,381 @@
+// Command spanlint statically analyzes spanner patterns and core-spanner
+// algebra expressions, reporting diagnostics with stable codes (run
+// spanlint -codes for the full table).
+//
+// Usage:
+//
+//	spanlint [flags] INPUT...
+//	spanlint [flags] -f corpus.txt
+//
+// Each INPUT is either a spanner pattern,
+//
+//	spanlint '!x{[a-z]+}=!v{[0-9]+}'
+//
+// or an algebra expression in a small prefix syntax whose operands are
+// separated by semicolons:
+//
+//	union(E; E)        spanner union
+//	join(E; E)         natural join
+//	project(x,y; E)    projection onto the listed variables
+//	seleq(x,y; E)      string-equality selection over the listed variables
+//	minus(P; P)        spanner difference of two raw patterns — handy for
+//	                   containment refutation: an empty difference lints as
+//	                   SP001 (unsatisfiable)
+//
+// where each E is again an expression or a raw pattern, e.g.
+//
+//	spanlint 'project(v; join(!x{[a-z]+}=!v{[0-9]+}; !x{key}=[0-9]+))'
+//
+// A raw pattern that itself starts with one of the four operator keywords
+// immediately followed by "(" must be wrapped in a group, e.g. '(union(a))'.
+//
+// With -f, inputs are read one per line from a file; blank lines and lines
+// starting with # are skipped. Inputs that fail to parse or compile are
+// reported as code SP000 at severity error. The exit status is 1 when any
+// diagnostic reaches the -fail-on severity (default warning), else 0.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"docspanner"
+	"docspanner/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut    = flag.Bool("json", false, "emit diagnostics as a JSON array of {input, diagnostics} objects")
+		corpus     = flag.String("f", "", "read inputs (one per line) from this file")
+		alphabet   = flag.String("alphabet", "", "document alphabet (default: inferred per pattern)")
+		schemaless = flag.Bool("schemaless", false, "compile patterns with schemaless semantics")
+		failOn     = flag.String("fail-on", "warning", "exit 1 when a diagnostic reaches this severity: info | warning | error | never")
+		codes      = flag.Bool("codes", false, "print the diagnostic code table and exit")
+	)
+	flag.Parse()
+
+	if *codes {
+		for _, c := range lint.Codes() {
+			fmt.Printf("%s  %s\n", c.Code, c.Title)
+		}
+		return
+	}
+
+	threshold, err := parseFailOn(*failOn)
+	if err != nil {
+		fail(err)
+	}
+
+	inputs := flag.Args()
+	if *corpus != "" {
+		blob, err := os.ReadFile(*corpus)
+		if err != nil {
+			fail(err)
+		}
+		for _, line := range strings.Split(string(blob), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			inputs = append(inputs, line)
+		}
+	}
+	if len(inputs) == 0 {
+		fmt.Fprintln(os.Stderr, "spanlint: no inputs (pass patterns/expressions as arguments, or -f FILE)")
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := docspanner.Options{Schemaless: *schemaless}
+	if *alphabet != "" {
+		opts.Alphabet = []byte(*alphabet)
+	}
+
+	type result struct {
+		Input       string                  `json:"input"`
+		Diagnostics []docspanner.Diagnostic `json:"diagnostics"`
+	}
+	results := make([]result, 0, len(inputs))
+	worst := docspanner.Severity(0)
+	for _, in := range inputs {
+		ds := lintInput(in, opts)
+		if ds == nil {
+			ds = []docspanner.Diagnostic{} // keep -json output a list, not null
+		}
+		results = append(results, result{Input: in, Diagnostics: ds})
+		for _, d := range ds {
+			if d.Severity > worst {
+				worst = d.Severity
+			}
+		}
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fail(err)
+		}
+	} else {
+		for _, r := range results {
+			if len(inputs) > 1 {
+				fmt.Printf("== %s\n", r.Input)
+			}
+			if len(r.Diagnostics) == 0 {
+				fmt.Println("clean")
+				continue
+			}
+			for _, d := range r.Diagnostics {
+				fmt.Println(d)
+			}
+		}
+	}
+
+	if threshold > 0 && worst >= threshold {
+		os.Exit(1)
+	}
+}
+
+// parseFailOn maps the -fail-on value to a severity threshold; 0 means
+// never fail.
+func parseFailOn(s string) (docspanner.Severity, error) {
+	if s == "never" {
+		return 0, nil
+	}
+	return lint.ParseSeverity(s)
+}
+
+// lintInput analyzes one input, turning parse and compile errors into an
+// SP000 diagnostic so a corpus run reports every input uniformly.
+func lintInput(src string, opts docspanner.Options) []docspanner.Diagnostic {
+	badInput := func(err error) []docspanner.Diagnostic {
+		return []docspanner.Diagnostic{{
+			Code:     "SP000",
+			Severity: docspanner.SeverityError,
+			Pos:      "$",
+			Message:  err.Error(),
+		}}
+	}
+	trimmed := strings.TrimSpace(src)
+	if isOperator(trimmed) {
+		p := &parser{src: trimmed, opts: opts}
+		q, err := p.expr()
+		if err == nil {
+			p.ws()
+			if p.pos != len(p.src) {
+				err = fmt.Errorf("trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+			}
+		}
+		if err != nil {
+			return badInput(err)
+		}
+		return q.Lint()
+	}
+	s, err := docspanner.Compile(trimmed, opts)
+	if err != nil {
+		return badInput(err)
+	}
+	return s.Lint()
+}
+
+// isOperator reports whether the input starts with one of the algebra
+// keywords immediately followed by an opening parenthesis.
+func isOperator(src string) bool {
+	for _, kw := range []string{"union", "join", "project", "seleq", "minus"} {
+		if strings.HasPrefix(src, kw+"(") {
+			return true
+		}
+	}
+	return false
+}
+
+// parser is a recursive-descent parser for the prefix expression syntax.
+type parser struct {
+	src  string
+	pos  int
+	opts docspanner.Options
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(c byte) error {
+	p.ws()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expr() (*docspanner.Query, error) {
+	p.ws()
+	rest := p.src[p.pos:]
+	switch {
+	case strings.HasPrefix(rest, "union("):
+		return p.binary("union", (*docspanner.Query).Union)
+	case strings.HasPrefix(rest, "join("):
+		return p.binary("join", (*docspanner.Query).Join)
+	case strings.HasPrefix(rest, "project("):
+		return p.varOp("project", func(q *docspanner.Query, vars []docspanner.Var) *docspanner.Query {
+			return q.Project(vars...)
+		})
+	case strings.HasPrefix(rest, "seleq("):
+		return p.varOp("seleq", func(q *docspanner.Query, vars []docspanner.Var) *docspanner.Query {
+			return q.SelectEqual(vars...)
+		})
+	case strings.HasPrefix(rest, "minus("):
+		return p.minus()
+	}
+	return p.pattern()
+}
+
+func (p *parser) binary(kw string, op func(*docspanner.Query, *docspanner.Query) *docspanner.Query) (*docspanner.Query, error) {
+	p.pos += len(kw) + 1 // keyword and "("
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	r, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	return op(l, r), nil
+}
+
+func (p *parser) varOp(kw string, op func(*docspanner.Query, []docspanner.Var) *docspanner.Query) (*docspanner.Query, error) {
+	p.pos += len(kw) + 1
+	vars, err := p.varList()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	sub, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	return op(sub, vars), nil
+}
+
+// varList parses a possibly empty comma-separated variable list, up to
+// (but not consuming) the ';' separator.
+func (p *parser) varList() ([]docspanner.Var, error) {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != ';' && p.src[p.pos] != ')' {
+		p.pos++
+	}
+	raw := strings.TrimSpace(p.src[start:p.pos])
+	if raw == "" {
+		return nil, nil
+	}
+	var vars []docspanner.Var
+	for _, name := range strings.Split(raw, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("empty variable name in list %q", raw)
+		}
+		vars = append(vars, docspanner.Var(name))
+	}
+	return vars, nil
+}
+
+// minus parses minus(P; P) where both operands are raw patterns, and
+// builds the spanner difference P1 ∖ P2.
+func (p *parser) minus() (*docspanner.Query, error) {
+	p.pos += len("minus") + 1
+	a, err := p.compileOperand()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, fmt.Errorf("minus: %w", err)
+	}
+	b, err := p.compileOperand()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, fmt.Errorf("minus: %w", err)
+	}
+	d, err := docspanner.Difference(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("minus: %w", err)
+	}
+	return docspanner.Q(d)
+}
+
+// pattern compiles a raw spanner pattern operand into a primitive query.
+func (p *parser) pattern() (*docspanner.Query, error) {
+	s, err := p.compileOperand()
+	if err != nil {
+		return nil, err
+	}
+	return docspanner.Q(s)
+}
+
+// compileOperand scans a raw pattern operand — text up to the next ';' or
+// ')' at parenthesis depth zero, honoring backslash escapes and character
+// classes so grouping inside the pattern does not end the operand — and
+// compiles it.
+func (p *parser) compileOperand() (*docspanner.Spanner, error) {
+	start := p.pos
+	depth, inClass := 0, false
+scan:
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\\' && p.pos+1 < len(p.src):
+			p.pos++
+		case inClass:
+			if c == ']' {
+				inClass = false
+			}
+		case c == '[':
+			inClass = true
+		case c == '(':
+			depth++
+		case c == ')':
+			if depth == 0 {
+				break scan
+			}
+			depth--
+		case c == ';':
+			if depth == 0 {
+				break scan
+			}
+		}
+		p.pos++
+	}
+	pat := strings.TrimSpace(p.src[start:p.pos])
+	if pat == "" {
+		return nil, fmt.Errorf("empty pattern operand at offset %d", start)
+	}
+	s, err := docspanner.Compile(pat, p.opts)
+	if err != nil {
+		return nil, fmt.Errorf("pattern %q: %w", pat, err)
+	}
+	return s, nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "spanlint:", err)
+	os.Exit(1)
+}

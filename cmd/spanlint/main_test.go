@@ -1,0 +1,70 @@
+package main
+
+import (
+	"testing"
+
+	"docspanner"
+)
+
+// TestLintInputCodes drives each diagnostic code through the CLI's input
+// syntax, including SP000 for malformed inputs.
+func TestLintInputCodes(t *testing.T) {
+	cases := []struct {
+		input string
+		codes []string // want exactly these codes, in order
+	}{
+		{`!x{a+}=!v{[0-9]+}`, nil},
+		{`join(!x{a}b; a!y{b})`, []string{"SP003"}},
+		{`join(!x{a}; !x{b})`, []string{"SP003"}},
+		{`project(q; !x{a})`, []string{"SP004", "SP004"}},
+		{`seleq(x; !x{a+})`, []string{"SP005"}},
+		{`seleq(x,y; union(!x{a}; !y{b}))`, []string{"SP005"}},
+		{`join(!x{ab}[abc]; [abc]!y{bc})`, []string{"SP003", "SP006"}},
+		{`seleq(x,y; !x{a+}b!y{a+})`, []string{"SP007"}},
+		{`union(!x{a}; !x{a})`, []string{"SP008"}},
+		{`!x{`, []string{"SP000"}},
+		{`union(!x{a}; )`, []string{"SP000"}},
+		{`project(,; !x{a})`, []string{"SP000"}},
+		{`union(!x{a}; !y{b}) trailing`, []string{"SP000"}},
+		// Pattern operands may use grouping and classes containing ; and ).
+		{`union((ab)+!x{a}; !x{[;)]}a)`, nil},
+	}
+	for _, tc := range cases {
+		t.Run(tc.input, func(t *testing.T) {
+			ds := lintInput(tc.input, docspanner.Options{})
+			var got []string
+			for _, d := range ds {
+				got = append(got, d.Code)
+			}
+			if len(got) != len(tc.codes) {
+				t.Fatalf("lintInput(%q) codes = %v, want %v (full: %v)", tc.input, got, tc.codes, ds)
+			}
+			for i := range got {
+				if got[i] != tc.codes[i] {
+					t.Fatalf("lintInput(%q) codes = %v, want %v", tc.input, got, tc.codes)
+				}
+			}
+		})
+	}
+}
+
+// TestLintInputUnsatisfiable covers SP001 through the CLI: pattern-compiled
+// spanners are satisfiable by construction, but the difference of a spanner
+// with itself is the canonical empty spanner.
+func TestLintInputUnsatisfiable(t *testing.T) {
+	ds := lintInput(`minus(!x{a+}; !x{a+})`, docspanner.Options{})
+	seen := map[string]bool{}
+	for _, d := range ds {
+		seen[d.Code] = true
+	}
+	if !seen["SP001"] {
+		t.Errorf("want SP001 for a self-difference, got %v", ds)
+	}
+	// A non-empty difference refutes containment and lints clean of SP001.
+	ds = lintInput(`minus(!x{a+}; !x{a})`, docspanner.Options{})
+	for _, d := range ds {
+		if d.Code == "SP001" {
+			t.Errorf("non-empty difference should not be SP001: %v", ds)
+		}
+	}
+}

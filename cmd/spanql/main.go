@@ -6,6 +6,7 @@
 //	spanql -pattern '...' -file doc.txt -mode count
 //	spanql -pattern '...' -text '...' -mode check -tuple 'x=1:3,v=4:6'
 //	spanql -pattern '...' -mode analyze
+//	spanql -pattern '...' -lint
 //
 // Modes:
 //
@@ -37,6 +38,7 @@ func main() {
 		schemaless = flag.Bool("schemaless", false, "allow partial tuples")
 		compressed = flag.Bool("compressed", false, "evaluate over the SLP-compressed document")
 		dot        = flag.Bool("dot", false, "print the spanner automaton in Graphviz DOT format and exit")
+		lint       = flag.Bool("lint", false, "run spanlint on the compiled spanner and exit (status 1 on warnings or errors)")
 	)
 	flag.Parse()
 	if *pattern == "" {
@@ -56,6 +58,25 @@ func main() {
 
 	if *dot {
 		fmt.Print(s.Dot())
+		return
+	}
+
+	if *lint {
+		ds := s.Lint()
+		if len(ds) == 0 {
+			fmt.Println("spanql: lint clean")
+			return
+		}
+		bad := false
+		for _, d := range ds {
+			fmt.Println(d)
+			if d.Severity >= docspanner.SeverityWarning {
+				bad = true
+			}
+		}
+		if bad {
+			os.Exit(1)
+		}
 		return
 	}
 

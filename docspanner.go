@@ -34,6 +34,7 @@ import (
 
 	"docspanner/internal/automata"
 	"docspanner/internal/enum"
+	"docspanner/internal/lint"
 	"docspanner/internal/refl"
 	"docspanner/internal/regex"
 	"docspanner/internal/spans"
@@ -89,6 +90,7 @@ type Options struct {
 type Spanner struct {
 	pattern    string
 	nfa        *automata.NFA
+	ast        regex.Node    // nil for derived spanners (e.g. Difference)
 	rspanner   *refl.Spanner // non-nil iff the pattern has references
 	devaOnce   sync.Once
 	deva       *automata.DEVA
@@ -110,7 +112,7 @@ func Compile(pattern string, opts Options) (*Spanner, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &Spanner{pattern: pattern, nfa: nfa, schemaless: opts.Schemaless}
+	s := &Spanner{pattern: pattern, nfa: nfa, ast: ast, schemaless: opts.Schemaless}
 	if nfa.HasRefs() {
 		rs, err := refl.New(nfa)
 		if err != nil {
@@ -238,9 +240,14 @@ func (s *Spanner) Witness() (doc []byte, t Tuple, ok bool) {
 	return vset.Witness(s.nfa)
 }
 
-// Hierarchical decides whether the spanner only extracts tuples whose
-// spans are pairwise disjoint or nested (Section 2.2). Regular spanners
-// only.
+// Hierarchical decides the Hierarchicality problem of Section 2.4: it
+// returns true exactly when every tuple the spanner extracts, from any
+// document, has pairwise disjoint-or-nested spans (Section 2.2). The
+// polarity follows the property name — true means "is hierarchical", the
+// benign case; false means some document admits a tuple with properly
+// overlapping spans. Note the contrast with Query.IsCore, whose true
+// answer flags the *harder* class. Regular spanners only; refl-spanners
+// return an error rather than a guess.
 func (s *Spanner) Hierarchical() (bool, error) {
 	if s.rspanner != nil {
 		return false, fmt.Errorf("docspanner: Hierarchical is implemented for regular spanners")
@@ -313,6 +320,39 @@ func (s *Spanner) ExactCount(doc []byte) (*big.Int, error) {
 		return nil, fmt.Errorf("docspanner: ExactCount is implemented for regular spanners")
 	}
 	return enum.FastCount(s.dEVA(), doc), nil
+}
+
+// Re-exported static-analysis (spanlint) types. See package
+// internal/lint for the pass implementations and cmd/spanlint for the
+// command-line front end.
+type (
+	// Diagnostic is one spanlint finding, with a stable code (SP001–SP008),
+	// a severity, a position path into the expression tree, a message, and
+	// an optional fix hint.
+	Diagnostic = lint.Diagnostic
+	// Severity grades a Diagnostic: SeverityInfo, SeverityWarning, or
+	// SeverityError.
+	Severity = lint.Severity
+)
+
+// Severity levels for lint diagnostics.
+const (
+	SeverityInfo    = lint.Info
+	SeverityWarning = lint.Warning
+	SeverityError   = lint.Error
+)
+
+// Lint runs the spanlint static-analysis passes on the compiled spanner
+// and returns its diagnostics, sorted and deterministic; an empty slice
+// means the spanner is lint-clean. The passes reuse the library's decision
+// procedures (Satisfiable, Hierarchical, ...) and run in query complexity
+// only — no document is involved. Like every other method, Lint is safe to
+// call concurrently on a shared spanner.
+func (s *Spanner) Lint() []Diagnostic {
+	if s.rspanner != nil {
+		return lint.Refl(s.rspanner)
+	}
+	return lint.Spanner(s.nfa, s.ast, s.schemaless)
 }
 
 // Difference returns the spanner D ↦ a(D) ∖ b(D). Regular spanners are

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"docspanner/internal/automata"
+	"docspanner/internal/regex"
 	"docspanner/internal/spans"
 	"docspanner/internal/vset"
 )
@@ -28,9 +29,13 @@ type Expr interface {
 	Eval(doc []byte, sem vset.Semantics) *spans.Relation
 }
 
-// Prim is a primitive regular spanner given by a vset-automaton.
+// Prim is a primitive regular spanner given by a vset-automaton. Src
+// optionally carries the regex AST the automaton was compiled from; static
+// analysis uses it for source-level rewrite hints (e.g. the core→refl
+// translation of Section 3.2) and evaluation ignores it.
 type Prim struct {
-	A *automata.NFA
+	A   *automata.NFA
+	Src regex.Node
 }
 
 // Union is the spanner union L ∪ R.

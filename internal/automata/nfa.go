@@ -285,6 +285,24 @@ func (n *NFA) Trim() *NFA {
 	return out
 }
 
+// DeadStates reports the automaton's useless states: unreachable lists the
+// states not reachable from the start state, nonCoaccessible the reachable
+// states from which no final state can be reached. The two lists are
+// disjoint (a state unreachable AND non-coaccessible is reported only as
+// unreachable), sorted, and together are exactly the states Trim removes.
+func (n *NFA) DeadStates() (unreachable, nonCoaccessible []int) {
+	reach, co := n.reachable(), n.coReachable()
+	for q := range n.Final {
+		switch {
+		case !reach[q]:
+			unreachable = append(unreachable, q)
+		case !co[q]:
+			nonCoaccessible = append(nonCoaccessible, q)
+		}
+	}
+	return unreachable, nonCoaccessible
+}
+
 // Empty reports whether the automaton accepts no word at all.
 func (n *NFA) Empty() bool {
 	reach := n.reachable()

@@ -1,0 +1,171 @@
+// Package lint implements spanlint: composable static-analysis passes over
+// compiled spanners, core-spanner algebra expressions, and vset-automata.
+//
+// The survey (Section 2.4) frames Satisfiability, Hierarchicality,
+// Containment, and Equivalence as static analysis of spanner
+// representations; this package turns those decision procedures — all of
+// which the library already implements in packages vset, automata, and
+// refl — into developer-facing diagnostics with stable codes:
+//
+//	SP001  unsatisfiable spanner or subexpression (empty language)
+//	SP002  dead vset-automaton states (unreachable / non-coaccessible)
+//	SP003  degenerate join (disjoint schemas, or no satisfiable tuple)
+//	SP004  degenerate projection (unbound variable kept, or all dropped)
+//	SP005  degenerate selection (provable no-op, or provably empty)
+//	SP006  non-hierarchical spanner
+//	SP007  core selections admit a regular refl rewrite (Section 3.2)
+//	SP008  equivalent branches in a union (duplicate work)
+//
+// All passes reuse the existing decision machinery (vset.Satisfiable,
+// vset.Hierarchical, vset.Equivalent, refl.FromRegexCore, ...) rather than
+// re-deriving it, and run in query complexity only: no document is ever
+// involved. Analysis allocates all working state per call and treats the
+// analyzed automata as immutable, so a shared spanner or expression may be
+// linted concurrently with evaluation (per the library's concurrency
+// contracts).
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+)
+
+// Severity grades a diagnostic. The zero value is invalid so that a
+// Diagnostic round-tripped through JSON with a missing severity is
+// detectable.
+type Severity int
+
+const (
+	// Info marks an observation or rewrite opportunity.
+	Info Severity = iota + 1
+	// Warning marks a construct that is almost certainly not what the
+	// author intended (silent cartesian product, no-op selection, ...).
+	Warning
+	// Error marks a query that provably computes the empty result on
+	// every document.
+	Error
+)
+
+// String returns "info", "warning", or "error".
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Error:
+		return "error"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// ParseSeverity is the inverse of String.
+func ParseSeverity(s string) (Severity, error) {
+	switch s {
+	case "info":
+		return Info, nil
+	case "warning":
+		return Warning, nil
+	case "error":
+		return Error, nil
+	}
+	return 0, fmt.Errorf("lint: unknown severity %q (want info, warning, or error)", s)
+}
+
+// MarshalJSON encodes the severity as its name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	switch s {
+	case Info, Warning, Error:
+		return json.Marshal(s.String())
+	}
+	return nil, fmt.Errorf("lint: cannot marshal invalid severity %d", int(s))
+}
+
+// UnmarshalJSON decodes a severity name.
+func (s *Severity) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	v, err := ParseSeverity(name)
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// Diagnostic is one finding of a lint pass.
+type Diagnostic struct {
+	// Code is the stable diagnostic code (SP001–SP008).
+	Code string `json:"code"`
+	// Severity grades the finding.
+	Severity Severity `json:"severity"`
+	// Pos locates the finding inside the analyzed expression tree as a
+	// path: "$" is the root, "$.L"/"$.R" descend into the operands of a
+	// union or join, "$.Sub" into the operand of a projection, selection,
+	// or fusion. For a lone spanner the position is always "$".
+	Pos string `json:"pos"`
+	// Message states the finding.
+	Message string `json:"message"`
+	// Hint, when present, suggests a fix or rewrite.
+	Hint string `json:"hint,omitempty"`
+}
+
+// String renders the diagnostic in the one-line human-readable form used
+// by cmd/spanlint.
+func (d Diagnostic) String() string {
+	out := fmt.Sprintf("%s %s %s: %s", d.Pos, d.Code, d.Severity, d.Message)
+	if d.Hint != "" {
+		out += " (hint: " + d.Hint + ")"
+	}
+	return out
+}
+
+// Diagnostic codes, stable across releases.
+const (
+	CodeUnsatisfiable   = "SP001"
+	CodeDeadStates      = "SP002"
+	CodeDegenerateJoin  = "SP003"
+	CodeDegenerateProj  = "SP004"
+	CodeDegenerateSel   = "SP005"
+	CodeNonHierarchical = "SP006"
+	CodeReflRewrite     = "SP007"
+	CodeDuplicateBranch = "SP008"
+)
+
+// CodeInfo documents one diagnostic code for listings (cmd/spanlint
+// -codes, README table).
+type CodeInfo struct {
+	Code  string
+	Title string
+}
+
+// Codes lists every diagnostic code this package can emit, in order.
+func Codes() []CodeInfo {
+	return []CodeInfo{
+		{CodeUnsatisfiable, "unsatisfiable spanner or subexpression (empty language)"},
+		{CodeDeadStates, "dead vset-automaton states (unreachable or non-coaccessible)"},
+		{CodeDegenerateJoin, "degenerate join: disjoint schemas (cartesian product) or provably empty"},
+		{CodeDegenerateProj, "degenerate projection: keeps an unbound variable or drops every variable"},
+		{CodeDegenerateSel, "degenerate string-equality selection: provable no-op or provably empty"},
+		{CodeNonHierarchical, "non-hierarchical spanner (can extract properly overlapping spans)"},
+		{CodeReflRewrite, "core selections admit a regular refl rewrite (references &x)"},
+		{CodeDuplicateBranch, "union branches are equivalent (duplicate work)"},
+	}
+}
+
+// sortDiags orders diagnostics by position, then code, then message, so
+// output is deterministic regardless of pass scheduling.
+func sortDiags(ds []Diagnostic) {
+	sort.SliceStable(ds, func(i, j int) bool {
+		if ds[i].Pos != ds[j].Pos {
+			return ds[i].Pos < ds[j].Pos
+		}
+		if ds[i].Code != ds[j].Code {
+			return ds[i].Code < ds[j].Code
+		}
+		return ds[i].Message < ds[j].Message
+	})
+}

@@ -1,0 +1,94 @@
+package regex
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary inputs to the pattern parser. Accepted
+// patterns must render to a stable, re-parseable form and must compile
+// without panicking; rejected patterns must fail with an error, never a
+// panic.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		// Accepted patterns from the parser tests.
+		"abc", "a|b", "a*", "a+", "a?", "(ab)*", "a{3}", "a{2,}", "a{2,4}",
+		"[abc]", "[a-z]", "[^ab]", ".", "()", "!x{ab}", "!x{a|b}c", "&x",
+		"!x{a}!y{b}", "!x{!y{a}b}", "a\\*b", "\\\\",
+		"(!x{a})?", "(!x{a}){1}", "(!x{a}){0,1}",
+		"!x{(a|b)*}!y{b}!z{(a|b)*}", "!x{a+}&x", "!x{.}",
+		"!key{[a-z]+}=!val{[0-9]+}",
+		// Rejected patterns from the parser tests.
+		"(", ")", "a)", "*", "a**b(", "[", "[]", "[z-a]", "!x", "!x{a",
+		"!x{a}!x{b}", "!x{!x{a}}", "(!x{a})*", "(!x{a}){2}", "!x{a&x}",
+		"a{3,2}", "\\", "&",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return // rejection without panicking is a pass
+		}
+		rendered := Render(n)
+		n2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Render of accepted pattern does not re-parse: %q -> %q: %v", src, rendered, err)
+		}
+		if again := Render(n2); again != rendered {
+			t.Fatalf("Render not stable: %q -> %q -> %q", src, rendered, again)
+		}
+		// Compilation must not panic. Nested bounded repeats multiply
+		// automaton size geometrically from tiny sources, so skip
+		// pathological blowups the parser legitimately accepts — the fuzz
+		// target is about robustness, not capacity.
+		if len(src) > 64 || sizeEstimate(n) > 20000 {
+			return
+		}
+		nfa, err := Compile(n, Options{})
+		if err != nil {
+			return
+		}
+		_ = nfa.Validate(false)
+	})
+}
+
+// sizeEstimate bounds the compiled automaton size of an AST, counting a
+// bounded repeat as Max copies of its body.
+func sizeEstimate(n Node) int {
+	const limit = 1 << 30
+	switch m := n.(type) {
+	case Concat:
+		total := 1
+		for _, it := range m.Items {
+			if total += sizeEstimate(it); total > limit {
+				return limit
+			}
+		}
+		return total
+	case Alt:
+		total := 1
+		for _, it := range m.Items {
+			if total += sizeEstimate(it); total > limit {
+				return limit
+			}
+		}
+		return total
+	case Repeat:
+		reps := m.Max
+		if reps < 0 {
+			reps = m.Min + 1
+		}
+		if reps < 1 {
+			reps = 1
+		}
+		sub := sizeEstimate(m.Sub)
+		if sub > limit/reps {
+			return limit
+		}
+		return sub*reps + 1
+	case Bind:
+		return sizeEstimate(m.Sub) + 2
+	default:
+		return 1
+	}
+}

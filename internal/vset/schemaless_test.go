@@ -1,0 +1,114 @@
+package vset
+
+import (
+	"testing"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/spans"
+)
+
+// TestWitnessSchemaless pins Witness on spanners that genuinely use the
+// schemaless semantics: variables unbound on some accepting runs.
+func TestWitnessSchemaless(t *testing.T) {
+	// Two alternatives, each binding only one variable: any witness is a
+	// one-letter document with a partial tuple.
+	a := compile(t, "!x{a}|!y{b}")
+	doc, tup, ok := Witness(a)
+	if !ok {
+		t.Fatal("Witness not found for a satisfiable schemaless spanner")
+	}
+	if len(doc) != 1 {
+		t.Errorf("witness doc = %q, want a single letter", doc)
+	}
+	bound := tup.Vars()
+	if len(bound) != 1 {
+		t.Fatalf("witness tuple %v should bind exactly one of x, y", tup)
+	}
+	switch bound[0] {
+	case "x":
+		if string(doc) != "a" || tup.Get("x") != spans.S(1, 2) {
+			t.Errorf("x-witness = %q, %v", doc, tup)
+		}
+	case "y":
+		if string(doc) != "b" || tup.Get("y") != spans.S(1, 2) {
+			t.Errorf("y-witness = %q, %v", doc, tup)
+		}
+	default:
+		t.Errorf("unexpected bound variable %v", bound)
+	}
+	// The witness must be a genuine member of the schemaless evaluation.
+	if in, err := ModelCheck(a, doc, tup, Schemaless); err != nil || !in {
+		t.Errorf("witness does not model-check: %v, %v", in, err)
+	}
+
+	// Optional binding: the shortest run skips the binding entirely, so
+	// the witness tuple is fully unassigned.
+	opt := compile(t, "(!x{a})?b")
+	doc, tup, ok = Witness(opt)
+	if !ok || string(doc) != "b" {
+		t.Fatalf("Witness = %q, %v, %v; want doc \"b\"", doc, tup, ok)
+	}
+	if len(tup.Vars()) != 0 {
+		t.Errorf("witness tuple %v should leave x unassigned on the shortest run", tup)
+	}
+}
+
+// TestAutomataDifferenceSchemaless exercises automata.Difference directly
+// on determinized schemaless spanners: extended-word difference must agree
+// with set difference of the schemaless evaluations, preserving partial
+// tuples.
+func TestAutomataDifferenceSchemaless(t *testing.T) {
+	a := compile(t, "!x{a}|!y{b}")
+	b := compile(t, "!y{b}")
+	ca, cb := alignVars(a, b)
+	d := automata.Difference(automata.Determinize(ca), automata.Determinize(cb))
+	n := automata.DEVAToNFA(d)
+
+	for _, doc := range []string{"", "a", "b", "ab", "ba"} {
+		want := Eval(a, []byte(doc), Schemaless).Minus(Eval(b, []byte(doc), Schemaless))
+		got := Eval(n, []byte(doc), Schemaless)
+		if !got.Equal(want) {
+			t.Errorf("doc %q:\n got  %v\n want %v", doc, got, want)
+		}
+	}
+
+	// The partial x-tuple survives, the y-branch is subtracted exactly.
+	onA := Eval(n, []byte("a"), Schemaless)
+	if onA.Len() != 1 || !onA.Contains(spans.NewTuple("x", spans.S(1, 2))) {
+		t.Errorf("difference on \"a\" = %v, want exactly {x=[1,2)}", onA)
+	}
+	if onB := Eval(n, []byte("b"), Schemaless); onB.Len() != 0 {
+		t.Errorf("difference on \"b\" = %v, want empty", onB)
+	}
+
+	// Subtracting a spanner from itself leaves nothing, partial tuples
+	// included.
+	self := automata.Difference(automata.Determinize(a), automata.Determinize(a))
+	if Satisfiable(automata.DEVAToNFA(self).Trim()) {
+		t.Error("a ∖ a should be unsatisfiable")
+	}
+}
+
+// TestDifferenceSchemalessPartialOverlap pins the subtle case where the
+// same document yields both a partial and a total tuple: the difference
+// must distinguish them as distinct extended words.
+func TestDifferenceSchemalessPartialOverlap(t *testing.T) {
+	// On "ab": binds x always, y optionally — tuples {x} and {x, y}.
+	a := compile(t, "!x{a}(!y{b})?b*")
+	// Subtracts exactly the partial tuple {x}.
+	b := compile(t, "!x{a}b*")
+	diff := Difference(a, b)
+	got := Eval(diff, []byte("ab"), Schemaless)
+	want := spans.NewRelation(
+		spans.NewTuple("x", spans.S(1, 2), "y", spans.S(2, 3)),
+	)
+	if !got.Equal(want) {
+		t.Errorf("difference on \"ab\" = %v, want %v", got, want)
+	}
+
+	// And the total tuple model-checks in the difference while the partial
+	// one does not.
+	if in, err := ModelCheck(diff, []byte("ab"), spans.NewTuple("x", spans.S(1, 2)), Schemaless); err != nil || in {
+		t.Errorf("partial tuple should be subtracted: %v, %v", in, err)
+	}
+}

@@ -80,7 +80,99 @@ func (m monitor) properOverlap() bool {
 	return !s1.DisjointOrNested(s2)
 }
 
+// sameSpan evaluates, at acceptance, whether both variables were assigned
+// and their spans coincide boundary-for-boundary.
+func (m monitor) sameSpan() bool {
+	b1, e1 := m.groupOf(1), m.groupOf(2)
+	b2, e2 := m.groupOf(4), m.groupOf(8)
+	if b1 < 0 || e1 < 0 || b2 < 0 || e2 < 0 {
+		return false
+	}
+	return b1 == b2 && e1 == e2
+}
+
 func overlapPossible(n *automata.NFA, x, y spans.Var) bool {
+	return pairAcceptPossible(n, x, y, monitor.properOverlap)
+}
+
+// AlwaysSameSpan decides whether, on every accepting run of the automaton,
+// the variables x and y are both assigned and extract the same span. When
+// it holds, a string-equality selection over {x, y} is provably a no-op:
+// equal spans denote equal factors on every document. The check runs the
+// same order-monitor product as Hierarchical, rejecting if any accepting
+// configuration leaves a variable unassigned or separates the boundaries.
+func AlwaysSameSpan(n *automata.NFA, x, y spans.Var) bool {
+	if n.HasRefs() {
+		panic("vset: AlwaysSameSpan on an automaton with reference transitions")
+	}
+	trimmed := n.Trim()
+	if trimmed.Empty() {
+		return true // vacuously: no accepting run at all
+	}
+	return !pairAcceptPossible(trimmed, x, y, func(m monitor) bool { return !m.sameSpan() })
+}
+
+// JointlyBindable decides whether some accepting run assigns every variable
+// of z. When it fails, a string-equality selection over z is provably
+// always empty: the schemaless selection semantics keeps only tuples that
+// assign all of z. The search runs the automaton in product with a bitmask
+// of the z-variables whose close markers have fired.
+func JointlyBindable(n *automata.NFA, z spans.VarSet) bool {
+	if n.HasRefs() {
+		panic("vset: JointlyBindable on an automaton with reference transitions")
+	}
+	if len(z.Minus(n.Vars)) > 0 {
+		return false // a variable the automaton cannot bind at all
+	}
+	if len(z) > 64 {
+		return true // give up rather than overflow the bitmask; sound for lint hints
+	}
+	full := uint64(1)<<uint(len(z)) - 1
+	type cfg struct {
+		q    int
+		mask uint64
+	}
+	start := cfg{n.Start, 0}
+	seen := map[cfg]bool{start: true}
+	stack := []cfg{start}
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if c.mask == full && n.Final[c.q] {
+			return true
+		}
+		push := func(nc cfg) {
+			if !seen[nc] {
+				seen[nc] = true
+				stack = append(stack, nc)
+			}
+		}
+		for _, r := range n.Eps[c.q] {
+			push(cfg{r, c.mask})
+		}
+		for _, rs := range n.Letters[c.q] {
+			for _, r := range rs {
+				push(cfg{r, c.mask})
+			}
+		}
+		for mk, rs := range n.Markers[c.q] {
+			nm := c.mask
+			if mk.Close {
+				if i := z.Index(mk.Var); i >= 0 {
+					nm |= 1 << uint(i)
+				}
+			}
+			for _, r := range rs {
+				push(cfg{r, nm})
+			}
+		}
+	}
+	return false
+}
+
+// pairAcceptPossible reports whether some accepting configuration of the
+// automaton-with-monitor product for the pair (x, y) satisfies bad.
+func pairAcceptPossible(n *automata.NFA, x, y spans.Var, bad func(monitor) bool) bool {
 	type cfg struct {
 		q int
 		m monitor
@@ -104,7 +196,7 @@ func overlapPossible(n *automata.NFA, x, y spans.Var) bool {
 	for len(stack) > 0 {
 		c := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if n.Final[c.q] && c.m.properOverlap() {
+		if n.Final[c.q] && bad(c.m) {
 			return true
 		}
 		push := func(nc cfg) {

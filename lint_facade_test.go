@@ -1,0 +1,123 @@
+package docspanner_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"docspanner"
+)
+
+// TestSpannerLint exercises the facade entry point on clean and dirty
+// spanners of both classes.
+func TestSpannerLint(t *testing.T) {
+	clean := docspanner.MustCompile(`!key{[a-z]+}=!val{[0-9]+}`, docspanner.Options{})
+	if ds := clean.Lint(); len(ds) != 0 {
+		t.Errorf("clean pattern should have no diagnostics, got %v", ds)
+	}
+	rs := docspanner.MustCompile(`!x{a+}b&x`, docspanner.Options{})
+	if rs.IsRegular() {
+		t.Fatal("pattern with a reference should compile to a refl-spanner")
+	}
+	if ds := rs.Lint(); len(ds) != 0 {
+		t.Errorf("satisfiable refl-spanner should have no diagnostics, got %v", ds)
+	}
+}
+
+// TestQueryLint pins that Query.Lint sees the whole expression tree and
+// that the compiled pattern's AST reaches the refl-rewrite pass (SP007)
+// through the facade.
+func TestQueryLint(t *testing.T) {
+	s := docspanner.MustCompile(`!x{a+}b!y{a+}`, docspanner.Options{})
+	q := docspanner.MustQ(s).SelectEqual("x", "y")
+
+	ds := q.Lint()
+	var sawRewrite bool
+	for _, d := range ds {
+		if d.Code == "SP007" {
+			sawRewrite = true
+			if d.Severity != docspanner.SeverityInfo {
+				t.Errorf("SP007 should be info, got %v", d.Severity)
+			}
+		}
+	}
+	if !sawRewrite {
+		t.Fatalf("expected an SP007 refl-rewrite hint, got %v", ds)
+	}
+
+	// Degenerate projection through the combinators.
+	bad := docspanner.MustQ(s).Project("nosuchvar")
+	var sawProj bool
+	for _, d := range bad.Lint() {
+		if d.Code == "SP004" {
+			sawProj = true
+		}
+	}
+	if !sawProj {
+		t.Fatalf("expected an SP004 diagnostic, got %v", bad.Lint())
+	}
+
+	// Diagnostics from the facade round-trip through encoding/json using
+	// the re-exported alias types.
+	blob, err := json.Marshal(ds)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back []docspanner.Diagnostic
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !reflect.DeepEqual(ds, back) {
+		t.Fatalf("JSON round trip changed diagnostics:\n  in:  %v\n  out: %v", ds, back)
+	}
+}
+
+// TestIsCoreIsRegularPolarity pins the naming and polarity conventions of
+// the classification predicates against the survey's class hierarchy
+// (Sections 2.3 and 2.4):
+//
+//   - Query.IsCore is true iff the expression uses string-equality
+//     selection ς= somewhere — i.e. true flags the *harder* class, the one
+//     with undecidable containment and equivalence.
+//   - Query.IsRegular is the exact negation.
+//   - Spanner.Hierarchical is true for the *benign* property (all
+//     extractable tuples have disjoint-or-nested spans).
+func TestIsCoreIsRegularPolarity(t *testing.T) {
+	a := docspanner.MustCompile(`!x{a+}`, docspanner.Options{})
+	b := docspanner.MustCompile(`!y{b+}`, docspanner.Options{})
+
+	cases := []struct {
+		name     string
+		query    *docspanner.Query
+		wantCore bool
+	}{
+		{"primitive spanner", docspanner.MustQ(a), false},
+		{"union of primitives", docspanner.MustQ(a).Union(docspanner.MustQ(b)), false},
+		{"join of primitives", docspanner.MustQ(a).Join(docspanner.MustQ(b)), false},
+		{"projection of a primitive", docspanner.MustQ(a).Project("x"), false},
+		{"string-equality selection", docspanner.MustQ(a).Join(docspanner.MustQ(b)).SelectEqual("x", "y"), true},
+		{"selection on a single variable (still a selection)", docspanner.MustQ(a).SelectEqual("x"), true},
+		{"projection hiding an inner selection", docspanner.MustQ(a).Join(docspanner.MustQ(b)).SelectEqual("x", "y").Project("x"), true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.query.IsCore(); got != tc.wantCore {
+				t.Errorf("IsCore() = %v, want %v", got, tc.wantCore)
+			}
+			if got := tc.query.IsRegular(); got != !tc.wantCore {
+				t.Errorf("IsRegular() = %v, want %v (must be the negation of IsCore)", got, !tc.wantCore)
+			}
+		})
+	}
+
+	// Hierarchicality polarity: regex formulas are hierarchical by
+	// construction (true = benign), and the check is regular-only.
+	nested := docspanner.MustCompile(`!x{a!y{b}c}`, docspanner.Options{})
+	if h, err := nested.Hierarchical(); err != nil || !h {
+		t.Errorf("Hierarchical() = %v, %v; want true, nil for a regex formula", h, err)
+	}
+	rs := docspanner.MustCompile(`!x{a+}&x`, docspanner.Options{})
+	if _, err := rs.Hierarchical(); err == nil {
+		t.Error("Hierarchical() on a refl-spanner should error, not guess")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"docspanner/internal/algebra"
+	"docspanner/internal/lint"
 	"docspanner/internal/vset"
 )
 
@@ -27,7 +28,7 @@ func Q(s *Spanner) (*Query, error) {
 	if !s.IsRegular() {
 		return nil, fmt.Errorf("docspanner: queries take regular spanners; translate refl-spanners with ToCore first")
 	}
-	return &Query{expr: algebra.Prim{A: s.nfa}, schemaless: s.schemaless}, nil
+	return &Query{expr: algebra.Prim{A: s.nfa, Src: s.ast}, schemaless: s.schemaless}, nil
 }
 
 // MustQ is Q that panics on error.
@@ -69,8 +70,35 @@ func (q *Query) Fuse(target Var, lambda ...Var) *Query {
 	return &Query{expr: algebra.Fuse{Sub: q.expr, Lambda: NewVarSet(lambda...), Target: target}, schemaless: q.schemaless}
 }
 
-// IsCore reports whether the query uses string-equality selection.
+// IsCore reports whether the query uses string-equality selection ς=
+// anywhere, i.e. whether it needs the full core-spanner algebra of
+// Section 2.3 rather than the selection-free (regular) fragment.
+//
+// Polarity convention: IsCore answers "does this query *require* the core
+// class?", so true flags the computationally harder class — core-spanner
+// containment and equivalence are undecidable (Section 2.4), while the
+// regular fragment keeps them decidable. In the survey's terms every
+// regular spanner *is* also a core spanner (the classes are nested, not
+// disjoint); IsCore() == false therefore does not mean "not a core
+// spanner" but "already expressible without selections". IsRegular is the
+// exact negation. Contrast with Spanner.Hierarchical, where true flags
+// the benign property.
 func (q *Query) IsCore() bool { return algebra.HasSelections(q.expr) }
+
+// IsRegular reports whether the query stays inside the regular-spanner
+// fragment: no string-equality selection anywhere, so the whole query
+// compiles to a single vset-automaton (via Normalize) with zero residual
+// selections, and equivalence and containment remain decidable. It is
+// defined as the exact negation of IsCore, mirroring Spanner.IsRegular.
+func (q *Query) IsRegular() bool { return !q.IsCore() }
+
+// Lint runs the spanlint static-analysis passes over the whole expression
+// tree and returns the diagnostics, sorted by position path ("$" is the
+// root, "$.L"/"$.R"/"$.Sub" descend into operands). An empty slice means
+// the query is lint-clean. Safe to call concurrently on a shared query.
+func (q *Query) Lint() []Diagnostic {
+	return lint.Expr(q.expr, q.schemaless)
+}
 
 // Eval materializes the query result on doc.
 func (q *Query) Eval(doc []byte) *Relation {
