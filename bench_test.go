@@ -122,17 +122,22 @@ func BenchmarkE1EnumDelay(b *testing.B) {
 // ---------- E2: compressed enumeration ----------
 
 func BenchmarkE2CompressedEnumPreprocess(b *testing.B) {
-	d := automata.Determinize(compileBench(b, e1Pattern, "ab"))
-	for _, exp := range []int{12, 16, 20, 22} {
-		n := int64(1) << exp
-		root := slp.Repeat(slp.FromBytes([]byte("ab")), n/2)
-		b.Run(fmt.Sprintf("repetitive/n=2^%d", exp), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				ix := slpmatch.NewIndex(d)
-				ix.Warm(root)
-			}
-			b.ReportMetric(float64(root.Size()), "slp_nodes")
-		})
+	// Small (7-state) and large (≥ 64-state, multi-word matrix rows)
+	// automata: the large one exposes kernel regressions the small one
+	// hides.
+	for _, pat := range []string{e1Pattern, ".*a(a|b)(a|b)(a|b)(a|b)(a|b)!x{ab}.*"} {
+		d := automata.Determinize(compileBench(b, pat, "ab"))
+		for _, exp := range []int{12, 16, 20, 22} {
+			n := int64(1) << exp
+			root := slp.Repeat(slp.FromBytes([]byte("ab")), n/2)
+			b.Run(fmt.Sprintf("repetitive/states=%d/n=2^%d", d.NumStates(), exp), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					ix := slpmatch.NewIndex(d)
+					ix.Warm(root)
+				}
+				b.ReportMetric(float64(root.Size()), "slp_nodes")
+			})
+		}
 	}
 }
 
@@ -163,20 +168,24 @@ func BenchmarkE2CompressedEnumDelay(b *testing.B) {
 
 func BenchmarkE3CompressedMembership(b *testing.B) {
 	nfa := compileBench(b, "(ab)*", "ab")
-	for _, exp := range []int{12, 16, 20, 22} {
-		n := int64(1) << exp
-		root := slp.Repeat(slp.FromBytes([]byte("ab")), n/2)
-		b.Run(fmt.Sprintf("compressed/n=2^%d", exp), func(b *testing.B) {
-			for i := 0; i < b.N; i++ {
-				m, err := slpmatch.NewMatcher(nfa)
-				if err != nil {
-					b.Fatal(err)
+	// Small (8-state) and large (≥ 64-state) NFAs; see E2 for rationale.
+	for _, pat := range []string{"(ab)*", strings.Repeat("(a|b)", 16) + "(ab)*"} {
+		big := compileBench(b, pat, "ab")
+		for _, exp := range []int{12, 16, 20, 22} {
+			n := int64(1) << exp
+			root := slp.Repeat(slp.FromBytes([]byte("ab")), n/2)
+			b.Run(fmt.Sprintf("compressed/states=%d/n=2^%d", big.NumStates(), exp), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					m, err := slpmatch.NewMatcher(big)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !m.Accepts(root) {
+						b.Fatal("rejected")
+					}
 				}
-				if !m.Accepts(root) {
-					b.Fatal("rejected")
-				}
-			}
-		})
+			})
+		}
 	}
 	d := automata.Determinize(nfa)
 	for _, exp := range []int{12, 16, 20, 22} {

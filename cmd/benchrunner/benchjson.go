@@ -1,0 +1,227 @@
+package main
+
+// Benchmark-trajectory support: -bench-json writes machine-readable
+// ns/op measurements for a fixed suite of E1–E7 micro-operations into a
+// JSON file, merging with any labels already present. Committing the
+// file before and after a performance PR (labels "before"/"after")
+// gives the repo a perf trajectory that later sessions can extend:
+//
+//	go run ./cmd/benchrunner -bench-json BENCH_pr3.json -bench-label before
+//	... apply the optimization ...
+//	go run ./cmd/benchrunner -bench-json BENCH_pr3.json -bench-label after
+//
+// The suite deliberately includes large automata (≥ 64 states, i.e.
+// more than one 64-bit word per Boolean matrix row) so that transition-
+// kernel regressions show up even when small-automaton runs stay flat.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"docspanner/internal/automata"
+	"docspanner/internal/enum"
+	"docspanner/internal/slp"
+	"docspanner/internal/slpmatch"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+// benchEntry is one measured operation in one labelled run.
+type benchEntry struct {
+	ID string `json:"id"`
+	// NsPerOp maps a run label ("before", "after", ...) to the measured
+	// nanoseconds per operation.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	// Speedup is before/after when both labels are present.
+	Speedup float64 `json:"speedup_before_over_after,omitempty"`
+}
+
+type benchFile struct {
+	Description string       `json:"description"`
+	GoVersion   string       `json:"go_version"`
+	GOMAXPROCS  int          `json:"gomaxprocs"`
+	Entries     []benchEntry `json:"entries"`
+}
+
+// benchSuite returns the fixed measurement suite: id plus a closure
+// executing exactly one operation (the same operations the E1–E7
+// benchmarks in bench_test.go time).
+func benchSuite() []struct {
+	id string
+	op func()
+} {
+	type item = struct {
+		id string
+		op func()
+	}
+	var suite []item
+
+	// E1: plain enumeration — preprocessing and full enumeration.
+	{
+		d := automata.Determinize(compile(".*!x{ab}.*", "ab"))
+		doc := randomDoc(1<<16, 1)
+		suite = append(suite, item{"E1/enum-preprocess/n=2^16", func() {
+			enum.NewEnumerator(d, doc)
+		}})
+		e := enum.NewEnumerator(d, doc)
+		suite = append(suite, item{"E1/enum-each/n=2^16", func() {
+			e.Each(func(spans.Tuple) bool { return true })
+		}})
+	}
+
+	// E2: compressed-enumeration preprocessing (NewIndex + Warm per op,
+	// the amortized steady-state of an index over a document database)
+	// on a small and a large (≥ 64 states) automaton.
+	for _, pat := range []string{".*!x{ab}.*", ".*a(a|b)(a|b)(a|b)(a|b)(a|b)!x{ab}.*"} {
+		d := automata.Determinize(compile(pat, "ab"))
+		root := slp.Repeat(slp.FromBytes([]byte("ab")), 1<<19)
+		suite = append(suite, item{fmt.Sprintf("E2/index-warm/states=%d/n=2^20", d.NumStates()), func() {
+			ix := slpmatch.NewIndex(d)
+			ix.Warm(root)
+		}})
+	}
+	{
+		d := automata.Determinize(compile(".*!x{ab}.*", "ab"))
+		root := slp.Repeat(slp.FromBytes([]byte("ab")), 1<<19)
+		ix := slpmatch.NewIndex(d)
+		ix.Warm(root)
+		suite = append(suite, item{fmt.Sprintf("E2/enum-2000/states=%d/n=2^20", d.NumStates()), func() {
+			k := 0
+			ix.Each(root, func(spans.Tuple) bool { k++; return k < 2000 })
+		}})
+	}
+
+	// E3: compressed membership (NewMatcher + Accepts per op) on a small
+	// and a large (≥ 64 states) NFA, plus the decompress-and-run baseline.
+	for _, pat := range []string{"(ab)*", strings.Repeat("(a|b)", 16) + "(ab)*"} {
+		nfa := compile(pat, "ab")
+		root := slp.Repeat(slp.FromBytes([]byte("ab")), 1<<19)
+		suite = append(suite, item{fmt.Sprintf("E3/membership-compressed/states=%d/n=2^20", nfa.NumStates()), func() {
+			m, err := slpmatch.NewMatcher(nfa)
+			if err != nil {
+				panic(err)
+			}
+			if !m.Accepts(root) {
+				panic("rejected")
+			}
+		}})
+	}
+	{
+		nfa := compile("(ab)*", "ab")
+		d := automata.Determinize(nfa)
+		doc := make([]byte, 1<<20)
+		for i := range doc {
+			doc[i] = "ab"[i%2]
+		}
+		suite = append(suite, item{fmt.Sprintf("E3/membership-decompressed/states=%d/n=2^20", nfa.NumStates()), func() {
+			if !d.AcceptsExtended(doc, nil) {
+				panic("rejected")
+			}
+		}})
+	}
+
+	// E4/E5: model checking and non-emptiness on a mid-size document.
+	{
+		nfa := compile("!x{(a|b)*}!y{b}!z{(a|b)*}", "ab")
+		n := 1 << 14
+		doc := randomDoc(n, 3)
+		doc[n/2] = 'b'
+		tup := spans.NewTuple("x", spans.S(1, n/2+1), "y", spans.S(n/2+1, n/2+2), "z", spans.S(n/2+2, n+1))
+		suite = append(suite, item{"E4/modelcheck-regular/n=2^14", func() {
+			if ok, err := vset.ModelCheck(nfa, doc, tup, vset.Functional); err != nil || !ok {
+				panic("modelcheck failed")
+			}
+		}})
+		suite = append(suite, item{"E5/nonempty-regular/n=2^14", func() {
+			vset.NonEmpty(nfa, doc)
+		}})
+	}
+
+	// E6: satisfiability, query complexity only.
+	{
+		big := compile(strings.Repeat("(a|b)*", 8)+"!x{a}", "ab")
+		suite = append(suite, item{"E6/satisfiable-regular/k=8", func() {
+			if !vset.Satisfiable(big) {
+				panic("unsat")
+			}
+		}})
+	}
+
+	// E7: CDE update on a 1 MiB document.
+	{
+		n := int64(1) << 20
+		root := slp.Repeat(slp.FromBytes([]byte("abcd")), n/4)
+		db := slp.NewDB()
+		db.Add("D", root)
+		expr, err := slp.ParseCDE(fmt.Sprintf("insert(delete(D,%d,%d), extract(D,1,64), %d)", n/4, n/4+999, n/2))
+		if err != nil {
+			panic(err)
+		}
+		suite = append(suite, item{"E7/cde-update/n=2^20", func() {
+			if _, err := db.Eval(expr); err != nil {
+				panic(err)
+			}
+		}})
+	}
+
+	return suite
+}
+
+// runBenchJSON measures the suite and merges the results under label
+// into the JSON file at path.
+func runBenchJSON(path, label string) error {
+	f := benchFile{
+		Description: "ns/op for the fixed E1-E7 micro-operation suite of cmd/benchrunner (-bench-json); labels are successive runs (e.g. before/after a kernel change)",
+	}
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &f); err != nil {
+			return fmt.Errorf("benchrunner: cannot parse existing %s: %v", path, err)
+		}
+	}
+	f.GoVersion = runtime.Version()
+	f.GOMAXPROCS = runtime.GOMAXPROCS(0)
+
+	byID := map[string]*benchEntry{}
+	for i := range f.Entries {
+		byID[f.Entries[i].ID] = &f.Entries[i]
+	}
+	for _, it := range benchSuite() {
+		d := timeIt(it.op)
+		fmt.Printf("%-52s %12.0f ns/op  (%s)\n", it.id, float64(d.Nanoseconds()), label)
+		e := byID[it.id]
+		if e == nil {
+			f.Entries = append(f.Entries, benchEntry{ID: it.id, NsPerOp: map[string]float64{}})
+			e = &f.Entries[len(f.Entries)-1]
+			byID[it.id] = e
+		}
+		if e.NsPerOp == nil {
+			e.NsPerOp = map[string]float64{}
+		}
+		e.NsPerOp[label] = float64(d.Nanoseconds())
+	}
+	for i := range f.Entries {
+		e := &f.Entries[i]
+		if b, ok := e.NsPerOp["before"]; ok {
+			if a, ok := e.NsPerOp["after"]; ok && a > 0 {
+				e.Speedup = round2(b / a)
+			}
+		}
+	}
+	sort.Slice(f.Entries, func(i, j int) bool { return f.Entries[i].ID < f.Entries[j].ID })
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func round2(x float64) float64 { return float64(int64(x*100+0.5)) / 100 }
+
+// ensure time import is used even if timeIt moves.
+var _ = time.Nanosecond

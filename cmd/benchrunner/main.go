@@ -31,7 +31,17 @@ import (
 
 func main() {
 	which := flag.String("experiment", "", "run only this experiment (F1, E1..E14); empty = all")
+	benchJSON := flag.String("bench-json", "", "measure the fixed E1-E7 micro suite and merge ns/op into this JSON file (see BENCH_pr3.json), then exit")
+	benchLabel := flag.String("bench-label", "after", "label for the -bench-json run (e.g. before, after)")
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *benchLabel); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	experiments := []struct {
 		id  string

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 
 	"docspanner/internal/slp"
 	"docspanner/internal/slpmatch"
@@ -102,12 +103,15 @@ func (db *DocDB) Edit(name, expr string) (*Document, error) {
 // built, it enumerates the spanner's results over SLP-compressed
 // documents with preprocessing linear in the SLP size and delay
 // O(log |D|) (Section 4.2), and it extends incrementally across CDE
-// edits (Section 4.3). An Index memoizes per-node data as it goes and is
-// not safe for concurrent use; Documents themselves are immutable and
-// freely shareable.
+// edits (Section 4.3). Per-node data lives in a concurrent cache shared
+// by every Index over the same spanner, so an Index is safe for
+// concurrent use and a database of documents pays for each shared SLP
+// node once, no matter how many goroutines touch it. Documents
+// themselves are immutable and freely shareable.
 type Index struct {
-	ix      *slpmatch.Index
-	counter *slpmatch.Counter
+	ix          *slpmatch.Index
+	counterOnce sync.Once
+	counter     *slpmatch.Counter
 }
 
 // Index builds (or returns a cached) compressed-evaluation index for a
@@ -122,6 +126,25 @@ func (s *Spanner) Index() (*Index, error) {
 // Warm runs the preprocessing for a document (linear in its SLP size;
 // shared nodes across documents are processed once).
 func (ix *Index) Warm(d *Document) { ix.ix.Warm(d.Node()) }
+
+// WarmParallel is Warm with the independent nodes of each SLP DAG level
+// computed concurrently by workers goroutines (GOMAXPROCS if
+// workers ≤ 0) — the preprocessing of a large document spread over
+// cores.
+func (ix *Index) WarmParallel(d *Document, workers int) {
+	ix.ix.WarmParallel(d.Node(), workers)
+}
+
+// WarmDB preprocesses every document of a database. Nodes shared between
+// documents are computed exactly once (they hit the shared cache), and
+// each document's fresh nodes are computed bottom-up in parallel.
+func (ix *Index) WarmDB(db *DocDB, workers int) {
+	for _, name := range db.Names() {
+		if d, ok := db.Get(name); ok {
+			ix.ix.WarmParallel(d.Node(), workers)
+		}
+	}
+}
 
 // Enumerate streams the result tuples on the compressed document.
 func (ix *Index) Enumerate(d *Document, f func(Tuple) bool) {
@@ -141,9 +164,9 @@ func (ix *Index) NonEmpty(d *Document) bool { return ix.ix.NonEmpty(d.Node()) }
 // document via big-integer matrix counting — polynomial in the SLP size
 // even when the count itself is astronomical.
 func (ix *Index) ExactCount(d *Document) *big.Int {
-	if ix.counter == nil {
+	ix.counterOnce.Do(func() {
 		ix.counter = slpmatch.NewCounter(ix.ix.DEVA())
-	}
+	})
 	return ix.counter.Count(d.Node())
 }
 

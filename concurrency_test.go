@@ -154,3 +154,97 @@ func TestSharedSpannerEnumerateEarlyStop(t *testing.T) {
 		return nil
 	})
 }
+
+// TestSharedIndexConcurrentUse shares one compressed-evaluation Index
+// across 8 goroutines over several SLP-compressed documents with shared
+// structure. Every goroutine must observe exactly the sequential
+// results; with -race this also proves the shared node cache is
+// synchronized.
+func TestSharedIndexConcurrentUse(t *testing.T) {
+	s := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")})
+	base := CompressDocument([]byte("abab"))
+	docs := make([]*Document, 5)
+	for i := range docs {
+		docs[i] = RepeatDocument(base, int64(30+i))
+	}
+	// Sequential reference from a private spanner instance.
+	refIx, err := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")}).Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]*Relation, len(docs))
+	wantExact := make([]string, len(docs))
+	for i, d := range docs {
+		want[i] = refIx.Eval(d)
+		wantExact[i] = refIx.ExactCount(d).String()
+	}
+
+	ix, err := s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	runShared(t, 4, func(g, rep int) error {
+		i := (g + rep) % len(docs)
+		switch (g + rep) % 4 {
+		case 0:
+			if got := ix.Eval(docs[i]); !got.Equal(want[i]) {
+				return fmt.Errorf("Index.Eval(doc %d) differs from sequential", i)
+			}
+		case 1:
+			if got := ix.Count(docs[i]); got != want[i].Len() {
+				return fmt.Errorf("Index.Count(doc %d) = %d, want %d", i, got, want[i].Len())
+			}
+		case 2:
+			if !ix.NonEmpty(docs[i]) {
+				return fmt.Errorf("Index.NonEmpty(doc %d) = false", i)
+			}
+		case 3:
+			if got := ix.ExactCount(docs[i]).String(); got != wantExact[i] {
+				return fmt.Errorf("Index.ExactCount(doc %d) = %s, want %s", i, got, wantExact[i])
+			}
+		}
+		return nil
+	})
+}
+
+// TestWarmDBParallelBatch drives the parallel facade end to end: WarmDB
+// preprocesses a database bottom-up in parallel, then the batch entry
+// points evaluate against the warmed shared cache.
+func TestWarmDBParallelBatch(t *testing.T) {
+	s := MustCompile(".*!x{ab}.*", Options{Alphabet: []byte("ab")})
+	db := NewDocDB()
+	base := CompressDocument([]byte("abab"))
+	var docs []*Document
+	for i := 0; i < 4; i++ {
+		d := RepeatDocument(base, int64(20+8*i))
+		db.Add(fmt.Sprintf("D%d", i), d)
+		docs = append(docs, d)
+	}
+	ix, err := s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix.WarmDB(db, 4)
+
+	rels, err := EvalCompressedDocs(nil, ix, docs, ParallelOptions{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, len(docs))
+	err = EnumerateCompressedDocs(nil, ix, docs, ParallelOptions{Workers: 4}, func(doc int, tu Tuple) bool {
+		counts[doc]++
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range docs {
+		want := ix.Count(d)
+		if rels[i].Len() != want {
+			t.Errorf("EvalCompressedDocs doc %d: %d tuples, want %d", i, rels[i].Len(), want)
+		}
+		if counts[i] != want {
+			t.Errorf("EnumerateCompressedDocs doc %d: %d tuples, want %d", i, counts[i], want)
+		}
+	}
+}

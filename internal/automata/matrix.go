@@ -7,15 +7,21 @@ import "math/bits"
 // reading the string at hand" — the classical tool for running an NFA over
 // an SLP-compressed string (Section 4.2 of the survey; cf. Lohrey's survey
 // on SLP algorithmics).
+//
+// The words-per-row width is cached in the struct so the kernels below
+// run on raw slices without re-deriving it per access. A BoolMatrix is
+// safe for concurrent reads once fully built; mutation (Set, the *Into
+// kernels) requires exclusive access.
 type BoolMatrix struct {
 	N    int
-	rows []uint64 // N rows of ceil(N/64) words each
+	w    int      // cached ceil(N/64): words per row
+	rows []uint64 // N rows of w words each
 }
 
 // NewBoolMatrix returns the N×N all-zero matrix.
 func NewBoolMatrix(n int) *BoolMatrix {
 	w := (n + 63) / 64
-	return &BoolMatrix{N: n, rows: make([]uint64, n*w)}
+	return &BoolMatrix{N: n, w: w, rows: make([]uint64, n*w)}
 }
 
 // IdentityMatrix returns the N×N identity.
@@ -27,40 +33,106 @@ func IdentityMatrix(n int) *BoolMatrix {
 	return m
 }
 
-func (m *BoolMatrix) words() int { return (m.N + 63) / 64 }
+// Words returns the number of 64-bit words per row.
+func (m *BoolMatrix) Words() int { return m.w }
 
 // Set sets entry (p,q) to 1.
 func (m *BoolMatrix) Set(p, q int) {
-	m.rows[p*m.words()+q/64] |= 1 << uint(q%64)
+	m.rows[p*m.w+q/64] |= 1 << uint(q%64)
 }
 
 // Get returns entry (p,q).
 func (m *BoolMatrix) Get(p, q int) bool {
-	return m.rows[p*m.words()+q/64]&(1<<uint(q%64)) != 0
+	return m.rows[p*m.w+q/64]&(1<<uint(q%64)) != 0
 }
 
 // Row returns the bitset row of state p (shared storage).
 func (m *BoolMatrix) Row(p int) []uint64 {
-	w := m.words()
-	return m.rows[p*w : (p+1)*w]
+	return m.rows[p*m.w : (p+1)*m.w]
 }
 
 // Mul returns the Boolean matrix product m·other: (m·o)[p][q] = 1 iff
 // there is an r with m[p][r] = o[r][q] = 1. Runs in O(N³/64) via word-wise
 // row OR-ing.
 func (m *BoolMatrix) Mul(other *BoolMatrix) *BoolMatrix {
-	out := NewBoolMatrix(m.N)
-	w := m.words()
-	for p := 0; p < m.N; p++ {
-		src := m.Row(p)
+	return NewBoolMatrix(m.N).MulInto(m, other)
+}
+
+// MulInto computes the Boolean product a·b into out, reusing out's
+// storage (out must be N×N like a and b; it is cleared first and must
+// not alias a or b). The kernel scans each set bit r of a's row p and
+// ORs b's contiguous row r into out's row p — O(N·k·w) words for k set
+// bits per row, the sparse-friendly kernel. Returns out.
+func (out *BoolMatrix) MulInto(a, b *BoolMatrix) *BoolMatrix {
+	w := out.w
+	clear(out.rows)
+	for p := 0; p < a.N; p++ {
+		src := a.rows[p*w : (p+1)*w]
 		dst := out.rows[p*w : (p+1)*w]
 		for wi, word := range src {
+			base := wi * 64
 			for word != 0 {
-				r := wi*64 + bits.TrailingZeros64(word)
+				r := base + bits.TrailingZeros64(word)
 				word &= word - 1
-				orow := other.rows[r*w : (r+1)*w]
+				orow := b.rows[r*w : (r+1)*w : (r+1)*w]
 				for k := range dst {
 					dst[k] |= orow[k]
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Transpose returns mᵀ. Together with MulTransposed and ApplyLeft it
+// gives cache-line-contiguous access to the columns of a matrix that is
+// used as a right operand many times (transposing once, then streaming
+// rows of the transpose, replaces strided column walks).
+func (m *BoolMatrix) Transpose() *BoolMatrix {
+	return NewBoolMatrix(m.N).TransposeInto(m)
+}
+
+// TransposeInto computes mᵀ into out (cleared first; must not alias m).
+// Returns out.
+func (out *BoolMatrix) TransposeInto(m *BoolMatrix) *BoolMatrix {
+	w := m.w
+	clear(out.rows)
+	for p := 0; p < m.N; p++ {
+		pw, pb := p/64, uint64(1)<<uint(p%64)
+		src := m.rows[p*w : (p+1)*w]
+		for wi, word := range src {
+			base := wi * 64
+			for word != 0 {
+				q := base + bits.TrailingZeros64(word)
+				word &= word - 1
+				out.rows[q*w+pw] |= pb
+			}
+		}
+	}
+	return out
+}
+
+// MulTransposed returns m·b given bt = bᵀ: (m·b)[p][q] = 1 iff row p of
+// m intersects row q of bt. Both operands are streamed row-contiguously
+// — the dense-friendly kernel, O(N²·w) with perfect locality.
+func (m *BoolMatrix) MulTransposed(bt *BoolMatrix) *BoolMatrix {
+	return NewBoolMatrix(m.N).MulTransposedInto(m, bt)
+}
+
+// MulTransposedInto computes a·b into out given bt = bᵀ (out cleared
+// first; must not alias a or bt). Returns out.
+func (out *BoolMatrix) MulTransposedInto(a, bt *BoolMatrix) *BoolMatrix {
+	w := out.w
+	clear(out.rows)
+	for p := 0; p < a.N; p++ {
+		arow := a.rows[p*w : (p+1)*w : (p+1)*w]
+		dst := out.rows[p*w : (p+1)*w]
+		for q := 0; q < bt.N; q++ {
+			brow := bt.rows[q*w : (q+1)*w : (q+1)*w]
+			for k := range arow {
+				if arow[k]&brow[k] != 0 {
+					dst[q/64] |= 1 << uint(q%64)
+					break
 				}
 			}
 		}
@@ -71,36 +143,54 @@ func (m *BoolMatrix) Mul(other *BoolMatrix) *BoolMatrix {
 // ApplyLeft returns the row vector v·m for a bitset vector v (reachable
 // target states when starting from any state set in v).
 func (m *BoolMatrix) ApplyLeft(v []uint64) []uint64 {
-	w := m.words()
-	out := make([]uint64, w)
+	return m.ApplyLeftInto(make([]uint64, m.w), v)
+}
+
+// ApplyLeftInto computes v·m into the scratch vector dst (length ≥
+// Words(); cleared first) and returns dst[:Words()]. Reusing one scratch
+// vector across calls keeps hot loops allocation-free.
+func (m *BoolMatrix) ApplyLeftInto(dst, v []uint64) []uint64 {
+	w := m.w
+	dst = dst[:w]
+	clear(dst)
 	for wi, word := range v {
+		base := wi * 64
 		for word != 0 {
-			p := wi*64 + bits.TrailingZeros64(word)
+			p := base + bits.TrailingZeros64(word)
 			word &= word - 1
-			row := m.Row(p)
-			for k := range out {
-				out[k] |= row[k]
+			row := m.rows[p*w : (p+1)*w : (p+1)*w]
+			for k := range dst {
+				dst[k] |= row[k]
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // ApplyRight returns the column image m·v: out[p] = 1 iff ∃q: m[p][q] ∧ v[q].
-// This propagates "can reach acceptance" vectors backwards.
+// This propagates "can reach acceptance" vectors backwards. When the same
+// matrix is applied many times, ApplyLeft on its Transpose computes the
+// same vector while touching only the rows set in v.
 func (m *BoolMatrix) ApplyRight(v []uint64) []uint64 {
-	w := m.words()
-	out := make([]uint64, w)
+	return m.ApplyRightInto(make([]uint64, m.w), v)
+}
+
+// ApplyRightInto computes m·v into the scratch vector dst (length ≥
+// Words(); cleared first) and returns dst[:Words()].
+func (m *BoolMatrix) ApplyRightInto(dst, v []uint64) []uint64 {
+	w := m.w
+	dst = dst[:w]
+	clear(dst)
 	for p := 0; p < m.N; p++ {
-		row := m.Row(p)
+		row := m.rows[p*w : (p+1)*w : (p+1)*w]
 		for k := range row {
 			if row[k]&v[k] != 0 {
-				out[p/64] |= 1 << uint(p%64)
+				dst[p/64] |= 1 << uint(p%64)
 				break
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // Equal reports entry-wise equality.

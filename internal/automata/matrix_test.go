@@ -46,13 +46,79 @@ func TestBoolMatrixSetGet(t *testing.T) {
 
 func TestBoolMatrixMulMatchesNaive(t *testing.T) {
 	rng := rand.New(rand.NewSource(42))
-	for _, n := range []int{1, 3, 17, 64, 65, 100} {
+	// Word-boundary widths (0, 1, 63, 64, 65) and general sizes.
+	for _, n := range []int{0, 1, 3, 17, 63, 64, 65, 100} {
 		a := randomMatrix(n, rng, 0.2)
 		b := randomMatrix(n, rng, 0.2)
-		if !a.Mul(b).Equal(naiveMul(a, b)) {
+		want := naiveMul(a, b)
+		if !a.Mul(b).Equal(want) {
 			t.Errorf("Mul mismatch at n=%d", n)
 		}
+		if !NewBoolMatrix(n).MulInto(a, b).Equal(want) {
+			t.Errorf("MulInto mismatch at n=%d", n)
+		}
+		if !a.MulTransposed(b.Transpose()).Equal(want) {
+			t.Errorf("MulTransposed mismatch at n=%d", n)
+		}
 	}
+}
+
+func TestBoolMatrixIdentityIdempotent(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65} {
+		id := IdentityMatrix(n)
+		if !id.Mul(id).Equal(id) {
+			t.Errorf("I·I ≠ I at n=%d", n)
+		}
+	}
+}
+
+func TestBoolMatrixTransposeInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{0, 1, 63, 64, 65, 90} {
+		m := randomMatrix(n, rng, 0.25)
+		if !m.Transpose().Transpose().Equal(m) {
+			t.Errorf("(mᵀ)ᵀ ≠ m at n=%d", n)
+		}
+	}
+}
+
+func TestApplyIntoMatchesAlloc(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, n := range []int{1, 63, 64, 65, 100} {
+		m := randomMatrix(n, rng, 0.2)
+		v := NewBitVec(n)
+		for q := 0; q < n; q++ {
+			if rng.Intn(3) == 0 {
+				BitSet(v, q)
+			}
+		}
+		scratch := make([]uint64, m.Words())
+		left := m.ApplyLeft(v)
+		if got := m.ApplyLeftInto(scratch, v); !vecEqual(got, left) {
+			t.Errorf("ApplyLeftInto mismatch at n=%d", n)
+		}
+		right := m.ApplyRight(v)
+		if got := m.ApplyRightInto(scratch, v); !vecEqual(got, right) {
+			t.Errorf("ApplyRightInto mismatch at n=%d", n)
+		}
+		// The transpose identity the enumeration walk relies on:
+		// mᵀ applied on the left is m applied on the right.
+		if got := m.Transpose().ApplyLeft(v); !vecEqual(got, right) {
+			t.Errorf("mᵀ.ApplyLeft ≠ m.ApplyRight at n=%d", n)
+		}
+	}
+}
+
+func vecEqual(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func TestBoolMatrixIdentity(t *testing.T) {

@@ -16,7 +16,8 @@ import (
 // easy, while for nondeterministic representations it is #P-hard).
 func FastCount(d *automata.DEVA, doc []byte) *big.Int {
 	n := len(doc)
-	nq := d.NumStates()
+	c := d.Compiled()
+	nq := c.NQ
 
 	// runs[q] = number of accepting runs from (q, i) with a mask allowed
 	// at boundary i; computed backwards. noMask[q] = runs whose next
@@ -32,7 +33,7 @@ func FastCount(d *automata.DEVA, doc []byte) *big.Int {
 
 	// Boundary n.
 	for q := 0; q < nq; q++ {
-		if d.Final[q] {
+		if c.Final[q] {
 			noMask[q].SetInt64(1)
 		} else {
 			noMask[q].SetInt64(0)
@@ -41,27 +42,27 @@ func FastCount(d *automata.DEVA, doc []byte) *big.Int {
 	combine := func() {
 		for q := 0; q < nq; q++ {
 			runs[q].Set(noMask[q])
-			for _, t := range d.Masks[q] {
-				runs[q].Add(runs[q], noMask[t])
+			for _, me := range c.MaskEdges[q] {
+				runs[q].Add(runs[q], noMask[me.To])
 			}
 		}
 	}
 	combine()
 
 	for i := n - 1; i >= 0; i-- {
-		b := doc[i]
+		steps := c.StepsFor(doc[i])
 		// next holds runs[] of boundary i+1.
 		for q := 0; q < nq; q++ {
 			next[q].Set(runs[q])
 		}
 		for q := 0; q < nq; q++ {
-			if s := d.Step(q, b); s >= 0 {
-				noMask[q].Set(next[s])
+			if steps != nil && steps[q] >= 0 {
+				noMask[q].Set(next[steps[q]])
 			} else {
 				noMask[q].SetInt64(0)
 			}
 		}
 		combine()
 	}
-	return new(big.Int).Set(runs[d.Start])
+	return new(big.Int).Set(runs[c.Start])
 }

@@ -17,28 +17,20 @@
 package enum
 
 import (
-	"sort"
-
 	"docspanner/internal/automata"
 	"docspanner/internal/spans"
 )
-
-// maskEdge is a sorted mask transition, giving the enumeration a
-// deterministic output order (by boundary, then mask value).
-type maskEdge struct {
-	mask automata.Mask
-	to   int
-}
 
 // Enumerator holds the preprocessed data structures for one (spanner,
 // document) pair. After NewEnumerator returns, the tables are read-only:
 // Each, Count, and All may run concurrently from multiple goroutines, and
 // several Enumerators may share one DEVA (which Determinize returns fully
-// built and is never mutated here).
+// built and is never mutated here; its dense compilation is hash-consed
+// across Enumerators).
 type Enumerator struct {
-	d     *automata.DEVA
-	doc   []byte
-	masks [][]maskEdge // per state, sorted by mask
+	d   *automata.DEVA
+	c   *automata.CompiledDEVA
+	doc []byte
 
 	// Flat (n+1)×Q tables, indexed [i*nq+q].
 	aliveNoMask []bool  // accepting run from (q,i) whose next action is a letter (or i=n and final)
@@ -49,14 +41,16 @@ type Enumerator struct {
 }
 
 // NewEnumerator runs the preprocessing phase: time and space O(|doc|·|Q|)
-// for the fixed automaton (linear in the document).
+// for the fixed automaton (linear in the document). Transitions are read
+// from the dense compiled tables, not the construction-time maps.
 func NewEnumerator(d *automata.DEVA, doc []byte) *Enumerator {
 	n := len(doc)
-	nq := d.NumStates()
+	c := d.Compiled()
+	nq := c.NQ
 	e := &Enumerator{
 		d:           d,
+		c:           c,
 		doc:         doc,
-		masks:       sortedMaskEdges(d),
 		aliveNoMask: make([]bool, (n+1)*nq),
 		alive:       make([]bool, (n+1)*nq),
 		finishable:  make([]bool, (n+1)*nq),
@@ -68,14 +62,14 @@ func NewEnumerator(d *automata.DEVA, doc []byte) *Enumerator {
 	// Boundary n.
 	for q := 0; q < nq; q++ {
 		ix := at(n, q)
-		e.aliveNoMask[ix] = d.Final[q]
-		e.finishable[ix] = d.Final[q]
+		e.aliveNoMask[ix] = c.Final[q]
+		e.finishable[ix] = c.Final[q]
 	}
 	for q := 0; q < nq; q++ {
 		ix := at(n, q)
 		e.alive[ix] = e.aliveNoMask[ix]
-		for _, t := range d.Masks[q] {
-			if e.aliveNoMask[at(n, t)] {
+		for _, me := range c.MaskEdges[q] {
+			if e.aliveNoMask[at(n, int(me.To))] {
 				e.alive[ix] = true
 				break
 			}
@@ -89,23 +83,26 @@ func NewEnumerator(d *automata.DEVA, doc []byte) *Enumerator {
 		}
 	}
 
-	// Boundaries n-1 .. 0.
+	// Boundaries n-1 .. 0. steps is the dense successor row for the
+	// letter at i (nil when the automaton never reads that byte).
 	for i := n - 1; i >= 0; i-- {
-		b := doc[i]
+		steps := c.StepsFor(doc[i])
 		for q := 0; q < nq; q++ {
+			if steps == nil {
+				continue
+			}
 			ix := at(i, q)
-			s := e.d.Step(q, b)
-			if s >= 0 {
-				e.aliveNoMask[ix] = e.alive[at(i+1, s)]
-				e.finishable[ix] = e.finishable[at(i+1, s)]
+			if s := steps[q]; s >= 0 {
+				e.aliveNoMask[ix] = e.alive[at(i+1, int(s))]
+				e.finishable[ix] = e.finishable[at(i+1, int(s))]
 			}
 		}
 		for q := 0; q < nq; q++ {
 			ix := at(i, q)
 			e.alive[ix] = e.aliveNoMask[ix]
 			if !e.alive[ix] {
-				for _, t := range d.Masks[q] {
-					if e.aliveNoMask[at(i, t)] {
+				for _, me := range c.MaskEdges[q] {
+					if e.aliveNoMask[at(i, int(me.To))] {
 						e.alive[ix] = true
 						break
 					}
@@ -114,9 +111,9 @@ func NewEnumerator(d *automata.DEVA, doc []byte) *Enumerator {
 			if e.hasEvent(i, q) {
 				e.jump[ix] = int32(i)
 				e.jumpState[ix] = int32(q)
-			} else if s := e.d.Step(q, b); s >= 0 {
-				e.jump[ix] = e.jump[at(i+1, s)]
-				e.jumpState[ix] = e.jumpState[at(i+1, s)]
+			} else if steps != nil && steps[q] >= 0 {
+				e.jump[ix] = e.jump[at(i+1, int(steps[q]))]
+				e.jumpState[ix] = e.jumpState[at(i+1, int(steps[q]))]
 			} else {
 				e.jump[ix] = -1
 				e.jumpState[ix] = -1
@@ -126,24 +123,12 @@ func NewEnumerator(d *automata.DEVA, doc []byte) *Enumerator {
 	return e
 }
 
-// sortedMaskEdges indexes each state's mask transitions in mask order.
-func sortedMaskEdges(d *automata.DEVA) [][]maskEdge {
-	out := make([][]maskEdge, d.NumStates())
-	for q := range out {
-		for m, t := range d.Masks[q] {
-			out[q] = append(out[q], maskEdge{m, t})
-		}
-		sort.Slice(out[q], func(i, j int) bool { return out[q][i].mask < out[q][j].mask })
-	}
-	return out
-}
-
 // hasEvent reports whether some mask can fire at (q, i) leading to a
 // configuration that completes without another mask at i.
 func (e *Enumerator) hasEvent(i, q int) bool {
-	nq := e.d.NumStates()
-	for _, t := range e.d.Masks[q] {
-		if e.aliveNoMask[i*nq+t] {
+	nq := e.c.NQ
+	for _, me := range e.c.MaskEdges[q] {
+		if e.aliveNoMask[i*nq+int(me.To)] {
 			return true
 		}
 	}
@@ -168,7 +153,7 @@ func (e *Enumerator) Each(f func(t spans.Tuple) bool) {
 // taken at i yet), with events collected so far. Returns false if the
 // callback aborted.
 func (e *Enumerator) dfs(q, i int, events []event, f func(spans.Tuple) bool) bool {
-	nq := e.d.NumStates()
+	nq := e.c.NQ
 	if e.finishable[i*nq+q] {
 		if !f(e.tuple(events)) {
 			return false
@@ -182,30 +167,30 @@ func (e *Enumerator) dfs(q, i int, events []event, f func(spans.Tuple) bool) boo
 		}
 		qj := int(e.jumpState[i*nq+q])
 		jb := int(j)
-		for _, me := range e.masks[qj] {
-			if !e.aliveNoMask[jb*nq+me.to] {
+		for _, me := range e.c.MaskEdges[qj] {
+			if !e.aliveNoMask[jb*nq+int(me.To)] {
 				continue
 			}
-			ev := append(events, event{jb, me.mask})
+			ev := append(events, event{jb, me.Mask})
 			if jb == n {
 				if !f(e.tuple(ev)) {
 					return false
 				}
 				continue
 			}
-			s := e.d.Step(me.to, e.doc[jb])
-			if !e.dfs(s, jb+1, ev, f) {
+			s := e.c.Step(int(me.To), e.doc[jb])
+			if !e.dfs(int(s), jb+1, ev, f) {
 				return false
 			}
 		}
 		if jb == n {
 			return true
 		}
-		s := e.d.Step(qj, e.doc[jb])
+		s := e.c.Step(qj, e.doc[jb])
 		if s < 0 {
 			return true
 		}
-		q, i = s, jb+1
+		q, i = int(s), jb+1
 	}
 }
 

@@ -1,0 +1,159 @@
+package slpmatch
+
+import (
+	"runtime"
+	"sync"
+	"unsafe"
+
+	"docspanner/internal/slp"
+)
+
+// Shared, concurrency-safe per-node caches. Per-SLP-node data (Boolean
+// reachability matrices, pure-step vectors, count matrices) depends only
+// on the (automaton, node) pair and SLP nodes are immutable, so the memo
+// tables live in cores that are hash-consed per automaton: every
+// Matcher/Index/Counter over the same automaton shares one core, and a
+// database of d documents pays for each shared SLP node once — also
+// across goroutines.
+//
+// The node→value tables are sharded maps under RWMutexes. Lookups of a
+// missing node release the lock, compute, and store; concurrent
+// computation of the same node is possible but harmless — the computed
+// values are equal, and last-write-wins keeps the table consistent.
+
+const cacheShards = 64
+
+// nodeCache is a sharded concurrent map from SLP nodes to per-node data.
+type nodeCache[V any] struct {
+	shards [cacheShards]struct {
+		mu sync.RWMutex
+		m  map[*slp.Node]V
+	}
+}
+
+func newNodeCache[V any]() *nodeCache[V] {
+	c := &nodeCache[V]{}
+	for i := range c.shards {
+		c.shards[i].m = make(map[*slp.Node]V)
+	}
+	return c
+}
+
+// shardOf hashes the node pointer. Heap pointers share alignment in the
+// low bits and arena locality in the high bits; xoring a shifted copy
+// spreads both across the shard index.
+func shardOf(n *slp.Node) int {
+	p := uintptr(unsafe.Pointer(n))
+	return int((p>>4)^(p>>13)) & (cacheShards - 1)
+}
+
+func (c *nodeCache[V]) get(n *slp.Node) (V, bool) {
+	s := &c.shards[shardOf(n)]
+	s.mu.RLock()
+	v, ok := s.m[n]
+	s.mu.RUnlock()
+	return v, ok
+}
+
+func (c *nodeCache[V]) put(n *slp.Node, v V) {
+	s := &c.shards[shardOf(n)]
+	s.mu.Lock()
+	s.m[n] = v
+	s.mu.Unlock()
+}
+
+func (c *nodeCache[V]) len() int {
+	total := 0
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		total += len(s.m)
+		s.mu.RUnlock()
+	}
+	return total
+}
+
+// Core registries: one core per automaton instance, shared by every
+// Matcher/Index/Counter built on it. The automaton must not be mutated
+// after its first use here.
+var (
+	matcherCores sync.Map // *automata.NFA  → *matcherCore
+	indexCores   sync.Map // *automata.DEVA → *indexCore
+	counterCores sync.Map // *automata.DEVA → *counterCore
+)
+
+// ResetCaches drops every shared core and its node tables (frees memory
+// in long-lived processes that discard automata or documents; also used
+// by tests that measure cache growth from a cold start).
+func ResetCaches() {
+	matcherCores.Range(func(k, _ any) bool { matcherCores.Delete(k); return true })
+	indexCores.Range(func(k, _ any) bool { indexCores.Delete(k); return true })
+	counterCores.Range(func(k, _ any) bool { counterCores.Delete(k); return true })
+}
+
+// collectByOrder gathers the distinct unseen inner nodes of root's DAG,
+// grouped by Order. Order(n) = 1 + max(order of children), so all nodes
+// of one order are pairwise independent: level-by-level processing gives
+// a race-free parallel bottom-up schedule.
+func collectByOrder(root *slp.Node, cached func(*slp.Node) bool) [][]*slp.Node {
+	var levels [][]*slp.Node
+	seen := map[*slp.Node]bool{}
+	var visit func(n *slp.Node)
+	visit = func(n *slp.Node) {
+		if n == nil || n.IsLeaf() || seen[n] || cached(n) {
+			return
+		}
+		seen[n] = true
+		visit(n.Left())
+		visit(n.Right())
+		o := int(n.Order())
+		for len(levels) <= o {
+			levels = append(levels, nil)
+		}
+		levels[o] = append(levels[o], n)
+	}
+	visit(root)
+	return levels
+}
+
+// warmParallel computes per-node data for all uncached inner nodes of
+// root bottom-up, fanning each order-level out over workers. compute
+// must derive n's data from its children's (already cached) data and
+// store it.
+func warmParallel(root *slp.Node, workers int, cached func(*slp.Node) bool, compute func(*slp.Node)) {
+	levels := collectByOrder(root, cached)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	for _, level := range levels {
+		if len(level) == 0 {
+			continue
+		}
+		if workers == 1 || len(level) == 1 {
+			for _, n := range level {
+				compute(n)
+			}
+			continue
+		}
+		var wg sync.WaitGroup
+		ch := make(chan *slp.Node, len(level))
+		for _, n := range level {
+			ch <- n
+		}
+		close(ch)
+		w := workers
+		if w > len(level) {
+			w = len(level)
+		}
+		wg.Add(w)
+		for i := 0; i < w; i++ {
+			go func() {
+				defer wg.Done()
+				for n := range ch {
+					compute(n)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}

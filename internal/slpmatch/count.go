@@ -15,71 +15,90 @@ import (
 // that can be astronomically large — is computed in O(|S|) big-integer
 // matrix products without enumeration and without decompression.
 
-// Counter carries the per-node count matrices for one deterministic eVA.
-type Counter struct {
-	d    *automata.DEVA
-	nq   int
-	memo map[*slp.Node]countMatrix
-	leaf map[byte]countMatrix
+// counterCore is the shared state of all Counters over one DEVA.
+type counterCore struct {
+	c         *automata.CompiledDEVA
+	nq        int
+	memo      *nodeCache[countMatrix]
+	leaf      [256]countMatrix
+	finalWays []*big.Int // read-only after construction
 }
 
-// countMatrix is a dense nq×nq matrix of big integers (nil = zero).
+// countMatrix is a dense nq×nq matrix of big integers (nil = zero). A
+// stored matrix is immutable.
 type countMatrix []*big.Int
 
-func (ix *Counter) newMatrix() countMatrix {
-	return make(countMatrix, ix.nq*ix.nq)
+func counterCoreFor(d *automata.DEVA) *counterCore {
+	if v, ok := counterCores.Load(d); ok {
+		return v.(*counterCore)
+	}
+	core := buildCounterCore(d)
+	v, _ := counterCores.LoadOrStore(d, core)
+	return v.(*counterCore)
 }
 
-func (m countMatrix) at(nq, p, q int) *big.Int { return m[p*nq+q] }
+func buildCounterCore(d *automata.DEVA) *counterCore {
+	c := d.Compiled()
+	nq := c.NQ
+	core := &counterCore{c: c, nq: nq, memo: newNodeCache[countMatrix]()}
 
-// NewCounter prepares a counter for the automaton.
-func NewCounter(d *automata.DEVA) *Counter {
-	return &Counter{
-		d:    d,
-		nq:   d.NumStates(),
-		memo: map[*slp.Node]countMatrix{},
-		leaf: map[byte]countMatrix{},
+	zero := make(countMatrix, nq*nq)
+	for b := range core.leaf {
+		core.leaf[b] = zero
 	}
-}
-
-func (ix *Counter) leafMatrix(b byte) countMatrix {
-	if m, ok := ix.leaf[b]; ok {
-		return m
-	}
-	m := ix.newMatrix()
 	one := big.NewInt(1)
-	add := func(p, q int) {
-		i := p*ix.nq + q
-		if m[i] == nil {
-			m[i] = new(big.Int)
+	for _, b := range c.Letters {
+		steps := c.StepsFor(b)
+		m := make(countMatrix, nq*nq)
+		add := func(p, q int) {
+			i := p*nq + q
+			if m[i] == nil {
+				m[i] = new(big.Int)
+			}
+			m[i].Add(m[i], one)
 		}
-		m[i].Add(m[i], one)
-	}
-	for q := 0; q < ix.nq; q++ {
-		if s := ix.d.Step(q, b); s >= 0 {
-			add(q, s)
-		}
-		for _, t := range ix.d.Masks[q] {
-			if s := ix.d.Step(t, b); s >= 0 {
-				add(q, s)
+		for q := 0; q < nq; q++ {
+			if s := steps[q]; s >= 0 {
+				add(q, int(s))
+			}
+			for _, me := range c.MaskEdges[q] {
+				if s := steps[me.To]; s >= 0 {
+					add(q, int(s))
+				}
 			}
 		}
+		core.leaf[b] = m
 	}
-	ix.leaf[b] = m
-	return m
+
+	// finalWays[q] counts the accepting completions at the end boundary:
+	// one for a final q, plus one per final mask successor.
+	core.finalWays = make([]*big.Int, nq)
+	for q := 0; q < nq; q++ {
+		w := new(big.Int)
+		if c.Final[q] {
+			w.SetInt64(1)
+		}
+		for _, me := range c.MaskEdges[q] {
+			if c.Final[me.To] {
+				w.Add(w, one)
+			}
+		}
+		core.finalWays[q] = w
+	}
+	return core
 }
 
-func (ix *Counter) nodeMatrix(n *slp.Node) countMatrix {
+func (core *counterCore) nodeMatrix(n *slp.Node) countMatrix {
 	if n.IsLeaf() {
-		return ix.leafMatrix(n.LeafByte())
+		return core.leaf[n.LeafByte()]
 	}
-	if m, ok := ix.memo[n]; ok {
+	if m, ok := core.memo.get(n); ok {
 		return m
 	}
-	l := ix.nodeMatrix(n.Left())
-	r := ix.nodeMatrix(n.Right())
-	m := ix.newMatrix()
-	nq := ix.nq
+	l := core.nodeMatrix(n.Left())
+	r := core.nodeMatrix(n.Right())
+	nq := core.nq
+	m := make(countMatrix, nq*nq)
 	var tmp big.Int
 	for p := 0; p < nq; p++ {
 		for k := 0; k < nq; k++ {
@@ -101,40 +120,46 @@ func (ix *Counter) nodeMatrix(n *slp.Node) countMatrix {
 			}
 		}
 	}
-	ix.memo[n] = m
+	core.memo.put(n, m)
 	return m
 }
+
+// Counter carries the per-node count matrices for one deterministic eVA.
+// All Counters over one DEVA share a core and node cache; a Counter is
+// safe for concurrent use.
+type Counter struct {
+	core *counterCore
+}
+
+// NewCounter prepares (or reuses, hash-consed per automaton) a counter
+// for the automaton.
+func NewCounter(d *automata.DEVA) *Counter {
+	return &Counter{core: counterCoreFor(d)}
+}
+
+// CachedNodes reports the number of inner SLP nodes with computed count
+// matrices in the shared cache of this Counter's automaton.
+func (ct *Counter) CachedNodes() int { return ct.core.memo.len() }
 
 // Count returns the exact number of result tuples of the spanner on
 // 𝔇(root), computed on the compressed representation. Runs of a
 // deterministic eVA are in bijection with tuples, so the count is exact
 // even when it far exceeds what enumeration could ever produce.
-func (ix *Counter) Count(root *slp.Node) *big.Int {
-	finalWays := make([]*big.Int, ix.nq)
-	for q := 0; q < ix.nq; q++ {
-		w := new(big.Int)
-		if ix.d.Final[q] {
-			w.SetInt64(1)
-		}
-		for _, t := range ix.d.Masks[q] {
-			if ix.d.Final[t] {
-				w.Add(w, big.NewInt(1))
-			}
-		}
-		finalWays[q] = w
-	}
+func (ct *Counter) Count(root *slp.Node) *big.Int {
+	core := ct.core
 	if root == nil {
-		return new(big.Int).Set(finalWays[ix.d.Start])
+		return new(big.Int).Set(core.finalWays[core.c.Start])
 	}
-	m := ix.nodeMatrix(root)
+	m := core.nodeMatrix(root)
 	total := new(big.Int)
 	var tmp big.Int
-	for q := 0; q < ix.nq; q++ {
-		v := m[ix.d.Start*ix.nq+q]
-		if v == nil || v.Sign() == 0 || finalWays[q].Sign() == 0 {
+	nq := core.nq
+	for q := 0; q < nq; q++ {
+		v := m[core.c.Start*nq+q]
+		if v == nil || v.Sign() == 0 || core.finalWays[q].Sign() == 0 {
 			continue
 		}
-		tmp.Mul(v, finalWays[q])
+		tmp.Mul(v, core.finalWays[q])
 		total.Add(total, &tmp)
 	}
 	return total

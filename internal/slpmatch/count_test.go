@@ -95,9 +95,9 @@ func TestCounterSharesCacheAcrossDocs(t *testing.T) {
 	d1 := slp.Repeat(base, 1024)
 	d2 := slp.Concat(d1, base) // shares almost everything with d1
 	c.Count(d1)
-	before := len(c.memo)
+	before := c.CachedNodes()
 	c.Count(d2)
-	if added := len(c.memo) - before; added > 16 {
+	if added := c.CachedNodes() - before; added > 16 {
 		t.Errorf("second document added %d matrices, want few (shared DAG)", added)
 	}
 }

@@ -1,183 +1,197 @@
 package slpmatch
 
 import (
-	"sort"
-
 	"docspanner/internal/automata"
 	"docspanner/internal/slp"
 	"docspanner/internal/spans"
 )
 
-// Index holds, for one deterministic extended vset-automaton, the
-// per-SLP-node data used to enumerate the spanner over compressed
-// documents: the deterministic pure-letter step function P, the
-// mask-anywhere reachability matrix E (at every boundary before a letter,
-// at most one mask may fire), and the at-least-one-mask matrix E⁺ used to
-// prune subtrees without result events. All three are memoized per node,
-// so they are computed once per distinct node of a document database and
-// extended on demand when CDE updates create fresh nodes.
-type Index struct {
-	d         *automata.DEVA
-	nq        int
-	maskEdges [][]maskEdge // per state, sorted: deterministic enumeration order
-	pure      map[*slp.Node][]int32
-	em        map[*slp.Node]*automata.BoolMatrix
-	ep        map[*slp.Node]*automata.BoolMatrix
-
-	pureLeaf map[byte][]int32
-	emLeaf   map[byte]*automata.BoolMatrix
-	epLeaf   map[byte]*automata.BoolMatrix
+// nodeData is the per-SLP-node payload of an index: the deterministic
+// pure-letter step function P, the mask-anywhere reachability matrix E
+// (at every boundary before a letter, at most one mask may fire), the
+// at-least-one-mask matrix E⁺ used to prune subtrees without result
+// events, and Eᵀ so that alive-vector pullback streams only the rows
+// that are set in the vector.
+type nodeData struct {
+	pure []int32
+	em   *automata.BoolMatrix
+	ep   *automata.BoolMatrix
+	emT  *automata.BoolMatrix
 }
 
-// maskEdge is a sorted mask transition.
-type maskEdge struct {
-	mask automata.Mask
-	to   int
+// indexCore is the shared state of all Indexes over one DEVA: the
+// compiled automaton, dense leaf data for every byte, the cached
+// final-alive vector, and the concurrent node cache.
+type indexCore struct {
+	c          *automata.CompiledDEVA
+	nq         int
+	words      int
+	nodes      *nodeCache[*nodeData]
+	leaf       [256]*nodeData
+	finalAlive []uint64
 }
 
-// NewIndex prepares an index for the given deterministic eVA.
-func NewIndex(d *automata.DEVA) *Index {
-	ix := &Index{
-		d:         d,
-		nq:        d.NumStates(),
-		maskEdges: sortedMaskEdges(d),
-		pure:      map[*slp.Node][]int32{},
-		em:        map[*slp.Node]*automata.BoolMatrix{},
-		ep:        map[*slp.Node]*automata.BoolMatrix{},
-		pureLeaf:  map[byte][]int32{},
-		emLeaf:    map[byte]*automata.BoolMatrix{},
-		epLeaf:    map[byte]*automata.BoolMatrix{},
+func indexCoreFor(d *automata.DEVA) *indexCore {
+	if v, ok := indexCores.Load(d); ok {
+		return v.(*indexCore)
 	}
-	letters, _ := d.AlphabetAndMasks()
-	for _, b := range letters {
-		ix.buildLeaf(b)
-	}
-	return ix
+	core := buildIndexCore(d)
+	v, _ := indexCores.LoadOrStore(d, core)
+	return v.(*indexCore)
 }
 
-// sortedMaskEdges indexes each state's mask transitions in mask order.
-func sortedMaskEdges(d *automata.DEVA) [][]maskEdge {
-	out := make([][]maskEdge, d.NumStates())
-	for q := range out {
-		for m, t := range d.Masks[q] {
-			out[q] = append(out[q], maskEdge{m, t})
+func buildIndexCore(d *automata.DEVA) *indexCore {
+	c := d.Compiled()
+	nq := c.NQ
+	core := &indexCore{c: c, nq: nq, words: (nq + 63) / 64, nodes: newNodeCache[*nodeData]()}
+
+	// Dense leaf table: real data for the automaton's letters, one shared
+	// dead entry (pure all −1, zero matrices) for every other byte — a
+	// letter the automaton never reads kills every run.
+	dead := &nodeData{
+		pure: make([]int32, nq),
+		em:   automata.NewBoolMatrix(nq),
+		ep:   automata.NewBoolMatrix(nq),
+	}
+	dead.emT = dead.em
+	for q := range dead.pure {
+		dead.pure[q] = -1
+	}
+	for b := range core.leaf {
+		core.leaf[b] = dead
+	}
+	for _, b := range c.Letters {
+		steps := c.StepsFor(b)
+		nd := &nodeData{
+			pure: steps,
+			em:   automata.NewBoolMatrix(nq),
+			ep:   automata.NewBoolMatrix(nq),
 		}
-		sort.Slice(out[q], func(i, j int) bool { return out[q][i].mask < out[q][j].mask })
+		for q := 0; q < nq; q++ {
+			if s := steps[q]; s >= 0 {
+				nd.em.Set(q, int(s))
+			}
+			for _, me := range c.MaskEdges[q] {
+				if s2 := steps[me.To]; s2 >= 0 {
+					nd.em.Set(q, int(s2))
+					nd.ep.Set(q, int(s2))
+				}
+			}
+		}
+		nd.emT = nd.em.Transpose()
+		core.leaf[b] = nd
 	}
-	return out
-}
 
-func (ix *Index) buildLeaf(b byte) {
-	nq := ix.nq
-	p := make([]int32, nq)
-	em := automata.NewBoolMatrix(nq)
-	ep := automata.NewBoolMatrix(nq)
+	// States accepting at the end boundary: directly final, or final
+	// after one last mask.
+	v := automata.NewBitVec(nq)
 	for q := 0; q < nq; q++ {
-		s := ix.d.Step(q, b)
-		p[q] = int32(s)
-		if s >= 0 {
-			em.Set(q, s)
+		if c.Final[q] {
+			automata.BitSet(v, q)
+			continue
 		}
-		for _, t := range ix.d.Masks[q] {
-			if s2 := ix.d.Step(t, b); s2 >= 0 {
-				em.Set(q, s2)
-				ep.Set(q, s2)
+		for _, me := range c.MaskEdges[q] {
+			if c.Final[me.To] {
+				automata.BitSet(v, q)
+				break
 			}
 		}
 	}
-	ix.pureLeaf[b] = p
-	ix.emLeaf[b] = em
-	ix.epLeaf[b] = ep
+	core.finalAlive = v
+	return core
 }
 
-func (ix *Index) leafData(b byte) ([]int32, *automata.BoolMatrix, *automata.BoolMatrix) {
-	if _, ok := ix.pureLeaf[b]; !ok {
-		ix.buildLeaf(b)
-	}
-	return ix.pureLeaf[b], ix.emLeaf[b], ix.epLeaf[b]
-}
-
-// node computes (memoized) the P/E/E⁺ data of an SLP node.
-func (ix *Index) node(n *slp.Node) ([]int32, *automata.BoolMatrix, *automata.BoolMatrix) {
+// node computes (memoized in the shared cache) the P/E/E⁺ data of an SLP
+// node. Concurrent computation of the same node yields equal data;
+// last-write-wins is harmless.
+func (core *indexCore) node(n *slp.Node) *nodeData {
 	if n.IsLeaf() {
-		return ix.leafData(n.LeafByte())
+		return core.leaf[n.LeafByte()]
 	}
-	if p, ok := ix.pure[n]; ok {
-		return p, ix.em[n], ix.ep[n]
+	if nd, ok := core.nodes.get(n); ok {
+		return nd
 	}
-	pl, eml, epl := ix.node(n.Left())
-	pr, emr, epr := ix.node(n.Right())
-	nq := ix.nq
+	nd := core.combine(core.node(n.Left()), core.node(n.Right()))
+	core.nodes.put(n, nd)
+	return nd
+}
+
+// combine derives a concatenation node's data from its children's.
+func (core *indexCore) combine(l, r *nodeData) *nodeData {
+	nq := core.nq
 	p := make([]int32, nq)
 	for q := 0; q < nq; q++ {
-		if pl[q] >= 0 {
-			p[q] = pr[pl[q]]
+		if l.pure[q] >= 0 {
+			p[q] = r.pure[l.pure[q]]
 		} else {
 			p[q] = -1
 		}
 	}
-	em := eml.Mul(emr)
+	em := l.em.Mul(r.em)
 	// E⁺_AB = E⁺_A·E_B  ∨  P_A ; E⁺_B (mask in the left part, or pure
 	// left then mask in the right part).
-	ep := epl.Mul(emr)
+	ep := l.ep.Mul(r.em)
 	for q := 0; q < nq; q++ {
-		if pl[q] >= 0 {
-			src := epr.Row(int(pl[q]))
+		if l.pure[q] >= 0 {
+			src := r.ep.Row(int(l.pure[q]))
 			dst := ep.Row(q)
 			for k := range dst {
 				dst[k] |= src[k]
 			}
 		}
 	}
-	ix.pure[n] = p
-	ix.em[n] = em
-	ix.ep[n] = ep
-	return p, em, ep
+	return &nodeData{pure: p, em: em, ep: ep, emT: em.Transpose()}
+}
+
+// Index enumerates a deterministic extended vset-automaton's spanner
+// over SLP-compressed documents. All Indexes over one DEVA share a
+// compiled core and node cache; an Index is safe for concurrent use.
+type Index struct {
+	core *indexCore
+}
+
+// NewIndex prepares (or reuses, hash-consed per automaton) an index for
+// the given deterministic eVA.
+func NewIndex(d *automata.DEVA) *Index {
+	return &Index{core: indexCoreFor(d)}
 }
 
 // DEVA returns the underlying deterministic automaton.
-func (ix *Index) DEVA() *automata.DEVA { return ix.d }
+func (ix *Index) DEVA() *automata.DEVA { return ix.core.c.DEVA }
 
 // Warm precomputes the index for all nodes of a document — the
 // preprocessing phase, linear in the SLP size (data complexity).
 func (ix *Index) Warm(root *slp.Node) {
 	if root != nil {
-		ix.node(root)
+		ix.core.node(root)
 	}
 }
 
-// CachedNodes reports the number of inner SLP nodes with computed data.
-func (ix *Index) CachedNodes() int { return len(ix.pure) }
+// WarmParallel is Warm with the uncached nodes of each SLP DAG level
+// fanned out over workers goroutines (GOMAXPROCS if workers ≤ 0); nodes
+// of equal order are independent, so the schedule is race-free.
+func (ix *Index) WarmParallel(root *slp.Node, workers int) {
+	core := ix.core
+	warmParallel(root, workers,
+		func(n *slp.Node) bool { _, ok := core.nodes.get(n); return ok },
+		func(n *slp.Node) {
+			core.nodes.put(n, core.combine(core.node(n.Left()), core.node(n.Right())))
+		})
+}
+
+// CachedNodes reports the number of inner SLP nodes with computed data
+// in the shared cache of this Index's automaton.
+func (ix *Index) CachedNodes() int { return ix.core.nodes.len() }
 
 // NonEmpty decides whether the spanner result on 𝔇(root) is non-empty,
 // in compressed time (no decompression).
 func (ix *Index) NonEmpty(root *slp.Node) bool {
-	finalVec := ix.finalAlive()
+	core := ix.core
 	if root == nil {
-		return vecGet(finalVec, ix.d.Start)
+		return vecGet(core.finalAlive, core.c.Start)
 	}
-	_, em, _ := ix.node(root)
-	v := em.ApplyRight(finalVec)
-	return vecGet(v, ix.d.Start)
-}
-
-// finalAlive returns the vector of states accepting at the end boundary
-// (directly final, or final after one last mask).
-func (ix *Index) finalAlive() []uint64 {
-	v := automata.NewBitVec(ix.nq)
-	for q := 0; q < ix.nq; q++ {
-		if ix.d.Final[q] {
-			automata.BitSet(v, q)
-			continue
-		}
-		for _, t := range ix.d.Masks[q] {
-			if ix.d.Final[t] {
-				automata.BitSet(v, q)
-				break
-			}
-		}
-	}
-	return v
+	v := core.node(root).emT.ApplyLeft(core.finalAlive)
+	return vecGet(v, core.c.Start)
 }
 
 // event mirrors the uncompressed enumerator's event type.
@@ -190,11 +204,12 @@ type event struct {
 // decompressing the document: after Warm (linear in |S|), the delay
 // between consecutive tuples is O(ord(root) · poly(automaton)) — i.e.
 // O(log |D|) on balanced SLPs, matching the survey's Section 4 bound.
-// Enumeration stops early when f returns false.
+// Enumeration stops early when f returns false. Concurrent Each calls on
+// one Index are safe; each call keeps its own traversal state.
 func (ix *Index) Each(root *slp.Node, f func(spans.Tuple) bool) {
 	ix.Warm(root)
-	e := &cenum{ix: ix, root: root, emit: f}
-	e.dfs(ix.d.Start, 0, nil)
+	e := &cenum{core: ix.core, root: root, emit: f}
+	e.dfs(ix.core.c.Start, 0, nil)
 }
 
 // Count returns the number of result tuples.
@@ -211,12 +226,26 @@ func (ix *Index) All(root *slp.Node) *spans.Relation {
 	return out
 }
 
+// cenum is one enumeration pass; it owns a free list of alive-vector
+// scratch buffers so the walk allocates only on its deepest path.
 type cenum struct {
-	ix      *Index
+	core    *indexCore
 	root    *slp.Node
 	emit    func(spans.Tuple) bool
 	aborted bool
+	free    [][]uint64
 }
+
+func (e *cenum) getVec() []uint64 {
+	if k := len(e.free); k > 0 {
+		v := e.free[k-1]
+		e.free = e.free[:k-1]
+		return v
+	}
+	return make([]uint64, e.core.words)
+}
+
+func (e *cenum) putVec(v []uint64) { e.free = append(e.free, v) }
 
 // dfs enumerates all accepting runs from state q at absolute boundary
 // pos, with the given event prefix; no mask has fired at pos yet.
@@ -229,8 +258,7 @@ func (e *cenum) dfs(q int, pos int64, events []event) {
 		e.finish(q, events)
 		return
 	}
-	avRoot := e.ix.finalAlive()
-	exit := e.walk(e.root, q, pos, avRoot, 0, events)
+	exit := e.walk(e.root, q, pos, e.core.finalAlive, 0, events)
 	if e.aborted || exit < 0 {
 		return
 	}
@@ -240,16 +268,16 @@ func (e *cenum) dfs(q int, pos int64, events []event) {
 // finish handles the end-of-document boundary: emit the pure run and the
 // runs taking one final mask.
 func (e *cenum) finish(q int, events []event) {
-	d := e.ix.d
-	if d.Final[q] {
+	c := e.core.c
+	if c.Final[q] {
 		if !e.emit(e.tuple(events)) {
 			e.aborted = true
 			return
 		}
 	}
-	for _, me := range e.ix.maskEdges[q] {
-		if d.Final[me.to] {
-			ev := append(events, event{e.root.Len(), me.mask})
+	for _, me := range c.MaskEdges[q] {
+		if c.Final[me.To] {
+			ev := append(events, event{e.root.Len(), me.Mask})
 			if !e.emit(e.tuple(ev)) {
 				e.aborted = true
 				return
@@ -266,23 +294,22 @@ func (e *cenum) walk(a *slp.Node, q int, i int64, av []uint64, off int64, events
 	if e.aborted {
 		return -1
 	}
-	ix := e.ix
+	core := e.core
 	if a.IsLeaf() {
 		b := a.LeafByte()
-		d := ix.d
-		for _, me := range ix.maskEdges[q] {
-			s := d.Step(me.to, b)
-			if s < 0 || !vecGet(av, s) {
+		steps := core.leaf[b].pure
+		for _, me := range core.c.MaskEdges[q] {
+			s := steps[me.To]
+			if s < 0 || !vecGet(av, int(s)) {
 				continue
 			}
-			ev := append(events, event{off, me.mask})
-			e.dfs(s, off+1, ev)
+			ev := append(events, event{off, me.Mask})
+			e.dfs(int(s), off+1, ev)
 			if e.aborted {
 				return -1
 			}
 		}
-		pure, _, _ := ix.leafData(b)
-		return pure[q]
+		return steps[q]
 	}
 	llen := a.Left().Len()
 	if i >= llen {
@@ -291,14 +318,17 @@ func (e *cenum) walk(a *slp.Node, q int, i int64, av []uint64, off int64, events
 	// Prune whole subtrees without productive events (only valid from
 	// offset 0, where E⁺ describes the whole node).
 	if i == 0 {
-		p, _, epa := ix.node(a)
-		if !rowMeets(epa, q, av) {
-			return p[q]
+		nd := core.node(a)
+		if !rowMeets(nd.ep, q, av) {
+			return nd.pure[q]
 		}
 	}
-	_, emr, _ := ix.node(a.Right())
-	avL := emr.ApplyRight(av)
+	// Pull the alive vector back over the right part: avL = E_R·av,
+	// computed as avᵀ·E_Rᵀ so only the set rows are streamed.
+	rd := core.node(a.Right())
+	avL := rd.emT.ApplyLeftInto(e.getVec(), av)
 	ls := e.walk(a.Left(), q, i, avL, off, events)
+	e.putVec(avL)
 	if e.aborted || ls < 0 {
 		return -1
 	}
@@ -321,7 +351,7 @@ func vecGet(v []uint64, q int) bool { return automata.BitGet(v, q) }
 // tuple converts events into a span tuple (1-based positions).
 func (e *cenum) tuple(events []event) spans.Tuple {
 	t := make(spans.Tuple)
-	mi := e.ix.d.Index
+	mi := e.core.c.DEVA.Index
 	for _, ev := range events {
 		pos := int(ev.boundary) + 1
 		for _, mk := range mi.Markers(ev.mask) {

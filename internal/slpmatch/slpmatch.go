@@ -7,13 +7,15 @@
 // SLP size and delay O(log |D|) on balanced SLPs (after Schmid &
 // Schweikardt, PODS 2021).
 //
-// All per-node data is memoized in maps keyed by the (immutable, shared)
-// SLP nodes, so a persistent Index amortizes across the documents of a
-// database and is maintained for free under CDE updates: an update adds
-// O(log d) fresh nodes, and only those need new matrices (Section 4.3).
+// All per-node data is memoized in sharded concurrent caches keyed by the
+// (immutable, shared) SLP nodes and hash-consed per automaton, so a
+// persistent Index amortizes across the documents of a database — and
+// across goroutines — and is maintained for free under CDE updates: an
+// update adds O(log d) fresh nodes, and only those need new matrices
+// (Section 4.3).
 //
-// Matcher, Index, and Counter mutate their memo tables on use and are NOT
-// safe for concurrent use; share one per goroutine, or guard externally.
+// Matcher, Index, and Counter are safe for concurrent use. The automaton
+// an instance is built on must not be mutated afterwards.
 package slpmatch
 
 import (
@@ -23,94 +25,97 @@ import (
 	"docspanner/internal/slp"
 )
 
+// matcherCore holds the shared state of all Matchers over one NFA: the
+// compiled per-letter matrices and the concurrent node→matrix cache.
+type matcherCore struct {
+	c    *automata.CompiledNFA
+	memo *nodeCache[*automata.BoolMatrix]
+}
+
+func matcherCoreFor(nfa *automata.NFA) (*matcherCore, error) {
+	if v, ok := matcherCores.Load(nfa); ok {
+		return v.(*matcherCore), nil
+	}
+	c, err := nfa.CompiledMatrices()
+	if err != nil {
+		return nil, err
+	}
+	core := &matcherCore{c: c, memo: newNodeCache[*automata.BoolMatrix]()}
+	v, _ := matcherCores.LoadOrStore(nfa, core)
+	return v.(*matcherCore), nil
+}
+
 // Matcher decides membership of SLP-compressed documents in the language
 // of a plain NFA (no markers): the classical compressed-membership tool.
+// All Matchers over one NFA share a compiled core and node cache; a
+// Matcher is safe for concurrent use.
 type Matcher struct {
-	nfa     *automata.NFA
-	nq      int
-	letters map[byte]*automata.BoolMatrix
-	closure *automata.BoolMatrix
-	memo    map[*slp.Node]*automata.BoolMatrix
+	core *matcherCore
 }
 
-// NewMatcher prepares per-letter transition matrices. The automaton must
-// have no marker or reference transitions.
+// NewMatcher prepares (or reuses, hash-consed per automaton) per-letter
+// transition matrices. The automaton must have no marker or reference
+// transitions.
 func NewMatcher(nfa *automata.NFA) (*Matcher, error) {
-	if nfa.HasRefs() {
-		return nil, fmt.Errorf("slpmatch: automaton has reference transitions")
+	core, err := matcherCoreFor(nfa)
+	if err != nil {
+		return nil, fmt.Errorf("slpmatch: %w", err)
 	}
-	for _, tr := range nfa.Markers {
-		if len(tr) > 0 {
-			return nil, fmt.Errorf("slpmatch: automaton has marker transitions; use Index for spanners")
-		}
-	}
-	nq := nfa.NumStates()
-	m := &Matcher{
-		nfa:     nfa,
-		nq:      nq,
-		letters: map[byte]*automata.BoolMatrix{},
-		memo:    map[*slp.Node]*automata.BoolMatrix{},
-	}
-	// Reflexive-transitive ε-closure matrix C.
-	c := automata.IdentityMatrix(nq)
-	for q := 0; q < nq; q++ {
-		for _, r := range nfa.EpsClosure([]int{q}) {
-			c.Set(q, r)
-		}
-	}
-	m.closure = c
-	for _, b := range nfa.Alphabet() {
-		s := automata.NewBoolMatrix(nq)
-		for p := 0; p < nq; p++ {
-			for _, r := range nfa.Letters[p][b] {
-				s.Set(p, r)
-			}
-		}
-		// L_b = C·S_b·C; products of these compose correctly because C
-		// is idempotent.
-		m.letters[b] = c.Mul(s).Mul(c)
-	}
-	return m, nil
+	return &Matcher{core: core}, nil
 }
 
-// matrix returns (memoized) the reachability matrix for the derivation of
-// node n.
-func (m *Matcher) matrix(n *slp.Node) *automata.BoolMatrix {
-	if mt, ok := m.memo[n]; ok {
+// matrix returns (memoized in the shared cache) the reachability matrix
+// for the derivation of node n. Concurrent callers may compute the same
+// node twice; the results are equal, so last-write-wins is harmless.
+func (core *matcherCore) matrix(n *slp.Node) *automata.BoolMatrix {
+	if n.IsLeaf() {
+		return core.c.LetterMatrix(n.LeafByte())
+	}
+	if mt, ok := core.memo.get(n); ok {
 		return mt
 	}
-	var mt *automata.BoolMatrix
-	if n.IsLeaf() {
-		mt = m.letters[n.LeafByte()]
-		if mt == nil {
-			mt = automata.NewBoolMatrix(m.nq) // letter unknown to the NFA
-		}
-	} else {
-		mt = m.matrix(n.Left()).Mul(m.matrix(n.Right()))
-	}
-	m.memo[n] = mt
+	mt := core.matrix(n.Left()).Mul(core.matrix(n.Right()))
+	core.memo.put(n, mt)
 	return mt
 }
 
 // Accepts decides 𝔇(root) ∈ L(nfa) without decompressing, in time
 // O(|S|·n³/64) for the new nodes of root.
 func (m *Matcher) Accepts(root *slp.Node) bool {
+	c := m.core.c
 	if root == nil {
-		for _, q := range m.nfa.EpsClosure([]int{m.nfa.Start}) {
-			if m.nfa.Final[q] {
-				return true
-			}
-		}
-		return false
+		return c.EmptyAccept
 	}
-	mt := m.matrix(root)
-	for q, f := range m.nfa.Final {
-		if f && mt.Get(m.nfa.Start, q) {
+	mt := m.core.matrix(root)
+	for q, f := range c.NFA.Final {
+		if f && mt.Get(c.NFA.Start, q) {
 			return true
 		}
 	}
 	return false
 }
 
-// CachedNodes reports how many SLP nodes have matrices computed.
-func (m *Matcher) CachedNodes() int { return len(m.memo) }
+// Warm computes the matrices of all nodes of root sequentially.
+func (m *Matcher) Warm(root *slp.Node) {
+	if root != nil {
+		m.core.matrix(root)
+	}
+}
+
+// WarmParallel computes the matrices of all uncached nodes of root
+// bottom-up, fanning each DAG level out over the given number of workers
+// (GOMAXPROCS if workers ≤ 0). Nodes of equal order are independent, so
+// the schedule is race-free by construction.
+func (m *Matcher) WarmParallel(root *slp.Node, workers int) {
+	core := m.core
+	warmParallel(root, workers,
+		func(n *slp.Node) bool { _, ok := core.memo.get(n); return ok },
+		func(n *slp.Node) {
+			mt := core.matrix(n.Left()).Mul(core.matrix(n.Right()))
+			core.memo.put(n, mt)
+		})
+}
+
+// CachedNodes reports how many inner SLP nodes have matrices computed in
+// the shared cache of this Matcher's automaton.
+func (m *Matcher) CachedNodes() int { return m.core.memo.len() }

@@ -106,10 +106,19 @@ func EvalDocs(ctx context.Context, ev Evaluator, docs [][]byte, opts ParallelOpt
 // enumerating. Returns the context's error on cancellation, nil on
 // completion or early stop.
 func EnumerateDocs(ctx context.Context, s *Spanner, docs [][]byte, opts ParallelOptions, f func(doc int, t Tuple) bool) error {
+	enumerate := func(i int, yield func(Tuple) bool) {
+		s.Enumerate(docs[i], yield)
+	}
+	return enumerateBatch(ctx, len(docs), opts, enumerate, f)
+}
+
+// enumerateBatch is the worker-pool skeleton shared by EnumerateDocs and
+// EnumerateCompressedDocs: it runs enumerate(i, yield) for every i on a
+// bounded pool and delivers the collected tuples to f in input order.
+func enumerateBatch(ctx context.Context, n int, opts ParallelOptions, enumerate func(i int, yield func(Tuple) bool), f func(doc int, t Tuple) bool) error {
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	n := len(docs)
 	if n == 0 {
 		return ctx.Err()
 	}
@@ -130,7 +139,7 @@ func EnumerateDocs(ctx context.Context, s *Spanner, docs [][]byte, opts Parallel
 					return
 				}
 				var ts []Tuple
-				s.Enumerate(docs[i], func(t Tuple) bool {
+				enumerate(i, func(t Tuple) bool {
 					if stop.Load() {
 						return false
 					}
@@ -173,6 +182,39 @@ deliver:
 	stop.Store(true)
 	<-done
 	return err
+}
+
+// EvalCompressedDocs evaluates a compressed-evaluation Index on a batch
+// of SLP-compressed documents with a bounded worker pool and returns one
+// relation per document, in input order. The Index's node cache is
+// shared by all workers: SLP nodes shared between documents (or added by
+// CDE edits) are processed by whichever worker reaches them first and
+// hit the cache everywhere else.
+func EvalCompressedDocs(ctx context.Context, ix *Index, docs []*Document, opts ParallelOptions) ([]*Relation, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	out := make([]*Relation, len(docs))
+	err := runPool(ctx, len(docs), opts.workers(len(docs)), func(i int) {
+		out[i] = ix.Eval(docs[i])
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EnumerateCompressedDocs enumerates a compressed-evaluation Index on a
+// batch of SLP-compressed documents in parallel, delivering tuples to f
+// in deterministic order (documents in input order, tuples in the
+// index's enumeration order); returning false from f stops the batch.
+// The shared node cache makes the per-document preprocessing incremental
+// across the batch.
+func EnumerateCompressedDocs(ctx context.Context, ix *Index, docs []*Document, opts ParallelOptions, f func(doc int, t Tuple) bool) error {
+	enumerate := func(i int, yield func(Tuple) bool) {
+		ix.Enumerate(docs[i], yield)
+	}
+	return enumerateBatch(ctx, len(docs), opts, enumerate, f)
 }
 
 // ShardOptions configures EvalSharded.
