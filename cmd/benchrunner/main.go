@@ -1,5 +1,5 @@
 // Command benchrunner regenerates the experiment tables of EXPERIMENTS.md:
-// one table per experiment ID (F1, E1–E14), each validating a formal claim
+// one table per experiment ID (F1, E1–E17), each validating a formal claim
 // of Schmid & Schweikardt's PODS 2022 survey on the implementation. Run
 // with -experiment to select a single one, e.g.
 //
@@ -30,13 +30,21 @@ import (
 )
 
 func main() {
-	which := flag.String("experiment", "", "run only this experiment (F1, E1..E14); empty = all")
+	which := flag.String("experiment", "", "run only this experiment (F1, E1..E14, E17); empty = all")
 	benchJSON := flag.String("bench-json", "", "measure the fixed E1-E7 micro suite and merge ns/op into this JSON file (see BENCH_pr3.json), then exit")
 	benchLabel := flag.String("bench-label", "after", "label for the -bench-json run (e.g. before, after)")
+	planBench := flag.String("plan-bench", "", "measure the E17 planner suite (planner-off vs planner-on) and write this JSON file (see BENCH_pr4.json), then exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *benchLabel); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *planBench != "" {
+		if err := runPlanBench(*planBench); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 			os.Exit(1)
 		}
@@ -50,7 +58,7 @@ func main() {
 		{"F1", runF1}, {"E1", runE1}, {"E2", runE2}, {"E3", runE3},
 		{"E4", runE4}, {"E5", runE5}, {"E6", runE6}, {"E7", runE7},
 		{"E8", runE8}, {"E9", runE9}, {"E10", runE10}, {"E11", runE11},
-		{"E12", runE12}, {"E13", runE13}, {"E14", runE14},
+		{"E12", runE12}, {"E13", runE13}, {"E14", runE14}, {"E17", runE17},
 	}
 	ran := false
 	for _, e := range experiments {

@@ -1,0 +1,157 @@
+package main
+
+// E17 / -plan-bench: the query-planner benchmark. Each query in the
+// suite is measured twice on the same documents — once with the planner
+// disabled (DisableRewrites + NaiveBackend, reproducing the classical
+// bottom-up evaluation the facade used before the planner) and once
+// with the full rewrite pipeline and automatic backend selection:
+//
+//	go run ./cmd/benchrunner -experiment E17        # human-readable table
+//	go run ./cmd/benchrunner -plan-bench BENCH_pr4.json
+//
+// The suite is deliberately join- and selection-heavy: those are the
+// shapes where the rewrites (dead-subtree pruning, duplicate-union
+// elimination, projection pushdown, fusion to a single scan) change the
+// asymptotics rather than the constants.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"docspanner"
+)
+
+var plannerOff = docspanner.PlanOptions{DisableRewrites: true, NaiveBackend: true}
+
+type planBenchItem struct {
+	id    string
+	query *docspanner.Query
+	doc   []byte
+	// op runs one measured operation against the given planned variant.
+	op func(q *docspanner.Query, doc []byte)
+}
+
+func planQ(pattern string) *docspanner.Query {
+	return docspanner.MustQ(docspanner.MustCompile(pattern, docspanner.Options{Alphabet: []byte("ab")}))
+}
+
+func evalOp(q *docspanner.Query, doc []byte) { q.Eval(doc) }
+
+// planBenchSuite returns the fixed E17 measurement suite.
+func planBenchSuite() []planBenchItem {
+	return []planBenchItem{
+		{
+			// Duplicate union branches: SP008 dedup collapses the union to a
+			// single branch, which then runs constant-delay instead of two
+			// naive scans plus a set union.
+			id:    "E17/dedup-union/n=2^10",
+			query: planQ(".*!x{a+}.*").Union(planQ(".*!x{aa*}.*")),
+			doc:   randomDoc(1<<10, 41),
+			op:    evalOp,
+		},
+		{
+			// Provably empty join (x must be "ab" and "ba" at the same span):
+			// the SP003 lint prune rewrites the whole plan to ∅; the naive
+			// evaluation materializes both sides and joins them.
+			id:    "E17/dead-join/n=2^10",
+			query: planQ(".*!x{ab}.*").Join(planQ(".*!x{ba}.*")),
+			doc:   randomDoc(1<<10, 42),
+			op:    evalOp,
+		},
+		{
+			// Projection pushdown: the junk variable j is dropped below the
+			// join, which then fuses to one scan — the naive plan builds the
+			// full {x, j} × {x} intermediate first.
+			id:    "E17/proj-pushdown-join/n=2^9",
+			query: planQ(".*!x{ab}.*!j{a}.*").Join(planQ(".*!x{ab}.*")).Project("x"),
+			doc:   randomDoc(1<<9, 43),
+			op:    evalOp,
+		},
+		{
+			// Selection-heavy: the string-equality selection survives every
+			// rewrite, but its input scan switches from the naive automaton
+			// search to constant-delay enumeration.
+			id:    "E17/selection-scan/n=2^9",
+			query: planQ(".*b!x{a+}b.*b!y{a+}b.*").SelectEqual("x", "y"),
+			doc:   randomDoc(1<<9, 44),
+			op:    evalOp,
+		},
+		{
+			// Streaming count over a fused union: planner-on counts on the
+			// constant-delay enumerator without materializing anything.
+			id:    "E17/count-fused-union/n=2^10",
+			query: planQ(".*!x{ab}.*").Union(planQ("a*!x{ba}(a|b)*")),
+			doc:   randomDoc(1<<10, 45),
+			op:    func(q *docspanner.Query, doc []byte) { q.Count(doc) },
+		},
+	}
+}
+
+// measurePlanBench times every suite item under both planner settings.
+func measurePlanBench(report func(id, query string, offNs, onNs float64)) {
+	for _, it := range planBenchSuite() {
+		off := it.query.WithPlan(plannerOff)
+		on := it.query.WithPlan(docspanner.PlanOptions{})
+		tOff := timeIt(func() { it.op(off, it.doc) })
+		tOn := timeIt(func() { it.op(on, it.doc) })
+		report(it.id, it.query.String(), float64(tOff.Nanoseconds()), float64(tOn.Nanoseconds()))
+	}
+}
+
+func runE17() {
+	header("E17", "query planner: rewrites + backend selection vs naive bottom-up evaluation")
+	fmt.Printf("%-28s %14s %14s %9s\n", "query", "planner-off", "planner-on", "speedup")
+	measurePlanBench(func(id, _ string, offNs, onNs float64) {
+		fmt.Printf("%-28s %12.0fns %12.0fns %8.1fx\n", id, offNs, onNs, offNs/onNs)
+	})
+	fmt.Println("expected: every row ≥ 1x; the join-heavy rows (dead-join, proj-pushdown)")
+	fmt.Println("change asymptotics and should exceed 2x by a wide margin")
+}
+
+// planBenchEntry is one query measured under both planner settings.
+type planBenchEntry struct {
+	ID    string `json:"id"`
+	Query string `json:"query"`
+	// NsPerOp holds the labels "planner-off" (DisableRewrites +
+	// NaiveBackend) and "planner-on" (default pipeline).
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+	Speedup float64            `json:"speedup_off_over_on"`
+}
+
+type planBenchFile struct {
+	Description string           `json:"description"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Entries     []planBenchEntry `json:"entries"`
+}
+
+// runPlanBench measures the E17 suite and writes the JSON file at path.
+func runPlanBench(path string) error {
+	f := planBenchFile{
+		Description: "ns/op for the E17 planner suite of cmd/benchrunner (-plan-bench): identical queries and documents evaluated with the planner disabled (DisableRewrites+NaiveBackend) and with the full rewrite pipeline",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+	measurePlanBench(func(id, query string, offNs, onNs float64) {
+		fmt.Printf("%-28s off %12.0f ns/op   on %12.0f ns/op   %.1fx\n", id, offNs, onNs, offNs/onNs)
+		f.Entries = append(f.Entries, planBenchEntry{
+			ID:    id,
+			Query: query,
+			NsPerOp: map[string]float64{
+				"planner-off": offNs,
+				"planner-on":  onNs,
+			},
+			Speedup: round2(offNs / onNs),
+		})
+	})
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+var _ = time.Nanosecond

@@ -7,6 +7,7 @@
 //	spanql -pattern '...' -text '...' -mode check -tuple 'x=1:3,v=4:6'
 //	spanql -pattern '...' -mode analyze
 //	spanql -pattern '...' -lint
+//	spanql -pattern '...' -explain
 //
 // Modes:
 //
@@ -39,6 +40,7 @@ func main() {
 		compressed = flag.Bool("compressed", false, "evaluate over the SLP-compressed document")
 		dot        = flag.Bool("dot", false, "print the spanner automaton in Graphviz DOT format and exit")
 		lint       = flag.Bool("lint", false, "run spanlint on the compiled spanner and exit (status 1 on warnings or errors)")
+		explain    = flag.Bool("explain", false, "print the execution plan (logical shape, rewrites applied, physical backend per node) and exit")
 	)
 	flag.Parse()
 	if *pattern == "" {
@@ -58,6 +60,11 @@ func main() {
 
 	if *dot {
 		fmt.Print(s.Dot())
+		return
+	}
+
+	if *explain {
+		fmt.Print(s.Explain())
 		return
 	}
 

@@ -6,6 +6,7 @@ import (
 	"math/big"
 	"sync"
 
+	"docspanner/internal/automata"
 	"docspanner/internal/slp"
 	"docspanner/internal/slpmatch"
 )
@@ -157,6 +158,14 @@ func (ix *Index) Count(d *Document) int { return ix.ix.Count(d.Node()) }
 // Eval materializes the result relation.
 func (ix *Index) Eval(d *Document) *Relation { return ix.ix.All(d.Node()) }
 
+// EvalCompressed is Eval under the name the CompressedEvaluator
+// interface shares with Query.
+func (ix *Index) EvalCompressed(d *Document) *Relation { return ix.Eval(d) }
+
+// EnumerateCompressed is Enumerate under the name the
+// CompressedStreamEvaluator interface shares with Query.
+func (ix *Index) EnumerateCompressed(d *Document, f func(Tuple) bool) { ix.Enumerate(d, f) }
+
 // NonEmpty decides S(D) ≠ ∅ in compressed time.
 func (ix *Index) NonEmpty(d *Document) bool { return ix.ix.NonEmpty(d.Node()) }
 
@@ -168,6 +177,42 @@ func (ix *Index) ExactCount(d *Document) *big.Int {
 		ix.counter = slpmatch.NewCounter(ix.ix.DEVA())
 	})
 	return ix.counter.Count(d.Node())
+}
+
+// EvalCompressed evaluates the query directly on an SLP-compressed
+// document: fused regular subplans run the compressed matcher on the
+// grammar (never decompressing), and only operators that genuinely need
+// the text — string-equality selections, refl scans — trigger one lazy,
+// shared decompression.
+func (q *Query) EvalCompressed(d *Document) *Relation {
+	return q.plan().EvalSLP(d.Node())
+}
+
+// EnumerateCompressed streams the query's tuples on an SLP-compressed
+// document; return false from f to stop early.
+func (q *Query) EnumerateCompressed(d *Document, f func(Tuple) bool) {
+	q.plan().EnumerateSLP(d.Node(), f)
+}
+
+// CountCompressed counts the query's result tuples on an SLP-compressed
+// document.
+func (q *Query) CountCompressed(d *Document) int {
+	return q.plan().CountSLP(d.Node())
+}
+
+// Index builds a compressed-evaluation index for the query, available
+// exactly when the planner collapses the whole query into one regular
+// scan (a single fused vset-automaton) — the plan shape the logarithmic-
+// delay compressed enumeration of Section 4.2 requires. Queries with
+// residual algebra (unfusable joins, selections, refl scans) return an
+// error; they can still evaluate on compressed documents with
+// EvalCompressed.
+func (q *Query) Index() (*Index, error) {
+	nfa, ok := q.plan().SingleScan()
+	if !ok {
+		return nil, fmt.Errorf("docspanner: Query.Index needs a plan that fuses to a single regular scan (plan:\n%s)", q.Explain())
+	}
+	return &Index{ix: slpmatch.NewIndex(automata.DeterminizeCached(nfa))}, nil
 }
 
 // WriteTo serializes the database (the shared SLP DAG plus document

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 
 	"docspanner/internal/algebra"
@@ -210,6 +211,110 @@ func TestCrossValidateAlgebraPaths(t *testing.T) {
 			if !got.Equal(want) {
 				t.Fatalf("expr %s doc %q:\n normal form %v\n reference %v",
 					algebra.String(expr), doc, got, want)
+			}
+		}
+	}
+}
+
+// TestCrossValidatePlanner cross-validates the query planner: on random
+// algebra trees over random primitive spanners, under both semantics,
+// the planner with all rewrite passes (and with the opt-in refl
+// rewrite) must produce exactly the relation of the naive bottom-up
+// reference evaluation — on plain documents, via streaming enumeration,
+// and through the compressed backend on two different SLPs of the same
+// document. Shared plans are exercised from concurrent goroutines, so a
+// -race run also proves the planner's caches are safe.
+func TestCrossValidatePlanner(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	trials := 40
+	if testing.Short() {
+		trials = 10
+	}
+	mkPrim := func() algebra.Expr {
+		g := &patternGen{rng: rng}
+		for {
+			pattern := g.pattern()
+			s, err := Compile(pattern, Options{Alphabet: []byte("ab"), Schemaless: true})
+			if err == nil {
+				return algebra.Prim{A: s.nfa, Src: s.ast}
+			}
+			g = &patternGen{rng: rng}
+		}
+	}
+	for trial := 0; trial < trials; trial++ {
+		var build func(depth int) algebra.Expr
+		build = func(depth int) algebra.Expr {
+			if depth == 0 || rng.Intn(3) == 0 {
+				return mkPrim()
+			}
+			switch rng.Intn(4) {
+			case 0:
+				return algebra.Union{L: build(depth - 1), R: build(depth - 1)}
+			case 1:
+				return algebra.Join{L: build(depth - 1), R: build(depth - 1)}
+			case 2:
+				sub := build(depth - 1)
+				vars := sub.Vars()
+				if len(vars) == 0 {
+					return sub
+				}
+				keep := spans.NewVarSet(vars[rng.Intn(len(vars))])
+				return algebra.Project{Sub: sub, Keep: keep}
+			default:
+				sub := build(depth - 1)
+				vars := sub.Vars()
+				if len(vars) < 2 {
+					return sub
+				}
+				z := spans.NewVarSet(vars[0], vars[1])
+				return algebra.SelectEq{Sub: sub, Z: z}
+			}
+		}
+		expr := build(2)
+		for _, schemaless := range []bool{false, true} {
+			base := &Query{expr: expr, schemaless: schemaless}
+			naive := base.WithPlan(PlanOptions{DisableRewrites: true, NaiveBackend: true})
+			planned := base.WithPlan(PlanOptions{})
+			withRefl := base.WithPlan(PlanOptions{ReflRewrite: true})
+			for di := 0; di < 3; di++ {
+				doc := randomDocOver(rng, rng.Intn(10))
+				want := naive.Eval(doc)
+				if got := planned.Eval(doc); !got.Equal(want) {
+					t.Fatalf("expr %s doc %q schemaless=%v:\n planner %v\n naive %v\nplan:\n%s",
+						algebra.String(expr), doc, schemaless, got, want, planned.Explain())
+				}
+				if got := withRefl.Eval(doc); !got.Equal(want) {
+					t.Fatalf("expr %s doc %q schemaless=%v (refl-rewrite):\n planner %v\n naive %v\nplan:\n%s",
+						algebra.String(expr), doc, schemaless, got, want, withRefl.Explain())
+				}
+				if got := planned.Count(doc); got != want.Len() {
+					t.Fatalf("expr %s doc %q schemaless=%v: Count %d, want %d",
+						algebra.String(expr), doc, schemaless, got, want.Len())
+				}
+				streamed := NewRelation()
+				planned.Enumerate(doc, func(tu Tuple) bool { streamed.Add(tu); return true })
+				if !streamed.Equal(want) {
+					t.Fatalf("expr %s doc %q schemaless=%v: Enumerate %v, want %v",
+						algebra.String(expr), doc, schemaless, streamed, want)
+				}
+				for _, d := range []*Document{DocumentFromBytes(doc), CompressDocument(doc)} {
+					if got := planned.EvalCompressed(d); !got.Equal(want) {
+						t.Fatalf("expr %s doc %q schemaless=%v: compressed backend %v, want %v\nplan:\n%s",
+							algebra.String(expr), doc, schemaless, got, want, planned.Explain())
+					}
+				}
+				// Shared plan, concurrent evaluation (meaningful under -race).
+				var wg sync.WaitGroup
+				for w := 0; w < 2; w++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						if got := planned.Eval(doc); !got.Equal(want) {
+							t.Errorf("concurrent planner eval diverged on %q", doc)
+						}
+					}()
+				}
+				wg.Wait()
 			}
 		}
 	}

@@ -32,9 +32,11 @@ import (
 	"math/big"
 	"sync"
 
+	"docspanner/internal/algebra"
 	"docspanner/internal/automata"
 	"docspanner/internal/enum"
 	"docspanner/internal/lint"
+	"docspanner/internal/plan"
 	"docspanner/internal/refl"
 	"docspanner/internal/regex"
 	"docspanner/internal/spans"
@@ -92,9 +94,10 @@ type Spanner struct {
 	nfa        *automata.NFA
 	ast        regex.Node    // nil for derived spanners (e.g. Difference)
 	rspanner   *refl.Spanner // non-nil iff the pattern has references
-	devaOnce   sync.Once
-	deva       *automata.DEVA
 	schemaless bool
+
+	planOnce sync.Once
+	planned  *plan.Planned
 }
 
 // Compile parses and compiles a spanner pattern, e.g.
@@ -153,26 +156,40 @@ func (s *Spanner) semantics() vset.Semantics {
 	return vset.Functional
 }
 
-// dEVA lazily determinizes the automaton (query complexity only). The
-// memoization is guarded by a sync.Once so that a compiled spanner can be
-// shared across goroutines: concurrent first calls determinize exactly
-// once, and every caller observes the fully constructed automaton.
+// dEVA determinizes the automaton (query complexity only), memoized in
+// the global hash-consed DEVA cache keyed on the immutable NFA: a
+// compiled spanner shared across goroutines — and every query plan
+// scanning the same automaton — determinizes exactly once.
 func (s *Spanner) dEVA() *automata.DEVA {
-	s.devaOnce.Do(func() {
-		s.deva = automata.Determinize(s.nfa)
+	return automata.DeterminizeCached(s.nfa)
+}
+
+// plan lowers the spanner into its (trivial, single-scan) execution
+// plan, once per spanner. Routing the Spanner methods through the
+// planner keeps one evaluation path for the whole facade: a regular
+// spanner plans to a constant-delay scan, a refl-spanner to an external
+// scan over its configuration search — exactly the previous behavior.
+func (s *Spanner) plan() *plan.Planned {
+	s.planOnce.Do(func() {
+		opts := plan.Options{Schemaless: s.schemaless}
+		if s.rspanner != nil {
+			s.planned = plan.NewExternal(s.rspanner, opts)
+		} else {
+			s.planned = plan.New(algebra.Prim{A: s.nfa, Src: s.ast}, opts)
+		}
 	})
-	return s.deva
+	return s.planned
 }
 
 // Eval materializes the full span relation on doc.
 func (s *Spanner) Eval(doc []byte) *Relation {
-	if s.rspanner != nil {
-		return s.rspanner.Eval(doc, !s.schemaless)
-	}
-	out := spans.NewRelation()
-	s.Enumerate(doc, func(t Tuple) bool { out.Add(t); return true })
-	return out
+	return s.plan().Eval(doc)
 }
+
+// Explain renders the spanner's execution plan — the logical shape, the
+// physical backend, and any rewrite provenance — in the same format as
+// Query.Explain. Human-oriented; not stable across releases.
+func (s *Spanner) Explain() string { return s.plan().Explain() }
 
 // Enumerate streams the result tuples without duplicates; for regular
 // spanners it uses the linear-preprocessing/constant-delay algorithm
@@ -181,29 +198,12 @@ func (s *Spanner) Eval(doc []byte) *Relation {
 // constant-delay walk, and refl-spanners abort the configuration search
 // instead of materializing the full relation first.
 func (s *Spanner) Enumerate(doc []byte, f func(Tuple) bool) {
-	if s.rspanner != nil {
-		s.rspanner.Enumerate(doc, !s.schemaless, f)
-		return
-	}
-	e := enum.NewEnumerator(s.dEVA(), doc)
-	if s.schemaless {
-		e.Each(f)
-		return
-	}
-	vars := s.nfa.Vars
-	e.Each(func(t Tuple) bool {
-		if !t.TotalOn(vars) {
-			return true
-		}
-		return f(t)
-	})
+	s.plan().Enumerate(doc, f)
 }
 
 // Count returns the number of result tuples on doc.
 func (s *Spanner) Count(doc []byte) int {
-	n := 0
-	s.Enumerate(doc, func(Tuple) bool { n++; return true })
-	return n
+	return s.plan().Count(doc)
 }
 
 // ModelCheck decides t ∈ S(doc) — linear in |doc| for both regular and
@@ -272,16 +272,15 @@ func Contains(a, b *Spanner) (bool, error) {
 	return vset.Contains(a.nfa, b.nfa), nil
 }
 
-// EquivalentUpTo compares two spanners (or queries) on all documents over
-// the alphabet up to the given length — a bounded refutation procedure
-// for the undecidable cases (core-spanner equivalence, Section 2.4).
-// It returns a counterexample document if one exists within the bound.
-// The alphabet must be non-empty whenever maxLen > 0; otherwise only the
-// empty document would be compared and "equal" would be vacuous, so that
-// call is rejected with an error.
-func EquivalentUpTo(a, b interface {
-	Eval(doc []byte) *Relation
-}, alphabet []byte, maxLen int) (equal bool, counterexample []byte, err error) {
+// EquivalentUpTo compares two Evaluators — spanners, queries, or normal
+// forms, in any combination — on all documents over the alphabet up to
+// the given length: a bounded refutation procedure for the undecidable
+// cases (core-spanner equivalence, Section 2.4). It returns a
+// counterexample document if one exists within the bound. The alphabet
+// must be non-empty whenever maxLen > 0; otherwise only the empty
+// document would be compared and "equal" would be vacuous, so that call
+// is rejected with an error.
+func EquivalentUpTo(a, b Evaluator, alphabet []byte, maxLen int) (equal bool, counterexample []byte, err error) {
 	if maxLen < 0 {
 		return false, nil, fmt.Errorf("docspanner: EquivalentUpTo: negative maxLen %d", maxLen)
 	}

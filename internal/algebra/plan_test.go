@@ -1,0 +1,260 @@
+package algebra
+
+import (
+	"strings"
+	"testing"
+
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+func planFor(t *testing.T, e Expr) *Plan {
+	t.Helper()
+	return FromExpr(e)
+}
+
+// evalBoth checks the plan against the expression on a document under a
+// semantics (the plan's reference Eval must be the expression's Eval).
+func evalBoth(t *testing.T, e Expr, p *Plan, doc string, sem vset.Semantics) {
+	t.Helper()
+	want := e.Eval([]byte(doc), sem)
+	got := p.Eval([]byte(doc), sem)
+	if !got.Equal(want) {
+		t.Fatalf("plan %s on %q: got %v, want %v", p, doc, got, want)
+	}
+}
+
+func TestFromExprMirrorsTree(t *testing.T) {
+	e := Project{
+		Sub:  SelectEq{Sub: Join{L: prim(t, "!x{a+}"), R: prim(t, ".*!y{a+}.*")}, Z: spans.NewVarSet("x", "y")},
+		Keep: spans.NewVarSet("x"),
+	}
+	p := FromExpr(e)
+	if p.Kind != PProject || p.Children[0].Kind != PSelect || p.Children[0].Children[0].Kind != PJoin {
+		t.Fatalf("plan shape wrong: %s", p)
+	}
+	join := p.Children[0].Children[0]
+	if join.Path != "$.Sub.Sub" || join.Children[0].Path != "$.Sub.Sub.L" {
+		t.Errorf("lint paths wrong: %q, %q", join.Path, join.Children[0].Path)
+	}
+	if !p.Vars().Equal(spans.NewVarSet("x")) {
+		t.Errorf("Vars = %v", p.Vars())
+	}
+	for _, doc := range []string{"", "a", "aa", "aba"} {
+		evalBoth(t, e, FromExpr(e), doc, vset.Functional)
+		evalBoth(t, e, FromExpr(e), doc, vset.Schemaless)
+	}
+}
+
+func TestPushDownProjections(t *testing.T) {
+	// π_x over a join with a junk variable on the right: the pushdown
+	// must keep the join variable x on both sides and drop y below the
+	// join.
+	e := Project{
+		Sub:  Join{L: prim(t, "!x{a+}b*"), R: prim(t, "!x{a+}b*!y{b}?")},
+		Keep: spans.NewVarSet("x"),
+	}
+	p := PushDownProjections(FromExpr(e))
+	if len(p.Vars().Minus(spans.NewVarSet("x"))) != 0 {
+		t.Fatalf("schema after pushdown = %v", p.Vars())
+	}
+	var hasInnerProject func(*Plan) bool
+	hasInnerProject = func(n *Plan) bool {
+		if n.Kind == PProject && n.Children[0].Kind == PScan {
+			return true
+		}
+		for _, c := range n.Children {
+			if hasInnerProject(c) {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasInnerProject(p) {
+		t.Fatalf("projection not pushed to a scan:\n%s", p)
+	}
+	for _, doc := range []string{"", "a", "ab", "aab", "abb"} {
+		evalBoth(t, e, PushDownProjections(FromExpr(e)), doc, vset.Functional)
+		evalBoth(t, e, PushDownProjections(FromExpr(e)), doc, vset.Schemaless)
+	}
+}
+
+func TestPushDownSelections(t *testing.T) {
+	// ς={x,y} over a join whose right input binds both variables: the
+	// selection must descend into that input.
+	e := SelectEq{
+		Sub: Join{L: prim(t, "!z{a+}.*"), R: prim(t, "!x{a+}b!y{a+}.*")},
+		Z:   spans.NewVarSet("x", "y"),
+	}
+	p := PushDownSelections(FromExpr(e))
+	if p.Kind != PJoin {
+		t.Fatalf("selection not pushed below join: %s", p)
+	}
+	for _, doc := range []string{"", "aba", "aabaa", "ababa"} {
+		evalBoth(t, e, PushDownSelections(FromExpr(e)), doc, vset.Functional)
+		evalBoth(t, e, PushDownSelections(FromExpr(e)), doc, vset.Schemaless)
+	}
+
+	// Selection over a union distributes into both branches.
+	u := SelectEq{
+		Sub: Union{L: prim(t, "!x{a+}!y{a+}"), R: prim(t, "!x{a+}b!y{a+}")},
+		Z:   spans.NewVarSet("x", "y"),
+	}
+	pu := PushDownSelections(FromExpr(u))
+	if pu.Kind != PUnion || pu.Children[0].Kind != PSelect {
+		t.Fatalf("selection not distributed over union: %s", pu)
+	}
+	for _, doc := range []string{"aa", "aba", "aaba"} {
+		evalBoth(t, u, PushDownSelections(FromExpr(u)), doc, vset.Functional)
+	}
+}
+
+func TestPruneEmptyAndDedup(t *testing.T) {
+	// A scan with an empty language: the difference of a spanner with
+	// itself.
+	l := compile(t, "!x{a}")
+	empty := vset.Difference(l, l)
+	e := Union{L: Prim{A: empty}, R: prim(t, "!x{b}")}
+	p := PruneEmpty(FromExpr(e))
+	if p.Kind != PScan {
+		t.Fatalf("empty branch not pruned: %s", p)
+	}
+	if len(p.Rewrites) == 0 {
+		t.Error("prune left no provenance note")
+	}
+
+	// Duplicate union branches: same automaton pointer → structural dedup.
+	shared := compile(t, "!x{a+}")
+	d := Union{L: Prim{A: shared}, R: Prim{A: shared}}
+	pd := DedupUnions(FromExpr(d), FusePolicy{})
+	if pd.Kind != PScan {
+		t.Fatalf("structural duplicate not deduped: %s", pd)
+	}
+
+	// Equivalent but distinct automata with equal schemas → semantic dedup.
+	d2 := Union{L: prim(t, "!x{a+}"), R: prim(t, "!x{aa*}")}
+	pd2 := DedupUnions(FromExpr(d2), FusePolicy{})
+	if pd2.Kind != PScan {
+		t.Fatalf("equivalent branches not deduped: %s", pd2)
+	}
+
+	// Different schemas must NOT dedup even if ref-word languages align.
+	d3 := Union{L: prim(t, "!x{a}"), R: prim(t, "!y{a}")}
+	if pd3 := DedupUnions(FromExpr(d3), FusePolicy{}); pd3.Kind != PUnion {
+		t.Fatalf("branches with different schemas deduped: %s", pd3)
+	}
+}
+
+func TestDropNoopSelects(t *testing.T) {
+	bc := NewBoundCache()
+	// One-variable selection over a functional scan is a no-op.
+	e := SelectEq{Sub: prim(t, "!x{a+}"), Z: spans.NewVarSet("x")}
+	if p := DropNoopSelects(FromExpr(e), FusePolicy{}, bc); p.Kind != PScan {
+		t.Fatalf("one-variable functional selection kept: %s", p)
+	}
+	// Under schemaless semantics the same selection filters unassigned
+	// tuples — droppable only because x is always bound here.
+	if p := DropNoopSelects(FromExpr(e), FusePolicy{Schemaless: true}, bc); p.Kind != PScan {
+		t.Fatalf("always-bound schemaless selection kept: %s", p)
+	}
+	// x bound on one branch only: NOT droppable under schemaless.
+	e2 := SelectEq{Sub: prim(t, "(!x{a}|b)"), Z: spans.NewVarSet("x")}
+	if p := DropNoopSelects(FromExpr(e2), FusePolicy{Schemaless: true}, bc); p.Kind != PSelect {
+		t.Fatalf("sometimes-unbound schemaless selection dropped: %s", p)
+	}
+	// Selection on a variable the subtree never binds is empty.
+	e3 := SelectEq{Sub: prim(t, "!x{a}"), Z: spans.NewVarSet("x", "zz")}
+	if p := DropNoopSelects(FromExpr(e3), FusePolicy{}, bc); p.Kind != PEmpty {
+		t.Fatalf("unbound selection not pruned: %s", p)
+	}
+}
+
+func TestFuseRegularGuards(t *testing.T) {
+	pol := FusePolicy{}
+	// Union of scans with equal schemas fuses under both semantics.
+	u := Union{L: prim(t, "!x{a}b"), R: prim(t, "a!x{b}")}
+	pu := FuseRegular(FromExpr(u), pol)
+	if pu.Kind != PScan {
+		t.Fatalf("union not fused: %s", pu)
+	}
+	for _, doc := range []string{"", "ab", "ba", "abab"} {
+		evalBoth(t, u, FuseRegular(FromExpr(u), pol), doc, vset.Functional)
+		evalBoth(t, u, FuseRegular(FromExpr(u), FusePolicy{Schemaless: true}), doc, vset.Schemaless)
+	}
+
+	// Union with different schemas: fused under schemaless, kept under
+	// functional (per-branch totality differs from fused totality).
+	u2 := Union{L: prim(t, "!x{a}"), R: prim(t, "!y{b}")}
+	if p := FuseRegular(FromExpr(u2), pol); p.Kind != PUnion {
+		t.Fatalf("functional union with unequal schemas fused: %s", p)
+	}
+	if p := FuseRegular(FromExpr(u2), FusePolicy{Schemaless: true}); p.Kind != PScan {
+		t.Fatalf("schemaless union not fused: %s", p)
+	}
+	for _, doc := range []string{"", "a", "b", "ab"} {
+		evalBoth(t, u2, FuseRegular(FromExpr(u2), FusePolicy{Schemaless: true}), doc, vset.Schemaless)
+	}
+
+	// Join with a shared variable fuses under functional semantics...
+	j := Join{L: prim(t, "!x{a+}b*"), R: prim(t, "!x{a+}b*!y{b}?")}
+	if p := FuseRegular(FromExpr(j), pol); p.Kind != PScan {
+		t.Fatalf("functional join not fused: %s", p)
+	}
+	for _, doc := range []string{"", "a", "ab", "aab", "abb"} {
+		evalBoth(t, j, FuseRegular(FromExpr(j), pol), doc, vset.Functional)
+	}
+	// ...but NOT under schemaless when a shared variable can stay
+	// unbound: L=(!v{a}|b), R=!v{b} on "b" relationally joins the
+	// partial tuple {} with {v↦[1,2⟩}, which the synchronized product
+	// cannot produce.
+	j2 := Join{L: prim(t, "(!v{a}|b)"), R: prim(t, "!v{b}")}
+	p2 := FuseRegular(FromExpr(j2), FusePolicy{Schemaless: true})
+	if p2.Kind != PJoin {
+		t.Fatalf("unsound schemaless join fusion applied: %s", p2)
+	}
+	for _, doc := range []string{"a", "b", "ab"} {
+		evalBoth(t, j2, FuseRegular(FromExpr(j2), FusePolicy{Schemaless: true}), doc, vset.Schemaless)
+	}
+
+	// Projection fuses under schemaless (marker erasure) ...
+	pr := Project{Sub: prim(t, "!x{a+}!y{b+}"), Keep: spans.NewVarSet("x")}
+	if p := FuseRegular(FromExpr(pr), FusePolicy{Schemaless: true}); p.Kind != PScan {
+		t.Fatalf("schemaless projection not fused: %s", p)
+	}
+	// ... and under functional only when every variable is always bound.
+	if p := FuseRegular(FromExpr(pr), pol); p.Kind != PScan {
+		t.Fatalf("functional projection over total scan not fused: %s", p)
+	}
+	prPartial := Project{Sub: prim(t, "(!x{a}|!y{b})"), Keep: spans.NewVarSet("x")}
+	if p := FuseRegular(FromExpr(prPartial), pol); p.Kind != PProject {
+		t.Fatalf("functional projection over partial scan fused: %s", p)
+	}
+	for _, doc := range []string{"", "a", "b", "ab", "ba"} {
+		evalBoth(t, pr, FuseRegular(FromExpr(pr), pol), doc, vset.Functional)
+		evalBoth(t, prPartial, FuseRegular(FromExpr(prPartial), pol), doc, vset.Functional)
+		evalBoth(t, prPartial, FuseRegular(FromExpr(prPartial), FusePolicy{Schemaless: true}), doc, vset.Schemaless)
+	}
+}
+
+func TestFusePolicyBudget(t *testing.T) {
+	u := Union{L: prim(t, "!x{a+}"), R: prim(t, "!x{b+}")}
+	// A 1-state budget forbids any fusion.
+	if p := FuseRegular(FromExpr(u), FusePolicy{MaxStates: 1}); p.Kind != PUnion {
+		t.Fatalf("fusion ignored the state budget: %s", p)
+	}
+}
+
+func TestPlanStringAndFingerprint(t *testing.T) {
+	e := Union{L: prim(t, "!x{a}"), R: prim(t, "!x{b}")}
+	p1, p2 := FromExpr(e), FromExpr(e)
+	if p1.Fingerprint() != p2.Fingerprint() {
+		t.Error("fingerprint not stable across FromExpr calls")
+	}
+	other := FromExpr(Union{L: prim(t, "!x{a}"), R: prim(t, "!x{b}")})
+	if p1.Fingerprint() == other.Fingerprint() {
+		t.Error("fingerprint ignores automaton identity")
+	}
+	if s := p1.String(); !strings.Contains(s, "∪") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -3,6 +3,7 @@ package automata
 import (
 	"sort"
 	"strings"
+	"sync"
 )
 
 // DEVA is a deterministic extended vset-automaton (Florenzano et al.,
@@ -186,6 +187,40 @@ func Determinize(n *NFA) *DEVA {
 		}
 	}
 	return d
+}
+
+// devaCache memoizes Determinize per NFA identity. NFAs are immutable once
+// built (every construction in this package returns a fresh automaton and
+// nothing mutates a published one), so the pointer is a sound cache key —
+// the same idiom as the compiled-kernel and slpmatch caches. Each entry
+// holds its own sync.Once so concurrent first calls determinize exactly
+// once and later callers never block behind an unrelated automaton.
+var devaCache sync.Map // *NFA -> *devaHolder
+
+type devaHolder struct {
+	once sync.Once
+	d    *DEVA
+}
+
+// DeterminizeCached is Determinize with the result hash-consed per NFA
+// pointer. The facade's lazy spanner determinization, the query planner's
+// scan backends, and the compressed-evaluation indexes all go through this
+// entry point, so a given automaton is determinized at most once per
+// process no matter which evaluation path touches it first.
+func DeterminizeCached(n *NFA) *DEVA {
+	v, _ := devaCache.LoadOrStore(n, &devaHolder{})
+	h := v.(*devaHolder)
+	h.once.Do(func() { h.d = Determinize(n) })
+	return h.d
+}
+
+// ResetDEVACache drops the memoized determinizations (tests and
+// long-running processes that churn through many distinct automata).
+func ResetDEVACache() {
+	devaCache.Range(func(k, _ any) bool {
+		devaCache.Delete(k)
+		return true
+	})
 }
 
 // AcceptsExtended runs the DEVA on an extended word: doc plus a mask for

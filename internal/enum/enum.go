@@ -213,6 +213,19 @@ func (e *Enumerator) tuple(events []event) spans.Tuple {
 	return t
 }
 
+// EachTotal is Each restricted to tuples that assign every variable of
+// vars — the functional-semantics view of the enumeration. The filter
+// runs inside the constant-delay walk, so callers needing functional
+// results don't materialize the schemaless relation first.
+func (e *Enumerator) EachTotal(vars spans.VarSet, f func(t spans.Tuple) bool) {
+	e.Each(func(t spans.Tuple) bool {
+		if !t.TotalOn(vars) {
+			return true
+		}
+		return f(t)
+	})
+}
+
 // Count returns the number of result tuples.
 func (e *Enumerator) Count() int {
 	n := 0

@@ -1,0 +1,31 @@
+package plan
+
+import "sync"
+
+// The plan cache hash-conses Planned values per (expression structure,
+// options), following the same per-key sync.Once discipline as the
+// compiled-kernel and DEVA caches: concurrent requests for the same key
+// build once and share the result, requests for different keys never
+// block each other.
+var planCache sync.Map // string -> *planHolder
+
+type planHolder struct {
+	once sync.Once
+	p    *Planned
+}
+
+func cachedPlan(key string, build func() *Planned) *Planned {
+	v, _ := planCache.LoadOrStore(key, &planHolder{})
+	h := v.(*planHolder)
+	h.once.Do(func() { h.p = build() })
+	return h.p
+}
+
+// ResetCache drops all cached plans (tests and memory-sensitive
+// callers). In-flight plans remain valid; only future lookups miss.
+func ResetCache() {
+	planCache.Range(func(k, _ any) bool {
+		planCache.Delete(k)
+		return true
+	})
+}

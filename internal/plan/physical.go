@@ -1,0 +1,360 @@
+package plan
+
+import (
+	"sync"
+
+	"docspanner/internal/algebra"
+	"docspanner/internal/automata"
+	"docspanner/internal/enum"
+	"docspanner/internal/slp"
+	"docspanner/internal/slpmatch"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+// physNode is a physical operator. Each node can evaluate against a
+// plain document or against an SLP-compressed one; bytes() lazily
+// decompresses the SLP and is only invoked by operators that genuinely
+// need the raw text (string-equality selections, external spanners,
+// naive scans).
+type physNode interface {
+	lp() *algebra.Plan
+	children() []physNode
+	backend() string
+	// streaming reports whether each() yields tuples incrementally
+	// (constant or polynomial delay) rather than materializing first.
+	streaming() bool
+	eval(doc []byte) *spans.Relation
+	each(doc []byte, f func(spans.Tuple) bool) bool
+	evalSLP(root *slp.Node, bytes func() []byte) *spans.Relation
+	eachSLP(root *slp.Node, bytes func() []byte, f func(spans.Tuple) bool) bool
+}
+
+// buildPhys selects a backend per logical node: scans become
+// constant-delay enumerators (or naive automaton searches when forced
+// by options, by reference transitions, or by the determinization cost
+// gate), external spanners call out to their own search, and interior
+// operators materialize their children's relations.
+func buildPhys(p *algebra.Plan, opts Options) physNode {
+	switch p.Kind {
+	case algebra.PScan:
+		naive := opts.NaiveBackend || p.Auto.HasRefs() || p.Auto.NumStates() > opts.maxDeterminize()
+		return &scanPhys{plan: p, functional: !opts.Schemaless, naive: naive}
+	case algebra.PExtScan:
+		return &extScanPhys{plan: p, functional: !opts.Schemaless}
+	case algebra.PEmpty:
+		return &emptyPhys{plan: p}
+	default:
+		kids := make([]physNode, len(p.Children))
+		for i, c := range p.Children {
+			kids[i] = buildPhys(c, opts)
+		}
+		return &matPhys{plan: p, kids: kids, sem: opts.sem()}
+	}
+}
+
+// scanPhys runs a single vset-automaton.
+type scanPhys struct {
+	plan       *algebra.Plan
+	functional bool
+	naive      bool
+}
+
+func (s *scanPhys) lp() *algebra.Plan    { return s.plan }
+func (s *scanPhys) children() []physNode { return nil }
+func (s *scanPhys) streaming() bool      { return !s.naive }
+
+func (s *scanPhys) backend() string {
+	if s.naive {
+		return "nfa-search"
+	}
+	return "constant-delay"
+}
+
+func (s *scanPhys) sem() vset.Semantics {
+	if s.functional {
+		return vset.Functional
+	}
+	return vset.Schemaless
+}
+
+func (s *scanPhys) eval(doc []byte) *spans.Relation {
+	if s.naive {
+		return vset.Eval(s.plan.Auto, doc, s.sem())
+	}
+	out := spans.NewRelation()
+	s.each(doc, func(t spans.Tuple) bool { out.Add(t); return true })
+	return out
+}
+
+func (s *scanPhys) each(doc []byte, f func(spans.Tuple) bool) bool {
+	if s.naive {
+		return eachOf(s.eval(doc), f)
+	}
+	e := enum.NewEnumerator(automata.DeterminizeCached(s.plan.Auto), doc)
+	ok := true
+	wrapped := func(t spans.Tuple) bool {
+		if !f(t) {
+			ok = false
+			return false
+		}
+		return true
+	}
+	if s.functional {
+		e.EachTotal(s.plan.Auto.Vars, wrapped)
+	} else {
+		e.Each(wrapped)
+	}
+	return ok
+}
+
+func (s *scanPhys) evalSLP(root *slp.Node, bytes func() []byte) *spans.Relation {
+	out := spans.NewRelation()
+	s.eachSLP(root, bytes, func(t spans.Tuple) bool { out.Add(t); return true })
+	return out
+}
+
+func (s *scanPhys) eachSLP(root *slp.Node, bytes func() []byte, f func(spans.Tuple) bool) bool {
+	if s.naive {
+		return eachOf(vset.Eval(s.plan.Auto, bytes(), s.sem()), f)
+	}
+	ix := slpmatch.NewIndex(automata.DeterminizeCached(s.plan.Auto))
+	ok := true
+	ix.Each(root, func(t spans.Tuple) bool {
+		if s.functional && !t.TotalOn(s.plan.Auto.Vars) {
+			return true
+		}
+		if !f(t) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// extScanPhys calls an external (refl) spanner's own search.
+type extScanPhys struct {
+	plan       *algebra.Plan
+	functional bool
+}
+
+func (x *extScanPhys) lp() *algebra.Plan    { return x.plan }
+func (x *extScanPhys) children() []physNode { return nil }
+func (x *extScanPhys) backend() string      { return "refl-search" }
+func (x *extScanPhys) streaming() bool      { return true }
+
+func (x *extScanPhys) eval(doc []byte) *spans.Relation {
+	return x.plan.Ext.Eval(doc, x.functional)
+}
+
+func (x *extScanPhys) each(doc []byte, f func(spans.Tuple) bool) bool {
+	ok := true
+	x.plan.Ext.Enumerate(doc, x.functional, func(t spans.Tuple) bool {
+		if !f(t) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+func (x *extScanPhys) evalSLP(root *slp.Node, bytes func() []byte) *spans.Relation {
+	return x.eval(bytes())
+}
+
+func (x *extScanPhys) eachSLP(root *slp.Node, bytes func() []byte, f func(spans.Tuple) bool) bool {
+	return x.each(bytes(), f)
+}
+
+// emptyPhys is a pruned subtree.
+type emptyPhys struct {
+	plan *algebra.Plan
+}
+
+func (e *emptyPhys) lp() *algebra.Plan    { return e.plan }
+func (e *emptyPhys) children() []physNode { return nil }
+func (e *emptyPhys) backend() string      { return "empty" }
+func (e *emptyPhys) streaming() bool      { return true }
+
+func (e *emptyPhys) eval([]byte) *spans.Relation { return spans.NewRelation() }
+func (e *emptyPhys) each([]byte, func(spans.Tuple) bool) bool {
+	return true
+}
+func (e *emptyPhys) evalSLP(*slp.Node, func() []byte) *spans.Relation { return spans.NewRelation() }
+func (e *emptyPhys) eachSLP(*slp.Node, func() []byte, func(spans.Tuple) bool) bool {
+	return true
+}
+
+// matPhys materializes its children and combines them with the
+// relational operators — the classical bottom-up evaluation, used for
+// whatever algebraic structure survives the rewrites.
+type matPhys struct {
+	plan *algebra.Plan
+	kids []physNode
+	sem  vset.Semantics
+}
+
+func (m *matPhys) lp() *algebra.Plan    { return m.plan }
+func (m *matPhys) children() []physNode { return m.kids }
+func (m *matPhys) backend() string      { return "materialize" }
+func (m *matPhys) streaming() bool      { return false }
+
+func (m *matPhys) eval(doc []byte) *spans.Relation {
+	return m.combine(doc, func(k physNode) *spans.Relation { return k.eval(doc) })
+}
+
+func (m *matPhys) each(doc []byte, f func(spans.Tuple) bool) bool {
+	return eachOf(m.eval(doc), f)
+}
+
+func (m *matPhys) evalSLP(root *slp.Node, bytes func() []byte) *spans.Relation {
+	// bytes is only invoked by the PSelect case: a selection compares
+	// substrings of the document, so it is the one interior operator
+	// that forces (lazy, shared) decompression.
+	return m.combineLazy(bytes, func(k physNode) *spans.Relation { return k.evalSLP(root, bytes) })
+}
+
+func (m *matPhys) eachSLP(root *slp.Node, bytes func() []byte, f func(spans.Tuple) bool) bool {
+	return eachOf(m.evalSLP(root, bytes), f)
+}
+
+func (m *matPhys) combine(doc []byte, ev func(physNode) *spans.Relation) *spans.Relation {
+	return m.combineLazy(func() []byte { return doc }, ev)
+}
+
+func (m *matPhys) combineLazy(doc func() []byte, ev func(physNode) *spans.Relation) *spans.Relation {
+	switch m.plan.Kind {
+	case algebra.PUnion:
+		out := ev(m.kids[0])
+		for _, k := range m.kids[1:] {
+			out = out.Union(ev(k))
+		}
+		return out
+	case algebra.PJoin:
+		out := ev(m.kids[0])
+		for _, k := range m.kids[1:] {
+			out = out.Join(ev(k))
+		}
+		return out
+	case algebra.PProject:
+		return ev(m.kids[0]).Project(m.plan.Keep)
+	case algebra.PSelect:
+		return ev(m.kids[0]).SelectEqual(doc(), m.plan.Z)
+	case algebra.PFuse:
+		return ev(m.kids[0]).Fuse(m.plan.Lambda, m.plan.Target)
+	}
+	panic("plan: materializing backend: unexpected kind " + m.plan.Kind.String())
+}
+
+func eachOf(r *spans.Relation, f func(spans.Tuple) bool) bool {
+	for _, t := range r.Tuples() {
+		if !f(t) {
+			return false
+		}
+	}
+	return true
+}
+
+// lazyBytes decompresses an SLP at most once, on first use.
+func lazyBytes(root *slp.Node) func() []byte {
+	var once sync.Once
+	var b []byte
+	return func() []byte {
+		once.Do(func() { b = root.Bytes() })
+		return b
+	}
+}
+
+// Planned is an executable plan: the rewritten logical tree plus the
+// physical operators chosen for it. It is immutable and safe for
+// concurrent use.
+type Planned struct {
+	logical      *algebra.Plan
+	root         physNode
+	opts         Options
+	passNotes    []string
+	requireTotal spans.VarSet
+}
+
+// Logical exposes the rewritten logical plan (EXPLAIN, tests).
+func (pl *Planned) Logical() *algebra.Plan { return pl.logical }
+
+// Passes lists the rewrite passes that changed the plan, in order.
+func (pl *Planned) Passes() []string { return pl.passNotes }
+
+// Streaming reports whether Enumerate yields tuples incrementally
+// rather than materializing the full relation first.
+func (pl *Planned) Streaming() bool { return pl.root.streaming() }
+
+// Eval materializes the plan's relation on doc.
+func (pl *Planned) Eval(doc []byte) *spans.Relation {
+	if len(pl.requireTotal) == 0 {
+		return pl.root.eval(doc)
+	}
+	out := spans.NewRelation()
+	pl.Enumerate(doc, func(t spans.Tuple) bool { out.Add(t); return true })
+	return out
+}
+
+// Enumerate streams the plan's tuples on doc; f returning false stops
+// the enumeration early.
+func (pl *Planned) Enumerate(doc []byte, f func(spans.Tuple) bool) {
+	pl.root.each(doc, pl.filter(f))
+}
+
+// Count returns the number of result tuples on doc.
+func (pl *Planned) Count(doc []byte) int {
+	n := 0
+	pl.Enumerate(doc, func(spans.Tuple) bool { n++; return true })
+	return n
+}
+
+// EvalSLP evaluates the plan directly on an SLP-compressed document;
+// the raw text is only decompressed if an operator requires it.
+func (pl *Planned) EvalSLP(root *slp.Node) *spans.Relation {
+	if len(pl.requireTotal) == 0 {
+		return pl.root.evalSLP(root, lazyBytes(root))
+	}
+	out := spans.NewRelation()
+	pl.EnumerateSLP(root, func(t spans.Tuple) bool { out.Add(t); return true })
+	return out
+}
+
+// EnumerateSLP streams the plan's tuples on an SLP-compressed document.
+func (pl *Planned) EnumerateSLP(root *slp.Node, f func(spans.Tuple) bool) {
+	pl.root.eachSLP(root, lazyBytes(root), pl.filter(f))
+}
+
+// CountSLP counts result tuples on an SLP-compressed document.
+func (pl *Planned) CountSLP(root *slp.Node) int {
+	n := 0
+	pl.EnumerateSLP(root, func(spans.Tuple) bool { n++; return true })
+	return n
+}
+
+func (pl *Planned) filter(f func(spans.Tuple) bool) func(spans.Tuple) bool {
+	if len(pl.requireTotal) == 0 {
+		return f
+	}
+	rt := pl.requireTotal
+	return func(t spans.Tuple) bool {
+		if !t.TotalOn(rt) {
+			return true
+		}
+		return f(t)
+	}
+}
+
+// SingleScan reports whether the whole plan collapsed to one regular
+// scan and, if so, returns its automaton. This is the gateway to the
+// compressed-evaluation index: a single-automaton plan can be matched
+// over SLPs with the shared matrix cache.
+func (pl *Planned) SingleScan() (*automata.NFA, bool) {
+	s, ok := pl.root.(*scanPhys)
+	if !ok || s.naive || len(pl.requireTotal) > 0 {
+		return nil, false
+	}
+	return s.plan.Auto, true
+}

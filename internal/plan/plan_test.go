@@ -1,0 +1,187 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"docspanner/internal/algebra"
+	"docspanner/internal/automata"
+	"docspanner/internal/regex"
+	"docspanner/internal/spans"
+	"docspanner/internal/vset"
+)
+
+func compile(t testing.TB, src string) (*automata.NFA, regex.Node) {
+	t.Helper()
+	n, err := regex.Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	a, err := regex.Compile(n, regex.Options{Alphabet: []byte("ab")})
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", src, err)
+	}
+	return a, n
+}
+
+func prim(t testing.TB, src string) algebra.Expr {
+	t.Helper()
+	a, n := compile(t, src)
+	return algebra.Prim{A: a, Src: n}
+}
+
+// checkAgainstNaive compares the planned evaluation with the naive
+// bottom-up reference on a few documents.
+func checkAgainstNaive(t *testing.T, e algebra.Expr, opts Options, docs ...string) {
+	t.Helper()
+	sem := vset.Functional
+	if opts.Schemaless {
+		sem = vset.Schemaless
+	}
+	pl := New(e, opts)
+	for _, doc := range docs {
+		want := e.Eval([]byte(doc), sem)
+		if got := pl.Eval([]byte(doc)); !got.Equal(want) {
+			t.Fatalf("doc %q: planned %v, want %v\nplan:\n%s", doc, got, want, pl.Explain())
+		}
+	}
+}
+
+func TestLintDrivenJoinPrune(t *testing.T) {
+	// Disjoint languages: the lint product automaton is empty, and under
+	// functional semantics that licenses pruning the join to ∅.
+	e := algebra.Join{L: prim(t, "!x{a}"), R: prim(t, "!x{b}")}
+	pl := New(e, Options{NoCache: true})
+	if pl.Logical().Kind != algebra.PEmpty {
+		t.Fatalf("provably empty join not pruned:\n%s", pl.Explain())
+	}
+	if !strings.Contains(pl.Explain(), "SP003") {
+		t.Errorf("prune provenance missing lint code:\n%s", pl.Explain())
+	}
+	checkAgainstNaive(t, e, Options{NoCache: true}, "", "a", "b", "ab")
+}
+
+func TestLintPruneGuardedUnderSchemaless(t *testing.T) {
+	// L=(!v{a}|b), R=!v{b}: lint's product automaton is empty on shared
+	// markers, but the schemaless relational join is NOT empty on "b"
+	// (the b-branch contributes the empty tuple, compatible with
+	// everything). The planner must refuse the prune because v is not
+	// always bound on the left.
+	e := algebra.Join{L: prim(t, "(!v{a}|b)"), R: prim(t, "!v{b}")}
+	pl := New(e, Options{Schemaless: true, NoCache: true})
+	if pl.Logical().Kind == algebra.PEmpty {
+		t.Fatalf("unsound schemaless lint prune applied:\n%s", pl.Explain())
+	}
+	checkAgainstNaive(t, e, Options{Schemaless: true, NoCache: true}, "", "a", "b", "ab", "ba")
+}
+
+func TestDuplicateUnionElimination(t *testing.T) {
+	e := algebra.Union{L: prim(t, "!x{a+}"), R: prim(t, "!x{aa*}")}
+	pl := New(e, Options{NoCache: true})
+	if got := pl.Logical().Kind; got != algebra.PScan {
+		t.Fatalf("duplicate union branches not eliminated (kind %v):\n%s", got, pl.Explain())
+	}
+	if !strings.Contains(pl.Explain(), "SP008") {
+		t.Errorf("dedup provenance missing:\n%s", pl.Explain())
+	}
+	checkAgainstNaive(t, e, Options{NoCache: true}, "", "a", "aa", "ab")
+}
+
+func TestReflRewrite(t *testing.T) {
+	e := algebra.SelectEq{Sub: prim(t, "!x{a+}b!y{a+}"), Z: spans.NewVarSet("x", "y")}
+	pl := New(e, Options{ReflRewrite: true, NoCache: true})
+	if pl.Logical().Kind != algebra.PExtScan {
+		t.Fatalf("refl rewrite did not apply:\n%s", pl.Explain())
+	}
+	if !strings.Contains(pl.Explain(), "SP007") {
+		t.Errorf("refl rewrite provenance missing:\n%s", pl.Explain())
+	}
+	checkAgainstNaive(t, e, Options{ReflRewrite: true, NoCache: true},
+		"", "aba", "aabaa", "ab", "aabab")
+
+	// Under schemaless semantics the translation's equivalence is not
+	// established; the pass must not run.
+	pls := New(e, Options{ReflRewrite: true, Schemaless: true, NoCache: true})
+	if pls.Logical().Kind == algebra.PExtScan {
+		t.Fatalf("refl rewrite applied under schemaless semantics:\n%s", pls.Explain())
+	}
+}
+
+func TestFusionCollapsesToSingleScan(t *testing.T) {
+	e := algebra.Union{L: prim(t, "!x{a}b"), R: prim(t, "a!x{b}")}
+	pl := New(e, Options{NoCache: true})
+	if _, ok := pl.SingleScan(); !ok {
+		t.Fatalf("fusable union did not collapse to a single scan:\n%s", pl.Explain())
+	}
+	if !pl.Streaming() {
+		t.Error("single-scan plan not streaming")
+	}
+	checkAgainstNaive(t, e, Options{NoCache: true}, "", "ab", "ba", "abab")
+}
+
+func TestDisableRewritesMirrorsExpression(t *testing.T) {
+	e := algebra.Union{L: prim(t, "!x{a+}"), R: prim(t, "!x{aa*}")}
+	pl := New(e, Options{DisableRewrites: true, NoCache: true})
+	if pl.Logical().Kind != algebra.PUnion {
+		t.Fatalf("rewrites ran despite DisableRewrites:\n%s", pl.Explain())
+	}
+	if !strings.Contains(pl.Explain(), "rewrites: disabled") {
+		t.Errorf("Explain does not report disabled rewrites:\n%s", pl.Explain())
+	}
+	checkAgainstNaive(t, e, Options{DisableRewrites: true, NoCache: true}, "", "a", "aa")
+}
+
+func TestNaiveBackendSelection(t *testing.T) {
+	e := prim(t, "!x{a+}")
+	pl := New(e, Options{NaiveBackend: true, DisableRewrites: true, NoCache: true})
+	if !strings.Contains(pl.Explain(), "nfa-search") {
+		t.Errorf("naive backend not selected:\n%s", pl.Explain())
+	}
+	if pl.Streaming() {
+		t.Error("naive scan reported as streaming")
+	}
+	checkAgainstNaive(t, e, Options{NaiveBackend: true, DisableRewrites: true, NoCache: true}, "", "a", "aa")
+}
+
+func TestRequireTotalFiltersRoot(t *testing.T) {
+	e := prim(t, "(!x{a}|b)")
+	pl := New(e, Options{Schemaless: true, RequireTotal: spans.NewVarSet("x"), NoCache: true})
+	got := pl.Eval([]byte("ab"))
+	want := vset.Eval(e.(algebra.Prim).A, []byte("ab"), vset.Functional)
+	if !got.Equal(want) {
+		t.Fatalf("root totality filter: got %v, want %v", got, want)
+	}
+}
+
+func TestPlanCacheSharesPlans(t *testing.T) {
+	ResetCache()
+	e := algebra.Union{L: prim(t, "!x{a}"), R: prim(t, "!x{b}")}
+	p1 := New(e, Options{})
+	p2 := New(e, Options{})
+	if p1 != p2 {
+		t.Error("identical (expr, options) did not share a plan")
+	}
+	if p3 := New(e, Options{Schemaless: true}); p3 == p1 {
+		t.Error("different options shared a plan")
+	}
+	ResetCache()
+}
+
+func TestCountAndEnumerate(t *testing.T) {
+	e := algebra.Union{L: prim(t, "!x{a}"), R: prim(t, "!x{b}")}
+	pl := New(e, Options{NoCache: true})
+	if got := pl.Count([]byte("a")); got != 1 {
+		t.Errorf("Count = %d", got)
+	}
+	// Two matches of a on aa; early termination stops after the first.
+	e2 := prim(t, "a*!x{a}a*")
+	pl2 := New(e2, Options{NoCache: true})
+	if got := pl2.Count([]byte("aa")); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	n := 0
+	pl2.Enumerate([]byte("aa"), func(spans.Tuple) bool { n++; return false })
+	if n != 1 {
+		t.Errorf("early termination delivered %d tuples", n)
+	}
+}

@@ -1,0 +1,43 @@
+package vset
+
+import (
+	"testing"
+
+	"docspanner/internal/spans"
+)
+
+func TestAlwaysBound(t *testing.T) {
+	cases := []struct {
+		src  string
+		v    spans.Var
+		want bool
+	}{
+		{"!x{a+}", "x", true},
+		{"!x{a+}b*", "x", true},
+		{"(!x{a}|b)", "x", false},    // x unbound on the b-branch
+		{"(!x{a}|!x{b})", "x", true}, // bound on both branches
+		{"!x{a}?b", "x", false},      // the optional binding can be skipped
+		{"!x{a*}", "x", true},        // binds the empty span, but binds
+		{"(!x{a}|!y{b})", "y", false},
+	}
+	for _, c := range cases {
+		a := compile(t, c.src)
+		if got := AlwaysBound(a, c.v); got != c.want {
+			t.Errorf("AlwaysBound(%q, %s) = %v, want %v", c.src, c.v, got, c.want)
+		}
+	}
+}
+
+func TestAllBound(t *testing.T) {
+	a := compile(t, "!x{a+}!y{b+}")
+	if !AllBound(a, a.Vars) {
+		t.Error("AllBound false for a spanner binding every variable on every path")
+	}
+	b := compile(t, "(!x{a}|!y{b})")
+	if AllBound(b, b.Vars) {
+		t.Error("AllBound true for branch-only bindings")
+	}
+	if !AllBound(b, nil) {
+		t.Error("AllBound false on the empty variable set")
+	}
+}

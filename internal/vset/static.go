@@ -170,6 +170,43 @@ func JointlyBindable(n *automata.NFA, z spans.VarSet) bool {
 	return false
 }
 
+// AlwaysBound decides whether every accepting run of the automaton
+// assigns the variable v. It is the static guard behind the planner's
+// functional-semantics rewrites: when it holds, the schemaless and
+// functional relations agree on v (no partial tuple can leave v
+// unassigned), so projections and selections involving v may be fused
+// into the regular layer. The decision deletes v's marker transitions
+// from a copy of the automaton and checks emptiness — a surviving
+// accepting path is exactly a run that never touches v.
+//
+// The automaton is assumed well-formed (markers well-nested on every
+// accepting path, as Validate checks), so "touches some v marker" and
+// "assigns v" coincide.
+func AlwaysBound(n *automata.NFA, v spans.Var) bool {
+	if n.HasRefs() {
+		panic("vset: AlwaysBound on an automaton with reference transitions")
+	}
+	c := n.Clone()
+	for q := range c.Markers {
+		for mk := range c.Markers[q] {
+			if mk.Var == v {
+				delete(c.Markers[q], mk)
+			}
+		}
+	}
+	return c.Empty()
+}
+
+// AllBound reports AlwaysBound for every variable of vars.
+func AllBound(n *automata.NFA, vars spans.VarSet) bool {
+	for _, v := range vars {
+		if !AlwaysBound(n, v) {
+			return false
+		}
+	}
+	return true
+}
+
 // pairAcceptPossible reports whether some accepting configuration of the
 // automaton-with-monitor product for the pair (x, y) satisfies bad.
 func pairAcceptPossible(n *automata.NFA, x, y spans.Var, bad func(monitor) bool) bool {

@@ -59,6 +59,28 @@ type Evaluator interface {
 	Eval(doc []byte) *Relation
 }
 
+// StreamEvaluator is the streaming counterpart of Evaluator: anything
+// that enumerates result tuples on a document with early termination.
+// *Spanner and *Query satisfy it (both stream through their query
+// plans); implementations must be safe for concurrent Enumerate.
+type StreamEvaluator interface {
+	Enumerate(doc []byte, f func(t Tuple) bool)
+}
+
+// CompressedEvaluator evaluates over SLP-compressed documents without
+// decompressing them wholesale: *Index (a single regular spanner) and
+// *Query (a whole plan, decompressing lazily only where an operator
+// needs the text) satisfy it.
+type CompressedEvaluator interface {
+	EvalCompressed(d *Document) *Relation
+}
+
+// CompressedStreamEvaluator streams tuples over SLP-compressed
+// documents; *Index and *Query satisfy it.
+type CompressedStreamEvaluator interface {
+	EnumerateCompressed(d *Document, f func(t Tuple) bool)
+}
+
 // ParallelOptions configures the worker pool of the batch entry points.
 type ParallelOptions struct {
 	// Workers bounds the number of goroutines evaluating concurrently.
@@ -97,15 +119,16 @@ func EvalDocs(ctx context.Context, ev Evaluator, docs [][]byte, opts ParallelOpt
 	return out, nil
 }
 
-// EnumerateDocs enumerates s on every document of the batch in parallel
-// and delivers the tuples to f in deterministic order: documents in input
-// order, and within each document in the spanner's enumeration order
+// EnumerateDocs enumerates s (a spanner, query, or any other
+// StreamEvaluator) on every document of the batch in parallel and
+// delivers the tuples to f in deterministic order: documents in input
+// order, and within each document in the evaluator's enumeration order
 // (fully deterministic for regular spanners). f receives the document's
 // index alongside each tuple; returning false stops the whole batch —
 // workers observe the stop promptly and abandon the documents they are
 // enumerating. Returns the context's error on cancellation, nil on
 // completion or early stop.
-func EnumerateDocs(ctx context.Context, s *Spanner, docs [][]byte, opts ParallelOptions, f func(doc int, t Tuple) bool) error {
+func EnumerateDocs(ctx context.Context, s StreamEvaluator, docs [][]byte, opts ParallelOptions, f func(doc int, t Tuple) bool) error {
 	enumerate := func(i int, yield func(Tuple) bool) {
 		s.Enumerate(docs[i], yield)
 	}
@@ -184,19 +207,20 @@ deliver:
 	return err
 }
 
-// EvalCompressedDocs evaluates a compressed-evaluation Index on a batch
-// of SLP-compressed documents with a bounded worker pool and returns one
-// relation per document, in input order. The Index's node cache is
-// shared by all workers: SLP nodes shared between documents (or added by
-// CDE edits) are processed by whichever worker reaches them first and
-// hit the cache everywhere else.
-func EvalCompressedDocs(ctx context.Context, ix *Index, docs []*Document, opts ParallelOptions) ([]*Relation, error) {
+// EvalCompressedDocs evaluates a CompressedEvaluator — an Index, or a
+// Query planned over compressed documents — on a batch of SLP-compressed
+// documents with a bounded worker pool and returns one relation per
+// document, in input order. An Index's node cache is shared by all
+// workers: SLP nodes shared between documents (or added by CDE edits)
+// are processed by whichever worker reaches them first and hit the
+// cache everywhere else.
+func EvalCompressedDocs(ctx context.Context, ev CompressedEvaluator, docs []*Document, opts ParallelOptions) ([]*Relation, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	out := make([]*Relation, len(docs))
 	err := runPool(ctx, len(docs), opts.workers(len(docs)), func(i int) {
-		out[i] = ix.Eval(docs[i])
+		out[i] = ev.EvalCompressed(docs[i])
 	})
 	if err != nil {
 		return nil, err
@@ -204,15 +228,15 @@ func EvalCompressedDocs(ctx context.Context, ix *Index, docs []*Document, opts P
 	return out, nil
 }
 
-// EnumerateCompressedDocs enumerates a compressed-evaluation Index on a
+// EnumerateCompressedDocs enumerates a CompressedStreamEvaluator on a
 // batch of SLP-compressed documents in parallel, delivering tuples to f
 // in deterministic order (documents in input order, tuples in the
-// index's enumeration order); returning false from f stops the batch.
-// The shared node cache makes the per-document preprocessing incremental
-// across the batch.
-func EnumerateCompressedDocs(ctx context.Context, ix *Index, docs []*Document, opts ParallelOptions, f func(doc int, t Tuple) bool) error {
+// evaluator's enumeration order); returning false from f stops the
+// batch. With an Index the shared node cache makes the per-document
+// preprocessing incremental across the batch.
+func EnumerateCompressedDocs(ctx context.Context, ev CompressedStreamEvaluator, docs []*Document, opts ParallelOptions, f func(doc int, t Tuple) bool) error {
 	enumerate := func(i int, yield func(Tuple) bool) {
-		ix.Enumerate(docs[i], yield)
+		ev.EnumerateCompressed(docs[i], yield)
 	}
 	return enumerateBatch(ctx, len(docs), opts, enumerate, f)
 }

@@ -2,33 +2,110 @@ package docspanner
 
 import (
 	"fmt"
+	"sync"
 
 	"docspanner/internal/algebra"
 	"docspanner/internal/lint"
+	"docspanner/internal/plan"
 	"docspanner/internal/vset"
 )
 
+// PlanOptions tunes the query planner behind Eval, Enumerate, and
+// Count. The zero value is the default pipeline: all rewrite passes on,
+// automatic backend selection, refl rewriting off.
+type PlanOptions struct {
+	// DisableRewrites turns off every logical rewrite pass; the plan
+	// mirrors the expression tree.
+	DisableRewrites bool
+	// NaiveBackend forces the materializing reference evaluation for
+	// every scan (the planner-off baseline: combined with
+	// DisableRewrites it reproduces the classical bottom-up Expr.Eval).
+	NaiveBackend bool
+	// ReflRewrite opts into rewriting chains of string-equality
+	// selections into refl-spanners (the Section 3.2 translation,
+	// spanlint's SP007). Applied under functional semantics only.
+	ReflRewrite bool
+	// MaxFusedStates caps the automata built by the fusion rewrites
+	// (default 4096).
+	MaxFusedStates int
+}
+
+// QueryOptions configures query construction (NewQuery).
+type QueryOptions struct {
+	// AutoToCore lets NewQuery accept refl-spanners by translating them
+	// with ToCore into the core algebra automatically (reference-bounded
+	// spanners only — the others are provably not core spanners, and
+	// NewQuery reports the translation error). A functional refl-spanner
+	// keeps its semantics: the translation is evaluated schemaless and
+	// the planner filters the root for tuples total on the spanner's
+	// variables, which is exactly the refl functional semantics.
+	AutoToCore bool
+	// Plan tunes the planner for the constructed query.
+	Plan PlanOptions
+}
+
 // Query is a core-spanner algebra expression over regular spanners:
 // primitive spanners combined with union, natural join, projection, and
-// string-equality selection (Section 1 of the survey). Queries evaluate
-// by materialization; Normalize rewrites them into the normal form of the
-// core-simplification lemma (Section 2.3).
+// string-equality selection (Section 1 of the survey). Evaluation runs
+// through the query planner: the expression is lowered to a logical
+// plan, rewritten (dead-subtree pruning, duplicate-union elimination,
+// selection/projection pushdown, the executable core-simplification
+// lemma), and executed with a physical backend chosen per subplan —
+// constant-delay enumeration for fused regular parts, materializing
+// relational evaluation for the rest. Explain shows the chosen plan;
+// WithPlan tunes or disables the planner.
 //
 // A Query is immutable — the combinators (Union, Join, Project, ...)
-// return new queries — and safe for concurrent use: Eval and Normalize
-// keep all evaluation state on the stack and may be called from multiple
+// return new queries — and safe for concurrent use: planning is
+// memoized under a sync.Once and evaluation keeps its state on the
+// stack, so Eval, Enumerate, and Explain may be called from multiple
 // goroutines on a shared instance.
 type Query struct {
 	expr       algebra.Expr
 	schemaless bool
+	planOpts   PlanOptions
+	// requireTotal filters the root result for totality on these
+	// variables; used by AutoToCore to give translated functional
+	// refl-spanners their semantics.
+	requireTotal VarSet
+
+	planOnce sync.Once
+	planned  *plan.Planned
 }
 
-// Q lifts a compiled regular spanner into a query.
+// Q lifts a compiled regular spanner into a query with default options.
 func Q(s *Spanner) (*Query, error) {
 	if !s.IsRegular() {
-		return nil, fmt.Errorf("docspanner: queries take regular spanners; translate refl-spanners with ToCore first")
+		return nil, fmt.Errorf("docspanner: queries take regular spanners; translate refl-spanners with ToCore first, or use NewQuery with AutoToCore")
 	}
-	return &Query{expr: algebra.Prim{A: s.nfa, Src: s.ast}, schemaless: s.schemaless}, nil
+	return NewQuery(s, QueryOptions{})
+}
+
+// NewQuery lifts a compiled spanner into a query. Regular spanners lift
+// directly; refl-spanners are accepted when opts.AutoToCore is set and
+// the spanner is reference-bounded (see QueryOptions.AutoToCore).
+func NewQuery(s *Spanner, opts QueryOptions) (*Query, error) {
+	if s.IsRegular() {
+		return &Query{
+			expr:       algebra.Prim{A: s.nfa, Src: s.ast},
+			schemaless: s.schemaless,
+			planOpts:   opts.Plan,
+		}, nil
+	}
+	if !opts.AutoToCore {
+		return nil, fmt.Errorf("docspanner: queries take regular spanners; translate refl-spanners with ToCore first, or use NewQuery with AutoToCore")
+	}
+	e, err := s.rspanner.ToCore()
+	if err != nil {
+		return nil, fmt.Errorf("docspanner: AutoToCore: %w", err)
+	}
+	q := &Query{expr: e, schemaless: true, planOpts: opts.Plan}
+	if !s.schemaless {
+		// ToCore's equivalence holds under the schemaless semantics; the
+		// functional refl relation is its restriction to total tuples.
+		q.requireTotal = s.Vars()
+	}
+	return q, nil
 }
 
 // MustQ is Q that panics on error.
@@ -40,34 +117,53 @@ func MustQ(s *Spanner) *Query {
 	return q
 }
 
+// derive builds a combinator result, carrying the receiver's planner
+// options; the schemaless flag and the root totality filter combine by
+// union (mixing a schemaless operand in makes the whole query
+// schemaless, exactly as before).
+func (q *Query) derive(expr algebra.Expr, others ...*Query) *Query {
+	nq := &Query{expr: expr, schemaless: q.schemaless, planOpts: q.planOpts, requireTotal: q.requireTotal}
+	for _, o := range others {
+		nq.schemaless = nq.schemaless || o.schemaless
+		nq.requireTotal = nq.requireTotal.Union(o.requireTotal)
+	}
+	return nq
+}
+
+// WithPlan returns a copy of the query with the given planner options
+// (the expression is shared; the copy plans independently).
+func (q *Query) WithPlan(opts PlanOptions) *Query {
+	return &Query{expr: q.expr, schemaless: q.schemaless, planOpts: opts, requireTotal: q.requireTotal}
+}
+
 // Vars returns the query's visible variables.
 func (q *Query) Vars() VarSet { return q.expr.Vars() }
 
 // Union returns q ∪ other.
 func (q *Query) Union(other *Query) *Query {
-	return &Query{expr: algebra.Union{L: q.expr, R: other.expr}, schemaless: q.schemaless || other.schemaless}
+	return q.derive(algebra.Union{L: q.expr, R: other.expr}, other)
 }
 
 // Join returns the natural join q ⋈ other.
 func (q *Query) Join(other *Query) *Query {
-	return &Query{expr: algebra.Join{L: q.expr, R: other.expr}, schemaless: q.schemaless || other.schemaless}
+	return q.derive(algebra.Join{L: q.expr, R: other.expr}, other)
 }
 
 // Project returns π_keep(q).
 func (q *Query) Project(keep ...Var) *Query {
-	return &Query{expr: algebra.Project{Sub: q.expr, Keep: NewVarSet(keep...)}, schemaless: q.schemaless}
+	return q.derive(algebra.Project{Sub: q.expr, Keep: NewVarSet(keep...)})
 }
 
 // SelectEqual returns ς=_z(q): tuples whose spans for all variables in z
 // have the same content. This is the operation that takes queries from
 // regular to core spanners (Section 2.3).
 func (q *Query) SelectEqual(z ...Var) *Query {
-	return &Query{expr: algebra.SelectEq{Sub: q.expr, Z: NewVarSet(z...)}, schemaless: q.schemaless}
+	return q.derive(algebra.SelectEq{Sub: q.expr, Z: NewVarSet(z...)})
 }
 
 // Fuse applies the column-fusion operator ⨄_{lambda→target} (Section 3.2).
 func (q *Query) Fuse(target Var, lambda ...Var) *Query {
-	return &Query{expr: algebra.Fuse{Sub: q.expr, Lambda: NewVarSet(lambda...), Target: target}, schemaless: q.schemaless}
+	return q.derive(algebra.Fuse{Sub: q.expr, Lambda: NewVarSet(lambda...), Target: target})
 }
 
 // IsCore reports whether the query uses string-equality selection ς=
@@ -100,13 +196,77 @@ func (q *Query) Lint() []Diagnostic {
 	return lint.Expr(q.expr, q.schemaless)
 }
 
-// Eval materializes the query result on doc.
+// plan lowers, rewrites, and caches the query's execution plan (planned
+// once per query; structurally identical queries share plans through
+// the global plan cache).
+func (q *Query) plan() *plan.Planned {
+	q.planOnce.Do(func() {
+		q.planned = plan.New(q.expr, q.planOptions())
+	})
+	return q.planned
+}
+
+func (q *Query) planOptions() plan.Options {
+	return plan.Options{
+		Schemaless:      q.schemaless,
+		DisableRewrites: q.planOpts.DisableRewrites,
+		ReflRewrite:     q.planOpts.ReflRewrite,
+		NaiveBackend:    q.planOpts.NaiveBackend,
+		MaxFusedStates:  q.planOpts.MaxFusedStates,
+		RequireTotal:    q.requireTotal,
+	}
+}
+
+// Eval materializes the query result on doc, executing the planned
+// physical operators.
 func (q *Query) Eval(doc []byte) *Relation {
+	return q.plan().Eval(doc)
+}
+
+// Enumerate streams the query's result tuples on doc without
+// materializing intermediate relations where the plan allows it (a
+// query fused to a single automaton streams with constant delay; plans
+// with residual algebra materialize below the root). Return false from
+// f to stop early.
+func (q *Query) Enumerate(doc []byte, f func(t Tuple) bool) {
+	q.plan().Enumerate(doc, f)
+}
+
+// Count returns the number of result tuples on doc.
+func (q *Query) Count(doc []byte) int {
+	return q.plan().Count(doc)
+}
+
+// Streaming reports whether Enumerate on this query yields tuples
+// incrementally (the plan's root is a streaming operator) rather than
+// materializing the full relation first.
+func (q *Query) Streaming() bool { return q.plan().Streaming() }
+
+// Explain renders the query's execution plan: the rewritten logical
+// shape, the physical backend per node, and the rewrite provenance each
+// pass recorded. The format is human-oriented and not stable across
+// releases.
+func (q *Query) Explain() string { return q.plan().Explain() }
+
+// EvalNaive is the planner-free reference evaluation (classical
+// bottom-up materialization of the expression tree). It is the baseline
+// the rewrite passes are validated against; prefer Eval.
+func (q *Query) EvalNaive(doc []byte) *Relation {
 	sem := vset.Functional
 	if q.schemaless {
 		sem = vset.Schemaless
 	}
-	return q.expr.Eval(doc, sem)
+	out := q.expr.Eval(doc, sem)
+	if len(q.requireTotal) > 0 {
+		filtered := NewRelation()
+		for _, t := range out.Tuples() {
+			if t.TotalOn(q.requireTotal) {
+				filtered.Add(t)
+			}
+		}
+		out = filtered
+	}
+	return out
 }
 
 // String renders the expression tree.
@@ -115,10 +275,16 @@ func (q *Query) String() string { return algebra.String(q.expr) }
 // NormalForm is the core-simplification normal form
 // π_Visible(ς=_{Z1} ... ς=_{Zk}(⟦M⟧)) of a query (Section 2.3). Like
 // Query it is immutable after construction and safe for concurrent Eval.
+// It satisfies Evaluator, so it can be compared against spanners and
+// queries with EquivalentUpTo and evaluated in batch with EvalDocs.
 type NormalForm struct {
-	cf         *algebra.CoreForm
-	schemaless bool
+	cf           *algebra.CoreForm
+	schemaless   bool
+	requireTotal VarSet
 }
+
+var _ Evaluator = (*NormalForm)(nil)
+var _ Evaluator = (*Query)(nil)
 
 // Normalize rewrites the query into core-simplification normal form: a
 // single vset-automaton, a list of string-equality selections over
@@ -128,7 +294,7 @@ func (q *Query) Normalize() (*NormalForm, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &NormalForm{cf: cf, schemaless: q.schemaless}, nil
+	return &NormalForm{cf: cf, schemaless: q.schemaless, requireTotal: q.requireTotal}, nil
 }
 
 // Eval evaluates the normal form (must agree with Query.Eval — the
@@ -138,7 +304,17 @@ func (nf *NormalForm) Eval(doc []byte) *Relation {
 	if nf.schemaless {
 		sem = vset.Schemaless
 	}
-	return nf.cf.Eval(doc, sem)
+	out := nf.cf.Eval(doc, sem)
+	if len(nf.requireTotal) > 0 {
+		filtered := NewRelation()
+		for _, t := range out.Tuples() {
+			if t.TotalOn(nf.requireTotal) {
+				filtered.Add(t)
+			}
+		}
+		out = filtered
+	}
+	return out
 }
 
 // Selections returns the number of string-equality selections.
