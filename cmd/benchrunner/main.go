@@ -34,6 +34,7 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "measure the fixed E1-E7 micro suite and merge ns/op into this JSON file (see BENCH_pr3.json), then exit")
 	benchLabel := flag.String("bench-label", "after", "label for the -bench-json run (e.g. before, after)")
 	planBench := flag.String("plan-bench", "", "measure the E17 planner suite (planner-off vs planner-on) and write this JSON file (see BENCH_pr4.json), then exit")
+	serveBench := flag.String("serve-bench", "", "measure the E18 spannerd load suite (req/s, p50/p99 per request kind) and write this JSON file (see BENCH_pr5.json), then exit")
 	flag.Parse()
 
 	if *benchJSON != "" {
@@ -45,6 +46,13 @@ func main() {
 	}
 	if *planBench != "" {
 		if err := runPlanBench(*planBench); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *serveBench != "" {
+		if err := runServeBench(*serveBench); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,214 @@
+package main
+
+// E18: spannerd load benchmark (-serve-bench). Boots one in-process
+// spannerd (internal/server) behind a real HTTP listener, drives it
+// with concurrent clients, and reports req/s and latency quantiles per
+// request kind — materialized eval vs streaming enumeration vs counting,
+// each against a plain and an SLP-compressed store document, plus the
+// parallel batch endpoint. Results are written as machine-readable JSON
+// (BENCH_pr5.json) so later sessions can track the serving trajectory.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"docspanner/internal/server"
+)
+
+const (
+	serveBenchClients  = 8
+	serveBenchDuration = 600 * time.Millisecond
+)
+
+// serveBenchEntry is one measured request kind.
+type serveBenchEntry struct {
+	ID        string  `json:"id"`
+	Requests  int     `json:"requests"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	MeanUs    float64 `json:"mean_us"`
+	// Tuples is the result size of one request of this kind (fixed per
+	// scenario; contextualizes the latency).
+	Tuples int `json:"tuples_per_request"`
+}
+
+type serveBenchFile struct {
+	Description string            `json:"description"`
+	GoVersion   string            `json:"go_version"`
+	GOMAXPROCS  int               `json:"gomaxprocs"`
+	Clients     int               `json:"clients"`
+	DurationMs  int               `json:"duration_ms_per_scenario"`
+	Entries     []serveBenchEntry `json:"entries"`
+}
+
+// runServeBench boots the server, runs every scenario, and writes the
+// JSON file at path.
+func runServeBench(path string) error {
+	srv, err := server.New(server.Config{MaxConcurrent: 64})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: serveBenchClients}}
+
+	request := func(method, path, body string) (int, []byte, error) {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+	mustOK := func(method, path, body string) {
+		code, b, err := request(method, path, body)
+		if err != nil || code != 200 {
+			panic(fmt.Sprintf("serve-bench setup %s %s: %d %s %v", method, path, code, b, err))
+		}
+	}
+
+	// Fixture: one 4 KiB pseudo-random ab-document in both
+	// representations, a small batch set, and one prepared query whose
+	// plan is a single constant-delay scan.
+	doc := string(randomDoc(1<<12, 99))
+	mustOK("PUT", "/docs/plain", doc)
+	mustOK("PUT", "/docs/comp?compress=1", doc)
+	batchDocs := make([]string, 8)
+	for i := range batchDocs {
+		name := fmt.Sprintf("b%d", i)
+		batchDocs[i] = fmt.Sprintf("%q", name)
+		mustOK("PUT", "/docs/"+name+"?compress=1", string(randomDoc(1<<10, int64(100+i))))
+	}
+	mustOK("PUT", "/queries/q", `{"src": ".*!x{ab}.*"}`)
+	// Warm the compressed index once so the steady state is measured.
+	mustOK("POST", "/docs/comp/warm?query=q", "")
+
+	tuplesOf := func(path string) int {
+		_, b, err := request("GET", path, "")
+		if err != nil {
+			panic(err)
+		}
+		var body struct {
+			Count int `json:"count"`
+		}
+		_ = json.Unmarshal(b, &body)
+		return body.Count
+	}
+	nTuples := tuplesOf("/count?query=q&doc=plain")
+
+	scenarios := []struct {
+		id     string
+		method string
+		path   string
+		body   string
+		tuples int
+	}{
+		{"E18/eval/plain", "GET", "/eval?query=q&doc=plain&content=0", "", nTuples},
+		{"E18/eval/compressed", "GET", "/eval?query=q&doc=comp&content=0", "", nTuples},
+		{"E18/stream/plain", "GET", "/stream?query=q&doc=plain&content=0", "", nTuples},
+		{"E18/stream/compressed", "GET", "/stream?query=q&doc=comp&content=0", "", nTuples},
+		{"E18/count/plain", "GET", "/count?query=q&doc=plain", "", nTuples},
+		{"E18/count/compressed", "GET", "/count?query=q&doc=comp", "", nTuples},
+		{"E18/batch/8x1KiB", "POST", "/batch",
+			fmt.Sprintf(`{"query": "q", "docs": [%s], "content": false}`, strings.Join(batchDocs, ",")), 0},
+	}
+
+	f := serveBenchFile{
+		Description: "E18: spannerd load benchmark (cmd/benchrunner -serve-bench): req/s and latency quantiles per request kind, 4KiB ab-document, query .*!x{ab}.*, concurrent clients over HTTP",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Clients:     serveBenchClients,
+		DurationMs:  int(serveBenchDuration / time.Millisecond),
+	}
+
+	fmt.Printf("\n== E18: spannerd load benchmark (%d clients, %v per scenario) ==\n",
+		serveBenchClients, serveBenchDuration)
+	fmt.Printf("%-24s %-10s %-10s %-10s %-10s\n", "scenario", "req/s", "p50", "p99", "tuples/req")
+	for _, sc := range scenarios {
+		lat, elapsed := hammerScenario(request, sc.method, sc.path, sc.body)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		q := func(p float64) time.Duration {
+			if len(lat) == 0 {
+				return 0
+			}
+			i := int(p * float64(len(lat)-1))
+			return lat[i]
+		}
+		entry := serveBenchEntry{
+			ID:        sc.id,
+			Requests:  len(lat),
+			ReqPerSec: round2(float64(len(lat)) / elapsed.Seconds()),
+			P50Us:     round2(float64(q(0.50).Nanoseconds()) / 1e3),
+			P99Us:     round2(float64(q(0.99).Nanoseconds()) / 1e3),
+			MeanUs:    round2(float64(sum.Nanoseconds()) / float64(max(1, len(lat))) / 1e3),
+			Tuples:    sc.tuples,
+		}
+		f.Entries = append(f.Entries, entry)
+		fmt.Printf("%-24s %-10.0f %-10v %-10v %-10d\n", sc.id, entry.ReqPerSec, q(0.50), q(0.99), sc.tuples)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// hammerScenario fires the request from serveBenchClients goroutines
+// for serveBenchDuration and returns every observed latency plus the
+// wall-clock elapsed time.
+func hammerScenario(request func(method, path, body string) (int, []byte, error), method, path, body string) ([]time.Duration, time.Duration) {
+	// One warm-up request (plan caches, TCP conns).
+	if code, b, err := request(method, path, body); err != nil || code != 200 {
+		panic(fmt.Sprintf("serve-bench %s %s: %d %s %v", method, path, code, b, err))
+	}
+	deadline := time.Now().Add(serveBenchDuration)
+	start := time.Now()
+	perClient := make([][]time.Duration, serveBenchClients)
+	var wg sync.WaitGroup
+	for c := 0; c < serveBenchClients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for time.Now().Before(deadline) {
+				t0 := time.Now()
+				code, _, err := request(method, path, body)
+				d := time.Since(t0)
+				if err != nil || code != 200 {
+					panic(fmt.Sprintf("serve-bench %s %s: status %d, err %v", method, path, code, err))
+				}
+				perClient[c] = append(perClient[c], d)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var all []time.Duration
+	for _, l := range perClient {
+		all = append(all, l...)
+	}
+	return all, elapsed
+}

@@ -11,8 +11,9 @@
 //
 //	spanlint '!x{[a-z]+}=!v{[0-9]+}'
 //
-// or an algebra expression in a small prefix syntax whose operands are
-// separated by semicolons:
+// or an algebra expression in the prefix syntax of internal/qsyntax
+// (shared with the spannerd server), whose operands are separated by
+// semicolons:
 //
 //	union(E; E)        spanner union
 //	join(E; E)         natural join
@@ -31,8 +32,9 @@
 //
 // With -f, inputs are read one per line from a file; blank lines and lines
 // starting with # are skipped. Inputs that fail to parse or compile are
-// reported as code SP000 at severity error. The exit status is 1 when any
-// diagnostic reaches the -fail-on severity (default warning), else 0.
+// reported as code SP000 at severity error. Blank or missing inputs are a
+// usage error (exit status 2). The exit status is 1 when any diagnostic
+// reaches the -fail-on severity (default warning), else 0.
 package main
 
 import (
@@ -44,6 +46,7 @@ import (
 
 	"docspanner"
 	"docspanner/internal/lint"
+	"docspanner/internal/qsyntax"
 )
 
 func main() {
@@ -70,6 +73,11 @@ func main() {
 	}
 
 	inputs := flag.Args()
+	for _, in := range inputs {
+		if strings.TrimSpace(in) == "" {
+			usageError("empty input (a pattern or expression must be non-blank)")
+		}
+	}
 	if *corpus != "" {
 		blob, err := os.ReadFile(*corpus)
 		if err != nil {
@@ -84,9 +92,7 @@ func main() {
 		}
 	}
 	if len(inputs) == 0 {
-		fmt.Fprintln(os.Stderr, "spanlint: no inputs (pass patterns/expressions as arguments, or -f FILE)")
-		flag.Usage()
-		os.Exit(2)
+		usageError("no inputs (pass patterns/expressions as arguments, or -f FILE)")
 	}
 
 	opts := docspanner.Options{Schemaless: *schemaless}
@@ -160,15 +166,8 @@ func lintInput(src string, opts docspanner.Options) []docspanner.Diagnostic {
 		}}
 	}
 	trimmed := strings.TrimSpace(src)
-	if isOperator(trimmed) {
-		p := &parser{src: trimmed, opts: opts}
-		q, err := p.expr()
-		if err == nil {
-			p.ws()
-			if p.pos != len(p.src) {
-				err = fmt.Errorf("trailing input at offset %d: %q", p.pos, p.src[p.pos:])
-			}
-		}
+	if qsyntax.IsExpr(trimmed) {
+		q, err := qsyntax.ParseExpr(trimmed, opts)
 		if err != nil {
 			return badInput(err)
 		}
@@ -181,198 +180,10 @@ func lintInput(src string, opts docspanner.Options) []docspanner.Diagnostic {
 	return s.Lint()
 }
 
-// isOperator reports whether the input starts with one of the algebra
-// keywords immediately followed by an opening parenthesis.
-func isOperator(src string) bool {
-	for _, kw := range []string{"union", "join", "project", "seleq", "minus"} {
-		if strings.HasPrefix(src, kw+"(") {
-			return true
-		}
-	}
-	return false
-}
-
-// parser is a recursive-descent parser for the prefix expression syntax.
-type parser struct {
-	src  string
-	pos  int
-	opts docspanner.Options
-}
-
-func (p *parser) ws() {
-	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
-		p.pos++
-	}
-}
-
-func (p *parser) expect(c byte) error {
-	p.ws()
-	if p.pos >= len(p.src) || p.src[p.pos] != c {
-		return fmt.Errorf("expected %q at offset %d", string(c), p.pos)
-	}
-	p.pos++
-	return nil
-}
-
-func (p *parser) expr() (*docspanner.Query, error) {
-	p.ws()
-	rest := p.src[p.pos:]
-	switch {
-	case strings.HasPrefix(rest, "union("):
-		return p.binary("union", (*docspanner.Query).Union)
-	case strings.HasPrefix(rest, "join("):
-		return p.binary("join", (*docspanner.Query).Join)
-	case strings.HasPrefix(rest, "project("):
-		return p.varOp("project", func(q *docspanner.Query, vars []docspanner.Var) *docspanner.Query {
-			return q.Project(vars...)
-		})
-	case strings.HasPrefix(rest, "seleq("):
-		return p.varOp("seleq", func(q *docspanner.Query, vars []docspanner.Var) *docspanner.Query {
-			return q.SelectEqual(vars...)
-		})
-	case strings.HasPrefix(rest, "minus("):
-		return p.minus()
-	}
-	return p.pattern()
-}
-
-func (p *parser) binary(kw string, op func(*docspanner.Query, *docspanner.Query) *docspanner.Query) (*docspanner.Query, error) {
-	p.pos += len(kw) + 1 // keyword and "("
-	l, err := p.expr()
-	if err != nil {
-		return nil, err
-	}
-	if err := p.expect(';'); err != nil {
-		return nil, fmt.Errorf("%s: %w", kw, err)
-	}
-	r, err := p.expr()
-	if err != nil {
-		return nil, err
-	}
-	if err := p.expect(')'); err != nil {
-		return nil, fmt.Errorf("%s: %w", kw, err)
-	}
-	return op(l, r), nil
-}
-
-func (p *parser) varOp(kw string, op func(*docspanner.Query, []docspanner.Var) *docspanner.Query) (*docspanner.Query, error) {
-	p.pos += len(kw) + 1
-	vars, err := p.varList()
-	if err != nil {
-		return nil, fmt.Errorf("%s: %w", kw, err)
-	}
-	if err := p.expect(';'); err != nil {
-		return nil, fmt.Errorf("%s: %w", kw, err)
-	}
-	sub, err := p.expr()
-	if err != nil {
-		return nil, err
-	}
-	if err := p.expect(')'); err != nil {
-		return nil, fmt.Errorf("%s: %w", kw, err)
-	}
-	return op(sub, vars), nil
-}
-
-// varList parses a possibly empty comma-separated variable list, up to
-// (but not consuming) the ';' separator.
-func (p *parser) varList() ([]docspanner.Var, error) {
-	p.ws()
-	start := p.pos
-	for p.pos < len(p.src) && p.src[p.pos] != ';' && p.src[p.pos] != ')' {
-		p.pos++
-	}
-	raw := strings.TrimSpace(p.src[start:p.pos])
-	if raw == "" {
-		return nil, nil
-	}
-	var vars []docspanner.Var
-	for _, name := range strings.Split(raw, ",") {
-		name = strings.TrimSpace(name)
-		if name == "" {
-			return nil, fmt.Errorf("empty variable name in list %q", raw)
-		}
-		vars = append(vars, docspanner.Var(name))
-	}
-	return vars, nil
-}
-
-// minus parses minus(P; P) where both operands are raw patterns, and
-// builds the spanner difference P1 ∖ P2.
-func (p *parser) minus() (*docspanner.Query, error) {
-	p.pos += len("minus") + 1
-	a, err := p.compileOperand()
-	if err != nil {
-		return nil, err
-	}
-	if err := p.expect(';'); err != nil {
-		return nil, fmt.Errorf("minus: %w", err)
-	}
-	b, err := p.compileOperand()
-	if err != nil {
-		return nil, err
-	}
-	if err := p.expect(')'); err != nil {
-		return nil, fmt.Errorf("minus: %w", err)
-	}
-	d, err := docspanner.Difference(a, b)
-	if err != nil {
-		return nil, fmt.Errorf("minus: %w", err)
-	}
-	return docspanner.Q(d)
-}
-
-// pattern compiles a raw spanner pattern operand into a primitive query.
-func (p *parser) pattern() (*docspanner.Query, error) {
-	s, err := p.compileOperand()
-	if err != nil {
-		return nil, err
-	}
-	return docspanner.Q(s)
-}
-
-// compileOperand scans a raw pattern operand — text up to the next ';' or
-// ')' at parenthesis depth zero, honoring backslash escapes and character
-// classes so grouping inside the pattern does not end the operand — and
-// compiles it.
-func (p *parser) compileOperand() (*docspanner.Spanner, error) {
-	start := p.pos
-	depth, inClass := 0, false
-scan:
-	for p.pos < len(p.src) {
-		c := p.src[p.pos]
-		switch {
-		case c == '\\' && p.pos+1 < len(p.src):
-			p.pos++
-		case inClass:
-			if c == ']' {
-				inClass = false
-			}
-		case c == '[':
-			inClass = true
-		case c == '(':
-			depth++
-		case c == ')':
-			if depth == 0 {
-				break scan
-			}
-			depth--
-		case c == ';':
-			if depth == 0 {
-				break scan
-			}
-		}
-		p.pos++
-	}
-	pat := strings.TrimSpace(p.src[start:p.pos])
-	if pat == "" {
-		return nil, fmt.Errorf("empty pattern operand at offset %d", start)
-	}
-	s, err := docspanner.Compile(pat, p.opts)
-	if err != nil {
-		return nil, fmt.Errorf("pattern %q: %w", pat, err)
-	}
-	return s, nil
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "spanlint:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fail(err error) {

@@ -1,0 +1,114 @@
+// Command spannerd serves document-spanner extraction over HTTP/JSON:
+// a persistent store of named (optionally SLP-compressed) documents
+// with CDE edits, prepared queries (linted and planned at
+// registration), materialized / counting / NDJSON-streaming / batch
+// evaluation, and live metrics.
+//
+// Usage:
+//
+//	spannerd [-addr :8080] [-max-concurrent 64] [-timeout 30s]
+//	         [-max-timeout 5m] [-lint-fail-on error] [-log text|json|off]
+//
+// Endpoints (see the README's Serving section for a walkthrough):
+//
+//	GET    /healthz                  liveness + object counts
+//	GET    /metrics                  Prometheus text format
+//	GET    /varz                     expvar JSON
+//	GET    /docs                     list documents
+//	PUT    /docs/{name}[?compress=1] ingest body as a document
+//	GET    /docs/{name}[?content=1]  metadata, or the text itself
+//	DELETE /docs/{name}              drop a document
+//	POST   /docs/{name}/compress     re-ingest in SLP-compressed form
+//	POST   /docs/{name}/edit         apply a CDE expression {"expr": ...}
+//	POST   /docs/{name}/warm?query=q compressed-evaluation preprocessing
+//	GET    /queries                  list prepared queries
+//	PUT    /queries/{name}           register {"src": pattern-or-expr, ...}
+//	GET    /queries/{name}/explain   the planned physical query
+//	DELETE /queries/{name}           unregister
+//	GET    /eval?query=q&doc=d       materialized result (sorted JSON)
+//	GET    /count?query=q&doc=d      tuple count
+//	GET    /stream?query=q&doc=d     NDJSON, one tuple per line, streamed
+//	POST   /batch                    {"query", "docs": [...], "workers"}
+//	POST   /admin/flush-caches       drop the shared plan + matrix caches
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"docspanner/internal/server"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		maxConc = flag.Int("max-concurrent", 64, "max evaluation requests running at once")
+		timeout = flag.Duration("timeout", 30*time.Second, "default evaluation deadline per request")
+		maxTO   = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout=")
+		failOn  = flag.String("lint-fail-on", "error", "reject query registrations at this lint severity: info | warning | error | never")
+		logMode = flag.String("log", "text", "request log format: text | json | off")
+	)
+	flag.Parse()
+
+	var logger *slog.Logger
+	switch *logMode {
+	case "text":
+		logger = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	case "json":
+		logger = slog.New(slog.NewJSONHandler(os.Stderr, nil))
+	case "off":
+		logger = nil
+	default:
+		fmt.Fprintf(os.Stderr, "spannerd: unknown -log mode %q (want text, json, or off)\n", *logMode)
+		os.Exit(2)
+	}
+
+	srv, err := server.New(server.Config{
+		MaxConcurrent:  *maxConc,
+		RequestTimeout: *timeout,
+		MaxTimeout:     *maxTO,
+		LintFailOn:     *failOn,
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spannerd:", err)
+		os.Exit(2)
+	}
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "spannerd: listening on %s\n", *addr)
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(os.Stderr, "spannerd: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(os.Stderr, "spannerd: shutdown:", err)
+			os.Exit(1)
+		}
+	case err := <-errCh:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(os.Stderr, "spannerd:", err)
+			os.Exit(1)
+		}
+	}
+}

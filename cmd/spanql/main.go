@@ -43,10 +43,8 @@ func main() {
 		explain    = flag.Bool("explain", false, "print the execution plan (logical shape, rewrites applied, physical backend per node) and exit")
 	)
 	flag.Parse()
-	if *pattern == "" {
-		fmt.Fprintln(os.Stderr, "spanql: -pattern is required")
-		flag.Usage()
-		os.Exit(2)
+	if strings.TrimSpace(*pattern) == "" {
+		usageError("-pattern is required and must be non-blank")
 	}
 
 	opts := docspanner.Options{Schemaless: *schemaless}
@@ -102,6 +100,11 @@ func main() {
 		return
 	}
 
+	if *text == "" && *file == "" && !textFlagSet() {
+		// Evaluation modes need a document; exiting 0 here would hide the
+		// mistake from scripts, so it is a usage error like -pattern.
+		usageError(fmt.Sprintf("-mode %s needs a document: provide -text or -file", *mode))
+	}
 	doc, err := loadDoc(*text, *file)
 	if err != nil {
 		fail(err)
@@ -164,14 +167,23 @@ func main() {
 	}
 }
 
+// textFlagSet reports whether -text was given explicitly (an explicit
+// -text '' means the empty document, which is a legitimate input).
+func textFlagSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "text" {
+			set = true
+		}
+	})
+	return set
+}
+
 func loadDoc(text, file string) ([]byte, error) {
 	if file != "" {
 		return os.ReadFile(file)
 	}
-	if text != "" {
-		return []byte(text), nil
-	}
-	return nil, fmt.Errorf("spanql: provide -text or -file")
+	return []byte(text), nil
 }
 
 // parseTuple parses x=1:3,y=4:6 into a span tuple.
@@ -192,6 +204,12 @@ func parseTuple(src string) (docspanner.Tuple, error) {
 		t[docspanner.Var(strings.TrimSpace(kv[0]))] = docspanner.NewSpan(b, e)
 	}
 	return t, nil
+}
+
+func usageError(msg string) {
+	fmt.Fprintln(os.Stderr, "spanql:", msg)
+	flag.Usage()
+	os.Exit(2)
 }
 
 func fail(err error) {

@@ -1,6 +1,7 @@
 package docspanner
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/big"
@@ -76,6 +77,10 @@ func (db *DocDB) Get(name string) (*Document, bool) {
 
 // Names lists stored documents.
 func (db *DocDB) Names() []string { return db.db.Names() }
+
+// Remove drops the named document from the database. SLP nodes shared
+// with other documents remain reachable through them.
+func (db *DocDB) Remove(name string) { db.db.Remove(name) }
 
 // Size returns the total number of distinct SLP nodes across the
 // database (shared nodes counted once).
@@ -198,6 +203,23 @@ func (q *Query) EnumerateCompressed(d *Document, f func(Tuple) bool) {
 // document.
 func (q *Query) CountCompressed(d *Document) int {
 	return q.plan().CountSLP(d.Node())
+}
+
+// EnumerateCompressedContext is EnumerateCompressed with cancellation,
+// under the same per-tuple contract as EnumerateContext.
+func (q *Query) EnumerateCompressedContext(ctx context.Context, d *Document, f func(Tuple) bool) error {
+	return enumerateWithContext(ctx, f, func(g func(Tuple) bool) {
+		q.plan().EnumerateSLP(d.Node(), g)
+	})
+}
+
+// CountCompressedContext is CountCompressed with cancellation; on
+// cancellation the partial count so far is returned alongside the
+// context's error.
+func (q *Query) CountCompressedContext(ctx context.Context, d *Document) (int, error) {
+	n := 0
+	err := q.EnumerateCompressedContext(ctx, d, func(Tuple) bool { n++; return true })
+	return n, err
 }
 
 // Index builds a compressed-evaluation index for the query, available

@@ -1,6 +1,9 @@
 package plan
 
-import "sync"
+import (
+	"sync"
+	"sync/atomic"
+)
 
 // The plan cache hash-conses Planned values per (expression structure,
 // options), following the same per-key sync.Once discipline as the
@@ -9,20 +12,44 @@ import "sync"
 // block each other.
 var planCache sync.Map // string -> *planHolder
 
+// Cache traffic counters, monotonic over the process lifetime (a reset
+// does not rewind them — long-lived servers export them as Prometheus
+// counters and derive the hit rate from the pair).
+var cacheHits, cacheMisses atomic.Uint64
+
 type planHolder struct {
 	once sync.Once
 	p    *Planned
 }
 
 func cachedPlan(key string, build func() *Planned) *Planned {
-	v, _ := planCache.LoadOrStore(key, &planHolder{})
+	v, loaded := planCache.LoadOrStore(key, &planHolder{})
+	if loaded {
+		cacheHits.Add(1)
+	} else {
+		cacheMisses.Add(1)
+	}
 	h := v.(*planHolder)
 	h.once.Do(func() { h.p = build() })
 	return h.p
 }
 
+// CacheStats returns the cumulative plan-cache hit and miss counts.
+// Safe to call concurrently with planning.
+func CacheStats() (hits, misses uint64) {
+	return cacheHits.Load(), cacheMisses.Load()
+}
+
+// CacheLen returns the number of currently cached plans.
+func CacheLen() int {
+	n := 0
+	planCache.Range(func(_, _ any) bool { n++; return true })
+	return n
+}
+
 // ResetCache drops all cached plans (tests and memory-sensitive
-// callers). In-flight plans remain valid; only future lookups miss.
+// callers). In-flight plans remain valid; only future lookups miss. The
+// hit/miss counters are not reset.
 func ResetCache() {
 	planCache.Range(func(k, _ any) bool {
 		planCache.Delete(k)

@@ -1,0 +1,252 @@
+// Package qsyntax parses the textual query syntax shared by the
+// command-line tools (cmd/spanlint, cmd/spanql) and the spannerd server:
+// either a raw spanner pattern, or a core-spanner algebra expression in
+// a small prefix syntax whose operands are separated by semicolons:
+//
+//	union(E; E)        spanner union
+//	join(E; E)         natural join
+//	project(x,y; E)    projection onto the listed variables
+//	seleq(x,y; E)      string-equality selection over the listed variables
+//	minus(P; P)        spanner difference of two raw patterns
+//
+// where each E is again an expression or a raw pattern, e.g.
+//
+//	project(v; join(!x{[a-z]+}=!v{[0-9]+}; !x{key}=[0-9]+))
+//
+// A raw pattern that itself starts with one of the operator keywords
+// immediately followed by "(" must be wrapped in a group, e.g.
+// '(union(a))'.
+package qsyntax
+
+import (
+	"fmt"
+	"strings"
+
+	"docspanner"
+)
+
+// IsExpr reports whether the input uses the prefix operator syntax
+// (starts with one of the algebra keywords immediately followed by an
+// opening parenthesis) rather than being a raw spanner pattern.
+func IsExpr(src string) bool {
+	src = strings.TrimSpace(src)
+	for _, kw := range []string{"union", "join", "project", "seleq", "minus"} {
+		if strings.HasPrefix(src, kw+"(") {
+			return true
+		}
+	}
+	return false
+}
+
+// ParseExpr parses a prefix algebra expression into a query, rejecting
+// trailing input. Raw-pattern operands compile with the given options.
+func ParseExpr(src string, opts docspanner.Options) (*docspanner.Query, error) {
+	p := &parser{src: strings.TrimSpace(src), opts: opts}
+	q, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("trailing input at offset %d: %q", p.pos, p.src[p.pos:])
+	}
+	return q, nil
+}
+
+// Parse turns an input in either syntax into a query: prefix expressions
+// go through ParseExpr, raw patterns are compiled and lifted (refl
+// patterns via the AutoToCore translation, so reference-bounded
+// refl-spanners are accepted too).
+func Parse(src string, opts docspanner.Options) (*docspanner.Query, error) {
+	if IsExpr(src) {
+		return ParseExpr(src, opts)
+	}
+	s, err := docspanner.Compile(strings.TrimSpace(src), opts)
+	if err != nil {
+		return nil, err
+	}
+	return docspanner.NewQuery(s, docspanner.QueryOptions{AutoToCore: true})
+}
+
+// parser is a recursive-descent parser for the prefix expression syntax.
+type parser struct {
+	src  string
+	pos  int
+	opts docspanner.Options
+}
+
+func (p *parser) ws() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(c byte) error {
+	p.ws()
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return fmt.Errorf("expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) expr() (*docspanner.Query, error) {
+	p.ws()
+	rest := p.src[p.pos:]
+	switch {
+	case strings.HasPrefix(rest, "union("):
+		return p.binary("union", (*docspanner.Query).Union)
+	case strings.HasPrefix(rest, "join("):
+		return p.binary("join", (*docspanner.Query).Join)
+	case strings.HasPrefix(rest, "project("):
+		return p.varOp("project", func(q *docspanner.Query, vars []docspanner.Var) *docspanner.Query {
+			return q.Project(vars...)
+		})
+	case strings.HasPrefix(rest, "seleq("):
+		return p.varOp("seleq", func(q *docspanner.Query, vars []docspanner.Var) *docspanner.Query {
+			return q.SelectEqual(vars...)
+		})
+	case strings.HasPrefix(rest, "minus("):
+		return p.minus()
+	}
+	return p.pattern()
+}
+
+func (p *parser) binary(kw string, op func(*docspanner.Query, *docspanner.Query) *docspanner.Query) (*docspanner.Query, error) {
+	p.pos += len(kw) + 1 // keyword and "("
+	l, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	r, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	return op(l, r), nil
+}
+
+func (p *parser) varOp(kw string, op func(*docspanner.Query, []docspanner.Var) *docspanner.Query) (*docspanner.Query, error) {
+	p.pos += len(kw) + 1
+	vars, err := p.varList()
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	sub, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, fmt.Errorf("%s: %w", kw, err)
+	}
+	return op(sub, vars), nil
+}
+
+// varList parses a possibly empty comma-separated variable list, up to
+// (but not consuming) the ';' separator.
+func (p *parser) varList() ([]docspanner.Var, error) {
+	p.ws()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] != ';' && p.src[p.pos] != ')' {
+		p.pos++
+	}
+	raw := strings.TrimSpace(p.src[start:p.pos])
+	if raw == "" {
+		return nil, nil
+	}
+	var vars []docspanner.Var
+	for _, name := range strings.Split(raw, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			return nil, fmt.Errorf("empty variable name in list %q", raw)
+		}
+		vars = append(vars, docspanner.Var(name))
+	}
+	return vars, nil
+}
+
+// minus parses minus(P; P) where both operands are raw patterns, and
+// builds the spanner difference P1 ∖ P2.
+func (p *parser) minus() (*docspanner.Query, error) {
+	p.pos += len("minus") + 1
+	a, err := p.compileOperand()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(';'); err != nil {
+		return nil, fmt.Errorf("minus: %w", err)
+	}
+	b, err := p.compileOperand()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, fmt.Errorf("minus: %w", err)
+	}
+	d, err := docspanner.Difference(a, b)
+	if err != nil {
+		return nil, fmt.Errorf("minus: %w", err)
+	}
+	return docspanner.Q(d)
+}
+
+// pattern compiles a raw spanner pattern operand into a primitive query.
+func (p *parser) pattern() (*docspanner.Query, error) {
+	s, err := p.compileOperand()
+	if err != nil {
+		return nil, err
+	}
+	return docspanner.Q(s)
+}
+
+// compileOperand scans a raw pattern operand — text up to the next ';' or
+// ')' at parenthesis depth zero, honoring backslash escapes and character
+// classes so grouping inside the pattern does not end the operand — and
+// compiles it.
+func (p *parser) compileOperand() (*docspanner.Spanner, error) {
+	start := p.pos
+	depth, inClass := 0, false
+scan:
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\\' && p.pos+1 < len(p.src):
+			p.pos++
+		case inClass:
+			if c == ']' {
+				inClass = false
+			}
+		case c == '[':
+			inClass = true
+		case c == '(':
+			depth++
+		case c == ')':
+			if depth == 0 {
+				break scan
+			}
+			depth--
+		case c == ';':
+			if depth == 0 {
+				break scan
+			}
+		}
+		p.pos++
+	}
+	pat := strings.TrimSpace(p.src[start:p.pos])
+	if pat == "" {
+		return nil, fmt.Errorf("empty pattern operand at offset %d", start)
+	}
+	s, err := docspanner.Compile(pat, p.opts)
+	if err != nil {
+		return nil, fmt.Errorf("pattern %q: %w", pat, err)
+	}
+	return s, nil
+}

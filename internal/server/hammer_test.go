@@ -1,0 +1,239 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"docspanner"
+)
+
+// TestHammerConcurrentClients drives one spannerd instance from 16
+// concurrent clients over real HTTP, mixing query registration,
+// materialized evaluation, streaming, counting, CDE edits, cache
+// flushes, and metrics scrapes, and asserts every response is
+// deterministic against the library facade. Run with -race this is the
+// server's data-race certification.
+func TestHammerConcurrentClients(t *testing.T) {
+	const (
+		clients    = 16
+		iterations = 25
+	)
+
+	srv := newTestServer(t, Config{MaxConcurrent: 32})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	jsonReq := func(method, path, body string) (int, []byte) {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			t.Fatalf("request: %v", err)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatalf("%s %s: %v", method, path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+
+	// Shared fixtures: stable documents (never edited) and queries.
+	fixedDocs := map[string]string{
+		"f0": "abbabaabbb",
+		"f1": strings.Repeat("ab", 40),
+		"f2": "aaaa",
+		"f3": strings.Repeat("abc", 30),
+	}
+	i := 0
+	for name, content := range fixedDocs {
+		target := "/docs/" + name
+		if i%2 == 1 {
+			target += "?compress=1"
+		}
+		i++
+		if code, b := jsonReq("PUT", target, content); code != 200 {
+			t.Fatalf("put %s: %d %s", name, code, b)
+		}
+	}
+	queries := map[string]string{
+		"q0": ".*!x{ab*}.*",
+		"q1": ".*!x{ab}.*",
+		"q2": "project(x; join(.*!x{ab}.*; .*!x{ab}.*))",
+	}
+	for name, src := range queries {
+		spec, _ := json.Marshal(map[string]string{"src": src})
+		if code, b := jsonReq("PUT", "/queries/"+name, string(spec)); code != 200 {
+			t.Fatalf("put query %s: %d %s", name, code, b)
+		}
+	}
+
+	// Expected x-spans per (query, fixed doc), computed by the library.
+	type qd struct{ q, d string }
+	expect := map[qd][]docspanner.Span{}
+	libQueries := map[string]*docspanner.Spanner{}
+	for qn, src := range queries {
+		if qn == "q2" {
+			continue // algebra query; q2 ≡ q1 by idempotence of join
+		}
+		sp, err := docspanner.Compile(src, docspanner.Options{})
+		if err != nil {
+			t.Fatalf("compile %s: %v", qn, err)
+		}
+		libQueries[qn] = sp
+		for dn, content := range fixedDocs {
+			var spans []docspanner.Span
+			for _, tup := range sp.Eval([]byte(content)).Sorted() {
+				spans = append(spans, tup["x"])
+			}
+			expect[qd{qn, dn}] = spans
+		}
+	}
+	for dn := range fixedDocs {
+		expect[qd{"q2", dn}] = expect[qd{"q1", dn}]
+	}
+
+	spansOf := func(tuples []any) []docspanner.Span {
+		var out []docspanner.Span
+		for _, raw := range tuples {
+			m := raw.(map[string]any)["x"].(map[string]any)
+			out = append(out, docspanner.NewSpan(int(m["begin"].(float64)), int(m["end"].(float64))))
+		}
+		return out
+	}
+	sameSpans := func(got, want []docspanner.Span) bool {
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+
+	docNames := []string{"f0", "f1", "f2", "f3"}
+	queryNames := []string{"q0", "q1", "q2"}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, clients*iterations)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fail := func(format string, args ...any) {
+				errs <- fmt.Errorf("client %d: "+format, append([]any{c}, args...)...)
+			}
+
+			// Per-client scratch document for CDE edits, so edits do not
+			// perturb the fixtures other clients evaluate against.
+			scratch := fmt.Sprintf("s%d", c)
+			scratchContent := "ab"
+			if code, b := jsonReq("PUT", "/docs/"+scratch, scratchContent); code != 200 {
+				fail("put scratch: %d %s", code, b)
+				return
+			}
+
+			for it := 0; it < iterations; it++ {
+				qn := queryNames[(c+it)%len(queryNames)]
+				dn := docNames[(c*7+it)%len(docNames)]
+				switch it % 6 {
+				case 0: // materialized eval against the library
+					code, b := jsonReq("GET", fmt.Sprintf("/eval?query=%s&doc=%s&content=0", qn, dn), "")
+					if code != 200 {
+						fail("eval: %d %s", code, b)
+						continue
+					}
+					var body map[string]any
+					if err := json.Unmarshal(b, &body); err != nil {
+						fail("eval json: %v", err)
+						continue
+					}
+					if got := spansOf(body["tuples"].([]any)); !sameSpans(got, expect[qd{qn, dn}]) {
+						fail("eval %s/%s: got %v, want %v", qn, dn, got, expect[qd{qn, dn}])
+					}
+				case 1: // streaming enumeration, full drain
+					code, b := jsonReq("GET", fmt.Sprintf("/stream?query=%s&doc=%s&content=0", qn, dn), "")
+					if code != 200 {
+						fail("stream: %d %s", code, b)
+						continue
+					}
+					lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+					want := expect[qd{qn, dn}]
+					var summary map[string]any
+					if err := json.Unmarshal([]byte(lines[len(lines)-1]), &summary); err != nil {
+						fail("stream summary: %v", err)
+						continue
+					}
+					if summary["done"] != true || int(summary["count"].(float64)) != len(want) {
+						fail("stream %s/%s summary %v, want %d tuples", qn, dn, summary, len(want))
+					}
+				case 2: // count
+					code, b := jsonReq("GET", fmt.Sprintf("/count?query=%s&doc=%s", qn, dn), "")
+					if code != 200 {
+						fail("count: %d %s", code, b)
+						continue
+					}
+					var body map[string]any
+					_ = json.Unmarshal(b, &body)
+					if int(body["count"].(float64)) != len(expect[qd{qn, dn}]) {
+						fail("count %s/%s = %v, want %d", qn, dn, body["count"], len(expect[qd{qn, dn}]))
+					}
+				case 3: // re-register a shared query (same source, new plan)
+					spec, _ := json.Marshal(map[string]string{"src": queries[qn]})
+					if code, b := jsonReq("PUT", "/queries/"+qn, string(spec)); code != 200 {
+						fail("re-register %s: %d %s", qn, code, b)
+					}
+				case 4: // CDE edit on the private scratch doc, verified by eval
+					expr := fmt.Sprintf("concat(%s, f2)", scratch)
+					if code, b := jsonReq("POST", "/docs/"+scratch+"/edit", fmt.Sprintf(`{"expr": %q}`, expr)); code != 200 {
+						fail("edit: %d %s", code, b)
+						continue
+					}
+					scratchContent += fixedDocs["f2"]
+					code, b := jsonReq("GET", "/eval?query=q1&doc="+scratch+"&content=0", "")
+					if code != 200 {
+						fail("eval scratch: %d %s", code, b)
+						continue
+					}
+					var body map[string]any
+					_ = json.Unmarshal(b, &body)
+					var want []docspanner.Span
+					for _, tup := range libQueries["q1"].Eval([]byte(scratchContent)).Sorted() {
+						want = append(want, tup["x"])
+					}
+					if got := spansOf(body["tuples"].([]any)); !sameSpans(got, want) {
+						fail("eval scratch after edit: got %v, want %v", got, want)
+					}
+				case 5: // cache flush and metrics scrape under load
+					if c == 0 {
+						if code, b := jsonReq("POST", "/admin/flush-caches", ""); code != 200 {
+							fail("flush: %d %s", code, b)
+						}
+					}
+					if code, b := jsonReq("GET", "/metrics", ""); code != 200 {
+						fail("metrics: %d %s", code, b)
+					} else if !strings.Contains(string(b), "spannerd_matrix_cache_hit_rate") {
+						fail("metrics missing matrix cache hit rate")
+					}
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,469 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"docspanner"
+)
+
+// --- document handlers ---
+
+func (s *Server) handleDocList(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, 200, map[string]any{"docs": s.store.list()})
+	return nil
+}
+
+// handleDocPut ingests the request body as the named document.
+// ?compress=1 stores it SLP-compressed (Re-Pair + balancing).
+func (s *Server) handleDocPut(w http.ResponseWriter, r *http.Request) error {
+	name := r.PathValue("name")
+	data, err := io.ReadAll(r.Body)
+	if err != nil {
+		return errBadRequest("reading body: " + err.Error())
+	}
+	info := s.store.put(name, data, boolParam(r, "compress"))
+	writeJSON(w, 200, info)
+	return nil
+}
+
+// handleDocGet returns the document's metadata, or with ?content=1 its
+// text (decompressing a compressed document once per snapshot).
+func (s *Server) handleDocGet(w http.ResponseWriter, r *http.Request) error {
+	d, err := s.store.get(r.PathValue("name"))
+	if err != nil {
+		return err
+	}
+	if boolParam(r, "content") {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		_, err := w.Write(d.bytes())
+		return err
+	}
+	writeJSON(w, 200, d.info())
+	return nil
+}
+
+func (s *Server) handleDocDelete(w http.ResponseWriter, r *http.Request) error {
+	if err := s.store.delete(r.PathValue("name")); err != nil {
+		return err
+	}
+	writeJSON(w, 200, map[string]string{"status": "deleted"})
+	return nil
+}
+
+func (s *Server) handleDocCompress(w http.ResponseWriter, r *http.Request) error {
+	info, err := s.store.compress(r.PathValue("name"))
+	if err != nil {
+		return err
+	}
+	writeJSON(w, 200, info)
+	return nil
+}
+
+// handleDocEdit applies a CDE edit expression — concat, extract,
+// delete, insert, copy over the store's named documents — and stores
+// the result under {name}, in time O(|expr|·log d) on the grammars.
+func (s *Server) handleDocEdit(w http.ResponseWriter, r *http.Request) error {
+	var body struct {
+		Expr string `json:"expr"`
+	}
+	if err := decodeJSON(r, &body); err != nil {
+		return err
+	}
+	if body.Expr == "" {
+		return errBadRequest(`edit needs a CDE expression, e.g. {"expr": "insert(d1, extract(d2,1,4), 7)"}`)
+	}
+	info, err := s.store.edit(r.PathValue("name"), body.Expr)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, 200, info)
+	return nil
+}
+
+// handleDocWarm runs the compressed-evaluation preprocessing of a
+// prepared query (?query=) over the named document, spreading the
+// independent SLP DAG levels over ?workers= goroutines. 422 when the
+// query's plan does not fuse to a single regular scan.
+func (s *Server) handleDocWarm(w http.ResponseWriter, r *http.Request) error {
+	d, err := s.store.get(r.PathValue("name"))
+	if err != nil {
+		return err
+	}
+	p, err := s.queries.get(r.URL.Query().Get("query"))
+	if err != nil {
+		return err
+	}
+	ix, err := p.query.Index()
+	if err != nil {
+		return &httpError{status: 422, message: err.Error()}
+	}
+	workers := intParam(r, "workers", 0)
+	start := time.Now()
+	ix.WarmParallel(d.doc, workers)
+	writeJSON(w, 200, map[string]any{
+		"doc":          d.name,
+		"query":        p.name,
+		"grammar_size": d.doc.GrammarSize(),
+		"took":         time.Since(start).String(),
+	})
+	return nil
+}
+
+// --- query handlers ---
+
+func (s *Server) handleQueryList(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, 200, map[string]any{"queries": s.queries.list()})
+	return nil
+}
+
+func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) error {
+	var spec querySpec
+	if err := decodeJSON(r, &spec); err != nil {
+		return err
+	}
+	info, err := s.queries.register(r.PathValue("name"), spec)
+	if err != nil {
+		return err
+	}
+	writeJSON(w, 200, info)
+	return nil
+}
+
+func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) error {
+	p, err := s.queries.get(r.PathValue("name"))
+	if err != nil {
+		return err
+	}
+	writeJSON(w, 200, p.info())
+	return nil
+}
+
+func (s *Server) handleQueryDelete(w http.ResponseWriter, r *http.Request) error {
+	if err := s.queries.delete(r.PathValue("name")); err != nil {
+		return err
+	}
+	writeJSON(w, 200, map[string]string{"status": "deleted"})
+	return nil
+}
+
+func (s *Server) handleQueryExplain(w http.ResponseWriter, r *http.Request) error {
+	p, err := s.queries.get(r.PathValue("name"))
+	if err != nil {
+		return err
+	}
+	writeJSON(w, 200, map[string]any{
+		"name":      p.name,
+		"src":       p.src,
+		"streaming": p.query.Streaming(),
+		"plan":      p.query.Explain(),
+	})
+	return nil
+}
+
+// --- evaluation handlers ---
+
+// evalTarget resolves the ?query= and ?doc= parameters of an
+// evaluation request.
+func (s *Server) evalTarget(r *http.Request) (*preparedQuery, *storedDoc, error) {
+	p, err := s.queries.get(r.URL.Query().Get("query"))
+	if err != nil {
+		return nil, nil, err
+	}
+	d, err := s.store.get(r.URL.Query().Get("doc"))
+	if err != nil {
+		return nil, nil, err
+	}
+	return p, d, nil
+}
+
+// tupleJSON renders a tuple as {"x": {"begin": 1, "end": 3, "content": "ab"}, ...}.
+// Spans follow the survey's convention: 1-based, end-exclusive. content
+// is included unless the request said ?content=0.
+func tupleJSON(t docspanner.Tuple, doc []byte, withContent bool) map[string]any {
+	out := make(map[string]any, len(t))
+	for _, v := range t.Vars() {
+		sp := t[v]
+		m := map[string]any{"begin": sp.Begin, "end": sp.End}
+		if withContent && doc != nil {
+			m["content"] = string(sp.Content(doc))
+		}
+		out[string(v)] = m
+	}
+	return out
+}
+
+// withContent defaults to true; ?content=0 turns span contents off.
+func withContent(r *http.Request) bool {
+	v := r.URL.Query().Get("content")
+	return v == "" || !(v == "0" || v == "false")
+}
+
+// handleEval materializes the query result on one document and returns
+// it as a sorted JSON array (deterministic across runs and backends).
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
+	p, d, err := s.evalTarget(r)
+	if err != nil {
+		return err
+	}
+	ctx := r.Context()
+	start := time.Now()
+	// Materialize through the context-aware enumerator: the relation
+	// dedups exactly like Eval, and a deadline is observed per tuple
+	// instead of only after the whole evaluation.
+	rel := docspanner.NewRelation()
+	collect := func(t docspanner.Tuple) bool { rel.Add(t); return true }
+	if d.compressed {
+		err = p.query.EnumerateCompressedContext(ctx, d.doc, collect)
+	} else {
+		err = p.query.EnumerateContext(ctx, d.bytes(), collect)
+	}
+	if err != nil {
+		return err
+	}
+	tuples := rel.Sorted()
+	took := time.Since(start)
+	s.metrics.query(p.name, "eval", len(tuples), took)
+
+	wc := withContent(r)
+	var doc []byte
+	if wc {
+		doc = d.bytes()
+	}
+	out := make([]map[string]any, 0, len(tuples))
+	for _, t := range tuples {
+		out = append(out, tupleJSON(t, doc, wc))
+	}
+	writeJSON(w, 200, map[string]any{
+		"query":  p.name,
+		"doc":    d.name,
+		"count":  len(tuples),
+		"took":   took.String(),
+		"tuples": out,
+	})
+	return nil
+}
+
+// handleCount counts result tuples, observing cancellation per tuple on
+// streaming plans.
+func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
+	p, d, err := s.evalTarget(r)
+	if err != nil {
+		return err
+	}
+	ctx := r.Context()
+	start := time.Now()
+	var n int
+	if d.compressed {
+		n, err = p.query.CountCompressedContext(ctx, d.doc)
+	} else {
+		n, err = p.query.CountContext(ctx, d.bytes())
+	}
+	if err != nil {
+		return err
+	}
+	took := time.Since(start)
+	s.metrics.query(p.name, "count", n, took)
+	writeJSON(w, 200, map[string]any{
+		"query": p.name,
+		"doc":   d.name,
+		"count": n,
+		"took":  took.String(),
+	})
+	return nil
+}
+
+// handleStream enumerates the query on one document as NDJSON, flushing
+// each tuple as it is produced: on a streaming plan (the constant-delay
+// enumerator, or the O(log|D|)-delay compressed enumerator) the first
+// line reaches the client before the result is fully materialized.
+// ?limit=N stops after N tuples. The final line is a summary object
+// {"done": true, "count": N, ...}.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
+	p, d, err := s.evalTarget(r)
+	if err != nil {
+		return err
+	}
+	limit := intParam(r, "limit", 0)
+	wc := withContent(r)
+	var doc []byte
+	if wc {
+		doc = d.bytes()
+	}
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Streaming-Plan", strconv.FormatBool(p.query.Streaming()))
+	rc := http.NewResponseController(w)
+	enc := json.NewEncoder(w)
+
+	ctx := r.Context()
+	start := time.Now()
+	n := 0
+	emit := func(t docspanner.Tuple) bool {
+		if err := enc.Encode(tupleJSON(t, doc, wc)); err != nil {
+			return false
+		}
+		_ = rc.Flush()
+		n++
+		return limit == 0 || n < limit
+	}
+	if d.compressed {
+		err = p.query.EnumerateCompressedContext(ctx, d.doc, emit)
+	} else {
+		err = p.query.EnumerateContext(ctx, d.bytes(), emit)
+	}
+	took := time.Since(start)
+	s.metrics.query(p.name, "stream", n, took)
+	summary := map[string]any{"done": true, "count": n, "took": took.String()}
+	if err != nil {
+		// Headers are out; report the cancellation in-band on the trailer
+		// line so clients can distinguish truncation from completion.
+		summary["done"] = false
+		summary["error"] = err.Error()
+	}
+	_ = enc.Encode(summary)
+	_ = rc.Flush()
+	return nil
+}
+
+// batchRequest is the body of POST /batch: one prepared query over a
+// set of stored documents, evaluated on a bounded worker pool.
+type batchRequest struct {
+	Query   string   `json:"query"`
+	Docs    []string `json:"docs"`
+	Workers int      `json:"workers,omitempty"`
+	// Content includes span contents in the tuples (default true).
+	Content *bool `json:"content,omitempty"`
+}
+
+// handleBatch evaluates a query over many stored documents in parallel
+// (EvalDocs / EvalCompressedDocs worker pools), returning one result
+// object per document in request order. Plain and compressed documents
+// may be mixed; each group runs through its matching engine.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
+	var req batchRequest
+	if err := decodeJSON(r, &req); err != nil {
+		return err
+	}
+	if len(req.Docs) == 0 {
+		return errBadRequest("batch needs a non-empty docs list")
+	}
+	p, err := s.queries.get(req.Query)
+	if err != nil {
+		return err
+	}
+	wc := req.Content == nil || *req.Content
+
+	// Resolve all snapshots up front, splitting by representation while
+	// remembering each document's position in the request.
+	type slot struct {
+		d   *storedDoc
+		rel *docspanner.Relation
+	}
+	slots := make([]slot, len(req.Docs))
+	var plainIdx, compIdx []int
+	for i, name := range req.Docs {
+		d, err := s.store.get(name)
+		if err != nil {
+			return err
+		}
+		slots[i].d = d
+		if d.compressed {
+			compIdx = append(compIdx, i)
+		} else {
+			plainIdx = append(plainIdx, i)
+		}
+	}
+
+	ctx := r.Context()
+	opts := docspanner.ParallelOptions{Workers: req.Workers}
+	start := time.Now()
+	if len(plainIdx) > 0 {
+		docs := make([][]byte, len(plainIdx))
+		for k, i := range plainIdx {
+			docs[k] = slots[i].d.bytes()
+		}
+		rels, err := docspanner.EvalDocs(ctx, p.query, docs, opts)
+		if err != nil {
+			return err
+		}
+		for k, i := range plainIdx {
+			slots[i].rel = rels[k]
+		}
+	}
+	if len(compIdx) > 0 {
+		docs := make([]*docspanner.Document, len(compIdx))
+		for k, i := range compIdx {
+			docs[k] = slots[i].d.doc
+		}
+		rels, err := docspanner.EvalCompressedDocs(ctx, p.query, docs, opts)
+		if err != nil {
+			return err
+		}
+		for k, i := range compIdx {
+			slots[i].rel = rels[k]
+		}
+	}
+	took := time.Since(start)
+
+	total := 0
+	results := make([]map[string]any, len(slots))
+	for i, sl := range slots {
+		tuples := sl.rel.Sorted()
+		total += len(tuples)
+		var doc []byte
+		if wc {
+			doc = sl.d.bytes()
+		}
+		out := make([]map[string]any, 0, len(tuples))
+		for _, t := range tuples {
+			out = append(out, tupleJSON(t, doc, wc))
+		}
+		results[i] = map[string]any{
+			"doc":    sl.d.name,
+			"count":  len(tuples),
+			"tuples": out,
+		}
+	}
+	s.metrics.query(p.name, "batch", total, took)
+	writeJSON(w, 200, map[string]any{
+		"query":   p.name,
+		"docs":    len(slots),
+		"count":   total,
+		"took":    took.String(),
+		"results": results,
+	})
+	return nil
+}
+
+// --- small helpers ---
+
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return errBadRequest(fmt.Sprintf("bad JSON body: %s", err))
+	}
+	return nil
+}
+
+func boolParam(r *http.Request, name string) bool {
+	v := r.URL.Query().Get(name)
+	return v == "1" || v == "true"
+}
+
+func intParam(r *http.Request, name string, def int) int {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return def
+	}
+	return n
+}

@@ -1,0 +1,261 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"docspanner/internal/plan"
+	"docspanner/internal/slpmatch"
+)
+
+// latencyBuckets are the histogram upper bounds in seconds (the last
+// implicit bucket is +Inf), spanning constant-delay streaming hits
+// (tens of µs) through slow materializing evaluations.
+var latencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters;
+// observations and rendering may run concurrently.
+type histogram struct {
+	counts []atomic.Uint64 // len(latencyBuckets)+1, last is +Inf
+	sumNs  atomic.Int64
+	count  atomic.Uint64
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(latencyBuckets)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	s := d.Seconds()
+	i := sort.SearchFloat64s(latencyBuckets, s)
+	h.counts[i].Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+	h.count.Add(1)
+}
+
+// quantile returns an estimate of the q-quantile in seconds (upper
+// bucket bound interpolation; good enough for p50/p99 reporting).
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= rank {
+			if i < len(latencyBuckets) {
+				return latencyBuckets[i]
+			}
+			return latencyBuckets[len(latencyBuckets)-1] * 2
+		}
+	}
+	return latencyBuckets[len(latencyBuckets)-1] * 2
+}
+
+// metrics is the server's observability state: request and tuple
+// counters, per-handler and per-query latency histograms, and the
+// process-wide cache statistics it snapshots on render. All methods are
+// safe for concurrent use.
+type metrics struct {
+	start time.Time
+
+	mu         sync.Mutex
+	requests   map[string]*atomic.Uint64 // "handler|code" -> count
+	tuples     map[string]*atomic.Uint64 // "query|kind" -> tuples emitted
+	handlerLat map[string]*histogram     // handler -> latency
+	queryLat   map[string]*histogram     // "query|kind" -> latency
+
+	inflight atomic.Int64
+	rejected atomic.Uint64 // requests refused by the concurrency limiter
+	timeouts atomic.Uint64 // requests cancelled by deadline
+}
+
+func newMetrics() *metrics {
+	return &metrics{
+		start:      time.Now(),
+		requests:   map[string]*atomic.Uint64{},
+		tuples:     map[string]*atomic.Uint64{},
+		handlerLat: map[string]*histogram{},
+		queryLat:   map[string]*histogram{},
+	}
+}
+
+func (m *metrics) counter(table map[string]*atomic.Uint64, key string) *atomic.Uint64 {
+	m.mu.Lock()
+	c, ok := table[key]
+	if !ok {
+		c = &atomic.Uint64{}
+		table[key] = c
+	}
+	m.mu.Unlock()
+	return c
+}
+
+func (m *metrics) histogramFor(table map[string]*histogram, key string) *histogram {
+	m.mu.Lock()
+	h, ok := table[key]
+	if !ok {
+		h = newHistogram()
+		table[key] = h
+	}
+	m.mu.Unlock()
+	return h
+}
+
+func (m *metrics) request(handler string, code int, d time.Duration) {
+	m.counter(m.requests, fmt.Sprintf("%s|%d", handler, code)).Add(1)
+	m.histogramFor(m.handlerLat, handler).observe(d)
+}
+
+func (m *metrics) query(name, kind string, tuples int, d time.Duration) {
+	m.counter(m.tuples, name+"|"+kind).Add(uint64(tuples))
+	m.histogramFor(m.queryLat, name+"|"+kind).observe(d)
+}
+
+// sortedKeys snapshots a label table's keys under the lock for
+// deterministic exposition.
+func sortedKeys[V any](mu *sync.Mutex, table map[string]V) []string {
+	mu.Lock()
+	keys := make([]string, 0, len(table))
+	for k := range table {
+		keys = append(keys, k)
+	}
+	mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+func (m *metrics) get(table map[string]*atomic.Uint64, key string) uint64 {
+	m.mu.Lock()
+	c := table[key]
+	m.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	return c.Load()
+}
+
+// writeProm renders the Prometheus text exposition format.
+func (m *metrics) writeProm(w io.Writer, docs, queries int) {
+	fmt.Fprintf(w, "# HELP spannerd_uptime_seconds Time since the server started.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "spannerd_uptime_seconds %g\n", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP spannerd_documents Documents in the store.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_documents gauge\n")
+	fmt.Fprintf(w, "spannerd_documents %d\n", docs)
+	fmt.Fprintf(w, "# HELP spannerd_queries Prepared queries in the registry.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_queries gauge\n")
+	fmt.Fprintf(w, "spannerd_queries %d\n", queries)
+
+	fmt.Fprintf(w, "# HELP spannerd_inflight_requests Requests currently being served.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_inflight_requests gauge\n")
+	fmt.Fprintf(w, "spannerd_inflight_requests %d\n", m.inflight.Load())
+	fmt.Fprintf(w, "# HELP spannerd_rejected_total Requests refused by the concurrency limiter.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_rejected_total counter\n")
+	fmt.Fprintf(w, "spannerd_rejected_total %d\n", m.rejected.Load())
+	fmt.Fprintf(w, "# HELP spannerd_timeouts_total Requests cancelled by their deadline.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_timeouts_total counter\n")
+	fmt.Fprintf(w, "spannerd_timeouts_total %d\n", m.timeouts.Load())
+
+	fmt.Fprintf(w, "# HELP spannerd_requests_total Requests served, by handler and status code.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_requests_total counter\n")
+	for _, k := range sortedKeys(&m.mu, m.requests) {
+		h, code, _ := cut(k)
+		fmt.Fprintf(w, "spannerd_requests_total{handler=%q,code=%q} %d\n", h, code, m.get(m.requests, k))
+	}
+
+	fmt.Fprintf(w, "# HELP spannerd_tuples_total Result tuples emitted, by prepared query and request kind.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_tuples_total counter\n")
+	for _, k := range sortedKeys(&m.mu, m.tuples) {
+		q, kind, _ := cut(k)
+		fmt.Fprintf(w, "spannerd_tuples_total{query=%q,kind=%q} %d\n", q, kind, m.get(m.tuples, k))
+	}
+
+	writeHistograms(w, "spannerd_request_duration_seconds",
+		"Wall-clock request latency by handler.",
+		&m.mu, m.handlerLat, func(k string) string { return fmt.Sprintf("handler=%q", k) })
+	writeHistograms(w, "spannerd_query_duration_seconds",
+		"Evaluation latency by prepared query and request kind.",
+		&m.mu, m.queryLat, func(k string) string {
+			q, kind, _ := cut(k)
+			return fmt.Sprintf("query=%q,kind=%q", q, kind)
+		})
+
+	// Process-wide shared caches: the hash-consed plan cache and the
+	// slpmatch per-SLP-node matrix cache.
+	ph, pm := plan.CacheStats()
+	fmt.Fprintf(w, "# HELP spannerd_plan_cache_hits_total Plan-cache hits (process-wide).\n")
+	fmt.Fprintf(w, "# TYPE spannerd_plan_cache_hits_total counter\n")
+	fmt.Fprintf(w, "spannerd_plan_cache_hits_total %d\n", ph)
+	fmt.Fprintf(w, "# HELP spannerd_plan_cache_misses_total Plan-cache misses (process-wide).\n")
+	fmt.Fprintf(w, "# TYPE spannerd_plan_cache_misses_total counter\n")
+	fmt.Fprintf(w, "spannerd_plan_cache_misses_total %d\n", pm)
+	fmt.Fprintf(w, "# HELP spannerd_plan_cache_hit_rate Plan-cache hit rate since process start.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_plan_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "spannerd_plan_cache_hit_rate %s\n", rate(ph, pm))
+
+	mh, mm := slpmatch.CacheStats()
+	fmt.Fprintf(w, "# HELP spannerd_matrix_cache_hits_total slpmatch per-SLP-node matrix cache hits (process-wide).\n")
+	fmt.Fprintf(w, "# TYPE spannerd_matrix_cache_hits_total counter\n")
+	fmt.Fprintf(w, "spannerd_matrix_cache_hits_total %d\n", mh)
+	fmt.Fprintf(w, "# HELP spannerd_matrix_cache_misses_total slpmatch per-SLP-node matrix cache misses (process-wide).\n")
+	fmt.Fprintf(w, "# TYPE spannerd_matrix_cache_misses_total counter\n")
+	fmt.Fprintf(w, "spannerd_matrix_cache_misses_total %d\n", mm)
+	fmt.Fprintf(w, "# HELP spannerd_matrix_cache_hit_rate slpmatch matrix-cache hit rate since process start.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_matrix_cache_hit_rate gauge\n")
+	fmt.Fprintf(w, "spannerd_matrix_cache_hit_rate %s\n", rate(mh, mm))
+	fmt.Fprintf(w, "# HELP spannerd_matrix_cache_cores Live shared slpmatch cores (one per automaton in use).\n")
+	fmt.Fprintf(w, "# TYPE spannerd_matrix_cache_cores gauge\n")
+	fmt.Fprintf(w, "spannerd_matrix_cache_cores %d\n", slpmatch.Cores())
+}
+
+func writeHistograms(w io.Writer, name, help string, mu *sync.Mutex, table map[string]*histogram, labels func(key string) string) {
+	fmt.Fprintf(w, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	for _, k := range sortedKeys(mu, table) {
+		mu.Lock()
+		h := table[k]
+		mu.Unlock()
+		l := labels(k)
+		var cum uint64
+		for i, ub := range latencyBuckets {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{%s,le=\"%g\"} %d\n", name, l, ub, cum)
+		}
+		cum += h.counts[len(latencyBuckets)].Load()
+		fmt.Fprintf(w, "%s_bucket{%s,le=\"+Inf\"} %d\n", name, l, cum)
+		fmt.Fprintf(w, "%s_sum{%s} %g\n", name, l, float64(h.sumNs.Load())/1e9)
+		fmt.Fprintf(w, "%s_count{%s} %d\n", name, l, cum)
+	}
+}
+
+// cut splits "a|b" at the first bar.
+func cut(k string) (string, string, bool) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == '|' {
+			return k[:i], k[i+1:], true
+		}
+	}
+	return k, "", false
+}
+
+func rate(hits, misses uint64) string {
+	total := hits + misses
+	if total == 0 {
+		return "0"
+	}
+	return fmt.Sprintf("%.4f", float64(hits)/float64(total))
+}

@@ -1,0 +1,206 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"docspanner"
+	"docspanner/internal/qsyntax"
+)
+
+// querySpec is the JSON body of a query registration.
+type querySpec struct {
+	// Src is the query source: a spanner pattern, or a prefix algebra
+	// expression (union/join/project/seleq/minus — internal/qsyntax).
+	Src string `json:"src"`
+	// Schemaless compiles with schemaless (partial-tuple) semantics.
+	Schemaless bool `json:"schemaless"`
+	// Alphabet fixes the document alphabet (default: inferred).
+	Alphabet string `json:"alphabet,omitempty"`
+	// FailOn overrides the server's lint threshold for this registration:
+	// "info" | "warning" | "error" | "never".
+	FailOn string `json:"fail_on,omitempty"`
+	// Plan tunes the planner.
+	Plan *planSpec `json:"plan,omitempty"`
+}
+
+type planSpec struct {
+	DisableRewrites bool `json:"disable_rewrites,omitempty"`
+	NaiveBackend    bool `json:"naive_backend,omitempty"`
+	ReflRewrite     bool `json:"refl_rewrite,omitempty"`
+	MaxFusedStates  int  `json:"max_fused_states,omitempty"`
+}
+
+// preparedQuery is a registered query: parsed, linted, and planned once
+// at registration; evaluation reuses the immutable *Query (safe for
+// concurrent use) from every handler.
+type preparedQuery struct {
+	name       string
+	src        string
+	query      *docspanner.Query
+	diags      []docspanner.Diagnostic
+	registered time.Time
+}
+
+// queryInfo is the JSON shape of a prepared query.
+type queryInfo struct {
+	Name        string                  `json:"name"`
+	Src         string                  `json:"src"`
+	Vars        []string                `json:"vars"`
+	Regular     bool                    `json:"regular"`
+	Streaming   bool                    `json:"streaming"`
+	Diagnostics []docspanner.Diagnostic `json:"diagnostics"`
+	Registered  string                  `json:"registered"`
+}
+
+func (p *preparedQuery) info() queryInfo {
+	vars := make([]string, 0, len(p.query.Vars()))
+	for _, v := range p.query.Vars() { // VarSet is canonically sorted
+		vars = append(vars, string(v))
+	}
+	ds := p.diags
+	if ds == nil {
+		ds = []docspanner.Diagnostic{}
+	}
+	return queryInfo{
+		Name:        p.name,
+		Src:         p.src,
+		Vars:        vars,
+		Regular:     p.query.IsRegular(),
+		Streaming:   p.query.Streaming(),
+		Diagnostics: ds,
+		Registered:  p.registered.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// registry holds the prepared queries. Registration is serialized under
+// mu; lookups take the read lock and hand out the immutable prepared
+// query.
+type registry struct {
+	mu sync.RWMutex
+	m  map[string]*preparedQuery
+	// failOn is the lint severity that rejects a registration
+	// (0 = never reject).
+	failOn docspanner.Severity
+}
+
+func newRegistry(failOn docspanner.Severity) *registry {
+	return &registry{m: map[string]*preparedQuery{}, failOn: failOn}
+}
+
+// register parses, lints, and plans a query, storing it under name.
+// Registration fails — with the diagnostics attached — when any lint
+// finding reaches the threshold, so a bad query is rejected once at
+// registration instead of surprising every evaluation.
+func (r *registry) register(name string, spec querySpec) (queryInfo, error) {
+	if spec.Src == "" {
+		return queryInfo{}, errBadRequest("query spec needs a non-empty src")
+	}
+	opts := docspanner.Options{Schemaless: spec.Schemaless}
+	if spec.Alphabet != "" {
+		opts.Alphabet = []byte(spec.Alphabet)
+	}
+	q, err := qsyntax.Parse(spec.Src, opts)
+	if err != nil {
+		return queryInfo{}, errBadRequest(fmt.Sprintf("parse %q: %s", spec.Src, err))
+	}
+	if spec.Plan != nil {
+		q = q.WithPlan(docspanner.PlanOptions{
+			DisableRewrites: spec.Plan.DisableRewrites,
+			NaiveBackend:    spec.Plan.NaiveBackend,
+			ReflRewrite:     spec.Plan.ReflRewrite,
+			MaxFusedStates:  spec.Plan.MaxFusedStates,
+		})
+	}
+
+	diags := q.Lint()
+	threshold := r.failOn
+	if spec.FailOn != "" {
+		threshold, err = parseFailOn(spec.FailOn)
+		if err != nil {
+			return queryInfo{}, errBadRequest(err.Error())
+		}
+	}
+	if threshold > 0 {
+		for _, d := range diags {
+			if d.Severity >= threshold {
+				return queryInfo{}, &httpError{
+					status:  422,
+					message: fmt.Sprintf("lint rejected query %q: %s", name, d),
+					diags:   diags,
+				}
+			}
+		}
+	}
+
+	// Plan now (hash-consed through the shared plan cache), so the first
+	// evaluation pays no planning latency and a plan-level failure
+	// surfaces at registration.
+	p := &preparedQuery{
+		name:       name,
+		src:        spec.Src,
+		query:      q,
+		diags:      diags,
+		registered: time.Now(),
+	}
+	_ = q.Streaming()
+
+	r.mu.Lock()
+	r.m[name] = p
+	r.mu.Unlock()
+	return p.info(), nil
+}
+
+func (r *registry) get(name string) (*preparedQuery, error) {
+	r.mu.RLock()
+	p, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, errNotFound(fmt.Sprintf("query %q", name))
+	}
+	return p, nil
+}
+
+func (r *registry) delete(name string) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[name]; !ok {
+		return errNotFound(fmt.Sprintf("query %q", name))
+	}
+	delete(r.m, name)
+	return nil
+}
+
+func (r *registry) list() []queryInfo {
+	r.mu.RLock()
+	out := make([]queryInfo, 0, len(r.m))
+	for _, p := range r.m {
+		out = append(out, p.info())
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (r *registry) len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}
+
+// parseFailOn maps a threshold name to a severity; "never" is 0.
+func parseFailOn(s string) (docspanner.Severity, error) {
+	switch s {
+	case "never":
+		return 0, nil
+	case "info":
+		return docspanner.SeverityInfo, nil
+	case "warning":
+		return docspanner.SeverityWarning, nil
+	case "error":
+		return docspanner.SeverityError, nil
+	}
+	return 0, fmt.Errorf("unknown fail-on severity %q (want info, warning, error, or never)", s)
+}

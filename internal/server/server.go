@@ -1,0 +1,357 @@
+// Package server implements spannerd, an HTTP/JSON document-spanner
+// extraction service over the docspanner library: a persistent store of
+// named (optionally SLP-compressed) documents supporting in-place CDE
+// edits, a registry of prepared queries (linted and planned once at
+// registration), evaluation endpoints — materialized, counting,
+// NDJSON streaming off the constant-delay enumerator, and batch over
+// document sets on a worker pool — plus live metrics (/metrics, /varz,
+// /healthz) exposing per-query latency histograms and the hit rates of
+// the shared plan and SLP matrix caches.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"time"
+
+	"docspanner"
+	"docspanner/internal/plan"
+	"docspanner/internal/slpmatch"
+)
+
+// Config tunes a Server. The zero value serves with sensible defaults.
+type Config struct {
+	// MaxConcurrent bounds the number of evaluation requests running at
+	// once (eval, count, stream, batch, warm); further requests wait for
+	// a slot until their context expires, then get 503. Default 64.
+	MaxConcurrent int
+	// RequestTimeout is the default evaluation deadline per request;
+	// clients may lower or raise it with ?timeout=, capped by MaxTimeout.
+	// Default 30s.
+	RequestTimeout time.Duration
+	// MaxTimeout caps client-requested timeouts. Default 5m.
+	MaxTimeout time.Duration
+	// LintFailOn rejects query registrations whose lint diagnostics reach
+	// this severity: "info" | "warning" | "error" | "never". Default
+	// "error".
+	LintFailOn string
+	// MaxBodyBytes bounds request bodies (document ingests). Default 64 MiB.
+	MaxBodyBytes int64
+	// Logger receives structured request logs; nil discards them.
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() (Config, error) {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = 64
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.LintFailOn == "" {
+		c.LintFailOn = "error"
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 64 << 20
+	}
+	if c.Logger == nil {
+		c.Logger = slog.New(discardHandler{})
+	}
+	return c, nil
+}
+
+// Server is the spannerd HTTP handler. Create one with New and mount it
+// on an http.Server (cmd/spannerd does exactly that); it is safe for
+// use by any number of concurrent requests.
+type Server struct {
+	cfg     Config
+	store   *docStore
+	queries *registry
+	metrics *metrics
+	sem     chan struct{}
+	mux     *http.ServeMux
+}
+
+// New builds a Server from the config.
+func New(cfg Config) (*Server, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	failOn, err := parseFailOn(cfg.LintFailOn)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:     cfg,
+		store:   newDocStore(),
+		queries: newRegistry(failOn),
+		metrics: newMetrics(),
+		sem:     make(chan struct{}, cfg.MaxConcurrent),
+	}
+	s.routes()
+	return s, nil
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
+	s.mux.HandleFunc("GET /varz", s.wrap("varz", s.handleVarz))
+
+	s.mux.HandleFunc("GET /docs", s.wrap("docs.list", s.handleDocList))
+	s.mux.HandleFunc("PUT /docs/{name}", s.wrap("docs.put", s.handleDocPut))
+	s.mux.HandleFunc("GET /docs/{name}", s.wrap("docs.get", s.handleDocGet))
+	s.mux.HandleFunc("DELETE /docs/{name}", s.wrap("docs.delete", s.handleDocDelete))
+	s.mux.HandleFunc("POST /docs/{name}/compress", s.wrap("docs.compress", s.handleDocCompress))
+	s.mux.HandleFunc("POST /docs/{name}/edit", s.wrap("docs.edit", s.handleDocEdit))
+	s.mux.HandleFunc("POST /docs/{name}/warm", s.wrap("docs.warm", s.limited(s.handleDocWarm)))
+
+	s.mux.HandleFunc("GET /queries", s.wrap("queries.list", s.handleQueryList))
+	s.mux.HandleFunc("PUT /queries/{name}", s.wrap("queries.put", s.handleQueryPut))
+	s.mux.HandleFunc("GET /queries/{name}", s.wrap("queries.get", s.handleQueryGet))
+	s.mux.HandleFunc("DELETE /queries/{name}", s.wrap("queries.delete", s.handleQueryDelete))
+	s.mux.HandleFunc("GET /queries/{name}/explain", s.wrap("queries.explain", s.handleQueryExplain))
+
+	s.mux.HandleFunc("GET /eval", s.wrap("eval", s.limited(s.handleEval)))
+	s.mux.HandleFunc("GET /count", s.wrap("count", s.limited(s.handleCount)))
+	s.mux.HandleFunc("GET /stream", s.wrap("stream", s.limited(s.handleStream)))
+	s.mux.HandleFunc("POST /batch", s.wrap("batch", s.limited(s.handleBatch)))
+
+	s.mux.HandleFunc("POST /admin/flush-caches", s.wrap("admin.flush", s.handleFlushCaches))
+}
+
+// httpError is an error with an HTTP status; handlers return it to get
+// a structured JSON error response.
+type httpError struct {
+	status  int
+	message string
+	diags   []docspanner.Diagnostic
+}
+
+func (e *httpError) Error() string { return e.message }
+
+func errNotFound(what string) error   { return &httpError{status: 404, message: what + " not found"} }
+func errBadRequest(msg string) error  { return &httpError{status: 400, message: msg} }
+func errUnavailable(msg string) error { return &httpError{status: 503, message: msg} }
+
+// statusWriter records the response code for logs and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = 200
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming works
+// through the wrapper.
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// wrap adapts an error-returning handler: it bounds the body, tracks
+// inflight/latency metrics, renders httpErrors as JSON, and emits one
+// structured log line per request.
+func (s *Server) wrap(handler string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.metrics.inflight.Add(1)
+		defer s.metrics.inflight.Add(-1)
+		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		sw := &statusWriter{ResponseWriter: w}
+		err := h(sw, r)
+		if err != nil {
+			s.renderError(sw, err)
+		}
+		if sw.status == 0 {
+			sw.status = 200
+		}
+		d := time.Since(start)
+		s.metrics.request(handler, sw.status, d)
+		s.cfg.Logger.LogAttrs(r.Context(), slog.LevelInfo, "request",
+			slog.String("handler", handler),
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.Int("status", sw.status),
+			slog.Duration("duration", d),
+		)
+	}
+}
+
+func (s *Server) renderError(w *statusWriter, err error) {
+	if w.status != 0 {
+		// Headers already sent (mid-stream failure); nothing to render.
+		return
+	}
+	he := &httpError{status: 500, message: err.Error()}
+	var cast *httpError
+	if errors.As(err, &cast) {
+		he = cast
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		he = &httpError{status: 504, message: "evaluation deadline exceeded"}
+		s.metrics.timeouts.Add(1)
+	} else if errors.Is(err, context.Canceled) {
+		he = &httpError{status: 499, message: "request cancelled"}
+	}
+	body := map[string]any{"error": he.message}
+	if he.diags != nil {
+		body["diagnostics"] = he.diags
+	}
+	writeJSON(w, he.status, body)
+}
+
+// limited applies the concurrency limiter and the per-request deadline
+// to an evaluation handler. Waiting for a slot respects the client
+// disconnecting; a slot that does not free up before the deadline is a
+// 503, not a queue that grows without bound.
+func (s *Server) limited(h func(http.ResponseWriter, *http.Request) error) func(http.ResponseWriter, *http.Request) error {
+	return func(w http.ResponseWriter, r *http.Request) error {
+		ctx, cancel, err := s.requestContext(r)
+		if err != nil {
+			return err
+		}
+		defer cancel()
+		// Prefer a free slot over an already-expired context (select
+		// picks randomly among ready cases): a request that can run
+		// immediately should fail with its own deadline error, not 503.
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			select {
+			case s.sem <- struct{}{}:
+			case <-ctx.Done():
+				s.metrics.rejected.Add(1)
+				return errUnavailable("server at max concurrency; retry later")
+			}
+		}
+		defer func() { <-s.sem }()
+		return h(w, r.WithContext(ctx))
+	}
+}
+
+// requestContext derives the evaluation context: the client's context
+// plus the default or ?timeout= deadline (capped by MaxTimeout).
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	d := s.cfg.RequestTimeout
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		td, err := time.ParseDuration(t)
+		if err != nil || td <= 0 {
+			return nil, nil, errBadRequest(fmt.Sprintf("bad timeout %q (want a positive Go duration like 250ms)", t))
+		}
+		d = td
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), d)
+	return ctx, cancel, nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// --- observability handlers ---
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, 200, map[string]any{
+		"status":  "ok",
+		"uptime":  time.Since(s.metrics.start).String(),
+		"docs":    s.store.len(),
+		"queries": s.queries.len(),
+	})
+	return nil
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.metrics.writeProm(w, s.store.len(), s.queries.len())
+	return nil
+}
+
+// handleVarz renders the process expvars plus the server's own state as
+// one JSON object. Hand-rolled (expvar.Do instead of expvar.Publish)
+// because Publish is global and panics on duplicate names — multiple
+// Server instances in one process, as in tests, must not fight over it.
+func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) error {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintf(w, "{\n")
+	first := true
+	expvar.Do(func(kv expvar.KeyValue) {
+		if !first {
+			fmt.Fprintf(w, ",\n")
+		}
+		first = false
+		fmt.Fprintf(w, "%q: %s", kv.Key, kv.Value)
+	})
+	ph, pm := plan.CacheStats()
+	mh, mm := slpmatch.CacheStats()
+	own, _ := json.Marshal(map[string]any{
+		"docs":               s.store.len(),
+		"queries":            s.queries.len(),
+		"grammar_nodes":      s.store.grammarSize(),
+		"inflight":           s.metrics.inflight.Load(),
+		"rejected":           s.metrics.rejected.Load(),
+		"timeouts":           s.metrics.timeouts.Load(),
+		"plan_cache_hits":    ph,
+		"plan_cache_misses":  pm,
+		"plan_cache_size":    plan.CacheLen(),
+		"matrix_cache_hits":  mh,
+		"matrix_cache_miss":  mm,
+		"matrix_cache_cores": slpmatch.Cores(),
+	})
+	if !first {
+		fmt.Fprintf(w, ",\n")
+	}
+	fmt.Fprintf(w, "%q: %s\n}\n", "spannerd", own)
+	return nil
+}
+
+func (s *Server) handleFlushCaches(w http.ResponseWriter, _ *http.Request) error {
+	// Safe while evaluations are in flight: plan.ResetCache only empties
+	// the hash-consing table (planned queries keep their plans), and
+	// slpmatch.ResetCaches detaches the shared cores — instances built
+	// before the flush keep theirs (see the ResetCaches contract).
+	plan.ResetCache()
+	slpmatch.ResetCaches()
+	writeJSON(w, 200, map[string]string{"status": "flushed"})
+	return nil
+}
+
+// discardHandler is a slog.Handler that drops everything (slog's
+// DiscardHandler arrived in go 1.24; this repo targets 1.23).
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (d discardHandler) WithAttrs([]slog.Attr) slog.Handler      { return d }
+func (d discardHandler) WithGroup(string) slog.Handler           { return d }

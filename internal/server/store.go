@@ -1,0 +1,207 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"docspanner"
+)
+
+// storedDoc is one immutable snapshot of a named document. The store
+// replaces the whole entry on every mutation (copy-on-write), so
+// handlers evaluate against a snapshot without holding the store lock;
+// concurrent edits bump the version and swap in a new snapshot.
+//
+// Every document — plain or compressed — also lives in the store's
+// shared DocDB as an SLP, so CDE edit expressions can reference any
+// document by name and structure sharing spans the whole store.
+type storedDoc struct {
+	name       string
+	compressed bool // ingested or produced in SLP-compressed form
+	version    int
+	updated    time.Time
+
+	doc *docspanner.Document // SLP form; always set
+
+	// plain holds the raw bytes; for compressed documents it is filled
+	// lazily (one shared decompression) when a handler needs the text.
+	plainOnce sync.Once
+	plain     []byte
+}
+
+// bytes returns the document text, decompressing at most once per
+// snapshot.
+func (d *storedDoc) bytes() []byte {
+	d.plainOnce.Do(func() {
+		if d.plain == nil {
+			d.plain = d.doc.Bytes()
+		}
+	})
+	return d.plain
+}
+
+// docInfo is the JSON shape of a document in listings and responses.
+type docInfo struct {
+	Name        string `json:"name"`
+	Compressed  bool   `json:"compressed"`
+	Len         int64  `json:"len"`
+	GrammarSize int    `json:"grammar_size"`
+	Version     int    `json:"version"`
+	Updated     string `json:"updated"`
+}
+
+func (d *storedDoc) info() docInfo {
+	return docInfo{
+		Name:        d.name,
+		Compressed:  d.compressed,
+		Len:         d.doc.Len(),
+		GrammarSize: d.doc.GrammarSize(),
+		Version:     d.version,
+		Updated:     d.updated.UTC().Format(time.RFC3339Nano),
+	}
+}
+
+// docStore is the server's document store: named snapshots over a
+// shared SLP document database. The underlying slp.DB is not
+// concurrency-safe, so every access to it (and to the name map) happens
+// under mu; evaluation never touches the DB — it runs on the immutable
+// snapshot taken under RLock.
+type docStore struct {
+	mu   sync.RWMutex
+	db   *docspanner.DocDB
+	docs map[string]*storedDoc
+}
+
+func newDocStore() *docStore {
+	return &docStore{db: docspanner.NewDocDB(), docs: map[string]*storedDoc{}}
+}
+
+// put ingests (or replaces) a document. With compress set the bytes are
+// Re-Pair-compressed into a balanced SLP; otherwise the SLP form is the
+// uncompressed balanced parse (kept so CDE can reference the document).
+func (s *docStore) put(name string, data []byte, compress bool) docInfo {
+	var d *docspanner.Document
+	if compress {
+		d = docspanner.CompressDocument(data)
+	} else {
+		d = docspanner.DocumentFromBytes(data)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	version := 1
+	if old, ok := s.docs[name]; ok {
+		version = old.version + 1
+	}
+	sd := &storedDoc{
+		name:       name,
+		compressed: compress,
+		version:    version,
+		updated:    time.Now(),
+		doc:        d,
+		plain:      data,
+	}
+	s.db.Add(name, d)
+	s.docs[name] = sd
+	return sd.info()
+}
+
+// compress re-ingests a plain document in compressed form, preserving
+// the version history. It is a no-op for already-compressed documents.
+func (s *docStore) compress(name string) (docInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	old, ok := s.docs[name]
+	if !ok {
+		return docInfo{}, errNotFound(fmt.Sprintf("document %q", name))
+	}
+	if old.compressed {
+		return old.info(), nil
+	}
+	d := docspanner.CompressDocument(old.bytes())
+	sd := &storedDoc{
+		name:       name,
+		compressed: true,
+		version:    old.version + 1,
+		updated:    time.Now(),
+		doc:        d,
+		plain:      old.bytes(),
+	}
+	s.db.Add(name, d)
+	s.docs[name] = sd
+	return sd.info(), nil
+}
+
+// edit evaluates a CDE expression over the store's SLP database and
+// stores the result under name (which may be new or may overwrite an
+// existing document). The result is always compressed-form: CDE works on
+// the grammar and never decompresses anything.
+func (s *docStore) edit(name, expr string) (docInfo, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d, err := s.db.Edit(name, expr)
+	if err != nil {
+		return docInfo{}, errBadRequest(err.Error())
+	}
+	version := 1
+	if old, ok := s.docs[name]; ok {
+		version = old.version + 1
+	}
+	sd := &storedDoc{
+		name:       name,
+		compressed: true,
+		version:    version,
+		updated:    time.Now(),
+		doc:        d,
+	}
+	s.docs[name] = sd
+	return sd.info(), nil
+}
+
+// get returns the current snapshot of a document.
+func (s *docStore) get(name string) (*storedDoc, error) {
+	s.mu.RLock()
+	d, ok := s.docs[name]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, errNotFound(fmt.Sprintf("document %q", name))
+	}
+	return d, nil
+}
+
+func (s *docStore) delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.docs[name]; !ok {
+		return errNotFound(fmt.Sprintf("document %q", name))
+	}
+	delete(s.docs, name)
+	s.db.Remove(name)
+	return nil
+}
+
+func (s *docStore) list() []docInfo {
+	s.mu.RLock()
+	out := make([]docInfo, 0, len(s.docs))
+	for _, d := range s.docs {
+		out = append(out, d.info())
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+func (s *docStore) len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.docs)
+}
+
+// grammarSize returns the total number of distinct SLP nodes across the
+// store (shared nodes counted once).
+func (s *docStore) grammarSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.db.Size()
+}

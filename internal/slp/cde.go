@@ -125,6 +125,22 @@ func (db *DB) Get(name string) (*Node, bool) {
 // Names lists the documents in insertion order.
 func (db *DB) Names() []string { return append([]string(nil), db.names...) }
 
+// Remove drops the named document binding. Nodes shared with other
+// documents stay reachable through them; removing an unknown name is a
+// no-op.
+func (db *DB) Remove(name string) {
+	if _, ok := db.docs[name]; !ok {
+		return
+	}
+	delete(db.docs, name)
+	for i, n := range db.names {
+		if n == name {
+			db.names = append(db.names[:i], db.names[i+1:]...)
+			break
+		}
+	}
+}
+
 // Size returns the number of distinct nodes of the whole database DAG.
 func (db *DB) Size() int {
 	visited := map[*Node]bool{}

@@ -3,6 +3,7 @@ package slpmatch
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"unsafe"
 
 	"docspanner/internal/slp"
@@ -22,6 +23,29 @@ import (
 // values are equal, and last-write-wins keeps the table consistent.
 
 const cacheShards = 64
+
+// Matrix-cache traffic counters, cumulative across every core and both
+// hit paths (lookups during evaluation and the cached-check of the warm
+// schedules). Monotonic for the process lifetime: ResetCaches does not
+// rewind them, so servers can export them as Prometheus counters.
+var nodeHits, nodeMisses atomic.Uint64
+
+// CacheStats returns the cumulative per-SLP-node matrix-cache hit and
+// miss counts, summed over all shared cores. Safe to call concurrently
+// with matching, warming, and ResetCaches.
+func CacheStats() (hits, misses uint64) {
+	return nodeHits.Load(), nodeMisses.Load()
+}
+
+// Cores returns the number of live shared cores (one per automaton with
+// at least one Matcher/Index/Counter built since the last ResetCaches).
+func Cores() int {
+	n := 0
+	for _, reg := range []*sync.Map{&matcherCores, &indexCores, &counterCores} {
+		reg.Range(func(_, _ any) bool { n++; return true })
+	}
+	return n
+}
 
 // nodeCache is a sharded concurrent map from SLP nodes to per-node data.
 type nodeCache[V any] struct {
@@ -52,6 +76,11 @@ func (c *nodeCache[V]) get(n *slp.Node) (V, bool) {
 	s.mu.RLock()
 	v, ok := s.m[n]
 	s.mu.RUnlock()
+	if ok {
+		nodeHits.Add(1)
+	} else {
+		nodeMisses.Add(1)
+	}
 	return v, ok
 }
 
@@ -83,8 +112,19 @@ var (
 )
 
 // ResetCaches drops every shared core and its node tables (frees memory
-// in long-lived processes that discard automata or documents; also used
-// by tests that measure cache growth from a cold start).
+// in long-lived processes that discard automata or documents; also the
+// cache-flush admin operation of servers, and used by tests that measure
+// cache growth from a cold start).
+//
+// ResetCaches is safe to call at any time, including while Matchers,
+// Indexes, and Counters are in use on other goroutines. The reset only
+// unlinks the cores from the registries: an instance created before the
+// reset keeps the core it was built with (self-contained and still
+// consistent, so in-flight and future operations on it stay correct,
+// warming into a table that is no longer shared), while instances
+// created afterwards start from fresh, empty cores. Two instances over
+// the same automaton that straddle a reset therefore no longer share
+// matrices — correctness is unaffected, only the amortization.
 func ResetCaches() {
 	matcherCores.Range(func(k, _ any) bool { matcherCores.Delete(k); return true })
 	indexCores.Range(func(k, _ any) bool { indexCores.Delete(k); return true })

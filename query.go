@@ -1,6 +1,7 @@
 package docspanner
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -235,6 +236,59 @@ func (q *Query) Enumerate(doc []byte, f func(t Tuple) bool) {
 // Count returns the number of result tuples on doc.
 func (q *Query) Count(doc []byte) int {
 	return q.plan().Count(doc)
+}
+
+// EnumerateContext is Enumerate with cancellation: the enumeration
+// stops as soon as ctx is cancelled or its deadline passes, and the
+// context's error is returned (nil on completion or early stop by f).
+//
+// Cancellation contract: the context is checked before the enumeration
+// starts and then between consecutive tuples, so on a streaming plan
+// (Streaming() == true) cancellation is observed within one tuple's
+// delay — constant delay for fused regular plans. Plans with residual
+// algebra materialize below the root first; for those, cancellation is
+// only observed while the materialized tuples are being delivered.
+// A nil ctx behaves like context.Background().
+func (q *Query) EnumerateContext(ctx context.Context, doc []byte, f func(t Tuple) bool) error {
+	return enumerateWithContext(ctx, f, func(g func(Tuple) bool) {
+		q.plan().Enumerate(doc, g)
+	})
+}
+
+// CountContext is Count with cancellation, under the same contract as
+// EnumerateContext; on cancellation the partial count so far is
+// returned alongside the context's error.
+func (q *Query) CountContext(ctx context.Context, doc []byte) (int, error) {
+	n := 0
+	err := q.EnumerateContext(ctx, doc, func(Tuple) bool { n++; return true })
+	return n, err
+}
+
+// enumerateWithContext runs a streaming enumeration with the yield
+// wrapped in a per-tuple cancellation check (a non-blocking poll of
+// ctx.Done, cheap next to the per-tuple work of any backend).
+func enumerateWithContext(ctx context.Context, f func(Tuple) bool, run func(func(Tuple) bool)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	done := ctx.Done()
+	cancelled := false
+	run(func(t Tuple) bool {
+		select {
+		case <-done:
+			cancelled = true
+			return false
+		default:
+		}
+		return f(t)
+	})
+	if cancelled {
+		return ctx.Err()
+	}
+	return nil
 }
 
 // Streaming reports whether Enumerate on this query yields tuples
