@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -34,8 +35,38 @@ func main() {
 	benchJSON := flag.String("bench-json", "", "measure the fixed E1-E7 micro suite and merge ns/op into this JSON file (see BENCH_pr3.json), then exit")
 	benchLabel := flag.String("bench-label", "after", "label for the -bench-json run (e.g. before, after)")
 	planBench := flag.String("plan-bench", "", "measure the E17 planner suite (planner-off vs planner-on) and write this JSON file (see BENCH_pr4.json), then exit")
-	serveBench := flag.String("serve-bench", "", "measure the E18 spannerd load suite (req/s, p50/p99 per request kind) and write this JSON file (see BENCH_pr5.json), then exit")
+	serveBench := flag.String("serve-bench", "", "measure the E18/E19 spannerd load suite (req/s, p50/p99 per request kind) and write this JSON file (see BENCH_pr6.json), then exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: -cpuprofile: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "benchrunner: -memprofile: %v\n", err)
+			}
+		}()
+	}
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *benchLabel); err != nil {

@@ -1,12 +1,14 @@
 package main
 
-// E18: spannerd load benchmark (-serve-bench). Boots one in-process
+// E18/E19: spannerd load benchmark (-serve-bench). Boots one in-process
 // spannerd (internal/server) behind a real HTTP listener, drives it
 // with concurrent clients, and reports req/s and latency quantiles per
 // request kind — materialized eval vs streaming enumeration vs counting,
 // each against a plain and an SLP-compressed store document, plus the
-// parallel batch endpoint. Results are written as machine-readable JSON
-// (BENCH_pr5.json) so later sessions can track the serving trajectory.
+// parallel batch endpoint (E18) and the streaming-heavy NDJSON
+// scenarios on a 4x larger document (E19). Results are written as
+// machine-readable JSON (BENCH_pr6.json) so later sessions can track
+// the serving trajectory.
 
 import (
 	"encoding/json"
@@ -99,8 +101,15 @@ func runServeBench(path string) error {
 		mustOK("PUT", "/docs/"+name+"?compress=1", string(randomDoc(1<<10, int64(100+i))))
 	}
 	mustOK("PUT", "/queries/q", `{"src": ".*!x{ab}.*"}`)
-	// Warm the compressed index once so the steady state is measured.
+	// E19 fixture: a 16 KiB document for the streaming-heavy scenarios —
+	// enough tuples per request that serialization and flushing dominate
+	// over connection handling.
+	sdoc := string(randomDoc(1<<14, 7))
+	mustOK("PUT", "/docs/sp", sdoc)
+	mustOK("PUT", "/docs/sc?compress=1", sdoc)
+	// Warm the compressed indexes once so the steady state is measured.
 	mustOK("POST", "/docs/comp/warm?query=q", "")
+	mustOK("POST", "/docs/sc/warm?query=q", "")
 
 	tuplesOf := func(path string) int {
 		_, b, err := request("GET", path, "")
@@ -114,6 +123,7 @@ func runServeBench(path string) error {
 		return body.Count
 	}
 	nTuples := tuplesOf("/count?query=q&doc=plain")
+	sTuples := tuplesOf("/count?query=q&doc=sp")
 
 	scenarios := []struct {
 		id     string
@@ -130,17 +140,24 @@ func runServeBench(path string) error {
 		{"E18/count/compressed", "GET", "/count?query=q&doc=comp", "", nTuples},
 		{"E18/batch/8x1KiB", "POST", "/batch",
 			fmt.Sprintf(`{"query": "q", "docs": [%s], "content": false}`, strings.Join(batchDocs, ",")), 0},
+		// E19: streaming-heavy load — every tuple serialized and flushed
+		// through the NDJSON path, with and without span contents, on the
+		// 16 KiB document (4x the E18 fixture).
+		{"E19/stream/16KiB", "GET", "/stream?query=q&doc=sp&content=0", "", sTuples},
+		{"E19/stream/16KiB-content", "GET", "/stream?query=q&doc=sp", "", sTuples},
+		{"E19/stream/16KiB-compressed", "GET", "/stream?query=q&doc=sc&content=0", "", sTuples},
+		{"E19/stream/first-tuple", "GET", "/stream?query=q&doc=sp&content=0&limit=1", "", 1},
 	}
 
 	f := serveBenchFile{
-		Description: "E18: spannerd load benchmark (cmd/benchrunner -serve-bench): req/s and latency quantiles per request kind, 4KiB ab-document, query .*!x{ab}.*, concurrent clients over HTTP",
+		Description: "E18/E19: spannerd load benchmark (cmd/benchrunner -serve-bench): req/s and latency quantiles per request kind, query .*!x{ab}.* over HTTP; E18 = 4KiB document across eval/stream/count/batch, E19 = streaming-heavy 16KiB NDJSON scenarios",
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Clients:     serveBenchClients,
 		DurationMs:  int(serveBenchDuration / time.Millisecond),
 	}
 
-	fmt.Printf("\n== E18: spannerd load benchmark (%d clients, %v per scenario) ==\n",
+	fmt.Printf("\n== E18/E19: spannerd load benchmark (%d clients, %v per scenario) ==\n",
 		serveBenchClients, serveBenchDuration)
 	fmt.Printf("%-24s %-10s %-10s %-10s %-10s\n", "scenario", "req/s", "p50", "p99", "tuples/req")
 	for _, sc := range scenarios {

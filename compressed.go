@@ -215,11 +215,12 @@ func (q *Query) EnumerateCompressedContext(ctx context.Context, d *Document, f f
 
 // CountCompressedContext is CountCompressed with cancellation; on
 // cancellation the partial count so far is returned alongside the
-// context's error.
+// context's error. Single-scan plans count through the compressed
+// index's tuple-free walk, polling the context per counted tuple.
 func (q *Query) CountCompressedContext(ctx context.Context, d *Document) (int, error) {
-	n := 0
-	err := q.EnumerateCompressedContext(ctx, d, func(Tuple) bool { n++; return true })
-	return n, err
+	return countWithContext(ctx, func(poll func() bool) (int, bool) {
+		return q.plan().CountSLPPoll(d.Node(), poll)
+	})
 }
 
 // Index builds a compressed-evaluation index for the query, available

@@ -69,6 +69,11 @@ func NewVarSet(vars ...Var) VarSet { return spans.NewVarSet(vars...) }
 // duplicates removed).
 func NewRelation(tuples ...Tuple) *Relation { return spans.NewRelation(tuples...) }
 
+// SortTuples sorts ts in place into the canonical order Relation.Sorted
+// uses — the deterministic presentation of enumeration output collected
+// without going through a Relation.
+func SortTuples(ts []Tuple) { spans.SortTuples(ts) }
+
 // Options configures compilation.
 type Options struct {
 	// Alphabet is the document alphabet Σ; it resolves the wildcard .

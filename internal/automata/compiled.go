@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"docspanner/internal/refwords"
 )
 
 // Compiled transition kernels. The map-based transition tables of NFA and
@@ -40,6 +42,11 @@ type CompiledDEVA struct {
 	letterIndex [256]int16 // byte → index into Letters, -1 if absent
 	step        []int32    // [li*NQ+q] → successor state, -1 if none
 	MaskEdges   [][]MaskEdge
+
+	// markers caches the expanded, sorted marker set of every mask that
+	// occurs on a transition, so the per-tuple reconstruction in the
+	// enumerators stops allocating and re-sorting per event.
+	markers map[Mask]refwords.MarkerSet
 }
 
 // CompileDEVA flattens d into dense transition arrays. The automaton
@@ -66,15 +73,30 @@ func CompileDEVA(d *DEVA) *CompiledDEVA {
 		}
 	}
 	c.MaskEdges = make([][]MaskEdge, nq)
+	c.markers = make(map[Mask]refwords.MarkerSet)
 	for q := 0; q < nq; q++ {
 		for m, t := range d.Masks[q] {
 			c.MaskEdges[q] = append(c.MaskEdges[q], MaskEdge{m, int32(t)})
+			if _, ok := c.markers[m]; !ok {
+				c.markers[m] = d.Index.Markers(m)
+			}
 		}
 		sort.Slice(c.MaskEdges[q], func(i, j int) bool {
 			return c.MaskEdges[q][i].Mask < c.MaskEdges[q][j].Mask
 		})
 	}
 	return c
+}
+
+// Markers returns the expanded, sorted marker set of m, cached at
+// compilation time for every mask on a transition. The returned slice is
+// shared: callers must not mutate it. Masks that never occur on a
+// transition fall back to the allocating expansion.
+func (c *CompiledDEVA) Markers(m Mask) refwords.MarkerSet {
+	if ms, ok := c.markers[m]; ok {
+		return ms
+	}
+	return c.DEVA.Index.Markers(m)
 }
 
 // Step returns the letter successor of q on b, or -1 — the dense
@@ -161,19 +183,28 @@ func CompileNFA(n *NFA) (*CompiledNFA, error) {
 	for b := range c.mats {
 		c.mats[b] = c.zero
 	}
+	// One scratch pair shared across all letters, and one arena for the
+	// retained per-letter results: compilation allocates O(1) times for
+	// the whole alphabet, not twice per letter (the regression gate is
+	// TestCompileNFAAllocsPerLetter).
 	s := NewBoolMatrix(nq)
 	tmp := NewBoolMatrix(nq)
-	for _, b := range c.Letters {
+	w := s.w
+	arena := make([]uint64, len(c.Letters)*nq*w)
+	mats := make([]BoolMatrix, len(c.Letters))
+	for li, b := range c.Letters {
 		clear(s.rows)
 		for p := 0; p < nq; p++ {
 			for _, r := range n.Letters[p][b] {
 				s.Set(p, r)
 			}
 		}
-		// L_b = C·S_b·C, built with the in-place kernels (one scratch
-		// product, one fresh result per letter).
+		// L_b = C·S_b·C, built with the in-place kernels.
 		tmp.MulInto(cl, s)
-		c.mats[b] = NewBoolMatrix(nq).MulInto(tmp, cl)
+		m := &mats[li]
+		*m = BoolMatrix{N: nq, w: w, rows: arena[li*nq*w : (li+1)*nq*w : (li+1)*nq*w]}
+		m.MulInto(tmp, cl)
+		c.mats[b] = m
 	}
 	return c, nil
 }

@@ -82,6 +82,31 @@ func TestCompiledNFAMatrices(t *testing.T) {
 	}
 }
 
+func compileAllocs(letters int) float64 {
+	n := NewNFA(spans.NewVarSet())
+	s1 := n.AddState()
+	for i := 0; i < letters; i++ {
+		n.AddLetter(n.Start, byte('a'+i), s1)
+		n.AddLetter(s1, byte('a'+i), n.Start)
+	}
+	n.SetFinal(n.Start)
+	return testing.AllocsPerRun(10, func() {
+		if _, err := CompileNFA(n); err != nil {
+			panic(err)
+		}
+	})
+}
+
+// CompileNFA must not allocate per alphabet letter: the scratch pair is
+// shared and the retained letter matrices come from one arena, so going
+// from 2 to 20 letters adds no allocations beyond noise.
+func TestCompileNFAAllocsPerLetter(t *testing.T) {
+	small, large := compileAllocs(2), compileAllocs(20)
+	if large-small > 4 {
+		t.Errorf("CompileNFA allocates per letter: %.1f allocs at 2 letters, %.1f at 20", small, large)
+	}
+}
+
 func TestCompileNFARejectsSpanners(t *testing.T) {
 	n := exampleSpanner()
 	if _, err := CompileNFA(n); err == nil {

@@ -72,6 +72,24 @@ func (ix MaskIndex) Markers(m Mask) refwords.MarkerSet {
 	return out
 }
 
+// OpenBits returns the mask holding the open-marker bit of every
+// variable in vars, with ok=false when some variable is not in the
+// index (no tuple of this index can assign it). In a valid ref-word a
+// variable opens iff it closes, so accumulating fired masks and testing
+// them against OpenBits decides totality without building the tuple —
+// the counting walks rely on this.
+func (ix MaskIndex) OpenBits(vars spans.VarSet) (Mask, bool) {
+	var out Mask
+	for _, v := range vars {
+		i := ix.vars.Index(v)
+		if i < 0 {
+			return 0, false
+		}
+		out |= 1 << uint(2*i)
+	}
+	return out, true
+}
+
 // Project keeps only the marker bits of variables in keep.
 func (ix MaskIndex) Project(m Mask, keep spans.VarSet) Mask {
 	var out Mask

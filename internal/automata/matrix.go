@@ -58,12 +58,34 @@ func (m *BoolMatrix) Mul(other *BoolMatrix) *BoolMatrix {
 	return NewBoolMatrix(m.N).MulInto(m, other)
 }
 
+// aliases reports whether two matrices share row storage — the aliasing
+// the *Into kernels must reject, since they clear out before reading the
+// operands. Head-pointer equality is the exact test here: matrices never
+// share partial storage.
+func aliases(a, b *BoolMatrix) bool {
+	return a == b || (len(a.rows) > 0 && len(b.rows) > 0 && &a.rows[0] == &b.rows[0])
+}
+
 // MulInto computes the Boolean product a·b into out, reusing out's
 // storage (out must be N×N like a and b; it is cleared first and must
-// not alias a or b). The kernel scans each set bit r of a's row p and
-// ORs b's contiguous row r into out's row p — O(N·k·w) words for k set
-// bits per row, the sparse-friendly kernel. Returns out.
+// not alias a or b — aliasing panics, because the kernels clear out
+// before reading the operands). Small or sparse inputs take the
+// set-bit-scanning kernel; large dense inputs switch to the
+// Four-Russians blocked product (fourrussians.go). Returns out.
 func (out *BoolMatrix) MulInto(a, b *BoolMatrix) *BoolMatrix {
+	if aliases(out, a) || aliases(out, b) {
+		panic("automata: MulInto: out aliases an operand")
+	}
+	if a.N >= frMinN && a.popCount() > a.N*a.N/frDensityDen {
+		return out.mulFourRussians(a, b)
+	}
+	return out.mulSparse(a, b)
+}
+
+// mulSparse is the set-bit-scanning product kernel: scan each set bit r
+// of a's row p and OR b's contiguous row r into out's row p — O(N·k·w)
+// words for k set bits per row, the sparse-friendly kernel.
+func (out *BoolMatrix) mulSparse(a, b *BoolMatrix) *BoolMatrix {
 	w := out.w
 	clear(out.rows)
 	for p := 0; p < a.N; p++ {
@@ -92,9 +114,23 @@ func (m *BoolMatrix) Transpose() *BoolMatrix {
 	return NewBoolMatrix(m.N).TransposeInto(m)
 }
 
-// TransposeInto computes mᵀ into out (cleared first; must not alias m).
-// Returns out.
+// TransposeInto computes mᵀ into out (cleared first; must not alias m —
+// aliasing panics). Matrices of order ≥ 64 go through the cache-friendly
+// tile-wise kernel (fourrussians.go); smaller ones scan bits. Returns
+// out.
 func (out *BoolMatrix) TransposeInto(m *BoolMatrix) *BoolMatrix {
+	if aliases(out, m) {
+		panic("automata: TransposeInto: out aliases the operand")
+	}
+	if m.N >= transposeBlockN {
+		return out.transposeBlocked(m)
+	}
+	return out.transposeScalar(m)
+}
+
+// transposeScalar is the bit-at-a-time transpose kernel for small
+// matrices.
+func (out *BoolMatrix) transposeScalar(m *BoolMatrix) *BoolMatrix {
 	w := m.w
 	clear(out.rows)
 	for p := 0; p < m.N; p++ {
@@ -120,8 +156,29 @@ func (m *BoolMatrix) MulTransposed(bt *BoolMatrix) *BoolMatrix {
 }
 
 // MulTransposedInto computes a·b into out given bt = bᵀ (out cleared
-// first; must not alias a or bt). Returns out.
+// first; must not alias a or bt — aliasing panics). Large inputs
+// re-transpose bt into pooled scratch and take the Four-Russians blocked
+// product, which beats the pairwise intersection scan as soon as most
+// row pairs fail to intersect early. Returns out.
 func (out *BoolMatrix) MulTransposedInto(a, bt *BoolMatrix) *BoolMatrix {
+	if aliases(out, a) || aliases(out, bt) {
+		panic("automata: MulTransposedInto: out aliases an operand")
+	}
+	if a.N >= frMinN {
+		bw := getWords(len(bt.rows))
+		b := &BoolMatrix{N: bt.N, w: bt.w, rows: bw}
+		b.transposeBlocked(bt)
+		out.mulFourRussians(a, b)
+		putWords(bw)
+		return out
+	}
+	return out.mulTransposedScalar(a, bt)
+}
+
+// mulTransposedScalar is the pairwise row-intersection kernel: row p of
+// a against row q of bt with an early break on the first common word —
+// O(N²·w) worst case with perfect locality, near O(N²) on dense inputs.
+func (out *BoolMatrix) mulTransposedScalar(a, bt *BoolMatrix) *BoolMatrix {
 	w := out.w
 	clear(out.rows)
 	for p := 0; p < a.N; p++ {
@@ -147,11 +204,15 @@ func (m *BoolMatrix) ApplyLeft(v []uint64) []uint64 {
 }
 
 // ApplyLeftInto computes v·m into the scratch vector dst (length ≥
-// Words(); cleared first) and returns dst[:Words()]. Reusing one scratch
-// vector across calls keeps hot loops allocation-free.
+// Words(); cleared first; must not alias v — aliasing panics) and
+// returns dst[:Words()]. Reusing one scratch vector across calls keeps
+// hot loops allocation-free.
 func (m *BoolMatrix) ApplyLeftInto(dst, v []uint64) []uint64 {
 	w := m.w
 	dst = dst[:w]
+	if w > 0 && len(v) > 0 && &dst[0] == &v[0] {
+		panic("automata: ApplyLeftInto: dst aliases v")
+	}
 	clear(dst)
 	for wi, word := range v {
 		base := wi * 64
@@ -176,10 +237,14 @@ func (m *BoolMatrix) ApplyRight(v []uint64) []uint64 {
 }
 
 // ApplyRightInto computes m·v into the scratch vector dst (length ≥
-// Words(); cleared first) and returns dst[:Words()].
+// Words(); cleared first; must not alias v — aliasing panics) and
+// returns dst[:Words()].
 func (m *BoolMatrix) ApplyRightInto(dst, v []uint64) []uint64 {
 	w := m.w
 	dst = dst[:w]
+	if w > 0 && len(v) > 0 && &dst[0] == &v[0] {
+		panic("automata: ApplyRightInto: dst aliases v")
+	}
 	clear(dst)
 	for p := 0; p < m.N; p++ {
 		row := m.rows[p*w : (p+1)*w : (p+1)*w]

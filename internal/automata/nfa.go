@@ -134,17 +134,22 @@ func sortedKeys(m map[int]bool) []int {
 
 // Alphabet returns the set of letters that occur on transitions.
 func (n *NFA) Alphabet() []byte {
-	seen := make(map[byte]bool)
+	var seen [256]bool
+	cnt := 0
 	for _, tr := range n.Letters {
 		for b := range tr {
-			seen[b] = true
+			if !seen[b] {
+				seen[b] = true
+				cnt++
+			}
 		}
 	}
-	out := make([]byte, 0, len(seen))
-	for b := range seen {
-		out = append(out, b)
+	out := make([]byte, 0, cnt)
+	for b := 0; b < 256; b++ {
+		if seen[b] {
+			out = append(out, byte(b))
+		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

@@ -1,9 +1,12 @@
 package enum
 
 import (
+	"math"
 	"math/big"
+	"math/bits"
 
 	"docspanner/internal/automata"
+	"docspanner/internal/spans"
 )
 
 // FastCount returns the exact number of result tuples of the spanner on
@@ -65,4 +68,119 @@ func FastCount(d *automata.DEVA, doc []byte) *big.Int {
 		combine()
 	}
 	return new(big.Int).Set(runs[c.Start])
+}
+
+// maxDPCells bounds the (covered-subset × state) space of CountTotalFast:
+// past it the DP rows stop fitting in cache and the enumeration walk is
+// the safer bet.
+const maxDPCells = 4096
+
+// CountTotalFast counts the tuples that assign every variable of vars —
+// the same quantity as Enumerator.CountTotal — by dynamic programming
+// over (state, covered-variable subset) pairs, with NO preprocessing
+// tables and NO per-tuple work: time O(|doc|·|Q|·2^k·|δ|) for k required
+// variables, independent of the output size. Determinism again makes
+// runs and tuples coincide; the subset dimension tracks which of the
+// required variables the suffix still opens, so the functional filter of
+// CountTotal folds into the DP instead of being tested per run.
+//
+// ok is false when the DP declines — too many required variables for
+// the subset table, or the count overflows int64 — and the caller must
+// fall back to the walk. poll, if non-nil, is a cancellation hook
+// invoked every few thousand document positions (a poll is a channel
+// select — per-position polling would cost more than the DP row it
+// guards); if it returns false the DP aborts with (0, false, true):
+// applicable but cancelled, count unknown.
+func CountTotalFast(d *automata.DEVA, doc []byte, vars spans.VarSet, poll func() bool) (n int, complete, ok bool) {
+	need, has := d.Index.OpenBits(vars)
+	if !has {
+		return 0, true, true // a required variable the spanner never binds
+	}
+	c := d.Compiled()
+	nq := c.NQ
+	k := bits.OnesCount64(uint64(need))
+	w := 1 << k
+	if w*nq > maxDPCells {
+		return 0, false, false
+	}
+
+	// Compress the sparse need bits to a dense subset index; OR commutes
+	// with the remap, so subset unions stay cheap in compressed space.
+	var needBit [64]int
+	bi := 0
+	for m := uint64(need); m != 0; m &= m - 1 {
+		needBit[bits.TrailingZeros64(m)] = bi
+		bi++
+	}
+	compress := func(m automata.Mask) int {
+		s := 0
+		for r := uint64(m) & uint64(need); r != 0; r &= r - 1 {
+			s |= 1 << needBit[bits.TrailingZeros64(r)]
+		}
+		return s
+	}
+
+	// The mask edges, flattened once with their compressed subset
+	// contribution — the inner loop touches no per-state slices.
+	type dpEdge struct{ q, to, cm int32 }
+	var edges []dpEdge
+	for q := 0; q < nq; q++ {
+		for _, me := range c.MaskEdges[q] {
+			edges = append(edges, dpEdge{int32(q), me.To, int32(compress(me.Mask))})
+		}
+	}
+
+	// runs[S*nq+q]: accepting runs from (q, boundary) with a mask still
+	// allowed, whose suffix covers exactly subset S of the required
+	// variables. noMask: same, next action is a letter (or acceptance).
+	size := w * nq
+	runs := make([]uint64, size)
+	noMask := make([]uint64, size)
+	for q := 0; q < nq; q++ {
+		if c.Final[q] {
+			noMask[q] = 1 // subset 0: an accepting suffix opens nothing
+		}
+	}
+	combine := func() bool {
+		copy(runs, noMask)
+		for _, e := range edges {
+			for s := int32(0); s < int32(w); s++ {
+				ix := (s|e.cm)*int32(nq) + e.q
+				v := runs[ix] + noMask[s*int32(nq)+e.to]
+				if v < runs[ix] || v > math.MaxInt64 {
+					return false
+				}
+				runs[ix] = v
+			}
+		}
+		return true
+	}
+	if !combine() {
+		return 0, false, false
+	}
+	for i := len(doc) - 1; i >= 0; i-- {
+		if i&4095 == 0 && poll != nil && !poll() {
+			return 0, false, true
+		}
+		steps := c.StepsFor(doc[i])
+		if steps == nil {
+			clear(noMask)
+		} else {
+			for s := 0; s < w; s++ {
+				row := noMask[s*nq : (s+1)*nq]
+				prev := runs[s*nq : (s+1)*nq]
+				for q := 0; q < nq; q++ {
+					if t := steps[q]; t >= 0 {
+						row[q] = prev[t]
+					} else {
+						row[q] = 0
+					}
+				}
+			}
+		}
+		if !combine() {
+			return 0, false, false
+		}
+	}
+	return int(runs[(w-1)*nq+c.Start]), true, true
 }

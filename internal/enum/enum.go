@@ -17,8 +17,19 @@
 package enum
 
 import (
+	"sync"
+
 	"docspanner/internal/automata"
 	"docspanner/internal/spans"
+)
+
+// Liveness flags of one (boundary, state) table cell, packed into one
+// byte so the preprocessing fills a third of the memory the three
+// separate bool tables used to.
+const (
+	fAliveNoMask = 1 << iota // accepting run from (q,i) whose next action is a letter (or i=n and final)
+	fAlive                   // accepting run from (q,i), mask at i still allowed
+	fFinishable              // pure-letter run from (q,i) to acceptance, no further masks
 )
 
 // Enumerator holds the preprocessed data structures for one (spanner,
@@ -33,46 +44,92 @@ type Enumerator struct {
 	doc []byte
 
 	// Flat (n+1)×Q tables, indexed [i*nq+q].
-	aliveNoMask []bool  // accepting run from (q,i) whose next action is a letter (or i=n and final)
-	alive       []bool  // accepting run from (q,i), mask at i still allowed
-	finishable  []bool  // pure-letter run from (q,i) to acceptance, no further masks
-	jump        []int32 // next boundary ≥ i with a live mask event, following letters; -1 if none
-	jumpState   []int32 // automaton state at that boundary
+	flags     []uint8 // fAliveNoMask | fAlive | fFinishable
+	jump      []int32 // next boundary ≥ i with a live mask event, following letters; -1 if none
+	jumpState []int32 // automaton state at that boundary
+
+	tabs *enumTables // pooled backing storage of the tables above
+}
+
+// tablePool recycles preprocessing tables between Enumerators: one
+// request's O(|doc|·|Q|) tables serve the next request instead of the
+// garbage collector. Release hands them back.
+var tablePool sync.Pool // *enumTables
+
+type enumTables struct {
+	flags []uint8
+	ints  []int32 // jump and jumpState, one backing array
+}
+
+func getTables(cells int) *enumTables {
+	if v := tablePool.Get(); v != nil {
+		t := v.(*enumTables)
+		if cap(t.flags) >= cells && cap(t.ints) >= 2*cells {
+			t.flags = t.flags[:cells]
+			t.ints = t.ints[:2*cells]
+			return t
+		}
+	}
+	return &enumTables{flags: make([]uint8, cells), ints: make([]int32, 2*cells)}
+}
+
+// Release returns the preprocessing tables to the shared pool. The
+// Enumerator must not be used afterwards; tuples already produced remain
+// valid (they never reference the tables). Callers that let an
+// Enumerator go out of scope without Release just fall back to the
+// garbage collector.
+func (e *Enumerator) Release() {
+	if e.tabs == nil {
+		return
+	}
+	tablePool.Put(e.tabs)
+	e.tabs, e.flags, e.jump, e.jumpState = nil, nil, nil, nil
 }
 
 // NewEnumerator runs the preprocessing phase: time and space O(|doc|·|Q|)
 // for the fixed automaton (linear in the document). Transitions are read
-// from the dense compiled tables, not the construction-time maps.
+// from the dense compiled tables, not the construction-time maps. The
+// tables come from a shared pool; call Release when done with the
+// Enumerator to recycle them (optional but cheap).
 func NewEnumerator(d *automata.DEVA, doc []byte) *Enumerator {
 	n := len(doc)
 	c := d.Compiled()
 	nq := c.NQ
+	cells := (n + 1) * nq
+	t := getTables(cells)
 	e := &Enumerator{
-		d:           d,
-		c:           c,
-		doc:         doc,
-		aliveNoMask: make([]bool, (n+1)*nq),
-		alive:       make([]bool, (n+1)*nq),
-		finishable:  make([]bool, (n+1)*nq),
-		jump:        make([]int32, (n+1)*nq),
-		jumpState:   make([]int32, (n+1)*nq),
+		d:         d,
+		c:         c,
+		doc:       doc,
+		flags:     t.flags,
+		jump:      t.ints[:cells:cells],
+		jumpState: t.ints[cells : 2*cells : 2*cells],
+		tabs:      t,
 	}
-	at := func(i, q int) int { return i*nq + q }
+	// The letter-step fill below only writes cells with a live letter
+	// transition; everything else must read as zero.
+	clear(e.flags)
 
 	// Boundary n.
+	base := n * nq
 	for q := 0; q < nq; q++ {
-		ix := at(n, q)
-		e.aliveNoMask[ix] = c.Final[q]
-		e.finishable[ix] = c.Final[q]
+		if c.Final[q] {
+			e.flags[base+q] = fAliveNoMask | fFinishable
+		}
 	}
 	for q := 0; q < nq; q++ {
-		ix := at(n, q)
-		e.alive[ix] = e.aliveNoMask[ix]
-		for _, me := range c.MaskEdges[q] {
-			if e.aliveNoMask[at(n, int(me.To))] {
-				e.alive[ix] = true
-				break
+		ix := base + q
+		alive := e.flags[ix]&fAliveNoMask != 0
+		if !alive {
+			for _, me := range c.MaskEdges[q] {
+				if e.flags[base+int(me.To)]&fAliveNoMask != 0 {
+					alive = true
+					break
+				}
 			}
+		}
+		if alive {
+			e.flags[ix] |= fAlive
 		}
 		if e.hasEvent(n, q) {
 			e.jump[ix] = int32(n)
@@ -86,34 +143,42 @@ func NewEnumerator(d *automata.DEVA, doc []byte) *Enumerator {
 	// Boundaries n-1 .. 0. steps is the dense successor row for the
 	// letter at i (nil when the automaton never reads that byte).
 	for i := n - 1; i >= 0; i-- {
-		steps := c.StepsFor(doc[i])
-		for q := 0; q < nq; q++ {
-			if steps == nil {
-				continue
-			}
-			ix := at(i, q)
-			if s := steps[q]; s >= 0 {
-				e.aliveNoMask[ix] = e.alive[at(i+1, int(s))]
-				e.finishable[ix] = e.finishable[at(i+1, int(s))]
+		steps := c.StepsFor(e.doc[i])
+		row := e.flags[i*nq : (i+1)*nq]
+		next := e.flags[(i+1)*nq : (i+2)*nq]
+		if steps != nil {
+			// fAliveNoMask of (q,i) = fAlive of (step(q),i+1);
+			// fFinishable propagates unchanged along the letter edge.
+			for q := 0; q < nq; q++ {
+				if s := steps[q]; s >= 0 {
+					var f uint8
+					if next[s]&fAlive != 0 {
+						f = fAliveNoMask
+					}
+					row[q] = f | next[s]&fFinishable
+				}
 			}
 		}
 		for q := 0; q < nq; q++ {
-			ix := at(i, q)
-			e.alive[ix] = e.aliveNoMask[ix]
-			if !e.alive[ix] {
+			ix := i*nq + q
+			alive := row[q]&fAliveNoMask != 0
+			if !alive {
 				for _, me := range c.MaskEdges[q] {
-					if e.aliveNoMask[at(i, int(me.To))] {
-						e.alive[ix] = true
+					if row[int(me.To)]&fAliveNoMask != 0 {
+						alive = true
 						break
 					}
 				}
+			}
+			if alive {
+				row[q] |= fAlive
 			}
 			if e.hasEvent(i, q) {
 				e.jump[ix] = int32(i)
 				e.jumpState[ix] = int32(q)
 			} else if steps != nil && steps[q] >= 0 {
-				e.jump[ix] = e.jump[at(i+1, int(steps[q]))]
-				e.jumpState[ix] = e.jumpState[at(i+1, int(steps[q]))]
+				e.jump[ix] = e.jump[(i+1)*nq+int(steps[q])]
+				e.jumpState[ix] = e.jumpState[(i+1)*nq+int(steps[q])]
 			} else {
 				e.jump[ix] = -1
 				e.jumpState[ix] = -1
@@ -128,7 +193,7 @@ func NewEnumerator(d *automata.DEVA, doc []byte) *Enumerator {
 func (e *Enumerator) hasEvent(i, q int) bool {
 	nq := e.c.NQ
 	for _, me := range e.c.MaskEdges[q] {
-		if e.aliveNoMask[i*nq+int(me.To)] {
+		if e.flags[i*nq+int(me.To)]&fAliveNoMask != 0 {
 			return true
 		}
 	}
@@ -154,7 +219,7 @@ func (e *Enumerator) Each(f func(t spans.Tuple) bool) {
 // callback aborted.
 func (e *Enumerator) dfs(q, i int, events []event, f func(spans.Tuple) bool) bool {
 	nq := e.c.NQ
-	if e.finishable[i*nq+q] {
+	if e.flags[i*nq+q]&fFinishable != 0 {
 		if !f(e.tuple(events)) {
 			return false
 		}
@@ -168,7 +233,7 @@ func (e *Enumerator) dfs(q, i int, events []event, f func(spans.Tuple) bool) boo
 		qj := int(e.jumpState[i*nq+q])
 		jb := int(j)
 		for _, me := range e.c.MaskEdges[qj] {
-			if !e.aliveNoMask[jb*nq+int(me.To)] {
+			if e.flags[jb*nq+int(me.To)]&fAliveNoMask == 0 {
 				continue
 			}
 			ev := append(events, event{jb, me.Mask})
@@ -196,11 +261,10 @@ func (e *Enumerator) dfs(q, i int, events []event, f func(spans.Tuple) bool) boo
 
 // tuple converts an event list into a span tuple.
 func (e *Enumerator) tuple(events []event) spans.Tuple {
-	t := make(spans.Tuple)
-	ix := e.d.Index
+	t := make(spans.Tuple, len(e.d.Index.Vars()))
 	for _, ev := range events {
 		pos := ev.boundary + 1 // 1-based document position
-		for _, mk := range ix.Markers(ev.mask) {
+		for _, mk := range e.c.Markers(ev.mask) {
 			if mk.Close {
 				s := t[mk.Var]
 				s.End = pos
@@ -226,11 +290,74 @@ func (e *Enumerator) EachTotal(vars spans.VarSet, f func(t spans.Tuple) bool) {
 	})
 }
 
-// Count returns the number of result tuples.
+// Count returns the number of result tuples. It runs the tuple-free
+// counting walk — no tuples are materialized.
 func (e *Enumerator) Count() int {
-	n := 0
-	e.Each(func(spans.Tuple) bool { n++; return true })
+	n, _ := e.CountTotal(nil, nil)
 	return n
+}
+
+// CountTotal counts the tuples that assign every variable of vars (all
+// tuples when vars is empty) without building a single tuple: the walk
+// accumulates the fired masks and tests the open-marker bits against
+// vars, because a valid run opens a variable iff it assigns it. poll, if
+// non-nil, runs once per counted tuple; returning false aborts the walk,
+// reporting complete=false alongside the partial count.
+func (e *Enumerator) CountTotal(vars spans.VarSet, poll func() bool) (n int, complete bool) {
+	need, ok := e.d.Index.OpenBits(vars)
+	if !ok {
+		return 0, true
+	}
+	return e.countWalk(e.d.Start, 0, 0, need, 0, poll)
+}
+
+// countWalk is the dfs walk with the event list replaced by the
+// accumulated mask — constant space per tuple, no allocation at all.
+func (e *Enumerator) countWalk(q, i int, acc, need automata.Mask, n int, poll func() bool) (int, bool) {
+	nq := e.c.NQ
+	if e.flags[i*nq+q]&fFinishable != 0 && acc&need == need {
+		n++
+		if poll != nil && !poll() {
+			return n, false
+		}
+	}
+	ln := len(e.doc)
+	for {
+		j := e.jump[i*nq+q]
+		if j < 0 {
+			return n, true
+		}
+		qj := int(e.jumpState[i*nq+q])
+		jb := int(j)
+		for _, me := range e.c.MaskEdges[qj] {
+			if e.flags[jb*nq+int(me.To)]&fAliveNoMask == 0 {
+				continue
+			}
+			if jb == ln {
+				if (acc|me.Mask)&need == need {
+					n++
+					if poll != nil && !poll() {
+						return n, false
+					}
+				}
+				continue
+			}
+			s := e.c.Step(int(me.To), e.doc[jb])
+			var done bool
+			n, done = e.countWalk(int(s), jb+1, acc|me.Mask, need, n, poll)
+			if !done {
+				return n, false
+			}
+		}
+		if jb == ln {
+			return n, true
+		}
+		s := e.c.Step(qj, e.doc[jb])
+		if s < 0 {
+			return n, true
+		}
+		q, i = int(s), jb+1
+	}
 }
 
 // All materializes the full relation (mainly for tests; defeats the point

@@ -63,6 +63,69 @@ func TestEnumAgainstNaive(t *testing.T) {
 	}
 }
 
+// CountTotal must agree with filtering the enumerated tuples, for every
+// variable subset, and count without allocating.
+func TestCountTotalMatchesEach(t *testing.T) {
+	exprs := []string{
+		"!x{(a|b)*}!y{b}!z{(a|b)*}",
+		"!x{a+}(!y{b+})?.*",
+		"(!x{aa}|!x{bb}).*",
+		".*!x{()}.*",
+	}
+	docs := []string{"", "ab", "abab", "aabba", "abaabbab"}
+	varSets := []spans.VarSet{nil, spans.NewVarSet("x"), spans.NewVarSet("y"), spans.NewVarSet("x", "y"), spans.NewVarSet("nope")}
+	for _, src := range exprs {
+		_, d := deva(t, src)
+		for _, doc := range docs {
+			e := NewEnumerator(d, []byte(doc))
+			for _, vars := range varSets {
+				want := 0
+				e.EachTotal(vars, func(spans.Tuple) bool { want++; return true })
+				got, complete := e.CountTotal(vars, nil)
+				if got != want || !complete {
+					t.Errorf("%q on %q vars %v: CountTotal = %d (complete=%v), want %d", src, doc, vars, got, complete, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCountTotalPollAborts(t *testing.T) {
+	_, d := deva(t, ".*!x{a*}.*")
+	e := NewEnumerator(d, []byte("aaaaaaaa"))
+	total := e.Count()
+	if total < 10 {
+		t.Fatalf("test needs a larger result, got %d", total)
+	}
+	seen := 0
+	n, complete := e.CountTotal(nil, func() bool { seen++; return seen < 5 })
+	if complete || n != 5 {
+		t.Errorf("aborted CountTotal = (%d, %v), want (5, false)", n, complete)
+	}
+}
+
+func TestCountWalkAllocFree(t *testing.T) {
+	_, d := deva(t, "!x{(a|b)*}!y{b}!z{(a|b)*}")
+	e := NewEnumerator(d, []byte("abababbaab"))
+	if allocs := testing.AllocsPerRun(10, func() { e.Count() }); allocs > 0 {
+		t.Errorf("Count allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestEnumeratorRelease(t *testing.T) {
+	_, d := deva(t, "!x{a+}.*")
+	for i := 0; i < 3; i++ {
+		e := NewEnumerator(d, []byte("aabab"))
+		want := e.Count()
+		e.Release()
+		e2 := NewEnumerator(d, []byte("aabab"))
+		if got := e2.Count(); got != want {
+			t.Fatalf("count after table reuse = %d, want %d", got, want)
+		}
+		e2.Release()
+	}
+}
+
 func TestEnumNoDuplicates(t *testing.T) {
 	_, d := deva(t, ".*!x{a*}.*")
 	doc := []byte("aaaa")
@@ -210,5 +273,64 @@ func TestFastCountMatchesEnumeration(t *testing.T) {
 				t.Errorf("%q on %q: FastCount = %v, enum = %d", src, doc, got, e.Count())
 			}
 		}
+	}
+}
+
+// BenchmarkNewEnumerator measures the preprocessing phase alone — the
+// dominant per-request cost of /count and /stream on plain documents.
+func BenchmarkNewEnumerator(b *testing.B) {
+	n, err := regex.Parse(".*!x{ab}.*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	a, err := regex.Compile(n, regex.Options{Alphabet: []byte("ab")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	d := automata.Determinize(a)
+	rng := rand.New(rand.NewSource(99))
+	doc := make([]byte, 1<<12)
+	for i := range doc {
+		doc[i] = "ab"[rng.Intn(2)]
+	}
+	b.SetBytes(int64(len(doc)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEnumerator(d, doc)
+		e.Release()
+	}
+}
+
+// TestCountTotalFastMatchesWalk pins the output-independent counting DP
+// to the mask-accumulating walk for every variable subset, and checks
+// the poll hook aborts it.
+func TestCountTotalFastMatchesWalk(t *testing.T) {
+	exprs := []string{
+		"!x{(a|b)*}!y{b}!z{(a|b)*}",
+		"!x{a+}(!y{b+})?.*",
+		"(!x{aa}|!x{bb}).*",
+		".*!x{()}.*",
+		".*!x{ab}.*",
+	}
+	docs := []string{"", "a", "ab", "abab", "aabba", "abaabbab", "bbbbbbbbbb"}
+	varSets := []spans.VarSet{nil, spans.NewVarSet("x"), spans.NewVarSet("y"), spans.NewVarSet("x", "y"), spans.NewVarSet("nope")}
+	for _, src := range exprs {
+		_, d := deva(t, src)
+		for _, doc := range docs {
+			e := NewEnumerator(d, []byte(doc))
+			for _, vars := range varSets {
+				want, _ := e.CountTotal(vars, nil)
+				got, complete, ok := CountTotalFast(d, []byte(doc), vars, nil)
+				if !ok || !complete || got != want {
+					t.Errorf("%q on %q vars %v: CountTotalFast = (%d, %v, %v), want (%d, true, true)", src, doc, vars, got, complete, ok, want)
+				}
+			}
+			e.Release()
+		}
+	}
+
+	_, d := deva(t, ".*!x{ab}.*")
+	if n, complete, ok := CountTotalFast(d, []byte("ababab"), nil, func() bool { return false }); !ok || complete || n != 0 {
+		t.Errorf("aborted CountTotalFast = (%d, %v, %v), want (0, false, true)", n, complete, ok)
 	}
 }

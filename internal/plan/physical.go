@@ -105,6 +105,7 @@ func (s *scanPhys) each(doc []byte, f func(spans.Tuple) bool) bool {
 	} else {
 		e.Each(wrapped)
 	}
+	e.Release()
 	return ok
 }
 
@@ -288,6 +289,18 @@ func (pl *Planned) Passes() []string { return pl.passNotes }
 // rather than materializing the full relation first.
 func (pl *Planned) Streaming() bool { return pl.root.streaming() }
 
+// DistinctEnumeration reports whether Enumerate delivers every result
+// tuple exactly once, so collecting its output needs no deduplication.
+// True for every root operator with an inherent distinctness guarantee:
+// scans enumerate the runs of a deterministic automaton (one run per
+// tuple), and materializing roots iterate a set-semantics relation.
+// Only refl-spanner scans, whose search may revisit a tuple through
+// different reference valuations, answer false.
+func (pl *Planned) DistinctEnumeration() bool {
+	_, refl := pl.root.(*extScanPhys)
+	return !refl
+}
+
 // Eval materializes the plan's relation on doc.
 func (pl *Planned) Eval(doc []byte) *spans.Relation {
 	if len(pl.requireTotal) == 0 {
@@ -306,9 +319,62 @@ func (pl *Planned) Enumerate(doc []byte, f func(spans.Tuple) bool) {
 
 // Count returns the number of result tuples on doc.
 func (pl *Planned) Count(doc []byte) int {
-	n := 0
-	pl.Enumerate(doc, func(spans.Tuple) bool { n++; return true })
+	n, _ := pl.CountPoll(doc, nil)
 	return n
+}
+
+// fastCountVars reports whether the plan counts via the tuple-free
+// counting walks (a single non-naive scan) and, if so, the variable set
+// tuples must be total on: the plan-level totality requirement plus the
+// automaton's variables under functional semantics.
+func (pl *Planned) fastCountVars() (*scanPhys, spans.VarSet, bool) {
+	s, ok := pl.root.(*scanPhys)
+	if !ok || s.naive {
+		return nil, nil, false
+	}
+	vars := pl.requireTotal
+	if s.functional {
+		vars = vars.Union(s.plan.Auto.Vars)
+	}
+	return s, vars, true
+}
+
+// CountPoll counts result tuples without materializing them whenever the
+// plan is a single constant-delay scan. Such plans first try the
+// counting DP of internal/enum — output-independent time, no
+// preprocessing tables — and fall back to the mask-accumulating
+// enumeration walk when the DP declines (many required variables, or an
+// int64-overflowing count). poll, if non-nil, is the cancellation hook
+// of the service layer: it runs once per document position on the DP
+// path and once per counted tuple on the walk paths; returning false
+// aborts the count, reporting complete=false with the partial count
+// (zero on the DP path — it counts nothing until it finishes). Other
+// plan shapes fall back to counting the enumeration.
+func (pl *Planned) CountPoll(doc []byte, poll func() bool) (int, bool) {
+	if s, vars, ok := pl.fastCountVars(); ok {
+		d := automata.DeterminizeCached(s.plan.Auto)
+		if n, complete, ok := enum.CountTotalFast(d, doc, vars, poll); ok {
+			return n, complete
+		}
+		e := enum.NewEnumerator(d, doc)
+		n, complete := e.CountTotal(vars, poll)
+		e.Release()
+		return n, complete
+	}
+	return pl.countEach(poll, func(f func(spans.Tuple) bool) { pl.Enumerate(doc, f) })
+}
+
+func (pl *Planned) countEach(poll func() bool, run func(func(spans.Tuple) bool)) (int, bool) {
+	n, complete := 0, true
+	run(func(spans.Tuple) bool {
+		n++
+		if poll != nil && !poll() {
+			complete = false
+			return false
+		}
+		return true
+	})
+	return n, complete
 }
 
 // EvalSLP evaluates the plan directly on an SLP-compressed document;
@@ -329,9 +395,19 @@ func (pl *Planned) EnumerateSLP(root *slp.Node, f func(spans.Tuple) bool) {
 
 // CountSLP counts result tuples on an SLP-compressed document.
 func (pl *Planned) CountSLP(root *slp.Node) int {
-	n := 0
-	pl.EnumerateSLP(root, func(spans.Tuple) bool { n++; return true })
+	n, _ := pl.CountSLPPoll(root, nil)
 	return n
+}
+
+// CountSLPPoll is CountPoll over an SLP-compressed document: single
+// constant-delay scans count through the compressed index's tuple-free
+// walk.
+func (pl *Planned) CountSLPPoll(root *slp.Node, poll func() bool) (int, bool) {
+	if s, vars, ok := pl.fastCountVars(); ok {
+		ix := slpmatch.NewIndex(automata.DeterminizeCached(s.plan.Auto))
+		return ix.CountTotal(root, vars, poll)
+	}
+	return pl.countEach(poll, func(f func(spans.Tuple) bool) { pl.EnumerateSLP(root, f) })
 }
 
 func (pl *Planned) filter(f func(spans.Tuple) bool) func(spans.Tuple) bool {

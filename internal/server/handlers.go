@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"docspanner"
@@ -212,11 +213,22 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 	}
 	ctx := r.Context()
 	start := time.Now()
-	// Materialize through the context-aware enumerator: the relation
-	// dedups exactly like Eval, and a deadline is observed per tuple
-	// instead of only after the whole evaluation.
-	rel := docspanner.NewRelation()
-	collect := func(t docspanner.Tuple) bool { rel.Add(t); return true }
+	// Materialize through the context-aware enumerator: a deadline is
+	// observed per tuple instead of only after the whole evaluation.
+	// Plans whose enumeration is already duplicate-free collect into a
+	// pooled slice and sort; the rest dedup through a relation exactly
+	// like Eval.
+	var tuples []docspanner.Tuple
+	var collect func(docspanner.Tuple) bool
+	var rel *docspanner.Relation
+	if p.query.DistinctEnumeration() {
+		tuples = getEvalBuf()
+		defer func() { putEvalBuf(tuples) }()
+		collect = func(t docspanner.Tuple) bool { tuples = append(tuples, t); return true }
+	} else {
+		rel = docspanner.NewRelation()
+		collect = func(t docspanner.Tuple) bool { rel.Add(t); return true }
+	}
 	if d.compressed {
 		err = p.query.EnumerateCompressedContext(ctx, d.doc, collect)
 	} else {
@@ -225,7 +237,11 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	tuples := rel.Sorted()
+	if rel != nil {
+		tuples = rel.Sorted()
+	} else {
+		docspanner.SortTuples(tuples)
+	}
 	took := time.Since(start)
 	s.metrics.query(p.name, "eval", len(tuples), took)
 
@@ -234,18 +250,47 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 	if wc {
 		doc = d.bytes()
 	}
-	out := make([]map[string]any, 0, len(tuples))
-	for _, t := range tuples {
-		out = append(out, tupleJSON(t, doc, wc))
-	}
 	writeJSON(w, 200, map[string]any{
 		"query":  p.name,
 		"doc":    d.name,
 		"count":  len(tuples),
 		"took":   took.String(),
-		"tuples": out,
+		"tuples": tuplesJSON(tuples, doc, wc),
 	})
 	return nil
+}
+
+// evalBufPool recycles handleEval's per-request tuple collection; the
+// references are cleared on the way back so pooled slices don't retain
+// result tuples across requests.
+var evalBufPool = sync.Pool{
+	New: func() any { s := make([]docspanner.Tuple, 0, 64); return &s },
+}
+
+func getEvalBuf() []docspanner.Tuple { return (*evalBufPool.Get().(*[]docspanner.Tuple))[:0] }
+
+func putEvalBuf(ts []docspanner.Tuple) {
+	for i := range ts {
+		ts[i] = nil
+	}
+	ts = ts[:0]
+	evalBufPool.Put(&ts)
+}
+
+// tuplesJSON serializes a tuple slice as one raw JSON array through the
+// hand-rolled encoder — one buffer for the whole array instead of three
+// maps per tuple.
+func tuplesJSON(tuples []docspanner.Tuple, doc []byte, wc bool) json.RawMessage {
+	buf := make([]byte, 0, 64*(len(tuples)+1))
+	var vars []docspanner.Var
+	buf = append(buf, '[')
+	for i, t := range tuples {
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf, vars = appendTupleValue(buf, t, doc, wc, vars)
+	}
+	return json.RawMessage(append(buf, ']'))
 }
 
 // handleCount counts result tuples, observing cancellation per tuple on
@@ -277,12 +322,18 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 	return nil
 }
 
-// handleStream enumerates the query on one document as NDJSON, flushing
-// each tuple as it is produced: on a streaming plan (the constant-delay
-// enumerator, or the O(log|D|)-delay compressed enumerator) the first
-// line reaches the client before the result is fully materialized.
-// ?limit=N stops after N tuples. The final line is a summary object
-// {"done": true, "count": N, ...}.
+// handleStream enumerates the query on one document as NDJSON through
+// the pooled zero-allocation encoder, flushing the first tuple
+// immediately and then every streamFlushEvery tuples: on a streaming
+// plan (the constant-delay enumerator, or the O(log|D|)-delay
+// compressed enumerator) the first line reaches the client before the
+// result is fully materialized. ?limit=N stops after N tuples. The
+// final line is a summary object {"done": true, "count": N, ...}.
+//
+// A failed write or flush means the client is gone: the enumeration is
+// aborted at the next tuple instead of running (and serializing) the
+// rest of the result into a dead connection, and the request is
+// recorded as a 499 client disconnect.
 func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 	p, d, err := s.evalTarget(r)
 	if err != nil {
@@ -298,16 +349,24 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Streaming-Plan", strconv.FormatBool(p.query.Streaming()))
 	rc := http.NewResponseController(w)
-	enc := json.NewEncoder(w)
+	enc := newNDJSONEncoder(w)
+	defer enc.Release()
 
 	ctx := r.Context()
 	start := time.Now()
 	n := 0
+	var ioErr error
 	emit := func(t docspanner.Tuple) bool {
-		if err := enc.Encode(tupleJSON(t, doc, wc)); err != nil {
+		if e := enc.EncodeTuple(t, doc, wc); e != nil {
+			ioErr = e
 			return false
 		}
-		_ = rc.Flush()
+		if n == 0 || (n+1)%streamFlushEvery == 0 {
+			if e := enc.Flush(rc); e != nil {
+				ioErr = e
+				return false
+			}
+		}
 		n++
 		return limit == 0 || n < limit
 	}
@@ -318,6 +377,13 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 	}
 	took := time.Since(start)
 	s.metrics.query(p.name, "stream", n, took)
+	if ioErr != nil {
+		s.metrics.disconnects.Add(1)
+		if sw, ok := w.(*statusWriter); ok {
+			sw.status = 499
+		}
+		return nil
+	}
 	summary := map[string]any{"done": true, "count": n, "took": took.String()}
 	if err != nil {
 		// Headers are out; report the cancellation in-band on the trailer
@@ -325,8 +391,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 		summary["done"] = false
 		summary["error"] = err.Error()
 	}
-	_ = enc.Encode(summary)
-	_ = rc.Flush()
+	line, _ := json.Marshal(summary)
+	_ = enc.WriteLine(line)
+	_ = enc.Flush(rc)
 	return nil
 }
 
@@ -419,14 +486,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 		if wc {
 			doc = sl.d.bytes()
 		}
-		out := make([]map[string]any, 0, len(tuples))
-		for _, t := range tuples {
-			out = append(out, tupleJSON(t, doc, wc))
-		}
 		results[i] = map[string]any{
 			"doc":    sl.d.name,
 			"count":  len(tuples),
-			"tuples": out,
+			"tuples": tuplesJSON(tuples, doc, wc),
 		}
 	}
 	s.metrics.query(p.name, "batch", total, took)

@@ -77,9 +77,10 @@ type metrics struct {
 	handlerLat map[string]*histogram     // handler -> latency
 	queryLat   map[string]*histogram     // "query|kind" -> latency
 
-	inflight atomic.Int64
-	rejected atomic.Uint64 // requests refused by the concurrency limiter
-	timeouts atomic.Uint64 // requests cancelled by deadline
+	inflight    atomic.Int64
+	rejected    atomic.Uint64 // requests refused by the concurrency limiter
+	timeouts    atomic.Uint64 // requests cancelled by deadline
+	disconnects atomic.Uint64 // streams aborted by client disconnect (499)
 }
 
 func newMetrics() *metrics {
@@ -169,6 +170,9 @@ func (m *metrics) writeProm(w io.Writer, docs, queries int) {
 	fmt.Fprintf(w, "# HELP spannerd_timeouts_total Requests cancelled by their deadline.\n")
 	fmt.Fprintf(w, "# TYPE spannerd_timeouts_total counter\n")
 	fmt.Fprintf(w, "spannerd_timeouts_total %d\n", m.timeouts.Load())
+	fmt.Fprintf(w, "# HELP spannerd_client_disconnects_total Streams aborted because the client went away mid-response.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_client_disconnects_total counter\n")
+	fmt.Fprintf(w, "spannerd_client_disconnects_total %d\n", m.disconnects.Load())
 
 	fmt.Fprintf(w, "# HELP spannerd_requests_total Requests served, by handler and status code.\n")
 	fmt.Fprintf(w, "# TYPE spannerd_requests_total counter\n")

@@ -173,6 +173,22 @@ func (w *statusWriter) Flush() {
 	}
 }
 
+// FlushError forwards the error-reporting flush that
+// http.ResponseController prefers over plain Flush. Without it the
+// wrapper would hide flush failures — the one signal that tells a
+// streaming handler its client hung up — behind the error-swallowing
+// Flusher path.
+func (w *statusWriter) FlushError() error {
+	switch f := w.ResponseWriter.(type) {
+	case interface{ FlushError() error }:
+		return f.FlushError()
+	case http.Flusher:
+		f.Flush()
+		return nil
+	}
+	return http.ErrNotSupported
+}
+
 // wrap adapts an error-returning handler: it bounds the body, tracks
 // inflight/latency metrics, renders httpErrors as JSON, and emits one
 // structured log line per request.
@@ -322,6 +338,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) error {
 		"inflight":           s.metrics.inflight.Load(),
 		"rejected":           s.metrics.rejected.Load(),
 		"timeouts":           s.metrics.timeouts.Load(),
+		"disconnects":        s.metrics.disconnects.Load(),
 		"plan_cache_hits":    ph,
 		"plan_cache_misses":  pm,
 		"plan_cache_size":    plan.CacheLen(),

@@ -291,8 +291,10 @@ func TestStreamFlushesFirstTupleEarly(t *testing.T) {
 		t.Fatalf("expected a streaming plan")
 	}
 	total := rec.Body.Len()
-	if rec.flushes < 500 {
-		t.Fatalf("flushes = %d, want one per tuple (>= 500)", rec.flushes)
+	// First tuple immediately, then every streamFlushEvery tuples, then
+	// the summary: 500 tuples → 1 + 7 + 1 flushes.
+	if want := 1 + (500-1)/streamFlushEvery + 1; rec.flushes != want {
+		t.Fatalf("flushes = %d, want %d (first tuple + every %d + summary)", rec.flushes, want, streamFlushEvery)
 	}
 	if rec.bytesAtFirstFlush <= 0 || rec.bytesAtFirstFlush >= total/100 {
 		t.Fatalf("first flush after %d of %d bytes: first tuple was not streamed before materialization", rec.bytesAtFirstFlush, total)

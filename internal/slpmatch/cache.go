@@ -24,17 +24,48 @@ import (
 
 const cacheShards = 64
 
-// Matrix-cache traffic counters, cumulative across every core and both
-// hit paths (lookups during evaluation and the cached-check of the warm
-// schedules). Monotonic for the process lifetime: ResetCaches does not
-// rewind them, so servers can export them as Prometheus counters.
-var nodeHits, nodeMisses atomic.Uint64
+// Matrix-cache traffic counters. Each cache counts hits and misses per
+// shard on its own cache lines, so the hot lookup path never contends on
+// one global counter word across cores; CacheStats folds them together.
+// The counter blocks of dropped cores stay registered, keeping the sums
+// monotonic for the process lifetime: ResetCaches does not rewind them,
+// so servers can export them as Prometheus counters.
+type cacheCounters struct {
+	shards [cacheShards]struct {
+		hits   atomic.Uint64
+		misses atomic.Uint64
+		_      [48]byte // pad: one cache line per shard's counters
+	}
+}
+
+var (
+	countersMu  sync.Mutex
+	allCounters []*cacheCounters
+)
+
+func newCacheCounters() *cacheCounters {
+	c := &cacheCounters{}
+	countersMu.Lock()
+	allCounters = append(allCounters, c)
+	countersMu.Unlock()
+	return c
+}
 
 // CacheStats returns the cumulative per-SLP-node matrix-cache hit and
-// miss counts, summed over all shared cores. Safe to call concurrently
-// with matching, warming, and ResetCaches.
+// miss counts, summed over all shared cores (including cores already
+// dropped by ResetCaches). Safe to call concurrently with matching,
+// warming, and ResetCaches.
 func CacheStats() (hits, misses uint64) {
-	return nodeHits.Load(), nodeMisses.Load()
+	countersMu.Lock()
+	counters := allCounters
+	countersMu.Unlock()
+	for _, c := range counters {
+		for i := range c.shards {
+			hits += c.shards[i].hits.Load()
+			misses += c.shards[i].misses.Load()
+		}
+	}
+	return hits, misses
 }
 
 // Cores returns the number of live shared cores (one per automaton with
@@ -53,10 +84,11 @@ type nodeCache[V any] struct {
 		mu sync.RWMutex
 		m  map[*slp.Node]V
 	}
+	stats *cacheCounters
 }
 
 func newNodeCache[V any]() *nodeCache[V] {
-	c := &nodeCache[V]{}
+	c := &nodeCache[V]{stats: newCacheCounters()}
 	for i := range c.shards {
 		c.shards[i].m = make(map[*slp.Node]V)
 	}
@@ -72,14 +104,15 @@ func shardOf(n *slp.Node) int {
 }
 
 func (c *nodeCache[V]) get(n *slp.Node) (V, bool) {
-	s := &c.shards[shardOf(n)]
+	i := shardOf(n)
+	s := &c.shards[i]
 	s.mu.RLock()
 	v, ok := s.m[n]
 	s.mu.RUnlock()
 	if ok {
-		nodeHits.Add(1)
+		c.stats.shards[i].hits.Add(1)
 	} else {
-		nodeMisses.Add(1)
+		c.stats.shards[i].misses.Add(1)
 	}
 	return v, ok
 }

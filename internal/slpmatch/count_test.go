@@ -7,6 +7,7 @@ import (
 
 	"docspanner/internal/enum"
 	"docspanner/internal/slp"
+	"docspanner/internal/spans"
 )
 
 func TestCounterMatchesEnumeration(t *testing.T) {
@@ -39,6 +40,52 @@ func TestCounterMatchesEnumeration(t *testing.T) {
 				t.Fatalf("%q on %q: FastCount = %v, enum = %d", src, doc, fast, want)
 			}
 		}
+	}
+}
+
+// The count-only walk must agree with enumerate-and-filter for every
+// variable subset, and honor the poll abort.
+func TestIndexCountTotalMatchesEach(t *testing.T) {
+	exprs := []string{
+		"!x{(a|b)*}!y{b}!z{(a|b)*}",
+		"!x{a+}(!y{b+})?.*",
+		"(!x{aa}|!x{bb}).*",
+	}
+	docs := []string{"", "ab", "abab", "aabbaabb", "abaabbabab"}
+	for _, src := range exprs {
+		d := spannerDEVA(t, src)
+		ix := NewIndex(d)
+		for _, doc := range docs {
+			root := slp.Balance(slp.Compress([]byte(doc)))
+			for _, vars := range []spans.VarSet{nil, spans.NewVarSet("x"), spans.NewVarSet("x", "y"), spans.NewVarSet("nope")} {
+				want := 0
+				ix.Each(root, func(t spans.Tuple) bool {
+					if t.TotalOn(vars) {
+						want++
+					}
+					return true
+				})
+				got, complete := ix.CountTotal(root, vars, nil)
+				if got != want || !complete {
+					t.Fatalf("%q on %q vars %v: CountTotal = %d (complete=%v), want %d", src, doc, vars, got, complete, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexCountTotalPollAborts(t *testing.T) {
+	d := spannerDEVA(t, ".*!x{a*}.*")
+	ix := NewIndex(d)
+	root := slp.Balance(slp.Compress([]byte("aaaaaaaa")))
+	total := ix.Count(root)
+	if total < 10 {
+		t.Fatalf("test needs a larger result, got %d", total)
+	}
+	seen := 0
+	n, complete := ix.CountTotal(root, nil, func() bool { seen++; return seen < 5 })
+	if complete || n != 5 {
+		t.Errorf("aborted CountTotal = (%d, %v), want (5, false)", n, complete)
 	}
 }
 

@@ -209,14 +209,32 @@ type event struct {
 func (ix *Index) Each(root *slp.Node, f func(spans.Tuple) bool) {
 	ix.Warm(root)
 	e := &cenum{core: ix.core, root: root, emit: f}
-	e.dfs(ix.core.c.Start, 0, nil)
+	events := make([]event, 0, 2*len(ix.core.c.DEVA.Index.Vars())+1)
+	e.dfs(ix.core.c.Start, 0, events, 0)
 }
 
-// Count returns the number of result tuples.
+// Count returns the number of result tuples. It runs the walk in
+// count-only mode: no tuples, no events, no per-tuple allocation.
 func (ix *Index) Count(root *slp.Node) int {
-	n := 0
-	ix.Each(root, func(spans.Tuple) bool { n++; return true })
+	n, _ := ix.CountTotal(root, nil, nil)
 	return n
+}
+
+// CountTotal counts the tuples assigning every variable of vars (all
+// tuples when vars is empty) without materializing them: the walk
+// accumulates fired masks and tests the open-marker bits, exactly like
+// the uncompressed enumerator's counting walk. poll, if non-nil, runs
+// once per counted tuple; returning false aborts, reporting
+// complete=false with the partial count.
+func (ix *Index) CountTotal(root *slp.Node, vars spans.VarSet, poll func() bool) (n int, complete bool) {
+	need, ok := ix.core.c.DEVA.Index.OpenBits(vars)
+	if !ok {
+		return 0, true
+	}
+	ix.Warm(root)
+	e := &cenum{core: ix.core, root: root, countOnly: true, need: need, poll: poll}
+	e.dfs(ix.core.c.Start, 0, nil, 0)
+	return e.count, !e.aborted
 }
 
 // All materializes the relation (tests and small outputs only).
@@ -227,13 +245,49 @@ func (ix *Index) All(root *slp.Node) *spans.Relation {
 }
 
 // cenum is one enumeration pass; it owns a free list of alive-vector
-// scratch buffers so the walk allocates only on its deepest path.
+// scratch buffers so the walk allocates only on its deepest path. In
+// count-only mode (countOnly) the event list stays empty and the walk
+// carries only the accumulated mask — no tuples are built.
 type cenum struct {
 	core    *indexCore
 	root    *slp.Node
 	emit    func(spans.Tuple) bool
 	aborted bool
 	free    [][]uint64
+
+	countOnly bool
+	need      automata.Mask
+	count     int
+	poll      func() bool
+
+	// nd is a lock-free front cache over the shared node cache: one walk
+	// re-reads the same nodes on every dfs descent, and a plain map
+	// lookup beats the sharded cache's lock and counters.
+	nd map[*slp.Node]*nodeData
+}
+
+// node is core.node behind the walk-local front cache.
+func (e *cenum) node(n *slp.Node) *nodeData {
+	if d, ok := e.nd[n]; ok {
+		return d
+	}
+	d := e.core.node(n)
+	if e.nd == nil {
+		e.nd = make(map[*slp.Node]*nodeData, 64)
+	}
+	e.nd[n] = d
+	return d
+}
+
+// counted records one tuple in count-only mode, honoring the poll hook.
+func (e *cenum) counted(acc automata.Mask) {
+	if acc&e.need != e.need {
+		return
+	}
+	e.count++
+	if e.poll != nil && !e.poll() {
+		e.aborted = true
+	}
 }
 
 func (e *cenum) getVec() []uint64 {
@@ -248,35 +302,48 @@ func (e *cenum) getVec() []uint64 {
 func (e *cenum) putVec(v []uint64) { e.free = append(e.free, v) }
 
 // dfs enumerates all accepting runs from state q at absolute boundary
-// pos, with the given event prefix; no mask has fired at pos yet.
-func (e *cenum) dfs(q int, pos int64, events []event) {
+// pos, with the given event prefix (or accumulated mask when counting);
+// no mask has fired at pos yet.
+func (e *cenum) dfs(q int, pos int64, events []event, acc automata.Mask) {
 	if e.aborted {
 		return
 	}
 	n := e.root.Len()
 	if pos == n {
-		e.finish(q, events)
+		e.finish(q, events, acc)
 		return
 	}
-	exit := e.walk(e.root, q, pos, e.core.finalAlive, 0, events)
+	exit := e.walk(e.root, q, pos, e.core.finalAlive, 0, events, acc)
 	if e.aborted || exit < 0 {
 		return
 	}
-	e.finish(int(exit), events)
+	e.finish(int(exit), events, acc)
 }
 
 // finish handles the end-of-document boundary: emit the pure run and the
 // runs taking one final mask.
-func (e *cenum) finish(q int, events []event) {
+func (e *cenum) finish(q int, events []event, acc automata.Mask) {
 	c := e.core.c
 	if c.Final[q] {
-		if !e.emit(e.tuple(events)) {
+		if e.countOnly {
+			e.counted(acc)
+			if e.aborted {
+				return
+			}
+		} else if !e.emit(e.tuple(events)) {
 			e.aborted = true
 			return
 		}
 	}
 	for _, me := range c.MaskEdges[q] {
 		if c.Final[me.To] {
+			if e.countOnly {
+				e.counted(acc | me.Mask)
+				if e.aborted {
+					return
+				}
+				continue
+			}
 			ev := append(events, event{e.root.Len(), me.Mask})
 			if !e.emit(e.tuple(ev)) {
 				e.aborted = true
@@ -290,7 +357,7 @@ func (e *cenum) finish(q int, events []event) {
 // alive vector for the boundary after a. It fires every productive event
 // inside a (recursing into dfs for the continuation) and returns the
 // pure-letter exit state (−1 if the pure run dies).
-func (e *cenum) walk(a *slp.Node, q int, i int64, av []uint64, off int64, events []event) int32 {
+func (e *cenum) walk(a *slp.Node, q int, i int64, av []uint64, off int64, events []event, acc automata.Mask) int32 {
 	if e.aborted {
 		return -1
 	}
@@ -303,8 +370,12 @@ func (e *cenum) walk(a *slp.Node, q int, i int64, av []uint64, off int64, events
 			if s < 0 || !vecGet(av, int(s)) {
 				continue
 			}
-			ev := append(events, event{off, me.Mask})
-			e.dfs(int(s), off+1, ev)
+			if e.countOnly {
+				e.dfs(int(s), off+1, nil, acc|me.Mask)
+			} else {
+				ev := append(events, event{off, me.Mask})
+				e.dfs(int(s), off+1, ev, acc)
+			}
 			if e.aborted {
 				return -1
 			}
@@ -313,26 +384,26 @@ func (e *cenum) walk(a *slp.Node, q int, i int64, av []uint64, off int64, events
 	}
 	llen := a.Left().Len()
 	if i >= llen {
-		return e.walk(a.Right(), q, i-llen, av, off+llen, events)
+		return e.walk(a.Right(), q, i-llen, av, off+llen, events, acc)
 	}
 	// Prune whole subtrees without productive events (only valid from
 	// offset 0, where E⁺ describes the whole node).
 	if i == 0 {
-		nd := core.node(a)
+		nd := e.node(a)
 		if !rowMeets(nd.ep, q, av) {
 			return nd.pure[q]
 		}
 	}
 	// Pull the alive vector back over the right part: avL = E_R·av,
 	// computed as avᵀ·E_Rᵀ so only the set rows are streamed.
-	rd := core.node(a.Right())
+	rd := e.node(a.Right())
 	avL := rd.emT.ApplyLeftInto(e.getVec(), av)
-	ls := e.walk(a.Left(), q, i, avL, off, events)
+	ls := e.walk(a.Left(), q, i, avL, off, events, acc)
 	e.putVec(avL)
 	if e.aborted || ls < 0 {
 		return -1
 	}
-	return e.walk(a.Right(), int(ls), 0, av, off+llen, events)
+	return e.walk(a.Right(), int(ls), 0, av, off+llen, events, acc)
 }
 
 // rowMeets reports whether row q of m intersects vector v.
@@ -350,11 +421,10 @@ func vecGet(v []uint64, q int) bool { return automata.BitGet(v, q) }
 
 // tuple converts events into a span tuple (1-based positions).
 func (e *cenum) tuple(events []event) spans.Tuple {
-	t := make(spans.Tuple)
-	mi := e.core.c.DEVA.Index
+	t := make(spans.Tuple, len(e.core.c.DEVA.Index.Vars()))
 	for _, ev := range events {
 		pos := int(ev.boundary) + 1
-		for _, mk := range mi.Markers(ev.mask) {
+		for _, mk := range e.core.c.Markers(ev.mask) {
 			if mk.Close {
 				s := t[mk.Var]
 				s.End = pos

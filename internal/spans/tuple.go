@@ -3,6 +3,7 @@ package spans
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -151,15 +152,38 @@ func (t Tuple) Fuse(lambda VarSet, target Var) Tuple {
 }
 
 // Key returns a canonical string encoding of t, usable as a set key.
-// Variables appear in sorted order.
+// Variables appear in sorted order. This sits on the dedup path of every
+// Relation.Add, so it avoids fmt and sorts its small scratch in place —
+// one allocation (the returned string) for typical tuples.
 func (t Tuple) Key() string {
-	vars := t.Vars()
-	var sb strings.Builder
+	if len(t) == 0 {
+		return ""
+	}
+	var varArr [8]Var
+	vars := varArr[:0]
+	if len(t) > len(varArr) {
+		vars = make([]Var, 0, len(t))
+	}
+	for v := range t {
+		vars = append(vars, v)
+	}
+	for i := 1; i < len(vars); i++ {
+		for j := i; j > 0 && vars[j] < vars[j-1]; j-- {
+			vars[j], vars[j-1] = vars[j-1], vars[j]
+		}
+	}
+	var bufArr [64]byte
+	buf := bufArr[:0]
 	for _, v := range vars {
 		s := t[v]
-		fmt.Fprintf(&sb, "%s=%d:%d;", v, s.Begin, s.End)
+		buf = append(buf, v...)
+		buf = append(buf, '=')
+		buf = strconv.AppendInt(buf, int64(s.Begin), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendInt(buf, int64(s.End), 10)
+		buf = append(buf, ';')
 	}
-	return sb.String()
+	return string(buf)
 }
 
 // String renders the tuple with variables in sorted order, e.g.
@@ -176,7 +200,13 @@ func (t Tuple) String() string {
 // Compare orders tuples first by their variable sets, then pointwise by
 // span. It induces the deterministic output order used by Relation.Sorted.
 func (t Tuple) Compare(u Tuple) int {
-	tv, uv := t.Vars(), u.Vars()
+	return compareWithVars(t, u, t.Vars(), u.Vars())
+}
+
+// compareWithVars is Compare with the canonical variable sets computed
+// by the caller — the sort below derives them once per tuple instead of
+// twice per comparison.
+func compareWithVars(t, u Tuple, tv, uv VarSet) int {
 	for i := 0; i < len(tv) && i < len(uv); i++ {
 		if tv[i] != uv[i] {
 			if tv[i] < uv[i] {
@@ -197,7 +227,25 @@ func (t Tuple) Compare(u Tuple) int {
 	return 0
 }
 
-// SortTuples sorts ts in place into the canonical Compare order.
+// SortTuples sorts ts in place into the canonical Compare order,
+// decorating each tuple with its variable set once up front (Compare
+// would otherwise rebuild and re-sort both sets on every comparison).
 func SortTuples(ts []Tuple) {
-	sort.Slice(ts, func(i, j int) bool { return ts[i].Compare(ts[j]) < 0 })
+	if len(ts) < 2 {
+		return
+	}
+	type dec struct {
+		t Tuple
+		v VarSet
+	}
+	ds := make([]dec, len(ts))
+	for i, t := range ts {
+		ds[i] = dec{t, t.Vars()}
+	}
+	sort.Slice(ds, func(i, j int) bool {
+		return compareWithVars(ds[i].t, ds[j].t, ds[i].v, ds[j].v) < 0
+	})
+	for i := range ds {
+		ts[i] = ds[i].t
+	}
 }

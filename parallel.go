@@ -135,9 +135,30 @@ func EnumerateDocs(ctx context.Context, s StreamEvaluator, docs [][]byte, opts P
 	return enumerateBatch(ctx, len(docs), opts, enumerate, f)
 }
 
+// tupleBufPool recycles the per-document tuple buffers of
+// enumerateBatch across requests: a batch-heavy server otherwise
+// allocates (and regrows) one fresh slice per document per request.
+var tupleBufPool = sync.Pool{
+	New: func() any {
+		s := make([]Tuple, 0, 64)
+		return &s
+	},
+}
+
+// putTupleBuf clears the tuple references (so pooled buffers do not pin
+// result tuples past delivery) and returns the buffer to the pool.
+func putTupleBuf(ts []Tuple) {
+	for i := range ts {
+		ts[i] = nil
+	}
+	ts = ts[:0]
+	tupleBufPool.Put(&ts)
+}
+
 // enumerateBatch is the worker-pool skeleton shared by EnumerateDocs and
 // EnumerateCompressedDocs: it runs enumerate(i, yield) for every i on a
 // bounded pool and delivers the collected tuples to f in input order.
+// Collection buffers come from tupleBufPool and go back after delivery.
 func enumerateBatch(ctx context.Context, n int, opts ParallelOptions, enumerate func(i int, yield func(Tuple) bool), f func(doc int, t Tuple) bool) error {
 	if ctx == nil {
 		ctx = context.Background()
@@ -161,7 +182,7 @@ func enumerateBatch(ctx context.Context, n int, opts ParallelOptions, enumerate 
 				if i >= n || stop.Load() || ctx.Err() != nil {
 					return
 				}
-				var ts []Tuple
+				ts := (*tupleBufPool.Get().(*[]Tuple))[:0]
 				enumerate(i, func(t Tuple) bool {
 					if stop.Load() {
 						return false
@@ -196,10 +217,16 @@ deliver:
 				break deliver
 			}
 		}
+		stopped := false
 		for _, t := range ts {
 			if !f(i, t) {
-				break deliver
+				stopped = true
+				break
 			}
+		}
+		putTupleBuf(ts)
+		if stopped {
+			break deliver
 		}
 	}
 	stop.Store(true)

@@ -257,11 +257,37 @@ func (q *Query) EnumerateContext(ctx context.Context, doc []byte, f func(t Tuple
 
 // CountContext is Count with cancellation, under the same contract as
 // EnumerateContext; on cancellation the partial count so far is
-// returned alongside the context's error.
+// returned alongside the context's error. Like Count, single-scan plans
+// count through the tuple-free walk — no tuples are built, the context
+// is polled per counted tuple.
 func (q *Query) CountContext(ctx context.Context, doc []byte) (int, error) {
-	n := 0
-	err := q.EnumerateContext(ctx, doc, func(Tuple) bool { n++; return true })
-	return n, err
+	return countWithContext(ctx, func(poll func() bool) (int, bool) {
+		return q.plan().CountPoll(doc, poll)
+	})
+}
+
+// countWithContext adapts a poll-style counting walk to the context
+// contract of CountContext.
+func countWithContext(ctx context.Context, run func(poll func() bool) (int, bool)) (int, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	done := ctx.Done()
+	n, complete := run(func() bool {
+		select {
+		case <-done:
+			return false
+		default:
+			return true
+		}
+	})
+	if !complete {
+		return n, ctx.Err()
+	}
+	return n, nil
 }
 
 // enumerateWithContext runs a streaming enumeration with the yield
@@ -295,6 +321,11 @@ func enumerateWithContext(ctx context.Context, f func(Tuple) bool, run func(func
 // incrementally (the plan's root is a streaming operator) rather than
 // materializing the full relation first.
 func (q *Query) Streaming() bool { return q.plan().Streaming() }
+
+// DistinctEnumeration reports whether Enumerate delivers every result
+// tuple exactly once. When true, callers collecting the output can skip
+// relation-level deduplication.
+func (q *Query) DistinctEnumeration() bool { return q.plan().DistinctEnumeration() }
 
 // Explain renders the query's execution plan: the rewritten logical
 // shape, the physical backend per node, and the rewrite provenance each
