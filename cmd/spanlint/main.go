@@ -61,9 +61,11 @@ func main() {
 	flag.Parse()
 
 	if *codes {
-		for _, c := range lint.Codes() {
-			fmt.Printf("%s  %s\n", c.Code, c.Title)
+		table, err := codeTable(flag.Args())
+		if err != nil {
+			usageError(err.Error())
 		}
+		fmt.Print(table)
 		return
 	}
 
@@ -143,6 +145,36 @@ func main() {
 	if threshold > 0 && worst >= threshold {
 		os.Exit(1)
 	}
+}
+
+// codeTable renders the diagnostic code table. With no args every code is
+// listed; otherwise only the requested codes, in the order given. An
+// unknown code is an error naming the valid codes, so `spanlint -codes
+// SP099` is a usage error rather than silently printing the full table.
+func codeTable(args []string) (string, error) {
+	all := lint.Codes()
+	byCode := make(map[string]lint.CodeInfo, len(all))
+	valid := make([]string, 0, len(all))
+	for _, c := range all {
+		byCode[c.Code] = c
+		valid = append(valid, c.Code)
+	}
+	want := all
+	if len(args) > 0 {
+		want = want[:0:0]
+		for _, a := range args {
+			c, ok := byCode[strings.ToUpper(strings.TrimSpace(a))]
+			if !ok {
+				return "", fmt.Errorf("unknown diagnostic code %q (valid codes: %s)", a, strings.Join(valid, ", "))
+			}
+			want = append(want, c)
+		}
+	}
+	var sb strings.Builder
+	for _, c := range want {
+		fmt.Fprintf(&sb, "%s  %s\n", c.Code, c.Title)
+	}
+	return sb.String(), nil
 }
 
 // parseFailOn maps the -fail-on value to a severity threshold; 0 means

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 
 	"docspanner"
@@ -66,5 +68,38 @@ func TestLintInputUnsatisfiable(t *testing.T) {
 		if d.Code == "SP001" {
 			t.Errorf("non-empty difference should not be SP001: %v", ds)
 		}
+	}
+}
+
+// TestCodeTable pins the -codes listing: the full table with no args, a
+// filtered table for named codes (case-insensitively), and a usage error
+// for an unknown code that names the valid ones.
+func TestCodeTable(t *testing.T) {
+	full, err := codeTable(nil)
+	if err != nil {
+		t.Fatalf("codeTable(nil): %v", err)
+	}
+	for i := 1; i <= 10; i++ {
+		code := fmt.Sprintf("SP%03d", i)
+		if !strings.Contains(full, code) {
+			t.Errorf("full table missing %s:\n%s", code, full)
+		}
+	}
+
+	got, err := codeTable([]string{"sp010", "SP009"})
+	if err != nil {
+		t.Fatalf("codeTable(sp010, SP009): %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(got, "\n"), "\n")
+	if len(lines) != 2 || !strings.HasPrefix(lines[0], "SP010") || !strings.HasPrefix(lines[1], "SP009") {
+		t.Fatalf("filtered table should list the requested codes in order, got:\n%s", got)
+	}
+
+	_, err = codeTable([]string{"SP099"})
+	if err == nil {
+		t.Fatal("codeTable(SP099) should fail")
+	}
+	if msg := err.Error(); !strings.Contains(msg, "SP099") || !strings.Contains(msg, "SP001") || !strings.Contains(msg, "SP010") {
+		t.Errorf("error should name the bad code and the valid range: %v", err)
 	}
 }

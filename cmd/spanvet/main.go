@@ -1,0 +1,120 @@
+// Command spanvet runs the repository's static analyzers (package
+// docspanner/internal/vetters) over Go packages:
+//
+//	spanvet ./...                 # all analyzers over the module
+//	spanvet -run aliasinto,errflush ./internal/...
+//	spanvet -list                 # describe the analyzers
+//	spanvet -json ./...           # findings as JSON lines
+//
+// Exit status: 0 clean, 1 findings reported, 2 usage or load error.
+// Findings can be suppressed with a //spanvet:ignore [analyzer,...]
+// comment on the same or the preceding line.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"docspanner/internal/vetters"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("spanvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "describe the analyzers and exit")
+	runNames := fs.String("run", "", "comma-separated analyzers to run (default: all)")
+	asJSON := fs.Bool("json", false, "emit findings as JSON lines")
+	dir := fs.String("C", ".", "directory to run in (the module root)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: spanvet [-list] [-run analyzers] [-json] [-C dir] packages...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	if *list {
+		for _, a := range vetters.All() {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := vetters.All()
+	if *runNames != "" {
+		var err error
+		analyzers, err = vetters.ByName(*runNames)
+		if err != nil {
+			fmt.Fprintf(stderr, "spanvet: %v\n", err)
+			return 2
+		}
+		if len(analyzers) == 0 {
+			fmt.Fprintf(stderr, "spanvet: -run selected no analyzers\n")
+			return 2
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	pkgs, err := vetters.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "spanvet: %v\n", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		fmt.Fprintf(stderr, "spanvet: no packages matched %s\n", strings.Join(patterns, " "))
+		return 2
+	}
+
+	found := false
+	enc := json.NewEncoder(stdout)
+	for _, pkg := range pkgs {
+		if len(pkg.TypeErrors) > 0 {
+			fmt.Fprintf(stderr, "spanvet: %s does not type-check:\n", pkg.ImportPath)
+			for _, e := range pkg.TypeErrors {
+				fmt.Fprintf(stderr, "\t%v\n", e)
+			}
+			return 2
+		}
+		for _, d := range vetters.Run(pkg, analyzers) {
+			found = true
+			if *asJSON {
+				if err := enc.Encode(jsonDiag{
+					Path:     d.Pos.Filename,
+					Line:     d.Pos.Line,
+					Column:   d.Pos.Column,
+					Analyzer: d.Analyzer,
+					Message:  d.Message,
+				}); err != nil {
+					fmt.Fprintf(stderr, "spanvet: %v\n", err)
+					return 2
+				}
+				continue
+			}
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}
+
+type jsonDiag struct {
+	Path     string `json:"path"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}

@@ -1,0 +1,130 @@
+package automata
+
+import "strings"
+
+// DeterminizedStatesAtMost runs the subset construction of Determinize
+// state-interning only — no transition tables are materialized — and
+// stops as soon as more than limit subset states exist. It returns the
+// number of states discovered and whether the construction completed
+// within the limit: (n, true) means the full DEVA has exactly n ≤ limit
+// states; (n, false) with n > limit means construction was cut off.
+//
+// This is the estimator behind the SP009 determinization-blowup lint:
+// it answers "would Determinize blow up?" in time proportional to the
+// explored prefix of the subset graph, instead of paying for (and
+// caching) the full exponential construction. Like Determinize, it
+// requires a reference-free automaton.
+func DeterminizedStatesAtMost(n *NFA, limit int) (int, bool) {
+	if n.HasRefs() {
+		panic("automata: DeterminizedStatesAtMost on an automaton with reference transitions; dereference first (package refl)")
+	}
+	if limit < 1 {
+		limit = 1
+	}
+	ix := NewMaskIndex(n.Vars)
+
+	enc := func(set []int) string {
+		var sb strings.Builder
+		for _, q := range set {
+			sb.WriteByte(byte(q))
+			sb.WriteByte(byte(q >> 8))
+			sb.WriteByte(byte(q >> 16))
+		}
+		return sb.String()
+	}
+
+	ids := make(map[string]int)
+	var sets [][]int
+	intern := func(set []int) {
+		k := enc(set)
+		if _, ok := ids[k]; ok {
+			return
+		}
+		ids[k] = len(sets)
+		sets = append(sets, set)
+	}
+
+	intern(n.EpsClosure([]int{n.Start}))
+
+	for work := 0; work < len(sets); work++ {
+		if len(sets) > limit {
+			return len(sets), false
+		}
+		set := sets[work]
+
+		// Letter successors.
+		byLetter := make(map[byte]map[int]bool)
+		for _, q := range set {
+			for b, rs := range n.Letters[q] {
+				tgt := byLetter[b]
+				if tgt == nil {
+					tgt = make(map[int]bool)
+					byLetter[b] = tgt
+				}
+				for _, r := range rs {
+					tgt[r] = true
+				}
+			}
+		}
+		for _, tgt := range byLetter {
+			intern(n.EpsClosure(sortedKeys(tgt)))
+		}
+
+		// Mask successors: boundary paths over markers and ε, exactly as
+		// in Determinize.
+		type cfg struct {
+			q    int
+			mask Mask
+		}
+		reach := make(map[cfg]bool)
+		var stack []cfg
+		for _, q := range set {
+			c := cfg{q, 0}
+			reach[c] = true
+			stack = append(stack, c)
+		}
+		for len(stack) > 0 {
+			c := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, r := range n.Eps[c.q] {
+				nc := cfg{r, c.mask}
+				if !reach[nc] {
+					reach[nc] = true
+					stack = append(stack, nc)
+				}
+			}
+			for m, rs := range n.Markers[c.q] {
+				bit := Mask(1) << ix.Bit(m)
+				if c.mask&bit != 0 {
+					continue
+				}
+				for _, r := range rs {
+					nc := cfg{r, c.mask | bit}
+					if !reach[nc] {
+						reach[nc] = true
+						stack = append(stack, nc)
+					}
+				}
+			}
+		}
+		byMask := make(map[Mask]map[int]bool)
+		for c := range reach {
+			if c.mask == 0 {
+				continue
+			}
+			tgt := byMask[c.mask]
+			if tgt == nil {
+				tgt = make(map[int]bool)
+				byMask[c.mask] = tgt
+			}
+			tgt[c.q] = true
+		}
+		for _, tgt := range byMask {
+			intern(sortedKeys(tgt))
+		}
+	}
+	if len(sets) > limit {
+		return len(sets), false
+	}
+	return len(sets), true
+}

@@ -1,0 +1,77 @@
+package automata
+
+import (
+	"testing"
+
+	"docspanner/internal/spans"
+)
+
+// blowupNFA builds the classic (a|b)*a(a|b)^k acceptor whose minimal
+// DFA has 2^k states — the standard determinization-blowup witness.
+func blowupNFA(k int) *NFA {
+	n := NewNFA(nil)
+	n.AddLetter(n.Start, 'a', n.Start)
+	n.AddLetter(n.Start, 'b', n.Start)
+	cur := n.AddState()
+	n.AddLetter(n.Start, 'a', cur)
+	for i := 0; i < k; i++ {
+		next := n.AddState()
+		n.AddLetter(cur, 'a', next)
+		n.AddLetter(cur, 'b', next)
+		cur = next
+	}
+	n.SetFinal(cur)
+	return n
+}
+
+func TestDeterminizedStatesAtMostAgreesWithDeterminize(t *testing.T) {
+	for _, n := range []*NFA{exampleSpanner(), blowupNFA(4), buildBoundaryHeavy()} {
+		want := Determinize(n).NumStates()
+		got, ok := DeterminizedStatesAtMost(n, want)
+		if !ok || got != want {
+			t.Errorf("DeterminizedStatesAtMost(limit=%d) = (%d, %v); Determinize has %d states",
+				want, got, ok, want)
+		}
+		// One below the exact count must report a cutoff.
+		if want > 1 {
+			if _, ok := DeterminizedStatesAtMost(n, want-1); ok {
+				t.Errorf("DeterminizedStatesAtMost(limit=%d) reported within-limit; automaton has %d states",
+					want-1, want)
+			}
+		}
+	}
+}
+
+func TestDeterminizedStatesAtMostCutsOffEarly(t *testing.T) {
+	n := blowupNFA(12) // minimal DFA ~2^12 states
+	states, ok := DeterminizedStatesAtMost(n, 64)
+	if ok {
+		t.Fatalf("blowup automaton reported within limit 64 (states=%d)", states)
+	}
+	if states <= 64 {
+		t.Fatalf("cutoff returned %d states; want > limit", states)
+	}
+	// The cutoff must fire long before the full 2^12 construction.
+	if states > 4096 {
+		t.Fatalf("cutoff explored %d states; limit was 64", states)
+	}
+}
+
+// buildBoundaryHeavy exercises the mask-transition path of the
+// estimator: two variables opening and closing at one boundary.
+func buildBoundaryHeavy() *NFA {
+	n := NewNFA(spans.NewVarSet("x", "y"))
+	s1 := n.AddState()
+	s2 := n.AddState()
+	s3 := n.AddState()
+	s4 := n.AddState()
+	n.AddMarker(n.Start, Marker{Var: "x"}, s1)
+	n.AddMarker(n.Start, Marker{Var: "y"}, s1) // nondeterministic marker order
+	n.AddMarker(s1, Marker{Var: "y"}, s2)
+	n.AddMarker(s1, Marker{Var: "x"}, s2)
+	n.AddLetter(s2, 'a', s3)
+	n.AddMarker(s3, Marker{Var: "x", Close: true}, s4)
+	n.AddMarker(s4, Marker{Var: "y", Close: true}, s4)
+	n.SetFinal(s4)
+	return n
+}

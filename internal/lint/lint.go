@@ -15,6 +15,14 @@
 //	SP006  non-hierarchical spanner
 //	SP007  core selections admit a regular refl rewrite (Section 3.2)
 //	SP008  equivalent branches in a union (duplicate work)
+//	SP009  determinization blowup past the planner's backend gate
+//	SP010  join-cost blowup in the rewritten plan (cross product, or
+//	       weakly-bound shared variables under schemaless semantics)
+//
+// SP001–SP008 are expression passes (Expr): they judge what the query
+// says, independent of how it is evaluated. SP009–SP010 are plan passes
+// (PlanDiags): they judge what the planner's chosen physical plan will
+// cost, and only fire on structure that survives the rewrite pipeline.
 //
 // All passes reuse the existing decision machinery (vset.Satisfiable,
 // vset.Hierarchical, vset.Equivalent, refl.FromRegexCore, ...) rather than
@@ -98,7 +106,7 @@ func (s *Severity) UnmarshalJSON(data []byte) error {
 
 // Diagnostic is one finding of a lint pass.
 type Diagnostic struct {
-	// Code is the stable diagnostic code (SP001–SP008).
+	// Code is the stable diagnostic code (SP001–SP010).
 	Code string `json:"code"`
 	// Severity grades the finding.
 	Severity Severity `json:"severity"`
@@ -125,14 +133,16 @@ func (d Diagnostic) String() string {
 
 // Diagnostic codes, stable across releases.
 const (
-	CodeUnsatisfiable   = "SP001"
-	CodeDeadStates      = "SP002"
-	CodeDegenerateJoin  = "SP003"
-	CodeDegenerateProj  = "SP004"
-	CodeDegenerateSel   = "SP005"
-	CodeNonHierarchical = "SP006"
-	CodeReflRewrite     = "SP007"
-	CodeDuplicateBranch = "SP008"
+	CodeUnsatisfiable     = "SP001"
+	CodeDeadStates        = "SP002"
+	CodeDegenerateJoin    = "SP003"
+	CodeDegenerateProj    = "SP004"
+	CodeDegenerateSel     = "SP005"
+	CodeNonHierarchical   = "SP006"
+	CodeReflRewrite       = "SP007"
+	CodeDuplicateBranch   = "SP008"
+	CodeDeterminizeBlowup = "SP009"
+	CodeJoinBlowup        = "SP010"
 )
 
 // CodeInfo documents one diagnostic code for listings (cmd/spanlint
@@ -153,8 +163,15 @@ func Codes() []CodeInfo {
 		{CodeNonHierarchical, "non-hierarchical spanner (can extract properly overlapping spans)"},
 		{CodeReflRewrite, "core selections admit a regular refl rewrite (references &x)"},
 		{CodeDuplicateBranch, "union branches are equivalent (duplicate work)"},
+		{CodeDeterminizeBlowup, "determinization blowup: the DFA exceeds the backend gate the NFA passed"},
+		{CodeJoinBlowup, "join-cost blowup in the rewritten plan (cross product or weakly-bound shared variables)"},
 	}
 }
+
+// Sort orders diagnostics by position, then code, then message — the
+// order every pass runner emits. Exported for callers that merge
+// diagnostics from several runs (e.g. expression and plan passes).
+func Sort(ds []Diagnostic) { sortDiags(ds) }
 
 // sortDiags orders diagnostics by position, then code, then message, so
 // output is deterministic regardless of pass scheduling.

@@ -2,6 +2,7 @@ package lint_test
 
 import (
 	"encoding/json"
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -365,11 +366,11 @@ func TestSeverityJSON(t *testing.T) {
 
 func TestCodesListing(t *testing.T) {
 	cs := lint.Codes()
-	if len(cs) != 8 {
-		t.Fatalf("want 8 codes, got %d", len(cs))
+	if len(cs) != 10 {
+		t.Fatalf("want 10 codes, got %d", len(cs))
 	}
 	for i, c := range cs {
-		want := "SP00" + string(rune('1'+i))
+		want := fmt.Sprintf("SP%03d", i+1)
 		if c.Code != want {
 			t.Errorf("code %d = %s, want %s", i, c.Code, want)
 		}

@@ -28,6 +28,12 @@ func (pl *Planned) Explain() string {
 	if len(pl.requireTotal) > 0 {
 		fmt.Fprintf(&sb, "root filter: total on %v\n", pl.requireTotal)
 	}
+	if diags := pl.Lint(); len(diags) > 0 {
+		sb.WriteString("warnings:\n")
+		for _, d := range diags {
+			fmt.Fprintf(&sb, "  ! %s\n", d)
+		}
+	}
 	explainNode(&sb, pl.root, 0)
 	return sb.String()
 }

@@ -6,6 +6,7 @@ import (
 	"docspanner/internal/algebra"
 	"docspanner/internal/automata"
 	"docspanner/internal/enum"
+	"docspanner/internal/lint"
 	"docspanner/internal/slp"
 	"docspanner/internal/slpmatch"
 	"docspanner/internal/spans"
@@ -277,6 +278,24 @@ type Planned struct {
 	opts         Options
 	passNotes    []string
 	requireTotal spans.VarSet
+
+	lintOnce  sync.Once
+	lintDiags []lint.Diagnostic
+}
+
+// Lint runs the plan-level spanlint passes (SP009, SP010) over the
+// rewritten logical plan, configured with this plan's options so the
+// cost thresholds match what evaluation will actually do. The result is
+// computed once and cached — Planned itself is hash-consed, so a hot
+// query lints exactly once per process.
+func (pl *Planned) Lint() []lint.Diagnostic {
+	pl.lintOnce.Do(func() {
+		pl.lintDiags = lint.PlanDiags(pl.logical, lint.PlanConfig{
+			MaxDeterminizeStates: pl.opts.MaxDeterminizeStates,
+			Schemaless:           pl.opts.Schemaless,
+		})
+	})
+	return pl.lintDiags
 }
 
 // Logical exposes the rewritten logical plan (EXPLAIN, tests).

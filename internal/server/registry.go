@@ -31,6 +31,9 @@ type planSpec struct {
 	NaiveBackend    bool `json:"naive_backend,omitempty"`
 	ReflRewrite     bool `json:"refl_rewrite,omitempty"`
 	MaxFusedStates  int  `json:"max_fused_states,omitempty"`
+	// MaxDeterminizeStates tunes the backend cost gate and the SP009
+	// determinization-blowup budget for this registration.
+	MaxDeterminizeStates int `json:"max_determinize_states,omitempty"`
 }
 
 // preparedQuery is a registered query: parsed, linted, and planned once
@@ -108,10 +111,11 @@ func (r *registry) register(name string, spec querySpec) (queryInfo, error) {
 	}
 	if spec.Plan != nil {
 		q = q.WithPlan(docspanner.PlanOptions{
-			DisableRewrites: spec.Plan.DisableRewrites,
-			NaiveBackend:    spec.Plan.NaiveBackend,
-			ReflRewrite:     spec.Plan.ReflRewrite,
-			MaxFusedStates:  spec.Plan.MaxFusedStates,
+			DisableRewrites:      spec.Plan.DisableRewrites,
+			NaiveBackend:         spec.Plan.NaiveBackend,
+			ReflRewrite:          spec.Plan.ReflRewrite,
+			MaxFusedStates:       spec.Plan.MaxFusedStates,
+			MaxDeterminizeStates: spec.Plan.MaxDeterminizeStates,
 		})
 	}
 

@@ -498,3 +498,83 @@ func (c *cancelAfterFlushes) Flush() {
 	}
 	c.ResponseRecorder.Flush()
 }
+
+// TestQueryRegistrationPlanLint pins that the plan-level passes (SP009,
+// SP010) run at registration: their warnings land in the diagnostics
+// payload, participate in the fail_on threshold, and surface in the
+// EXPLAIN output.
+func TestQueryRegistrationPlanLint(t *testing.T) {
+	s := newTestServer(t, Config{})
+
+	diagCodes := func(body map[string]any) []string {
+		raw, _ := body["diagnostics"].([]any)
+		var out []string
+		for _, d := range raw {
+			out = append(out, d.(map[string]any)["code"].(string))
+		}
+		return out
+	}
+	hasCode := func(codes []string, want string) bool {
+		for _, c := range codes {
+			if c == want {
+				return true
+			}
+		}
+		return false
+	}
+
+	// A ~70-state NFA whose DFA blows past a 200-state gate: SP009.
+	blowup := "(a|b)*a" + strings.Repeat("(a|b)", 10)
+
+	// With fail_on=warning the SP009 warning rejects the registration.
+	spec := fmt.Sprintf(`{"src": %q, "fail_on": "warning", "plan": {"max_determinize_states": 200}}`, blowup)
+	code, body := do(t, s, "PUT", "/queries/blowup", spec)
+	mustStatus(t, code, 422, "register blowup with fail_on=warning")
+	if !hasCode(diagCodes(body), "SP009") {
+		t.Fatalf("422 diagnostics should include SP009: %v", body)
+	}
+
+	// Under the default threshold (error) a warning registers fine, with
+	// the diagnostic attached to the query info and visible in EXPLAIN.
+	spec = fmt.Sprintf(`{"src": %q, "plan": {"max_determinize_states": 200}}`, blowup)
+	code, body = do(t, s, "PUT", "/queries/blowup", spec)
+	mustStatus(t, code, 200, "register blowup with default threshold")
+	if !hasCode(diagCodes(body), "SP009") {
+		t.Fatalf("query info should carry the SP009 diagnostic: %v", body)
+	}
+	code, body = do(t, s, "GET", "/queries/blowup/explain", "")
+	mustStatus(t, code, 200, "explain blowup")
+	if plan := body["plan"].(string); !strings.Contains(plan, "warnings:") || !strings.Contains(plan, "SP009") {
+		t.Fatalf("explain should surface the SP009 warning:\n%s", plan)
+	}
+
+	// The same query under the default gate (4096) is clean.
+	spec = fmt.Sprintf(`{"src": %q}`, blowup)
+	code, body = do(t, s, "PUT", "/queries/fine", spec)
+	mustStatus(t, code, 200, "register under default gate")
+	if hasCode(diagCodes(body), "SP009") {
+		t.Fatalf("default gate should not produce SP009: %v", body)
+	}
+
+	// A disjoint-schema join that survives rewriting (fusion disabled
+	// via max_fused_states=1) reports SP010.
+	spec = `{"src": "join(!x{a+}b+; a+!y{b+})", "plan": {"max_fused_states": 1}}`
+	code, body = do(t, s, "PUT", "/queries/cross", spec)
+	mustStatus(t, code, 200, "register cross join")
+	if !hasCode(diagCodes(body), "SP010") {
+		t.Fatalf("surviving cross-product join should report SP010: %v", body)
+	}
+
+	// The identical join under the default pipeline fuses away: no
+	// SP010 (the expression-level SP003 warning remains).
+	spec = `{"src": "join(!x{a+}b+; a+!y{b+})"}`
+	code, body = do(t, s, "PUT", "/queries/fused", spec)
+	mustStatus(t, code, 200, "register fused join")
+	codes := diagCodes(body)
+	if hasCode(codes, "SP010") {
+		t.Fatalf("fused join should not report SP010: %v", body)
+	}
+	if !hasCode(codes, "SP003") {
+		t.Fatalf("expression-level SP003 should remain: %v", body)
+	}
+}

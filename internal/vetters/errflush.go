@@ -1,0 +1,89 @@
+package vetters
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrFlush flags dropped errors from Flush and Write calls — the exact
+// bug class behind the /stream handler regression where
+// ResponseController.Flush errors were discarded and the enumeration
+// kept serializing the full result into a dead connection. A dropped
+// flush or write error on a streaming path means the producer never
+// learns the consumer is gone.
+//
+// Flagged: expression statements and defer statements whose call
+// invokes a method named Flush or Write whose final result is error,
+// with every result discarded. An explicit `_ = x.Flush()` assignment
+// is a visible, reviewable discard and is not flagged.
+var ErrFlush = &Analyzer{
+	Name: "errflush",
+	Doc: "flags statements that drop the error result of Flush/Write calls " +
+		"(streaming paths must abort on a failed flush instead of writing into a dead connection)",
+	Run: runErrFlush,
+}
+
+func runErrFlush(p *Pass) {
+	check := func(call *ast.CallExpr, deferred bool) {
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		name := sel.Sel.Name
+		if name != "Flush" && name != "Write" {
+			return
+		}
+		sig := callSignature(p.Info, call)
+		if sig == nil || !lastResultIsError(sig) {
+			return
+		}
+		how := "statement drops"
+		if deferred {
+			how = "deferred call drops"
+		}
+		p.Reportf(call.Pos(),
+			"%s the error of %s.%s; check it (a failed flush/write means the consumer is gone — abort instead of producing into a dead sink)",
+			how, exprString(sel.X), name)
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					check(call, false)
+				}
+			case *ast.DeferStmt:
+				check(s.Call, true)
+			case *ast.GoStmt:
+				check(s.Call, false)
+			}
+			return true
+		})
+	}
+}
+
+// callSignature returns the signature of the invoked function, or nil.
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	t := info.TypeOf(call.Fun)
+	if t == nil {
+		return nil
+	}
+	sig, _ := t.Underlying().(*types.Signature)
+	return sig
+}
+
+// lastResultIsError reports whether the signature's final result is the
+// built-in error type.
+func lastResultIsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	named, ok := last.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() == nil && obj.Name() == "error"
+}

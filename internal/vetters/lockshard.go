@@ -1,0 +1,396 @@
+package vetters
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockShard guards the sharded-cache locking discipline of
+// internal/slpmatch: the node cache is split into 64 shards, each with
+// its own RWMutex, and the whole design depends on a goroutine holding
+// at most one shard lock at a time. Two shards locked together — with
+// shard indices arriving in data-dependent order — is the classic
+// lock-ordering deadlock; it cannot be observed in small tests and is
+// miserable to reproduce.
+//
+// Two checks:
+//
+//  1. nested shard locks: a Lock/RLock on a shard-indexed mutex while
+//     another shard-indexed lock is held (not yet released by Unlock;
+//     deferred Unlocks hold to function end). Re-locking the same
+//     shard expression is reported as self-deadlock.
+//  2. copylocks-lite: copying a lock-bearing shard/cache struct by
+//     value — range over a shard array, by-value parameter, or deref
+//     assignment — which silently forks the mutex.
+var LockShard = &Analyzer{
+	Name: "lockshard",
+	Doc: "flags holding one shard's lock while acquiring another (sharded caches require at most " +
+		"one shard lock per goroutine) and copying lock-bearing shard structs by value",
+	Run: runLockShard,
+}
+
+func runLockShard(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkShardLocks(p, fd)
+		}
+	}
+	checkLockCopies(p)
+}
+
+// heldLock is one currently-held shard lock.
+type heldLock struct {
+	key      string // canonical text of the locked expression
+	deferred bool   // released by defer: held to function end
+}
+
+// checkShardLocks walks the function's statements in order, tracking
+// which shard locks are held. The walk is linear (statement order
+// within each block); branches are walked with the held-set they
+// inherit, which over-approximates but matches the flat lock/defer
+// style of the cache code.
+func checkShardLocks(p *Pass, fd *ast.FuncDecl) {
+	aliases := shardAliases(p, fd.Body)
+	var held []heldLock
+
+	release := func(key string) {
+		for i := len(held) - 1; i >= 0; i-- {
+			if held[i].key == key && !held[i].deferred {
+				held = append(held[:i], held[i+1:]...)
+				return
+			}
+		}
+	}
+
+	var walkStmt func(s ast.Stmt)
+	walkBlock := func(stmts []ast.Stmt) {
+		for _, s := range stmts {
+			walkStmt(s)
+		}
+	}
+	walkStmt = func(s ast.Stmt) {
+		switch v := s.(type) {
+		case *ast.ExprStmt:
+			if call, ok := v.X.(*ast.CallExpr); ok {
+				handleLockCall(p, call, aliases, &held, release, false)
+			}
+		case *ast.DeferStmt:
+			handleLockCall(p, v.Call, aliases, &held, release, true)
+		case *ast.BlockStmt:
+			walkBlock(v.List)
+		case *ast.IfStmt:
+			if v.Init != nil {
+				walkStmt(v.Init)
+			}
+			before := len(held)
+			walkBlock(v.Body.List)
+			if len(held) > before {
+				held = held[:before]
+			}
+			if v.Else != nil {
+				walkStmt(v.Else)
+				if len(held) > before {
+					held = held[:before]
+				}
+			}
+		case *ast.ForStmt:
+			walkBlock(v.Body.List)
+		case *ast.RangeStmt:
+			walkBlock(v.Body.List)
+		case *ast.SwitchStmt:
+			for _, c := range v.Body.List {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					before := len(held)
+					walkBlock(cc.Body)
+					if len(held) > before {
+						held = held[:before]
+					}
+				}
+			}
+		}
+	}
+	walkBlock(fd.Body.List)
+}
+
+// handleLockCall classifies one call as a shard Lock/RLock/Unlock and
+// updates the held set, reporting nested acquisitions.
+func handleLockCall(p *Pass, call *ast.CallExpr, aliases map[types.Object]string, held *[]heldLock, release func(string), deferred bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	method := sel.Sel.Name
+	switch method {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return
+	}
+	key, isShard := shardLockKey(p, sel.X, aliases)
+	if !isShard {
+		return
+	}
+	switch method {
+	case "Lock", "RLock":
+		if deferred {
+			return // defer s.mu.Lock() is nonsense; not this analyzer's business
+		}
+		for _, h := range *held {
+			if h.key == key {
+				p.Reportf(call.Pos(),
+					"%s.%s while the same shard lock is already held: self-deadlock", key, method)
+				return
+			}
+		}
+		if len(*held) > 0 {
+			p.Reportf(call.Pos(),
+				"%s.%s acquired while holding shard lock %s; shard indices are data-dependent, so nested shard locks deadlock under inverted order — release the first shard before touching the second",
+				key, method, (*held)[0].key)
+		}
+		*held = append(*held, heldLock{key: key})
+	case "Unlock", "RUnlock":
+		if deferred {
+			for i := range *held {
+				if (*held)[i].key == key {
+					(*held)[i].deferred = true
+				}
+			}
+			return
+		}
+		release(key)
+	}
+}
+
+// shardLockKey reports whether lockExpr (the receiver of Lock/RLock)
+// is a shard mutex: an expression containing an index into something
+// named like a shard array (c.shards[i].mu), directly or through a
+// one-level local alias (s := &c.shards[i]; s.mu.Lock()).
+func shardLockKey(p *Pass, lockExpr ast.Expr, aliases map[types.Object]string) (string, bool) {
+	if base, ok := shardIndexedBase(lockExpr); ok {
+		return base, true
+	}
+	// Alias form: the receiver chain bottoms out in a local whose
+	// initializer indexed a shard array.
+	e := unparen(lockExpr)
+	for {
+		switch v := e.(type) {
+		case *ast.SelectorExpr:
+			e = unparen(v.X)
+		case *ast.StarExpr:
+			e = unparen(v.X)
+		case *ast.Ident:
+			if obj := p.Info.ObjectOf(v); obj != nil {
+				if key, ok := aliases[obj]; ok {
+					return key, true
+				}
+			}
+			return "", false
+		default:
+			return "", false
+		}
+	}
+}
+
+// shardIndexedBase finds an IndexExpr over a shard-named operand inside
+// the expression chain and returns the canonical shard element text
+// ("c.shards[i]").
+func shardIndexedBase(e ast.Expr) (string, bool) {
+	for {
+		switch v := unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.UnaryExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			if isShardNamed(v.X) {
+				return exprString(v), true
+			}
+			e = v.X
+		default:
+			return "", false
+		}
+	}
+}
+
+// isShardNamed reports whether the indexed operand's name contains
+// "shard" (c.shards, table.shard, ...).
+func isShardNamed(e ast.Expr) bool {
+	var name string
+	switch v := unparen(e).(type) {
+	case *ast.Ident:
+		name = v.Name
+	case *ast.SelectorExpr:
+		name = v.Sel.Name
+	default:
+		return false
+	}
+	return strings.Contains(strings.ToLower(name), "shard")
+}
+
+// shardAliases collects locals initialized to a shard element address:
+// s := &c.shards[i] (or s := c.shards[i] for pointer-element arrays).
+func shardAliases(p *Pass, body *ast.BlockStmt) map[types.Object]string {
+	aliases := map[types.Object]string{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok || len(assign.Lhs) != len(assign.Rhs) {
+			return true
+		}
+		for i, rhs := range assign.Rhs {
+			key, ok := shardIndexedBase(rhs)
+			if !ok {
+				continue
+			}
+			if id, ok := unparen(assign.Lhs[i]).(*ast.Ident); ok && id.Name != "_" {
+				if obj := p.Info.ObjectOf(id); obj != nil {
+					aliases[obj] = key
+				}
+			}
+		}
+		return true
+	})
+	return aliases
+}
+
+// --- copylocks-lite ---
+
+// checkLockCopies flags by-value copies of lock-bearing structs:
+// by-value parameters, range-value copies over arrays/slices of them,
+// and plain value assignments from a deref or element load.
+func checkLockCopies(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Type.Params != nil {
+				for _, field := range fd.Type.Params.List {
+					t := p.Info.TypeOf(field.Type)
+					if t == nil || isPointerLike(t) {
+						continue
+					}
+					if lockPath := containsLock(t, nil); lockPath != "" {
+						p.Reportf(field.Type.Pos(),
+							"parameter passes %s by value, copying %s; pass a pointer so the mutex is shared, not forked",
+							typeShort(t), lockPath)
+					}
+				}
+			}
+			if fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch v := n.(type) {
+				case *ast.RangeStmt:
+					if v.Value == nil {
+						return true
+					}
+					t := p.Info.TypeOf(v.Value)
+					if t == nil || isPointerLike(t) {
+						return true
+					}
+					if lockPath := containsLock(t, nil); lockPath != "" {
+						p.Reportf(v.Value.Pos(),
+							"range copies %s by value (contains %s); iterate by index (&xs[i]) so each shard's mutex stays unique",
+							typeShort(t), lockPath)
+					}
+				case *ast.AssignStmt:
+					for i, rhs := range v.Rhs {
+						if i >= len(v.Lhs) {
+							break
+						}
+						if !isValueLoad(rhs) {
+							continue
+						}
+						t := p.Info.TypeOf(rhs)
+						if t == nil || isPointerLike(t) {
+							continue
+						}
+						if lockPath := containsLock(t, nil); lockPath != "" {
+							p.Reportf(rhs.Pos(),
+								"assignment copies %s by value (contains %s); take its address instead",
+								typeShort(t), lockPath)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// isValueLoad reports whether the expression loads a struct value out
+// of a longer-lived location: a deref, an index into an array, or a
+// field selection. A composite literal or function call result is a
+// fresh value and fine to bind.
+func isValueLoad(e ast.Expr) bool {
+	switch v := unparen(e).(type) {
+	case *ast.StarExpr:
+		return true
+	case *ast.IndexExpr:
+		return true
+	case *ast.SelectorExpr:
+		_ = v
+		return true
+	}
+	return false
+}
+
+// isPointerLike reports whether copying t does not copy a mutex:
+// pointers, interfaces, maps, chans, funcs, slices.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Map, *types.Chan, *types.Signature, *types.Slice:
+		return true
+	}
+	return false
+}
+
+// lockTypes are the sync types whose by-value copy is a bug.
+var lockTypes = map[string]bool{
+	"Mutex": true, "RWMutex": true, "Once": true,
+	"WaitGroup": true, "Cond": true, "Pool": true, "Map": true,
+}
+
+// containsLock reports the path to a sync lock type contained (by
+// value, transitively through structs and arrays) in t; "" if none.
+// seen guards against recursive types.
+func containsLock(t types.Type, seen map[types.Type]bool) string {
+	if seen == nil {
+		seen = map[types.Type]bool{}
+	}
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" && lockTypes[obj.Name()] {
+			return "sync." + obj.Name()
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if sub := containsLock(f.Type(), seen); sub != "" {
+				return f.Name() + " (" + sub + ")"
+			}
+		}
+	case *types.Array:
+		return containsLock(u.Elem(), seen)
+	}
+	return ""
+}
+
+// typeShort renders a type without package qualification noise.
+func typeShort(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

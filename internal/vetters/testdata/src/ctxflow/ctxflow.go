@@ -1,0 +1,55 @@
+// Package ctxflow exercises the ctxflow analyzer: fresh background
+// contexts handed to evaluation entry points inside request-scoped
+// functions must be flagged; legitimate uses must not.
+package ctxflow
+
+import (
+	"context"
+	"net/http"
+)
+
+type engine struct{}
+
+func (engine) EvalDocs(ctx context.Context, doc string) int            { return 0 }
+func (engine) EnumerateCompressed(ctx context.Context, doc string) int { return 0 }
+func (engine) CountPoll(ctx context.Context) int                       { return 0 }
+func (engine) Close(ctx context.Context)                               {}
+
+func handler(w http.ResponseWriter, r *http.Request) {
+	var e engine
+	e.EvalDocs(context.Background(), "doc") // want `context\.Background\(\) passed to EvalDocs`
+	e.CountPoll(context.TODO())             // want `context\.TODO\(\) passed to CountPoll`
+	e.EvalDocs(r.Context(), "doc")          // correct: request context flows through
+}
+
+func withCtx(ctx context.Context, e engine) {
+	e.EnumerateCompressed(context.Background(), "doc") // want `context\.Background\(\) passed to EnumerateCompressed`
+	e.EnumerateCompressed(ctx, "doc")
+}
+
+// closureInherits: the func literal has no context parameter of its
+// own, but the enclosing handler does — the closure is still on the
+// request path.
+func closureInherits(ctx context.Context, e engine) {
+	work := func() {
+		e.EvalDocs(context.Background(), "doc") // want `context\.Background\(\) passed to EvalDocs`
+	}
+	work()
+}
+
+// batchJob has no request context: a background context is the honest
+// choice here, not a detached request.
+func batchJob(e engine) {
+	e.EvalDocs(context.Background(), "doc")
+}
+
+// nonEntryPoint: Background flowing into a non-Eval/Enumerate/Count
+// callee is out of scope.
+func nonEntryPoint(ctx context.Context, e engine) {
+	e.Close(context.Background())
+}
+
+func suppressed(ctx context.Context, e engine) {
+	// Detaching deliberately (audit spool continues after disconnect):
+	e.EvalDocs(context.Background(), "doc") //spanvet:ignore ctxflow
+}

@@ -1,0 +1,44 @@
+// Package errflush exercises the errflush analyzer: statements that
+// drop the error of Flush/Write must be flagged; checked or explicitly
+// discarded errors must not.
+package errflush
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+)
+
+type flusherNoErr struct{}
+
+func (flusherNoErr) Flush() {} // error-less Flush (http.Flusher shape): not flagged
+
+type encoder struct{ w io.Writer }
+
+func (e *encoder) Flush(rc *http.ResponseController) error { return rc.Flush() }
+
+func bad(bw *bufio.Writer, w io.Writer, enc *encoder, rc *http.ResponseController) {
+	bw.Flush()                    // want `statement drops the error of bw\.Flush`
+	w.Write([]byte("x"))          // want `statement drops the error of w\.Write`
+	defer bw.Flush()              // want `deferred call drops the error of bw\.Flush`
+	go bw.Flush()                 // want `statement drops the error of bw\.Flush`
+	enc.Flush(rc)                 // want `statement drops the error of enc\.Flush`
+	defer func() { bw.Flush() }() // want `statement drops the error of bw\.Flush`
+}
+
+func good(bw *bufio.Writer, w io.Writer, f flusherNoErr, enc *encoder, rc *http.ResponseController) error {
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte("x")); err != nil {
+		return err
+	}
+	f.Flush()         // no error result
+	_ = enc.Flush(rc) // explicit, reviewable discard
+	err := bw.Flush() // bound to a variable
+	return err
+}
+
+func suppressed(bw *bufio.Writer) {
+	bw.Flush() //spanvet:ignore errflush
+}

@@ -1,0 +1,119 @@
+// Package lockshard exercises the lockshard analyzer: nested shard
+// lock acquisition, same-shard re-lock, and by-value copies of
+// lock-bearing shard structs.
+package lockshard
+
+import "sync"
+
+type shard struct {
+	mu sync.RWMutex
+	m  map[uint64]int
+}
+
+type cache struct {
+	shards [64]shard
+}
+
+func (c *cache) nestedLock(i, j uint64) {
+	a := &c.shards[i&63]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := &c.shards[j&63]
+	b.mu.Lock() // want `acquired while holding shard lock`
+	b.mu.Unlock()
+}
+
+func (c *cache) nestedDirect(i, j uint64) {
+	c.shards[i&63].mu.Lock()
+	defer c.shards[i&63].mu.Unlock()
+	c.shards[j&63].mu.RLock() // want `acquired while holding shard lock`
+	c.shards[j&63].mu.RUnlock()
+}
+
+func (c *cache) selfDeadlock(i uint64) {
+	s := &c.shards[i&63]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mu.Lock() // want `self-deadlock`
+}
+
+func (c *cache) sequential(i, j uint64) {
+	a := &c.shards[i&63]
+	a.mu.Lock()
+	n := len(a.m)
+	a.mu.Unlock()
+	b := &c.shards[j&63]
+	b.mu.Lock()
+	b.m[0] = n
+	b.mu.Unlock()
+}
+
+func (c *cache) singleDeferred(i uint64) int {
+	s := &c.shards[i&63]
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.m)
+}
+
+// branches: each arm locks one shard and releases it; the arms must
+// not see each other's held set.
+func (c *cache) branches(i uint64, fast bool) int {
+	if fast {
+		s := &c.shards[i&63]
+		s.mu.RLock()
+		defer s.mu.RUnlock()
+		return len(s.m)
+	}
+	s := &c.shards[i&63]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[0] = 1
+	return 0
+}
+
+func copyByParam(s shard) int { // want `parameter passes lockshard\.shard by value`
+	return len(s.m)
+}
+
+func (c *cache) copyByRange() int {
+	n := 0
+	for _, s := range c.shards { // want `range copies lockshard\.shard by value`
+		n += len(s.m)
+	}
+	return n
+}
+
+func (c *cache) copyByIndex(i int) {
+	s := c.shards[i] // want `assignment copies lockshard\.shard by value`
+	_ = s
+}
+
+func (c *cache) byPointerIsFine(i int) {
+	s := &c.shards[i]
+	s.mu.Lock()
+	s.m[0] = 1
+	s.mu.Unlock()
+	for i := range c.shards {
+		_ = len(c.shards[i].m)
+	}
+}
+
+// otherMutexesIgnored: nested locks on non-shard mutexes are the
+// business of a general deadlock detector, not this one.
+type twoLocks struct{ a, b sync.Mutex }
+
+func (t *twoLocks) nested() {
+	t.a.Lock()
+	defer t.a.Unlock()
+	t.b.Lock()
+	t.b.Unlock()
+}
+
+func (c *cache) suppressed(i, j uint64) {
+	a := &c.shards[i&63]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b := &c.shards[j&63]
+	b.mu.Lock() //spanvet:ignore lockshard
+	b.mu.Unlock()
+}

@@ -1,0 +1,90 @@
+// Package poolescape exercises the poolescape analyzer: unpaired
+// sync.Pool Gets, unpaired get*/put* accessor calls, and pooled
+// buffers escaping their scope.
+package poolescape
+
+import "sync"
+
+var bufPool = sync.Pool{New: func() any { return make([]byte, 0, 64) }}
+
+type evalBuf struct{ rows [][]int }
+
+var evalBufPool = sync.Pool{New: func() any { return new(evalBuf) }}
+
+func getEvalBuf() *evalBuf  { return evalBufPool.Get().(*evalBuf) }
+func putEvalBuf(b *evalBuf) { b.rows = b.rows[:0]; evalBufPool.Put(b) }
+
+type server struct{ stash []byte }
+
+var global []byte
+
+func leakGet() {
+	buf := bufPool.Get().([]byte) // want `bufPool\.Get without a matching Put`
+	_ = buf
+}
+
+func leakAccessor() {
+	b := getEvalBuf() // want `getEvalBuf without a matching putEvalBuf`
+	_ = b
+}
+
+func escapeReturn() []byte {
+	buf := bufPool.Get().([]byte)
+	defer bufPool.Put(buf)
+	return buf // want `pooled buffer buf escapes escapeReturn via return`
+}
+
+func (s *server) escapeField() {
+	b := getEvalBuf()
+	defer putEvalBuf(b)
+	buf := bufPool.Get().([]byte)
+	defer bufPool.Put(buf)
+	s.stash = buf // want `pooled buffer buf stored into s\.stash`
+}
+
+func escapeGlobal() {
+	buf := bufPool.Get().([]byte)
+	defer bufPool.Put(buf)
+	global = buf // want `pooled buffer buf stored into global`
+}
+
+func paired() {
+	buf := bufPool.Get().([]byte)
+	defer bufPool.Put(buf)
+	b := getEvalBuf()
+	defer putEvalBuf(b)
+	b.rows = append(b.rows, []int{len(buf)})
+}
+
+// getScratch is a get* accessor: returning the pooled value is its job;
+// call sites carry the Put obligation.
+func getScratch() []byte { return bufPool.Get().([]byte) }
+
+func localCopyIsFine() {
+	buf := bufPool.Get().([]byte)
+	defer bufPool.Put(buf)
+	local := buf // stack-local alias, released with the buffer
+	_ = local
+}
+
+// putRows is a clear-before-put wrapper: it nils the element
+// references, then returns the buffer to the pool.
+func putRows(rows []byte) {
+	for i := range rows {
+		rows[i] = 0
+	}
+	bufPool.Put(rows[:0])
+}
+
+// wrapperHandoff Gets directly but Puts through the wrapper — the
+// enumerateBatch idiom. Not a leak.
+func wrapperHandoff() {
+	buf := bufPool.Get().([]byte)
+	defer putRows(buf)
+	_ = buf
+}
+
+func suppressed() {
+	buf := bufPool.Get().([]byte) //spanvet:ignore poolescape
+	global = buf                  //spanvet:ignore
+}

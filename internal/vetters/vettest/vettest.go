@@ -1,0 +1,112 @@
+// Package vettest is an analysistest-style harness for spanvet
+// analyzers: testdata packages annotate expected findings with
+//
+//	x.MulInto(x, y) // want `destination x aliases`
+//
+// comments, where the backquoted text is a regular expression matched
+// against the finding message on that line. Lines without a want
+// comment must produce no finding; a want comment without a finding is
+// a miss. Both directions fail the test.
+package vettest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+	"testing"
+
+	"docspanner/internal/vetters"
+)
+
+// expectation is one `// want ...` annotation.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+`([^`]*)`")
+
+// Run loads dir as one package, runs the analyzer over it, and checks
+// the findings against the package's want annotations.
+func Run(t *testing.T, dir string, a *vetters.Analyzer) {
+	t.Helper()
+	pkg, err := vetters.LoadDir(dir)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	for _, e := range pkg.TypeErrors {
+		t.Errorf("type error in testdata: %v", e)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	wants := collectWants(t, pkg.Fset, pkg.Files)
+	diags := vetters.Run(pkg, []*vetters.Analyzer{a})
+
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: no finding matched `%s`", w.file, w.line, w.re)
+		}
+	}
+}
+
+// collectWants extracts the want annotations from the package's
+// comments.
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.Contains(c.Text, "want") {
+					continue
+				}
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "want `") {
+						t.Fatalf("malformed want comment: %s", c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regexp %q: %v", m[1], err)
+				}
+				pos := fset.Position(c.Pos())
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// Findings runs the analyzer and returns the raw findings — for tests
+// that assert on suppression or counts rather than annotations.
+func Findings(dir string, a *vetters.Analyzer) ([]vetters.Diagnostic, error) {
+	pkg, err := vetters.LoadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(pkg.TypeErrors) > 0 {
+		return nil, fmt.Errorf("type errors in %s: %v", dir, pkg.TypeErrors[0])
+	}
+	return vetters.Run(pkg, []*vetters.Analyzer{a}), nil
+}

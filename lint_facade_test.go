@@ -3,6 +3,7 @@ package docspanner_test
 import (
 	"encoding/json"
 	"reflect"
+	"strings"
 	"testing"
 
 	"docspanner"
@@ -83,8 +84,11 @@ func TestQueryLint(t *testing.T) {
 //   - Spanner.Hierarchical is true for the *benign* property (all
 //     extractable tuples have disjoint-or-nested spans).
 func TestIsCoreIsRegularPolarity(t *testing.T) {
-	a := docspanner.MustCompile(`!x{a+}`, docspanner.Options{})
-	b := docspanner.MustCompile(`!y{b+}`, docspanner.Options{})
+	// Both operands admit documents in a+b+, so the join is satisfiable
+	// (an unsatisfiable join is pruned by the SP003-driven rewrite and
+	// never reaches the plan passes).
+	a := docspanner.MustCompile(`!x{a+}b+`, docspanner.Options{})
+	b := docspanner.MustCompile(`a+!y{b+}`, docspanner.Options{})
 
 	cases := []struct {
 		name     string
@@ -119,5 +123,121 @@ func TestIsCoreIsRegularPolarity(t *testing.T) {
 	rs := docspanner.MustCompile(`!x{a+}&x`, docspanner.Options{})
 	if _, err := rs.Hierarchical(); err == nil {
 		t.Error("Hierarchical() on a refl-spanner should error, not guess")
+	}
+}
+
+// TestQueryLintPlanPassSP009 pins the determinization-blowup pass
+// through the facade: a small NFA whose DFA is exponential fires SP009
+// exactly when the DFA exceeds the configured backend gate, and the
+// warning surfaces in EXPLAIN.
+func TestQueryLintPlanPassSP009(t *testing.T) {
+	// (a|b)*a(a|b)^10: ~70 NFA states, >1000 DFA states.
+	pat := "(a|b)*a" + strings.Repeat("(a|b)", 10)
+	s := docspanner.MustCompile(pat, docspanner.Options{})
+
+	hasCode := func(ds []docspanner.Diagnostic, code string) bool {
+		for _, d := range ds {
+			if d.Code == code {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Gate at 200: the NFA passes (≈70 states) but the DFA blows past it.
+	q := docspanner.MustQ(s).WithPlan(docspanner.PlanOptions{MaxDeterminizeStates: 200})
+	ds := q.Lint()
+	if !hasCode(ds, "SP009") {
+		t.Fatalf("expected SP009 with MaxDeterminizeStates=200, got %v", ds)
+	}
+	for _, d := range ds {
+		if d.Code == "SP009" && d.Severity != docspanner.SeverityWarning {
+			t.Errorf("SP009 should be a warning, got %v", d.Severity)
+		}
+	}
+	if expl := q.Explain(); !strings.Contains(expl, "warnings:") || !strings.Contains(expl, "SP009") {
+		t.Errorf("EXPLAIN should surface the SP009 warning:\n%s", expl)
+	}
+
+	// Default gate (4096): the ~2^10-state DFA fits, no warning.
+	if ds := docspanner.MustQ(s).Lint(); hasCode(ds, "SP009") {
+		t.Errorf("SP009 should not fire under the default gate, got %v", ds)
+	}
+
+	// Gate below the NFA size: backend selection goes naive, so the
+	// blowup never happens and must not be reported.
+	qn := docspanner.MustQ(s).WithPlan(docspanner.PlanOptions{MaxDeterminizeStates: 8})
+	if ds := qn.Lint(); hasCode(ds, "SP009") {
+		t.Errorf("SP009 should not fire when the gate already routes the scan to the naive backend, got %v", ds)
+	}
+}
+
+// TestQueryLintPlanPassSP010 pins the join-cost pass: SP010 fires only
+// when an expensive join survives the rewrite pipeline.
+func TestQueryLintPlanPassSP010(t *testing.T) {
+	// Both operands admit documents in a+b+, so the join is satisfiable
+	// (an unsatisfiable join is pruned by the SP003-driven rewrite and
+	// never reaches the plan passes).
+	a := docspanner.MustCompile(`!x{a+}b+`, docspanner.Options{})
+	b := docspanner.MustCompile(`a+!y{b+}`, docspanner.Options{})
+
+	hasCode := func(ds []docspanner.Diagnostic, code string) bool {
+		for _, d := range ds {
+			if d.Code == code {
+				return true
+			}
+		}
+		return false
+	}
+
+	// MaxFusedStates=1 disables join fusion, so the disjoint-schema join
+	// survives into the physical plan as a materialized cross product.
+	q := docspanner.MustQ(a).Join(docspanner.MustQ(b)).
+		WithPlan(docspanner.PlanOptions{MaxFusedStates: 1})
+	ds := q.Lint()
+	if !hasCode(ds, "SP010") {
+		t.Fatalf("expected SP010 on a surviving cross-product join, got %v", ds)
+	}
+	if expl := q.Explain(); !strings.Contains(expl, "SP010") {
+		t.Errorf("EXPLAIN should surface the SP010 warning:\n%s", expl)
+	}
+
+	// Under the default pipeline the same join fuses into one automaton:
+	// no join survives into the plan, so the plan-level pass stays
+	// silent (the expression-level SP003 cartesian-product warning
+	// remains).
+	ds = docspanner.MustQ(a).Join(docspanner.MustQ(b)).Lint()
+	if hasCode(ds, "SP010") {
+		t.Errorf("SP010 should not fire once the join is fused away, got %v", ds)
+	}
+	if !hasCode(ds, "SP003") {
+		t.Errorf("expression-level SP003 should still report the cartesian product, got %v", ds)
+	}
+
+	// Schemaless weak-binding case: x is optional on one side of a
+	// shared-variable join, so ⊥-tuples join near-universally.
+	opt := docspanner.MustCompile(`(!x{a+}|b+)c`, docspanner.Options{Schemaless: true})
+	req := docspanner.MustCompile(`!x{a+}c`, docspanner.Options{Schemaless: true})
+	qw := docspanner.MustQ(opt).Join(docspanner.MustQ(req)).
+		WithPlan(docspanner.PlanOptions{MaxFusedStates: 1})
+	if ds := qw.Lint(); !hasCode(ds, "SP010") {
+		t.Errorf("expected SP010 for a weakly-bound schemaless join, got %v", ds)
+	}
+
+	// Same join with x mandatory on both sides: shared variable always
+	// bound, no blowup to report.
+	both := docspanner.MustQ(req).Join(docspanner.MustQ(req)).
+		WithPlan(docspanner.PlanOptions{MaxFusedStates: 1})
+	if ds := both.Lint(); hasCode(ds, "SP010") {
+		t.Errorf("SP010 should not fire when shared variables are always bound, got %v", ds)
+	}
+
+	// The select-over-cross-product idiom is exempt, matching SP003: an
+	// enclosing selection class relating both join sides means the cross
+	// product carries intent (ς=(a ⋈ b), the canonical core-query shape).
+	sel := docspanner.MustQ(a).Join(docspanner.MustQ(b)).SelectEqual("x", "y").
+		WithPlan(docspanner.PlanOptions{MaxFusedStates: 1})
+	if ds := sel.Lint(); hasCode(ds, "SP010") {
+		t.Errorf("SP010 should not fire under a selection relating both sides, got %v", ds)
 	}
 }

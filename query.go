@@ -29,6 +29,12 @@ type PlanOptions struct {
 	// MaxFusedStates caps the automata built by the fusion rewrites
 	// (default 4096).
 	MaxFusedStates int
+	// MaxDeterminizeStates is the backend-selection cost gate: a scan
+	// whose NFA has more states is evaluated with the materializing
+	// backend instead of being determinized (default 4096). The same
+	// number budgets the SP009 determinization-blowup lint, which warns
+	// when a scan passes this gate on NFA size but its DFA exceeds it.
+	MaxDeterminizeStates int
 }
 
 // QueryOptions configures query construction (NewQuery).
@@ -189,12 +195,24 @@ func (q *Query) IsCore() bool { return algebra.HasSelections(q.expr) }
 // defined as the exact negation of IsCore, mirroring Spanner.IsRegular.
 func (q *Query) IsRegular() bool { return !q.IsCore() }
 
-// Lint runs the spanlint static-analysis passes over the whole expression
-// tree and returns the diagnostics, sorted by position path ("$" is the
-// root, "$.L"/"$.R"/"$.Sub" descend into operands). An empty slice means
-// the query is lint-clean. Safe to call concurrently on a shared query.
+// Lint runs the spanlint static-analysis passes over the query and
+// returns the diagnostics, sorted by position path ("$" is the root,
+// "$.L"/"$.R"/"$.Sub" descend into operands). An empty slice means the
+// query is lint-clean. Safe to call concurrently on a shared query.
+//
+// Two layers of passes run: the expression passes (SP001–SP008), which
+// judge what the query says, and the plan passes (SP009–SP010), which
+// judge what the planner's chosen physical plan will cost under this
+// query's PlanOptions — a join the rewriter fused away is free and not
+// reported, and a determinization blowup is reported only if backend
+// selection will actually determinize. Calling Lint plans the query
+// (planning is cached, so this costs nothing extra when the query is
+// later evaluated).
 func (q *Query) Lint() []Diagnostic {
-	return lint.Expr(q.expr, q.schemaless)
+	diags := lint.Expr(q.expr, q.schemaless)
+	diags = append(diags, q.plan().Lint()...)
+	lint.Sort(diags)
+	return diags
 }
 
 // plan lowers, rewrites, and caches the query's execution plan (planned
@@ -209,12 +227,13 @@ func (q *Query) plan() *plan.Planned {
 
 func (q *Query) planOptions() plan.Options {
 	return plan.Options{
-		Schemaless:      q.schemaless,
-		DisableRewrites: q.planOpts.DisableRewrites,
-		ReflRewrite:     q.planOpts.ReflRewrite,
-		NaiveBackend:    q.planOpts.NaiveBackend,
-		MaxFusedStates:  q.planOpts.MaxFusedStates,
-		RequireTotal:    q.requireTotal,
+		Schemaless:           q.schemaless,
+		DisableRewrites:      q.planOpts.DisableRewrites,
+		ReflRewrite:          q.planOpts.ReflRewrite,
+		NaiveBackend:         q.planOpts.NaiveBackend,
+		MaxFusedStates:       q.planOpts.MaxFusedStates,
+		MaxDeterminizeStates: q.planOpts.MaxDeterminizeStates,
+		RequireTotal:         q.requireTotal,
 	}
 }
 
