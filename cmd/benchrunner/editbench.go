@@ -1,0 +1,315 @@
+package main
+
+// E21: edit→requery vs cold re-evaluation (-edit-bench). Measures the
+// incremental-view-maintenance claim of survey §4.3: after a CDE edit,
+// re-answering a prepared query via WarmDelta + the shared memo costs
+// O(log d) node recomputations, against a cold baseline that drops the
+// caches and re-warms the whole grammar. Three document sizes (4 KiB,
+// 64 KiB, 1 MiB), then a sustained mixed edit/read/changes load against
+// an in-process spannerd with a live view in both refresh modes.
+// Results are written as machine-readable JSON (BENCH_pr8.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"docspanner"
+	"docspanner/internal/automata"
+	"docspanner/internal/slpmatch"
+	"docspanner/internal/server"
+)
+
+const (
+	editBenchEdits    = 32
+	editBenchClients  = 8
+	editBenchDuration = 600 * time.Millisecond
+)
+
+// editBenchMicro is one document size of the incremental-vs-cold suite.
+type editBenchMicro struct {
+	ID       string `json:"id"`
+	DocBytes int64  `json:"doc_bytes"`
+	Edits    int    `json:"edits"`
+	// IncrementalNsPerEdit is the full edit→requery cost: CDE edit +
+	// WarmDelta + exact count, amortized over the edit sequence.
+	IncrementalNsPerEdit float64 `json:"incremental_ns_per_edit"`
+	// ColdNsPerReeval drops the shared caches, rebuilds the index and
+	// counter, warms the whole grammar, and counts.
+	ColdNsPerReeval   float64 `json:"cold_ns_per_reeval"`
+	Speedup           float64 `json:"speedup_cold_over_incremental"`
+	RecomputedPerEdit float64 `json:"recomputed_nodes_per_edit"`
+	ReusedPerEdit     float64 `json:"reused_nodes_per_edit"`
+	ReuseRatio        float64 `json:"reuse_ratio"`
+	// Log2Doc contextualizes RecomputedPerEdit: the claim is that it
+	// grows ~log2(doc_bytes), not with the document.
+	Log2Doc float64 `json:"log2_doc_bytes"`
+}
+
+// editBenchServe is one request kind of the sustained mixed-load run.
+type editBenchServe struct {
+	ID        string  `json:"id"`
+	Requests  int     `json:"requests"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+}
+
+type editBenchFile struct {
+	Description string           `json:"description"`
+	GoVersion   string           `json:"go_version"`
+	GOMAXPROCS  int              `json:"gomaxprocs"`
+	Micro       []editBenchMicro `json:"micro"`
+	Serve       []editBenchServe `json:"serve"`
+}
+
+// runEditBench measures both halves of E21 and writes the JSON file.
+func runEditBench(path string) error {
+	f := editBenchFile{
+		Description: "E21: incremental view maintenance (cmd/benchrunner -edit-bench). micro = edit->requery (CDE edit + WarmDelta + exact count) vs cold re-evaluation (ResetCaches + full Warm + count) for query .*!x{ab}.* over random ab-documents; serve = sustained mixed edit/view-read/changes load against in-process spannerd with a live view, sync and async refresh",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Printf("\n== E21: edit→requery vs cold re-evaluation (%d edits per size) ==\n", editBenchEdits)
+	fmt.Printf("%-10s %-16s %-16s %-9s %-14s %-10s\n",
+		"doc", "incremental/edit", "cold/re-eval", "speedup", "recomp/edit", "log2(d)")
+	for _, sz := range []struct {
+		label string
+		n     int64
+	}{{"4KiB", 1 << 12}, {"64KiB", 1 << 16}, {"1MiB", 1 << 20}} {
+		m := measureEditMicro(sz.label, sz.n)
+		f.Micro = append(f.Micro, m)
+		fmt.Printf("%-10s %-16.0f %-16.0f %-9.1f %-14.1f %-10.1f\n",
+			sz.label, m.IncrementalNsPerEdit, m.ColdNsPerReeval,
+			m.Speedup, m.RecomputedPerEdit, m.Log2Doc)
+	}
+	fmt.Println("expected: speedup grows with the document (cold is linear in the grammar,")
+	fmt.Println("incremental is the spine); recomp/edit tracks log2(d), not d")
+
+	for _, mode := range []string{"sync", "async"} {
+		entries, err := runEditServe(mode)
+		if err != nil {
+			return err
+		}
+		f.Serve = append(f.Serve, entries...)
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// measureEditMicro runs the incremental edit sequence first (so its
+// shared cores stay attached throughout), then the cold baseline, which
+// resets the process-wide caches each iteration.
+func measureEditMicro(label string, n int64) editBenchMicro {
+	dfa := automata.Determinize(compile(".*!x{ab}.*", "ab"))
+	rng := rand.New(rand.NewSource(42))
+
+	db := docspanner.NewDocDB()
+	cur := docspanner.DocumentFromBytes(randomDoc(int(n), 11))
+	db.Add("D", cur)
+
+	ix := slpmatch.NewIndex(dfa)
+	ix.Warm(cur.Node())
+	ct := slpmatch.NewCounter(dfa)
+	want := ct.Count(cur.Node())
+
+	var stats slpmatch.WarmStats
+	start := time.Now()
+	for i := 0; i < editBenchEdits; i++ {
+		pos := rng.Int63n(cur.Len()) + 1
+		old := cur
+		next, err := db.Edit("D", fmt.Sprintf("insert(D, extract(D,1,2), %d)", pos))
+		if err != nil {
+			panic(err)
+		}
+		cur = next
+		stats.Add(ix.WarmDelta(old.Node(), cur.Node()))
+		stats.Add(ct.WarmDelta(old.Node(), cur.Node()))
+		want = ct.Count(cur.Node())
+	}
+	incremental := time.Since(start) / editBenchEdits
+
+	// Cold baseline on the final document: every requery pays for the
+	// whole grammar again.
+	root := cur.Node()
+	cold := timeIt(func() {
+		slpmatch.ResetCaches()
+		cix := slpmatch.NewIndex(dfa)
+		cix.Warm(root)
+		cct := slpmatch.NewCounter(dfa)
+		if cct.Count(root).Cmp(want) != 0 {
+			panic("cold count disagrees with incremental count")
+		}
+	})
+
+	ratio := 0.0
+	if tot := stats.Recomputed + stats.Reused; tot > 0 {
+		ratio = float64(stats.Reused) / float64(tot)
+	}
+	return editBenchMicro{
+		ID:                   "E21/edit-requery/" + label,
+		DocBytes:             n,
+		Edits:                editBenchEdits,
+		IncrementalNsPerEdit: float64(incremental.Nanoseconds()),
+		ColdNsPerReeval:      float64(cold.Nanoseconds()),
+		Speedup:              round2(float64(cold) / float64(incremental)),
+		RecomputedPerEdit:    round2(float64(stats.Recomputed) / editBenchEdits),
+		ReusedPerEdit:        round2(float64(stats.Reused) / editBenchEdits),
+		ReuseRatio:           round2(ratio),
+		Log2Doc:              round2(math.Log2(float64(n))),
+	}
+}
+
+// runEditServe boots one spannerd with a live view in the given refresh
+// mode and applies a sustained mixed load: editors posting CDE inserts,
+// readers polling the view, and clients pulling /changes deltas.
+func runEditServe(mode string) ([]editBenchServe, error) {
+	srv, err := server.New(server.Config{MaxConcurrent: 64, ViewRefresh: mode})
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: editBenchClients}}
+
+	request := func(method, path, body string) (int, []byte, error) {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, ts.URL+path, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+	mustDo := func(method, path, body string, want int) {
+		code, b, err := request(method, path, body)
+		if err != nil || code != want {
+			panic(fmt.Sprintf("edit-bench setup %s %s: %d %s %v", method, path, code, b, err))
+		}
+	}
+
+	// 4 KiB fixture (as in E18): each synchronous refresh materializes
+	// ~1K tuples, so the mixed load measures maintenance, not sorting.
+	mustDo("PUT", "/docs/d?compress=1", string(randomDoc(1<<12, 33)), 200)
+	mustDo("PUT", "/queries/q", `{"src": ".*!x{ab}.*"}`, 200)
+	mustDo("PUT", "/docs/d/views/q", "", 201)
+
+	kinds := []struct {
+		id      string
+		workers int
+		fire    func() (time.Duration, bool)
+	}{
+		{"edit", 2, func() (time.Duration, bool) {
+			t0 := time.Now()
+			code, _, err := request("POST", "/docs/d/edit", `{"expr": "insert(d, extract(d,1,2), 17)"}`)
+			return time.Since(t0), err == nil && code == 200
+		}},
+		{"view-get", 3, func() (time.Duration, bool) {
+			t0 := time.Now()
+			code, _, err := request("GET", "/docs/d/views/q", "")
+			return time.Since(t0), err == nil && code == 200
+		}},
+		{"changes", 3, func() (time.Duration, bool) {
+			// Diff the view against its own current version: always inside
+			// the history window, exercises the NDJSON delta path.
+			_, b, err := request("GET", "/docs/d/views/q", "")
+			if err != nil {
+				return 0, false
+			}
+			var v struct {
+				Version int `json:"version"`
+			}
+			_ = json.Unmarshal(b, &v)
+			t0 := time.Now()
+			code, _, err := request("GET", fmt.Sprintf("/docs/d/changes?query=q&since=%d", v.Version), "")
+			// 410 is a benign race: the version left the 8-deep history
+			// window between the two requests.
+			return time.Since(t0), err == nil && (code == 200 || code == 410)
+		}},
+	}
+
+	fmt.Printf("\n== E21: spannerd mixed edit/read load, view-refresh=%s (%v) ==\n", mode, editBenchDuration)
+	fmt.Printf("%-26s %-10s %-10s %-10s\n", "scenario", "req/s", "p50", "p99")
+
+	type sample struct {
+		kind int
+		d    time.Duration
+		ok   bool
+	}
+	deadline := time.Now().Add(editBenchDuration)
+	start := time.Now()
+	var mu sync.Mutex
+	var samples []sample
+	var wg sync.WaitGroup
+	for k, kind := range kinds {
+		for w := 0; w < kind.workers; w++ {
+			wg.Add(1)
+			go func(k int, fire func() (time.Duration, bool)) {
+				defer wg.Done()
+				for time.Now().Before(deadline) {
+					d, ok := fire()
+					mu.Lock()
+					samples = append(samples, sample{k, d, ok})
+					mu.Unlock()
+				}
+			}(k, kind.fire)
+		}
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var out []editBenchServe
+	for k, kind := range kinds {
+		var lat []time.Duration
+		for _, s := range samples {
+			if s.kind != k {
+				continue
+			}
+			if !s.ok {
+				return nil, fmt.Errorf("edit-bench %s/%s: request failed under load", mode, kind.id)
+			}
+			lat = append(lat, s.d)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		q := func(p float64) time.Duration {
+			if len(lat) == 0 {
+				return 0
+			}
+			return lat[int(p*float64(len(lat)-1))]
+		}
+		e := editBenchServe{
+			ID:        fmt.Sprintf("E21/serve/%s/%s", mode, kind.id),
+			Requests:  len(lat),
+			ReqPerSec: round2(float64(len(lat)) / elapsed.Seconds()),
+			P50Us:     round2(float64(q(0.50).Nanoseconds()) / 1e3),
+			P99Us:     round2(float64(q(0.99).Nanoseconds()) / 1e3),
+		}
+		out = append(out, e)
+		fmt.Printf("%-26s %-10.0f %-10v %-10v\n", e.ID, e.ReqPerSec, q(0.50), q(0.99))
+	}
+	return out, nil
+}

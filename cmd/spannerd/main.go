@@ -8,6 +8,7 @@
 //
 //	spannerd [-addr :8080] [-max-concurrent 64] [-timeout 30s]
 //	         [-max-timeout 5m] [-lint-fail-on error] [-log text|json|off]
+//	         [-view-refresh sync|async]
 //
 // Endpoints (see the README's Serving section for a walkthrough):
 //
@@ -29,6 +30,11 @@
 //	GET    /count?query=q&doc=d      tuple count
 //	GET    /stream?query=q&doc=d     NDJSON, one tuple per line, streamed
 //	POST   /batch                    {"query", "docs": [...], "workers"}
+//	GET    /views                    list all live views
+//	PUT    /docs/{name}/views/{q}    register a live view, refresh inline
+//	GET    /docs/{name}/views/{q}    version-stamped result [?tuples=1]
+//	DELETE /docs/{name}/views/{q}    drop a view
+//	GET    /docs/{name}/changes      ?query=q&since=V tuple delta, NDJSON
 //	POST   /admin/flush-caches       drop the shared plan + matrix caches
 package main
 
@@ -55,6 +61,7 @@ func main() {
 		maxTO   = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested ?timeout=")
 		failOn  = flag.String("lint-fail-on", "error", "reject query registrations at this lint severity: info | warning | error | never")
 		logMode = flag.String("log", "text", "request log format: text | json | off")
+		refresh = flag.String("view-refresh", "sync", "live-view refresh on document edits: sync | async")
 	)
 	flag.Parse()
 
@@ -77,11 +84,13 @@ func main() {
 		MaxTimeout:     *maxTO,
 		LintFailOn:     *failOn,
 		Logger:         logger,
+		ViewRefresh:    *refresh,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spannerd:", err)
 		os.Exit(2)
 	}
+	defer srv.Close()
 
 	hs := &http.Server{
 		Addr:              *addr,

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
-	"sync"
+	"sync/atomic"
 
 	"docspanner/internal/automata"
 	"docspanner/internal/slp"
@@ -93,6 +93,20 @@ func (db *DocDB) Size() int { return db.db.Size() }
 // and stores the result under name, in time O(|φ|·log d) without
 // decompressing any document (Section 4.3). Positions are 1-based and
 // inclusive, following the paper.
+// CDEError is the typed error of CDE parse and evaluation failures
+// (re-exported from internal/slp). Code is one of the CDE… constants;
+// Offset locates parse errors in the expression text (-1 for evaluation
+// errors); Op is the textual form of the failing operation.
+type CDEError = slp.CDEError
+
+// CDE error codes (re-exported): parse failure, unknown document
+// reference, out-of-range position.
+const (
+	CDEParseCode      = slp.CDEParseCode
+	CDEUnknownDocCode = slp.CDEUnknownDocCode
+	CDERangeCode      = slp.CDERangeCode
+)
+
 func (db *DocDB) Edit(name, expr string) (*Document, error) {
 	e, err := slp.ParseCDE(expr)
 	if err != nil {
@@ -115,9 +129,11 @@ func (db *DocDB) Edit(name, expr string) (*Document, error) {
 // node once, no matter how many goroutines touch it. Documents
 // themselves are immutable and freely shareable.
 type Index struct {
-	ix          *slpmatch.Index
-	counterOnce sync.Once
-	counter     *slpmatch.Counter
+	ix *slpmatch.Index
+	// counter is built lazily on first ExactCount. Racing initializations
+	// are harmless: NewCounter hash-conses the core per automaton, so all
+	// winners are equivalent.
+	counter atomic.Pointer[slpmatch.Counter]
 }
 
 // Index builds (or returns a cached) compressed-evaluation index for a
@@ -139,6 +155,30 @@ func (ix *Index) Warm(d *Document) { ix.ix.Warm(d.Node()) }
 // cores.
 func (ix *Index) WarmParallel(d *Document, workers int) {
 	ix.ix.WarmParallel(d.Node(), workers)
+}
+
+// WarmStats reports the work one WarmDelta call did: nodes recomputed
+// (the O(log d) edit spine), distinct cached subtree roots reused, and
+// nodes already cached before the call. It aliases the slpmatch type so
+// the counters stay per-core comparable across layers.
+type WarmStats = slpmatch.WarmStats
+
+// WarmDelta brings the index up to date after a CDE edit that turned old
+// into cur: only the O(log d) fresh spine nodes are recomputed; every
+// subtree cur shares with old is reused through the cache. When the
+// index's exact counter has been used (ExactCount), its count matrices
+// are maintained too, so live counts stay one cache hit away. A nil old
+// document warms cur from whatever is cached.
+func (ix *Index) WarmDelta(old, cur *Document) WarmStats {
+	var oldRoot *slp.Node
+	if old != nil {
+		oldRoot = old.Node()
+	}
+	st := ix.ix.WarmDelta(oldRoot, cur.Node())
+	if ct := ix.counter.Load(); ct != nil {
+		st.Add(ct.WarmDelta(oldRoot, cur.Node()))
+	}
+	return st
 }
 
 // WarmDB preprocesses every document of a database. Nodes shared between
@@ -178,10 +218,12 @@ func (ix *Index) NonEmpty(d *Document) bool { return ix.ix.NonEmpty(d.Node()) }
 // document via big-integer matrix counting — polynomial in the SLP size
 // even when the count itself is astronomical.
 func (ix *Index) ExactCount(d *Document) *big.Int {
-	ix.counterOnce.Do(func() {
-		ix.counter = slpmatch.NewCounter(ix.ix.DEVA())
-	})
-	return ix.counter.Count(d.Node())
+	ct := ix.counter.Load()
+	if ct == nil {
+		ct = slpmatch.NewCounter(ix.ix.DEVA())
+		ix.counter.Store(ct)
+	}
+	return ct.Count(d.Node())
 }
 
 // EvalCompressed evaluates the query directly on an SLP-compressed

@@ -237,6 +237,46 @@ func TestDocDBEditing(t *testing.T) {
 	}
 }
 
+func TestIndexWarmDeltaAcrossEdits(t *testing.T) {
+	db := NewDocDB()
+	db.Add("log", CompressDocument([]byte("the cat sat on the mat")))
+
+	s := MustCompile(".*!x{at}.*", Options{Alphabet: []byte("the cast. monm")})
+	ix, err := s.Index()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, _ := db.Get("log")
+	ix.Warm(old)
+	if ix.ExactCount(old).Int64() != int64(ix.Count(old)) {
+		t.Fatal("ExactCount and Count disagree on the base document")
+	}
+
+	for i, expr := range []string{
+		"insert(log, extract(log,5,8), 1)", // prepend "cat "
+		"delete(log, 1, 4)",
+		"concat(log, log)",
+	} {
+		cur, err := db.Edit("log", expr)
+		if err != nil {
+			t.Fatalf("edit %d: %v", i, err)
+		}
+		st := ix.WarmDelta(old, cur)
+		if st.Recomputed == 0 {
+			t.Errorf("edit %d: WarmDelta recomputed nothing", i)
+		}
+		// The maintained index must agree with plain evaluation — and
+		// the maintained exact counter with the maintained index.
+		if !ix.Eval(cur).Equal(s.Eval(cur.Bytes())) {
+			t.Errorf("edit %d: maintained index diverged from plain evaluation", i)
+		}
+		if got, want := ix.ExactCount(cur).Int64(), int64(ix.Count(cur)); got != want {
+			t.Errorf("edit %d: ExactCount = %d, Count = %d", i, got, want)
+		}
+		old = cur
+	}
+}
+
 func TestRefusedOperations(t *testing.T) {
 	r := MustCompile("!x{a+}&x", Options{})
 	if _, err := r.Index(); err == nil {

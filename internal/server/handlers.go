@@ -27,8 +27,9 @@ func (s *Server) handleDocPut(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return errBadRequest("reading body: " + err.Error())
 	}
-	info := s.store.put(name, data, boolParam(r, "compress"))
-	writeJSON(w, 200, info)
+	sd := s.store.put(name, data, boolParam(r, "compress"))
+	s.notifyDocChanged(name)
+	writeJSON(w, 200, sd.info())
 	return nil
 }
 
@@ -49,19 +50,23 @@ func (s *Server) handleDocGet(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleDocDelete(w http.ResponseWriter, r *http.Request) error {
-	if err := s.store.delete(r.PathValue("name")); err != nil {
+	name := r.PathValue("name")
+	if err := s.store.delete(name); err != nil {
 		return err
 	}
-	writeJSON(w, 200, map[string]string{"status": "deleted"})
+	dropped := s.views.DropDoc(name)
+	writeJSON(w, 200, map[string]any{"status": "deleted", "views_dropped": dropped})
 	return nil
 }
 
 func (s *Server) handleDocCompress(w http.ResponseWriter, r *http.Request) error {
-	info, err := s.store.compress(r.PathValue("name"))
+	name := r.PathValue("name")
+	sd, err := s.store.compress(name)
 	if err != nil {
 		return err
 	}
-	writeJSON(w, 200, info)
+	s.notifyDocChanged(name)
+	writeJSON(w, 200, sd.info())
 	return nil
 }
 
@@ -78,11 +83,13 @@ func (s *Server) handleDocEdit(w http.ResponseWriter, r *http.Request) error {
 	if body.Expr == "" {
 		return errBadRequest(`edit needs a CDE expression, e.g. {"expr": "insert(d1, extract(d2,1,4), 7)"}`)
 	}
-	info, err := s.store.edit(r.PathValue("name"), body.Expr)
+	name := r.PathValue("name")
+	sd, err := s.store.edit(name, body.Expr)
 	if err != nil {
 		return err
 	}
-	writeJSON(w, 200, info)
+	s.notifyDocChanged(name)
+	writeJSON(w, 200, sd.info())
 	return nil
 }
 
@@ -127,10 +134,14 @@ func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) error {
 	if err := decodeJSON(r, &spec); err != nil {
 		return err
 	}
-	info, err := s.queries.register(r.PathValue("name"), spec)
+	name := r.PathValue("name")
+	info, err := s.queries.register(name, spec)
 	if err != nil {
 		return err
 	}
+	// A re-registration may change the query's definition; views built on
+	// the old one are dropped rather than silently serving stale results.
+	s.views.DropQuery(name)
 	writeJSON(w, 200, info)
 	return nil
 }
@@ -145,10 +156,12 @@ func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) error {
 }
 
 func (s *Server) handleQueryDelete(w http.ResponseWriter, r *http.Request) error {
-	if err := s.queries.delete(r.PathValue("name")); err != nil {
+	name := r.PathValue("name")
+	if err := s.queries.delete(name); err != nil {
 		return err
 	}
-	writeJSON(w, 200, map[string]string{"status": "deleted"})
+	dropped := s.views.DropQuery(name)
+	writeJSON(w, 200, map[string]any{"status": "deleted", "views_dropped": dropped})
 	return nil
 }
 

@@ -76,11 +76,13 @@ type metrics struct {
 	tuples     map[string]*atomic.Uint64 // "query|kind" -> tuples emitted
 	handlerLat map[string]*histogram     // handler -> latency
 	queryLat   map[string]*histogram     // "query|kind" -> latency
+	viewLat    map[string]*histogram     // "doc|query" -> view refresh latency
 
-	inflight    atomic.Int64
-	rejected    atomic.Uint64 // requests refused by the concurrency limiter
-	timeouts    atomic.Uint64 // requests cancelled by deadline
-	disconnects atomic.Uint64 // streams aborted by client disconnect (499)
+	inflight      atomic.Int64
+	rejected      atomic.Uint64 // requests refused by the concurrency limiter
+	timeouts      atomic.Uint64 // requests cancelled by deadline
+	disconnects   atomic.Uint64 // streams aborted by client disconnect (499)
+	viewRefreshes atomic.Uint64 // view refreshes performed (stale skips excluded)
 }
 
 func newMetrics() *metrics {
@@ -90,6 +92,7 @@ func newMetrics() *metrics {
 		tuples:     map[string]*atomic.Uint64{},
 		handlerLat: map[string]*histogram{},
 		queryLat:   map[string]*histogram{},
+		viewLat:    map[string]*histogram{},
 	}
 }
 
@@ -125,6 +128,11 @@ func (m *metrics) query(name, kind string, tuples int, d time.Duration) {
 	m.histogramFor(m.queryLat, name+"|"+kind).observe(d)
 }
 
+func (m *metrics) viewRefresh(doc, query string, d time.Duration) {
+	m.viewRefreshes.Add(1)
+	m.histogramFor(m.viewLat, doc+"|"+query).observe(d)
+}
+
 // sortedKeys snapshots a label table's keys under the lock for
 // deterministic exposition.
 func sortedKeys[V any](mu *sync.Mutex, table map[string]V) []string {
@@ -149,7 +157,7 @@ func (m *metrics) get(table map[string]*atomic.Uint64, key string) uint64 {
 }
 
 // writeProm renders the Prometheus text exposition format.
-func (m *metrics) writeProm(w io.Writer, docs, queries int) {
+func (m *metrics) writeProm(w io.Writer, docs, queries, views int) {
 	fmt.Fprintf(w, "# HELP spannerd_uptime_seconds Time since the server started.\n")
 	fmt.Fprintf(w, "# TYPE spannerd_uptime_seconds gauge\n")
 	fmt.Fprintf(w, "spannerd_uptime_seconds %g\n", time.Since(m.start).Seconds())
@@ -160,6 +168,9 @@ func (m *metrics) writeProm(w io.Writer, docs, queries int) {
 	fmt.Fprintf(w, "# HELP spannerd_queries Prepared queries in the registry.\n")
 	fmt.Fprintf(w, "# TYPE spannerd_queries gauge\n")
 	fmt.Fprintf(w, "spannerd_queries %d\n", queries)
+	fmt.Fprintf(w, "# HELP spannerd_views Live materialized (doc, query) views.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_views gauge\n")
+	fmt.Fprintf(w, "spannerd_views %d\n", views)
 
 	fmt.Fprintf(w, "# HELP spannerd_inflight_requests Requests currently being served.\n")
 	fmt.Fprintf(w, "# TYPE spannerd_inflight_requests gauge\n")
@@ -197,6 +208,30 @@ func (m *metrics) writeProm(w io.Writer, docs, queries int) {
 			q, kind, _ := cut(k)
 			return fmt.Sprintf("query=%q,kind=%q", q, kind)
 		})
+
+	fmt.Fprintf(w, "# HELP spannerd_view_refreshes_total Incremental view refreshes performed (version-stale skips excluded).\n")
+	fmt.Fprintf(w, "# TYPE spannerd_view_refreshes_total counter\n")
+	fmt.Fprintf(w, "spannerd_view_refreshes_total %d\n", m.viewRefreshes.Load())
+	writeHistograms(w, "spannerd_view_refresh_duration_seconds",
+		"Incremental view refresh latency (WarmDelta + count + materialization) by view.",
+		&m.mu, m.viewLat, func(k string) string {
+			d, q, _ := cut(k)
+			return fmt.Sprintf("doc=%q,query=%q", d, q)
+		})
+
+	// Edit-aware memo maintenance: process-wide WarmDelta node totals and
+	// the resulting reuse ratio — how much of the touched DAGs the
+	// incremental warms did NOT have to recompute.
+	wr, wu := slpmatch.WarmDeltaStats()
+	fmt.Fprintf(w, "# HELP spannerd_warm_recomputed_nodes_total SLP nodes recomputed by incremental WarmDelta calls (the edit spines).\n")
+	fmt.Fprintf(w, "# TYPE spannerd_warm_recomputed_nodes_total counter\n")
+	fmt.Fprintf(w, "spannerd_warm_recomputed_nodes_total %d\n", wr)
+	fmt.Fprintf(w, "# HELP spannerd_warm_reused_nodes_total Cached subtree roots WarmDelta pruned at instead of recomputing.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_warm_reused_nodes_total counter\n")
+	fmt.Fprintf(w, "spannerd_warm_reused_nodes_total %d\n", wu)
+	fmt.Fprintf(w, "# HELP spannerd_warm_memo_reuse_ratio Fraction of WarmDelta-visited nodes served from the memo since process start.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_warm_memo_reuse_ratio gauge\n")
+	fmt.Fprintf(w, "spannerd_warm_memo_reuse_ratio %s\n", rate(wu, wr))
 
 	// Process-wide shared caches: the hash-consed plan cache and the
 	// slpmatch per-SLP-node matrix cache.

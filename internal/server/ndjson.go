@@ -216,6 +216,19 @@ func (e *ndjsonEncoder) EncodeTuple(t docspanner.Tuple, doc []byte, withContent 
 	return err
 }
 
+// EncodeChange writes one /changes delta line — {"op":"add","tuple":{…}}
+// or {"op":"remove","tuple":{…}} — through the same zero-allocation
+// tuple path as EncodeTuple.
+func (e *ndjsonEncoder) EncodeChange(op string, t docspanner.Tuple, doc []byte, withContent bool) error {
+	e.buf = append(e.buf[:0], `{"op":`...)
+	e.buf = appendEscapedString(e.buf, op)
+	e.buf = append(e.buf, `,"tuple":`...)
+	e.buf, e.vars = appendTupleValue(e.buf, t, doc, withContent, e.vars)
+	e.buf = append(e.buf, '}', '\n')
+	_, err := e.w.Write(e.buf)
+	return err
+}
+
 // WriteLine writes a pre-marshaled JSON line (the stream summary).
 func (e *ndjsonEncoder) WriteLine(line []byte) error {
 	if _, err := e.w.Write(line); err != nil {

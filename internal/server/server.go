@@ -17,11 +17,13 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"sync"
 	"time"
 
 	"docspanner"
 	"docspanner/internal/plan"
 	"docspanner/internal/slpmatch"
+	"docspanner/internal/views"
 )
 
 // Config tunes a Server. The zero value serves with sensible defaults.
@@ -42,6 +44,20 @@ type Config struct {
 	LintFailOn string
 	// MaxBodyBytes bounds request bodies (document ingests). Default 64 MiB.
 	MaxBodyBytes int64
+	// ViewRefresh selects how live views follow document mutations:
+	// "sync" (default) refreshes the document's views inside the mutating
+	// request, so the response already reflects refreshed views; "async"
+	// hands the document to a background refresher and returns
+	// immediately — views converge shortly after (version-monotonic, so
+	// coalesced or reordered refreshes are harmless).
+	ViewRefresh string
+	// MaxMaterialize caps tuples materialized per view version; counts
+	// stay exact above it, only tuple lists and /changes diffs are
+	// withheld. Default 65536.
+	MaxMaterialize int
+	// ViewHistory is how many past versions each view keeps for /changes
+	// diffs. Default 8.
+	ViewHistory int
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
 }
@@ -62,6 +78,13 @@ func (c Config) withDefaults() (Config, error) {
 	if c.MaxBodyBytes <= 0 {
 		c.MaxBodyBytes = 64 << 20
 	}
+	switch c.ViewRefresh {
+	case "":
+		c.ViewRefresh = "sync"
+	case "sync", "async":
+	default:
+		return c, fmt.Errorf("server: ViewRefresh %q (want sync or async)", c.ViewRefresh)
+	}
 	if c.Logger == nil {
 		c.Logger = slog.New(discardHandler{})
 	}
@@ -75,9 +98,18 @@ type Server struct {
 	cfg     Config
 	store   *docStore
 	queries *registry
+	views   *views.Set
 	metrics *metrics
 	sem     chan struct{}
 	mux     *http.ServeMux
+
+	// Async view refresher: mutations enqueue document names; the worker
+	// refreshes that document's views from the then-current snapshot.
+	// Version monotonicity makes coalesced and reordered deliveries safe.
+	refreshQ  chan string
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
 }
 
 // New builds a Server from the config.
@@ -94,11 +126,73 @@ func New(cfg Config) (*Server, error) {
 		cfg:     cfg,
 		store:   newDocStore(),
 		queries: newRegistry(failOn),
+		views:   views.NewSet(views.Config{MaxMaterialize: cfg.MaxMaterialize, History: cfg.ViewHistory}),
 		metrics: newMetrics(),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
+		stop:    make(chan struct{}),
+	}
+	if cfg.ViewRefresh == "async" {
+		s.refreshQ = make(chan string, 1024)
+		s.wg.Add(1)
+		go s.refreshWorker()
 	}
 	s.routes()
 	return s, nil
+}
+
+// Close stops the background view refresher (if any) and waits for it.
+// Safe to call multiple times; the Server keeps serving reads afterwards
+// but async view refreshes no longer run.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		close(s.stop)
+		s.wg.Wait()
+	})
+}
+
+func (s *Server) refreshWorker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case name := <-s.refreshQ:
+			s.refreshDocViews(name)
+		}
+	}
+}
+
+// refreshDocViews brings every view over the named document up to the
+// store's current snapshot. Stale requests (the document moved on, or a
+// racing worker already applied this version) are skipped by the views'
+// version monotonicity.
+func (s *Server) refreshDocViews(name string) {
+	d, err := s.store.get(name)
+	if err != nil {
+		return // deleted since enqueued; DropDoc already ran
+	}
+	for _, v := range s.views.ForDoc(name) {
+		if res, did := v.Refresh(d.doc, d.version); did {
+			s.metrics.viewRefresh(v.Key().Doc, v.Key().Query, res.Elapsed)
+		}
+	}
+}
+
+// notifyDocChanged triggers view maintenance after a successful mutation
+// of the named document — inline in sync mode, queued in async mode. A
+// full queue falls back to a synchronous refresh rather than dropping
+// the notification (a dropped edit would leave views stale until the
+// next mutation).
+func (s *Server) notifyDocChanged(name string) {
+	if s.refreshQ == nil {
+		s.refreshDocViews(name)
+		return
+	}
+	select {
+	case s.refreshQ <- name:
+	default:
+		s.refreshDocViews(name)
+	}
 }
 
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
@@ -116,6 +210,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /docs/{name}/compress", s.wrap("docs.compress", s.handleDocCompress))
 	s.mux.HandleFunc("POST /docs/{name}/edit", s.wrap("docs.edit", s.handleDocEdit))
 	s.mux.HandleFunc("POST /docs/{name}/warm", s.wrap("docs.warm", s.limited(s.handleDocWarm)))
+	s.mux.HandleFunc("GET /docs/{name}/views", s.wrap("views.list", s.handleDocViewList))
+	s.mux.HandleFunc("PUT /docs/{name}/views/{query}", s.wrap("views.put", s.limited(s.handleViewPut)))
+	s.mux.HandleFunc("GET /docs/{name}/views/{query}", s.wrap("views.get", s.handleViewGet))
+	s.mux.HandleFunc("DELETE /docs/{name}/views/{query}", s.wrap("views.delete", s.handleViewDelete))
+	s.mux.HandleFunc("GET /docs/{name}/changes", s.wrap("docs.changes", s.handleDocChanges))
+	s.mux.HandleFunc("GET /views", s.wrap("views.list", s.handleViewList))
 
 	s.mux.HandleFunc("GET /queries", s.wrap("queries.list", s.handleQueryList))
 	s.mux.HandleFunc("PUT /queries/{name}", s.wrap("queries.put", s.handleQueryPut))
@@ -304,13 +404,14 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 		"uptime":  time.Since(s.metrics.start).String(),
 		"docs":    s.store.len(),
 		"queries": s.queries.len(),
+		"views":   s.views.Len(),
 	})
 	return nil
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.writeProm(w, s.store.len(), s.queries.len())
+	s.metrics.writeProm(w, s.store.len(), s.queries.len(), s.views.Len())
 	return nil
 }
 
@@ -331,9 +432,14 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) error {
 	})
 	ph, pm := plan.CacheStats()
 	mh, mm := slpmatch.CacheStats()
+	wr, wu := slpmatch.WarmDeltaStats()
 	own, _ := json.Marshal(map[string]any{
 		"docs":               s.store.len(),
 		"queries":            s.queries.len(),
+		"views":              s.views.Len(),
+		"view_refreshes":     s.metrics.viewRefreshes.Load(),
+		"warm_recomputed":    wr,
+		"warm_reused":        wu,
 		"grammar_nodes":      s.store.grammarSize(),
 		"inflight":           s.metrics.inflight.Load(),
 		"rejected":           s.metrics.rejected.Load(),

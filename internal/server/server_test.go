@@ -121,10 +121,15 @@ func TestCDEEdit(t *testing.T) {
 		t.Fatalf("edited content = %q", rec.Body.String())
 	}
 
+	// CDE failures are 422 with one structured diagnostic, like query
+	// registration rejections.
 	code, body = do(t, s, "POST", "/docs/c/edit", `{"expr": "concat(nosuch, c)"}`)
-	mustStatus(t, code, 400, "edit with unknown doc")
+	mustStatus(t, code, 422, "edit with unknown doc")
 	if !strings.Contains(body["error"].(string), "nosuch") {
 		t.Fatalf("edit error: %v", body)
+	}
+	if _, ok := body["diagnostics"]; !ok {
+		t.Fatalf("edit error lacks diagnostics: %v", body)
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -81,7 +82,7 @@ func newDocStore() *docStore {
 // put ingests (or replaces) a document. With compress set the bytes are
 // Re-Pair-compressed into a balanced SLP; otherwise the SLP form is the
 // uncompressed balanced parse (kept so CDE can reference the document).
-func (s *docStore) put(name string, data []byte, compress bool) docInfo {
+func (s *docStore) put(name string, data []byte, compress bool) *storedDoc {
 	var d *docspanner.Document
 	if compress {
 		d = docspanner.CompressDocument(data)
@@ -104,20 +105,20 @@ func (s *docStore) put(name string, data []byte, compress bool) docInfo {
 	}
 	s.db.Add(name, d)
 	s.docs[name] = sd
-	return sd.info()
+	return sd
 }
 
 // compress re-ingests a plain document in compressed form, preserving
 // the version history. It is a no-op for already-compressed documents.
-func (s *docStore) compress(name string) (docInfo, error) {
+func (s *docStore) compress(name string) (*storedDoc, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	old, ok := s.docs[name]
 	if !ok {
-		return docInfo{}, errNotFound(fmt.Sprintf("document %q", name))
+		return nil, errNotFound(fmt.Sprintf("document %q", name))
 	}
 	if old.compressed {
-		return old.info(), nil
+		return old, nil
 	}
 	d := docspanner.CompressDocument(old.bytes())
 	sd := &storedDoc{
@@ -130,19 +131,21 @@ func (s *docStore) compress(name string) (docInfo, error) {
 	}
 	s.db.Add(name, d)
 	s.docs[name] = sd
-	return sd.info(), nil
+	return sd, nil
 }
 
 // edit evaluates a CDE expression over the store's SLP database and
 // stores the result under name (which may be new or may overwrite an
 // existing document). The result is always compressed-form: CDE works on
-// the grammar and never decompresses anything.
-func (s *docStore) edit(name, expr string) (docInfo, error) {
+// the grammar and never decompresses anything. Parse and evaluation
+// failures come back as 422 with one structured diagnostic per the CDE
+// error taxonomy (CDE001 parse, CDE002 unknown document, CDE003 range).
+func (s *docStore) edit(name, expr string) (*storedDoc, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	d, err := s.db.Edit(name, expr)
 	if err != nil {
-		return docInfo{}, errBadRequest(err.Error())
+		return nil, cdeHTTPError(err, expr)
 	}
 	version := 1
 	if old, ok := s.docs[name]; ok {
@@ -156,7 +159,35 @@ func (s *docStore) edit(name, expr string) (docInfo, error) {
 		doc:        d,
 	}
 	s.docs[name] = sd
-	return sd.info(), nil
+	return sd, nil
+}
+
+// cdeHTTPError maps a CDE failure onto the structured-diagnostics 422
+// shape query registration uses: the stable CDE code, a position ("$"
+// for evaluation errors, "offset N" into the expression for parse
+// errors), the message, and the library's hint.
+func cdeHTTPError(err error, expr string) error {
+	var ce *docspanner.CDEError
+	if !errors.As(err, &ce) {
+		return errBadRequest(err.Error())
+	}
+	pos := "$"
+	if ce.Offset >= 0 {
+		pos = fmt.Sprintf("offset %d", ce.Offset)
+	} else if ce.Op != "" {
+		pos = ce.Op
+	}
+	return &httpError{
+		status:  422,
+		message: fmt.Sprintf("edit %q: %s", expr, ce.Message),
+		diags: []docspanner.Diagnostic{{
+			Code:     ce.Code,
+			Severity: docspanner.SeverityError,
+			Pos:      pos,
+			Message:  ce.Message,
+			Hint:     ce.Hint,
+		}},
+	}
 }
 
 // get returns the current snapshot of a document.

@@ -21,6 +21,41 @@ type CDE interface {
 	String() string
 }
 
+// CDE error codes, stable identifiers for machine consumption (servers
+// map them onto structured diagnostics).
+const (
+	// CDEParseCode: the expression text does not parse.
+	CDEParseCode = "CDE001"
+	// CDEUnknownDocCode: a DocRef names a document the database lacks.
+	CDEUnknownDocCode = "CDE002"
+	// CDERangeCode: an extract/delete/copy range or an insert/copy
+	// position is outside the operand document.
+	CDERangeCode = "CDE003"
+)
+
+// CDEError is the typed error for CDE parsing and evaluation failures.
+// Code identifies the failure shape, Offset locates parse errors in the
+// source text (-1 for evaluation errors), and Op is the textual form of
+// the offending operation for evaluation errors ("" for parse errors).
+type CDEError struct {
+	Code    string
+	Offset  int
+	Op      string
+	Message string
+	Hint    string
+}
+
+func (e *CDEError) Error() string { return "slp: " + e.Message }
+
+func parseErr(offset int, format string, args ...any) error {
+	return &CDEError{
+		Code:    CDEParseCode,
+		Offset:  offset,
+		Message: fmt.Sprintf(format, args...),
+		Hint:    "operations are concat/2, extract/3, delete/3, insert/3, copy/4; positions are 1-based decimal integers",
+	}
+}
+
 // DocRef names a document of the database.
 type DocRef struct{ Name string }
 
@@ -167,7 +202,13 @@ func (db *DB) Eval(e CDE) (*Node, error) {
 	case DocRef:
 		n, ok := db.docs[m.Name]
 		if !ok {
-			return nil, fmt.Errorf("slp: unknown document %q", m.Name)
+			return nil, &CDEError{
+				Code:    CDEUnknownDocCode,
+				Offset:  -1,
+				Op:      m.Name,
+				Message: fmt.Sprintf("unknown document %q", m.Name),
+				Hint:    "add the document to the database before referring to it",
+			}
 		}
 		return n, nil
 	case CDEConcat:
@@ -185,7 +226,7 @@ func (db *DB) Eval(e CDE) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkRange(d, m.I, m.J); err != nil {
+		if err := checkRange(m, d, m.I, m.J); err != nil {
 			return nil, err
 		}
 		return Extract(d, m.I-1, m.J), nil
@@ -194,7 +235,7 @@ func (db *DB) Eval(e CDE) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkRange(d, m.I, m.J); err != nil {
+		if err := checkRange(m, d, m.I, m.J); err != nil {
 			return nil, err
 		}
 		return Concat(Extract(d, 0, m.I-1), Extract(d, m.J, d.Len())), nil
@@ -208,7 +249,7 @@ func (db *DB) Eval(e CDE) (*Node, error) {
 			return nil, err
 		}
 		if m.K < 1 || m.K > d.Len()+1 {
-			return nil, fmt.Errorf("slp: insert position %d out of range 1..%d", m.K, d.Len()+1)
+			return nil, posErr(m, "insert", m.K, d.Len())
 		}
 		return Concat(Concat(Extract(d, 0, m.K-1), d2), Extract(d, m.K-1, d.Len())), nil
 	case CDECopy:
@@ -216,11 +257,11 @@ func (db *DB) Eval(e CDE) (*Node, error) {
 		if err != nil {
 			return nil, err
 		}
-		if err := checkRange(d, m.I, m.J); err != nil {
+		if err := checkRange(m, d, m.I, m.J); err != nil {
 			return nil, err
 		}
 		if m.K < 1 || m.K > d.Len()+1 {
-			return nil, fmt.Errorf("slp: paste position %d out of range 1..%d", m.K, d.Len()+1)
+			return nil, posErr(m, "paste", m.K, d.Len())
 		}
 		factor := Extract(d, m.I-1, m.J)
 		return Concat(Concat(Extract(d, 0, m.K-1), factor), Extract(d, m.K-1, d.Len())), nil
@@ -228,11 +269,27 @@ func (db *DB) Eval(e CDE) (*Node, error) {
 	return nil, fmt.Errorf("slp: unknown CDE node %T", e)
 }
 
-func checkRange(d *Node, i, j int64) error {
+func checkRange(op CDE, d *Node, i, j int64) error {
 	if i < 1 || j < i-1 || j > d.Len() {
-		return fmt.Errorf("slp: range [%d,%d] out of bounds for document of length %d", i, j, d.Len())
+		return &CDEError{
+			Code:    CDERangeCode,
+			Offset:  -1,
+			Op:      op.String(),
+			Message: fmt.Sprintf("range [%d,%d] out of bounds for document of length %d", i, j, d.Len()),
+			Hint:    fmt.Sprintf("positions are 1-based and inclusive; valid ranges satisfy 1 ≤ i, i-1 ≤ j ≤ %d", d.Len()),
+		}
 	}
 	return nil
+}
+
+func posErr(op CDE, what string, k, docLen int64) error {
+	return &CDEError{
+		Code:    CDERangeCode,
+		Offset:  -1,
+		Op:      op.String(),
+		Message: fmt.Sprintf("%s position %d out of range 1..%d", what, k, docLen+1),
+		Hint:    fmt.Sprintf("position k means 'before the k-th symbol'; k = %d appends at the end", docLen+1),
+	}
 }
 
 // EvalAndAdd evaluates φ and stores the result, implementing the update
@@ -260,7 +317,7 @@ func ParseCDE(src string) (CDE, error) {
 	}
 	p.skipSpace()
 	if p.pos != len(p.src) {
-		return nil, fmt.Errorf("slp: trailing input at offset %d", p.pos)
+		return nil, parseErr(p.pos, "trailing input at offset %d", p.pos)
 	}
 	return e, nil
 }
@@ -292,7 +349,7 @@ func (p *cdeParser) ident() string {
 func (p *cdeParser) expect(c byte) error {
 	p.skipSpace()
 	if p.pos >= len(p.src) || p.src[p.pos] != c {
-		return fmt.Errorf("slp: expected %q at offset %d", c, p.pos)
+		return parseErr(p.pos, "expected %q at offset %d", c, p.pos)
 	}
 	p.pos++
 	return nil
@@ -305,16 +362,20 @@ func (p *cdeParser) number() (int64, error) {
 		p.pos++
 	}
 	if p.pos == start {
-		return 0, fmt.Errorf("slp: expected number at offset %d", start)
+		return 0, parseErr(start, "expected number at offset %d", start)
 	}
-	return strconv.ParseInt(p.src[start:p.pos], 10, 64)
+	v, err := strconv.ParseInt(p.src[start:p.pos], 10, 64)
+	if err != nil {
+		return 0, parseErr(start, "number %q out of int64 range", p.src[start:p.pos])
+	}
+	return v, nil
 }
 
 func (p *cdeParser) parse() (CDE, error) {
 	p.skipSpace()
 	name := p.ident()
 	if name == "" {
-		return nil, fmt.Errorf("slp: expected identifier at offset %d", p.pos)
+		return nil, parseErr(p.pos, "expected identifier at offset %d", p.pos)
 	}
 	p.skipSpace()
 	if p.pos >= len(p.src) || p.src[p.pos] != '(' {
@@ -409,5 +470,5 @@ func (p *cdeParser) parse() (CDE, error) {
 		}
 		return CDECopy{D: d, I: nums[0], J: nums[1], K: nums[2]}, nil
 	}
-	return nil, fmt.Errorf("slp: unknown operation %q", name)
+	return nil, parseErr(p.pos, "unknown operation %q", name)
 }

@@ -1,6 +1,7 @@
 package slp
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"testing"
@@ -106,6 +107,63 @@ func TestCDEErrors(t *testing.T) {
 		}
 		if _, err := db.Eval(e); err == nil {
 			t.Errorf("Eval(%q) accepted", src)
+		}
+	}
+}
+
+func TestCDEErrorsAreTyped(t *testing.T) {
+	db := figure1DB()
+	cases := []struct {
+		src  string
+		code string
+	}{
+		{"D9", CDEUnknownDocCode},
+		{"extract(D9,1,2)", CDEUnknownDocCode},
+		{"extract(D1,0,3)", CDERangeCode},
+		{"extract(D1,3,99)", CDERangeCode},
+		{"delete(D1,5,2)", CDERangeCode},
+		{"insert(D1,D2,99)", CDERangeCode},
+		{"copy(D1,2,4,99)", CDERangeCode},
+	}
+	for _, c := range cases {
+		e, err := ParseCDE(c.src)
+		if err != nil {
+			t.Fatalf("ParseCDE(%q): %v", c.src, err)
+		}
+		_, err = db.Eval(e)
+		var ce *CDEError
+		if !errors.As(err, &ce) {
+			t.Errorf("Eval(%q) = %v, want *CDEError", c.src, err)
+			continue
+		}
+		if ce.Code != c.code {
+			t.Errorf("Eval(%q) code = %s, want %s", c.src, ce.Code, c.code)
+		}
+		if ce.Offset != -1 {
+			t.Errorf("Eval(%q) offset = %d, want -1 for an eval error", c.src, ce.Offset)
+		}
+		if ce.Op == "" || ce.Message == "" || ce.Hint == "" {
+			t.Errorf("Eval(%q) error lacks op/message/hint: %+v", c.src, ce)
+		}
+	}
+}
+
+func TestCDEParseErrorsAreTyped(t *testing.T) {
+	for _, src := range []string{
+		"", "concat(D1)", "extract(D1,a,b)", "concat(D1,D2", "foo(D1,2,3)",
+		"extract(D1,2,3)x", "extract(D1,99999999999999999999,3)",
+	} {
+		_, err := ParseCDE(src)
+		var ce *CDEError
+		if !errors.As(err, &ce) {
+			t.Errorf("ParseCDE(%q) = %v, want *CDEError", src, err)
+			continue
+		}
+		if ce.Code != CDEParseCode {
+			t.Errorf("ParseCDE(%q) code = %s, want %s", src, ce.Code, CDEParseCode)
+		}
+		if ce.Offset < 0 || ce.Offset > len(src) {
+			t.Errorf("ParseCDE(%q) offset = %d outside the source", src, ce.Offset)
 		}
 	}
 }

@@ -135,6 +135,87 @@ func (c *nodeCache[V]) len() int {
 	return total
 }
 
+// WarmStats reports what one WarmDelta call did: how many inner SLP
+// nodes had their per-node data computed now (the edit spine — O(log d)
+// per CDE operation on balanced SLPs), how many distinct already-warm
+// subtree roots the pruned traversal stopped at (each standing for a
+// whole reused subtree), and how many inner nodes the core had cached
+// before the call (the data kept valid across the edit).
+type WarmStats struct {
+	// Recomputed counts inner nodes whose data was computed by this call.
+	Recomputed int
+	// Reused counts the distinct cached nodes the traversal pruned at:
+	// the roots of the subtrees shared with previous versions. The DAG
+	// below them was never visited — that is the incrementality.
+	Reused int
+	// CachedBefore is the number of inner nodes the shared core had data
+	// for when the call started (across all documents of the automaton).
+	CachedBefore int
+}
+
+// Add accumulates other into st (for summing index + counter stats).
+func (st *WarmStats) Add(other WarmStats) {
+	st.Recomputed += other.Recomputed
+	st.Reused += other.Reused
+	st.CachedBefore += other.CachedBefore
+}
+
+// Process-wide WarmDelta totals (monotonic, survive ResetCaches) so
+// servers can export edit-maintenance work as Prometheus counters.
+var (
+	warmRecomputedTotal atomic.Uint64
+	warmReusedTotal     atomic.Uint64
+)
+
+// WarmDeltaStats returns the cumulative nodes-recomputed and
+// nodes-reused counts over every WarmDelta call in the process, across
+// all cores (including cores since dropped by ResetCaches).
+func WarmDeltaStats() (recomputed, reused uint64) {
+	return warmRecomputedTotal.Load(), warmReusedTotal.Load()
+}
+
+// warmDelta computes per-node data for the inner nodes of newRoot that
+// are not yet cached, pruning the traversal at cached nodes: after a CDE
+// edit of a warmed document only the O(log d) fresh spine nodes are
+// uncached, so the walk touches the spine plus its cached boundary and
+// nothing below it. ensure warms a baseline root first (a single cache
+// hit when oldRoot is already warm; a full warm otherwise, so WarmDelta
+// is correct — merely not incremental — on a cold core). compute must
+// derive n's data from its children's (computing them on demand) and
+// store it; a stored node is never recomputed.
+//
+// The spine is processed sequentially: it is O(ord) nodes, far below the
+// level-parallel threshold that pays off in warmParallel.
+func warmDelta(oldRoot, newRoot *slp.Node, cached func(*slp.Node) bool, ensure, compute func(*slp.Node)) WarmStats {
+	var st WarmStats
+	if newRoot == nil {
+		return st
+	}
+	if oldRoot != nil {
+		ensure(oldRoot)
+	}
+	seen := map[*slp.Node]bool{}
+	var visit func(n *slp.Node)
+	visit = func(n *slp.Node) {
+		if n == nil || n.IsLeaf() || seen[n] {
+			return
+		}
+		seen[n] = true
+		if cached(n) {
+			st.Reused++
+			return
+		}
+		visit(n.Left())
+		visit(n.Right())
+		compute(n)
+		st.Recomputed++
+	}
+	visit(newRoot)
+	warmRecomputedTotal.Add(uint64(st.Recomputed))
+	warmReusedTotal.Add(uint64(st.Reused))
+	return st
+}
+
 // Core registries: one core per automaton instance, shared by every
 // Matcher/Index/Counter built on it. The automaton must not be mutated
 // after its first use here.

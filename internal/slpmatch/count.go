@@ -141,6 +141,22 @@ func NewCounter(d *automata.DEVA) *Counter {
 // matrices in the shared cache of this Counter's automaton.
 func (ct *Counter) CachedNodes() int { return ct.core.memo.len() }
 
+// WarmDelta brings the count-matrix cache up to date after an edit that
+// turned oldRoot into newRoot, recomputing only the O(log d) fresh spine
+// nodes; a Count on newRoot afterwards is a single cache hit plus the
+// final-vector product. A nil oldRoot warms newRoot from whatever is
+// cached.
+func (ct *Counter) WarmDelta(oldRoot, newRoot *slp.Node) WarmStats {
+	core := ct.core
+	before := core.memo.len()
+	st := warmDelta(oldRoot, newRoot,
+		func(n *slp.Node) bool { _, ok := core.memo.get(n); return ok },
+		func(n *slp.Node) { core.nodeMatrix(n) },
+		func(n *slp.Node) { core.nodeMatrix(n) })
+	st.CachedBefore = before
+	return st
+}
+
 // Count returns the exact number of result tuples of the spanner on
 // 𝔇(root), computed on the compressed representation. Runs of a
 // deterministic eVA are in bijection with tuples, so the count is exact

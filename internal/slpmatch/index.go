@@ -183,6 +183,23 @@ func (ix *Index) WarmParallel(root *slp.Node, workers int) {
 // in the shared cache of this Index's automaton.
 func (ix *Index) CachedNodes() int { return ix.core.nodes.len() }
 
+// WarmDelta brings the index up to date after an edit that turned
+// oldRoot into newRoot: the traversal prunes at every node whose data is
+// already cached, so it computes P/E/E⁺ data only for the O(log d)
+// fresh spine nodes of the edit (Section 4.3 — the hash-consed subtrees
+// shared with oldRoot are free). A nil oldRoot warms newRoot from
+// whatever is cached. Safe for concurrent use, like Warm.
+func (ix *Index) WarmDelta(oldRoot, newRoot *slp.Node) WarmStats {
+	core := ix.core
+	before := core.nodes.len()
+	st := warmDelta(oldRoot, newRoot,
+		func(n *slp.Node) bool { _, ok := core.nodes.get(n); return ok },
+		func(n *slp.Node) { core.node(n) },
+		func(n *slp.Node) { core.node(n) })
+	st.CachedBefore = before
+	return st
+}
+
 // NonEmpty decides whether the spanner result on 𝔇(root) is non-empty,
 // in compressed time (no decompression).
 func (ix *Index) NonEmpty(root *slp.Node) bool {

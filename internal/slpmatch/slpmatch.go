@@ -119,3 +119,19 @@ func (m *Matcher) WarmParallel(root *slp.Node, workers int) {
 // CachedNodes reports how many inner SLP nodes have matrices computed in
 // the shared cache of this Matcher's automaton.
 func (m *Matcher) CachedNodes() int { return m.core.memo.len() }
+
+// WarmDelta brings the matrix cache up to date after an edit that turned
+// oldRoot into newRoot: it computes matrices for the O(log d) fresh
+// spine nodes only, pruning the traversal at every node that already has
+// one (the subtrees the edit shares with oldRoot — hash-consed, so they
+// are free). A nil oldRoot warms newRoot from whatever is cached.
+func (m *Matcher) WarmDelta(oldRoot, newRoot *slp.Node) WarmStats {
+	core := m.core
+	before := core.memo.len()
+	st := warmDelta(oldRoot, newRoot,
+		func(n *slp.Node) bool { _, ok := core.memo.get(n); return ok },
+		func(n *slp.Node) { core.matrix(n) },
+		func(n *slp.Node) { core.matrix(n) })
+	st.CachedBefore = before
+	return st
+}
