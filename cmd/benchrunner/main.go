@@ -37,6 +37,7 @@ func main() {
 	planBench := flag.String("plan-bench", "", "measure the E17 planner suite (planner-off vs planner-on) and write this JSON file (see BENCH_pr4.json), then exit")
 	serveBench := flag.String("serve-bench", "", "measure the E18/E19 spannerd load suite (req/s, p50/p99 per request kind) and write this JSON file (see BENCH_pr6.json), then exit")
 	editBench := flag.String("edit-bench", "", "measure the E21 incremental-view suite (edit→requery vs cold re-eval, plus mixed spannerd load) and write this JSON file (see BENCH_pr8.json), then exit")
+	storeBench := flag.String("store-bench", "", "measure the E22 persistence suite (WAL append overhead per fsync policy, cold-start recovery) and write this JSON file (see BENCH_pr9.json), then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
@@ -92,6 +93,13 @@ func main() {
 	}
 	if *editBench != "" {
 		if err := runEditBench(*editBench); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *storeBench != "" {
+		if err := runStoreBench(*storeBench); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 			os.Exit(1)
 		}

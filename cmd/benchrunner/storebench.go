@@ -1,0 +1,329 @@
+package main
+
+// E22: persistence cost and cold-start recovery (-store-bench).
+// Measures what the PR-9 storage layer charges for durability: the
+// per-mutation overhead of the write-ahead log against the in-memory
+// baseline (per fsync policy), and the cold-start time of recovering a
+// populated data directory — once by replaying the whole WAL, once
+// from a snapshot plus the log tail. Results are written as
+// machine-readable JSON (BENCH_pr9.json).
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"docspanner/internal/server"
+	"docspanner/internal/storage"
+)
+
+const (
+	storeBenchOps      = 256     // mutations per append-overhead run
+	storeBenchDocBytes = 1 << 12 // body size for benched puts
+	storeBenchDocs     = 384     // recovery corpus size
+)
+
+// storeBenchAppend is one backend configuration of the WAL-overhead run.
+type storeBenchAppend struct {
+	ID    string `json:"id"`
+	Fsync string `json:"fsync"`
+	Ops   int    `json:"ops"`
+	// NsPerOp is the end-to-end server latency of one mutation (HTTP
+	// handler + store + backend append + sync), amortized.
+	NsPerOp float64 `json:"ns_per_op"`
+	P99Us   float64 `json:"p99_us"`
+	// WALBytesPerOp is the log cost of one mutation; zero for memory.
+	WALBytesPerOp float64 `json:"wal_bytes_per_op"`
+	// OverheadNsPerOp subtracts the memory baseline: the pure price of
+	// durability at this fsync policy.
+	OverheadNsPerOp float64 `json:"overhead_ns_per_op_vs_memory"`
+}
+
+// storeBenchRecovery is one cold-start measurement.
+type storeBenchRecovery struct {
+	ID               string  `json:"id"`
+	Mode             string  `json:"mode"` // wal-replay | snapshot+tail
+	Docs             int     `json:"docs"`
+	WALRecords       uint64  `json:"wal_records"`
+	WALSizeBytes     int64   `json:"wal_size_bytes"`
+	SnapshotBytes    int64   `json:"snapshot_bytes"`
+	RecoveredRecords uint64  `json:"recovered_records"`
+	ColdStartMs      float64 `json:"cold_start_ms"`
+}
+
+type storeBenchFile struct {
+	Description string               `json:"description"`
+	GoVersion   string               `json:"go_version"`
+	GOMAXPROCS  int                  `json:"gomaxprocs"`
+	Append      []storeBenchAppend   `json:"append"`
+	Recovery    []storeBenchRecovery `json:"recovery"`
+}
+
+// storeBenchServer boots an in-process spannerd over the given backend
+// (nil = memory) and returns it with a ServeHTTP-driving helper.
+func storeBenchServer(b storage.Backend) (*server.Server, func(method, path, body string) int, error) {
+	srv, err := server.New(server.Config{MaxConcurrent: 16, Storage: b})
+	if err != nil {
+		return nil, nil, err
+	}
+	do := func(method, path, body string) int {
+		var rd *strings.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		var req = httptest.NewRequest(method, path, nil)
+		if rd != nil {
+			req = httptest.NewRequest(method, path, rd)
+		}
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		return rec.Code
+	}
+	return srv, do, nil
+}
+
+// measureStoreAppend drives the same deterministic mutation mix — puts
+// over a rotating set of 16 documents with a CDE edit every fourth op —
+// through one backend and reports the per-op cost.
+func measureStoreAppend(id string, open func() (storage.Backend, error)) (storeBenchAppend, error) {
+	var b storage.Backend
+	if open != nil {
+		var err error
+		if b, err = open(); err != nil {
+			return storeBenchAppend{}, err
+		}
+	}
+	srv, do, err := storeBenchServer(b)
+	if err != nil {
+		return storeBenchAppend{}, err
+	}
+	defer srv.Close()
+
+	body := string(randomDoc(storeBenchDocBytes, 7))
+	for i := 0; i < 16; i++ { // pre-create so benched puts are re-puts
+		if code := do("PUT", fmt.Sprintf("/docs/d%02d", i), body); code != 200 {
+			return storeBenchAppend{}, fmt.Errorf("%s: setup put: %d", id, code)
+		}
+	}
+
+	lat := make([]time.Duration, 0, storeBenchOps)
+	start := time.Now()
+	for i := 0; i < storeBenchOps; i++ {
+		name := fmt.Sprintf("d%02d", i%16)
+		var code int
+		t0 := time.Now()
+		if i%4 == 3 {
+			code = do("POST", "/docs/"+name+"/edit",
+				fmt.Sprintf(`{"expr": "insert(%s, extract(%s,1,2), 17)"}`, name, name))
+		} else {
+			code = do("PUT", "/docs/"+name, body)
+		}
+		lat = append(lat, time.Since(t0))
+		if code != 200 {
+			return storeBenchAppend{}, fmt.Errorf("%s: op %d: status %d", id, i, code)
+		}
+	}
+	total := time.Since(start)
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+
+	out := storeBenchAppend{
+		ID:      "E22/append/" + id,
+		Fsync:   id,
+		Ops:     storeBenchOps,
+		NsPerOp: float64(total.Nanoseconds()) / storeBenchOps,
+		P99Us:   float64(lat[len(lat)*99/100].Nanoseconds()) / 1e3,
+	}
+	if b != nil {
+		st := b.Stats()
+		out.WALBytesPerOp = round2(float64(st.WALAppendedBytes) / float64(st.WALRecords))
+	}
+	return out, nil
+}
+
+// populateStoreDir fills dir with the recovery corpus: storeBenchDocs
+// documents (every third one SLP-compressed), an edit per sixteenth
+// document, two prepared queries, and live views over the first eight
+// documents. Returns the WAL stats at close.
+func populateStoreDir(dir string) (storage.Stats, error) {
+	b, err := storage.OpenDisk(storage.DiskOptions{Dir: dir, Fsync: storage.FsyncNever, SnapshotBytes: -1})
+	if err != nil {
+		return storage.Stats{}, err
+	}
+	srv, do, err := storeBenchServer(b)
+	if err != nil {
+		return storage.Stats{}, err
+	}
+	defer srv.Close()
+
+	for i := 0; i < storeBenchDocs; i++ {
+		path := fmt.Sprintf("/docs/d%03d", i)
+		if i%3 == 0 {
+			path += "?compress=1"
+		}
+		if code := do("PUT", path, string(randomDoc(storeBenchDocBytes, int64(i)))); code != 200 {
+			return storage.Stats{}, fmt.Errorf("populate put %d: %d", i, code)
+		}
+		if i%16 == 0 {
+			name := fmt.Sprintf("d%03d", i)
+			if code := do("POST", "/docs/"+name+"/edit",
+				fmt.Sprintf(`{"expr": "insert(%s, extract(%s,1,2), 9)"}`, name, name)); code != 200 {
+				return storage.Stats{}, fmt.Errorf("populate edit %d: %d", i, code)
+			}
+		}
+	}
+	for _, q := range []string{`{"src": ".*!x{ab}.*"}`, `{"src": ".*!x{ba}.*"}`} {
+		name := "qab"
+		if strings.Contains(q, "ba") {
+			name = "qba"
+		}
+		if code := do("PUT", "/queries/"+name, q); code != 200 {
+			return storage.Stats{}, fmt.Errorf("populate query %s: %d", name, code)
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if code := do("PUT", fmt.Sprintf("/docs/d%03d/views/qab", i), ""); code != 201 {
+			return storage.Stats{}, fmt.Errorf("populate view %d: not created", i)
+		}
+	}
+	return b.Stats(), nil
+}
+
+// measureStoreRecovery times a full cold start over dir: OpenDisk
+// (snapshot load + WAL replay) plus server.New (docStore rebuild, query
+// re-registration, view rehydration).
+func measureStoreRecovery(id, mode, dir string) (storeBenchRecovery, error) {
+	t0 := time.Now()
+	b, err := storage.OpenDisk(storage.DiskOptions{Dir: dir, Fsync: storage.FsyncNever, SnapshotBytes: -1})
+	if err != nil {
+		return storeBenchRecovery{}, err
+	}
+	srv, _, err := storeBenchServer(b)
+	if err != nil {
+		return storeBenchRecovery{}, err
+	}
+	elapsed := time.Since(t0)
+	defer srv.Close()
+	st := b.Stats()
+	return storeBenchRecovery{
+		ID:               "E22/recovery/" + id,
+		Mode:             mode,
+		Docs:             storeBenchDocs,
+		WALRecords:       st.WALRecords,
+		WALSizeBytes:     st.WALSizeBytes,
+		SnapshotBytes:    st.SnapshotBytes,
+		RecoveredRecords: st.RecoveredRecords,
+		ColdStartMs:      round2(float64(elapsed.Nanoseconds()) / 1e6),
+	}, nil
+}
+
+// runStoreBench measures both halves of E22 and writes the JSON file.
+func runStoreBench(path string) error {
+	f := storeBenchFile{
+		Description: "E22: persistence cost (cmd/benchrunner -store-bench). append = per-mutation spannerd latency (put/edit mix over 16 x 4KiB docs) for the memory backend vs the disk backend at each fsync policy; recovery = cold start (OpenDisk + server.New: replay, query re-registration, view rehydration) of a 384-document data dir, WAL-only vs snapshot+tail",
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+	}
+
+	fmt.Printf("\n== E22: WAL append overhead vs memory (%d ops, %d-byte docs) ==\n",
+		storeBenchOps, storeBenchDocBytes)
+	fmt.Printf("%-22s %-12s %-10s %-14s %-12s\n", "backend", "ns/op", "p99(us)", "wal B/op", "overhead/op")
+	configs := []struct {
+		id   string
+		open func() (storage.Backend, error)
+	}{
+		{"memory", nil},
+		{"disk-fsync-never", nil},
+		{"disk-fsync-interval", nil},
+		{"disk-fsync-always", nil},
+	}
+	policies := map[string]storage.FsyncPolicy{
+		"disk-fsync-never":    storage.FsyncNever,
+		"disk-fsync-interval": storage.FsyncInterval,
+		"disk-fsync-always":   storage.FsyncAlways,
+	}
+	var baseline float64
+	for _, c := range configs {
+		open := c.open
+		if policy, ok := policies[c.id]; ok {
+			dir, err := os.MkdirTemp("", "storebench-*")
+			if err != nil {
+				return err
+			}
+			defer os.RemoveAll(dir)
+			open = func() (storage.Backend, error) {
+				return storage.OpenDisk(storage.DiskOptions{Dir: dir, Fsync: policy})
+			}
+		}
+		m, err := measureStoreAppend(c.id, open)
+		if err != nil {
+			return err
+		}
+		if c.id == "memory" {
+			baseline = m.NsPerOp
+		} else {
+			m.OverheadNsPerOp = round2(m.NsPerOp - baseline)
+		}
+		f.Append = append(f.Append, m)
+		fmt.Printf("%-22s %-12.0f %-10.1f %-14.1f %-12.0f\n",
+			c.id, m.NsPerOp, m.P99Us, m.WALBytesPerOp, m.OverheadNsPerOp)
+	}
+	fmt.Println("expected: fsync-never/interval cost little over memory (one buffered")
+	fmt.Println("append per mutation); fsync-always pays one disk flush per mutation")
+
+	fmt.Printf("\n== E22: cold-start recovery (%d docs) ==\n", storeBenchDocs)
+	dir, err := os.MkdirTemp("", "storebench-recover-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if _, err := populateStoreDir(dir); err != nil {
+		return err
+	}
+
+	fmt.Printf("%-24s %-12s %-12s %-14s %-12s\n", "mode", "records", "wal bytes", "snap bytes", "cold ms")
+	rep, err := measureStoreRecovery("wal", "wal-replay", dir)
+	if err != nil {
+		return err
+	}
+	f.Recovery = append(f.Recovery, rep)
+	fmt.Printf("%-24s %-12d %-12d %-14d %-12.2f\n",
+		rep.Mode, rep.RecoveredRecords, rep.WALSizeBytes, rep.SnapshotBytes, rep.ColdStartMs)
+
+	// Cut a snapshot, then cold-start again: recovery should load the
+	// serialized DocDB and replay only the (empty) tail.
+	{
+		b, err := storage.OpenDisk(storage.DiskOptions{Dir: dir, Fsync: storage.FsyncNever, SnapshotBytes: -1})
+		if err != nil {
+			return err
+		}
+		srv, do, err := storeBenchServer(b)
+		if err != nil {
+			return err
+		}
+		if code := do("POST", "/admin/snapshot", ""); code != 200 {
+			srv.Close()
+			return fmt.Errorf("admin/snapshot: %d", code)
+		}
+		srv.Close()
+	}
+	rep, err = measureStoreRecovery("snapshot", "snapshot+tail", dir)
+	if err != nil {
+		return err
+	}
+	f.Recovery = append(f.Recovery, rep)
+	fmt.Printf("%-24s %-12d %-12d %-14d %-12.2f\n",
+		rep.Mode, rep.RecoveredRecords, rep.WALSizeBytes, rep.SnapshotBytes, rep.ColdStartMs)
+	fmt.Println("expected: snapshot+tail replays ~0 records and beats wal-replay,")
+	fmt.Println("which re-derives every document's SLP from the logged mutations")
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -294,3 +294,20 @@ func ReadDocDB(r io.Reader) (*DocDB, error) {
 	}
 	return &DocDB{db: inner}, nil
 }
+
+// WriteToChecked is WriteTo wrapped in a length-prefixed CRC-32C frame,
+// so a torn or corrupted persisted database is detected on load instead
+// of silently losing a suffix of its nodes. This is the on-disk format
+// the spannerd storage snapshots use.
+func (db *DocDB) WriteToChecked(w io.Writer) (int64, error) { return db.db.WriteToChecked(w) }
+
+// ReadDocDBChecked loads a database written by WriteToChecked, verifying
+// the checksum before trusting any node, and consuming exactly the frame
+// from r.
+func ReadDocDBChecked(r io.Reader) (*DocDB, error) {
+	inner, err := slp.ReadDBChecked(r)
+	if err != nil {
+		return nil, err
+	}
+	return &DocDB{db: inner}, nil
+}

@@ -27,7 +27,10 @@ func (s *Server) handleDocPut(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return errBadRequest("reading body: " + err.Error())
 	}
-	sd := s.store.put(name, data, boolParam(r, "compress"))
+	sd, err := s.store.put(name, data, boolParam(r, "compress"))
+	if err != nil {
+		return err
+	}
 	s.notifyDocChanged(name)
 	writeJSON(w, 200, sd.info())
 	return nil
@@ -130,12 +133,14 @@ func (s *Server) handleQueryList(w http.ResponseWriter, _ *http.Request) error {
 }
 
 func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) error {
-	var spec querySpec
-	if err := decodeJSON(r, &spec); err != nil {
-		return err
+	// The raw body is kept alongside the decoded spec: it is what the
+	// storage backend persists and recovery re-registers.
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		return errBadRequest("reading body: " + err.Error())
 	}
 	name := r.PathValue("name")
-	info, err := s.queries.register(name, spec)
+	info, err := s.queries.register(name, raw)
 	if err != nil {
 		return err
 	}
@@ -391,11 +396,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 	took := time.Since(start)
 	s.metrics.query(p.name, "stream", n, took)
 	if ioErr != nil {
-		s.metrics.disconnects.Add(1)
-		if sw, ok := w.(*statusWriter); ok {
-			sw.status = 499
-		}
-		return nil
+		return s.streamDisconnect(w)
 	}
 	summary := map[string]any{"done": true, "count": n, "took": took.String()}
 	if err != nil {
@@ -404,9 +405,17 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 		summary["done"] = false
 		summary["error"] = err.Error()
 	}
+	// The trailer write is the last chance to notice the client vanished:
+	// when the server cancels the request context before any tuple write
+	// fails, the enumeration ends without an ioErr and only this write
+	// reports the dead connection.
 	line, _ := json.Marshal(summary)
-	_ = enc.WriteLine(line)
-	_ = enc.Flush(rc)
+	if e := enc.WriteLine(line); e != nil {
+		return s.streamDisconnect(w)
+	}
+	if e := enc.Flush(rc); e != nil {
+		return s.streamDisconnect(w)
+	}
 	return nil
 }
 

@@ -60,6 +60,15 @@ func (s *Server) handleViewPut(w http.ResponseWriter, r *http.Request) error {
 		return &httpError{status: 422, message: err.Error()}
 	}
 	v, created := s.views.Register(d.name, p.name, ix)
+	if created {
+		if err := s.storage.PutView(d.name, p.name); err != nil {
+			s.views.Drop(d.name, p.name)
+			return err
+		}
+		if err := s.storage.Sync(); err != nil {
+			return err
+		}
+	}
 	// The initial (or catch-up) refresh runs inline even in async mode:
 	// the response should carry a live result, not a promise.
 	if res, did := v.Refresh(d.doc, d.version); did {
@@ -117,6 +126,12 @@ func (s *Server) handleViewDelete(w http.ResponseWriter, r *http.Request) error 
 	doc, query := r.PathValue("name"), r.PathValue("query")
 	if !s.views.Drop(doc, query) {
 		return errNotFound(fmt.Sprintf("view (%q, %q)", doc, query))
+	}
+	if err := s.storage.DeleteView(doc, query); err != nil {
+		return err
+	}
+	if err := s.storage.Sync(); err != nil {
+		return err
 	}
 	writeJSON(w, 200, map[string]string{"status": "deleted"})
 	return nil
@@ -181,12 +196,12 @@ func (s *Server) handleDocChanges(w http.ResponseWriter, r *http.Request) error 
 
 	for _, t := range removed {
 		if err := enc.EncodeChange("remove", t, nil, false); err != nil {
-			return s.changesDisconnect(w)
+			return s.streamDisconnect(w)
 		}
 	}
 	for _, t := range added {
 		if err := enc.EncodeChange("add", t, nil, false); err != nil {
-			return s.changesDisconnect(w)
+			return s.streamDisconnect(w)
 		}
 	}
 	key := v.Key()
@@ -200,17 +215,17 @@ func (s *Server) handleDocChanges(w http.ResponseWriter, r *http.Request) error 
 		"removed": len(removed),
 	})
 	if err := enc.WriteLine(line); err != nil {
-		return s.changesDisconnect(w)
+		return s.streamDisconnect(w)
 	}
 	if err := enc.Flush(rc); err != nil {
-		return s.changesDisconnect(w)
+		return s.streamDisconnect(w)
 	}
 	return nil
 }
 
-// changesDisconnect records a mid-stream client disconnect as a 499,
-// mirroring handleStream.
-func (s *Server) changesDisconnect(w http.ResponseWriter) error {
+// streamDisconnect records a mid-stream client disconnect as a 499;
+// handleStream and handleDocChanges share it.
+func (s *Server) streamDisconnect(w http.ResponseWriter) error {
 	s.metrics.disconnects.Add(1)
 	if sw, ok := w.(*statusWriter); ok {
 		sw.status = 499

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"bytes"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -8,6 +10,7 @@ import (
 
 	"docspanner"
 	"docspanner/internal/qsyntax"
+	"docspanner/internal/storage"
 )
 
 // querySpec is the JSON body of a query registration.
@@ -78,10 +81,14 @@ func (p *preparedQuery) info() queryInfo {
 	}
 }
 
-// registry holds the prepared queries. Registration is serialized under
-// mu; lookups take the read lock and hand out the immutable prepared
-// query.
+// registry holds the prepared queries, teeing registrations and
+// deletions through the storage backend (the raw spec JSON is what
+// persists; recovery re-parses and re-plans it). Registration is
+// serialized under mu; lookups take the read lock and hand out the
+// immutable prepared query.
 type registry struct {
+	backend storage.Backend
+
 	mu sync.RWMutex
 	m  map[string]*preparedQuery
 	// failOn is the lint severity that rejects a registration
@@ -89,17 +96,20 @@ type registry struct {
 	failOn docspanner.Severity
 }
 
-func newRegistry(failOn docspanner.Severity) *registry {
-	return &registry{m: map[string]*preparedQuery{}, failOn: failOn}
+func newRegistry(failOn docspanner.Severity, backend storage.Backend) *registry {
+	return &registry{backend: backend, m: map[string]*preparedQuery{}, failOn: failOn}
 }
 
-// register parses, lints, and plans a query, storing it under name.
-// Registration fails — with the diagnostics attached — when any lint
-// finding reaches the threshold, so a bad query is rejected once at
-// registration instead of surprising every evaluation.
-func (r *registry) register(name string, spec querySpec) (queryInfo, error) {
+// prepare parses, lints, and plans a spec without storing it. With
+// lint set, a finding at or above the threshold rejects the spec with
+// the diagnostics attached, so a bad query is rejected once at
+// registration instead of surprising every evaluation. Recovery passes
+// lint=false: the spec already passed the gate when it was first
+// registered, and a restart under a stricter -lint-fail-on must not
+// silently drop recovered queries.
+func (r *registry) prepare(name string, spec querySpec, lint bool) (*preparedQuery, error) {
 	if spec.Src == "" {
-		return queryInfo{}, errBadRequest("query spec needs a non-empty src")
+		return nil, errBadRequest("query spec needs a non-empty src")
 	}
 	opts := docspanner.Options{Schemaless: spec.Schemaless}
 	if spec.Alphabet != "" {
@@ -107,7 +117,7 @@ func (r *registry) register(name string, spec querySpec) (queryInfo, error) {
 	}
 	q, err := qsyntax.Parse(spec.Src, opts)
 	if err != nil {
-		return queryInfo{}, errBadRequest(fmt.Sprintf("parse %q: %s", spec.Src, err))
+		return nil, errBadRequest(fmt.Sprintf("parse %q: %s", spec.Src, err))
 	}
 	if spec.Plan != nil {
 		q = q.WithPlan(docspanner.PlanOptions{
@@ -120,20 +130,22 @@ func (r *registry) register(name string, spec querySpec) (queryInfo, error) {
 	}
 
 	diags := q.Lint()
-	threshold := r.failOn
-	if spec.FailOn != "" {
-		threshold, err = parseFailOn(spec.FailOn)
-		if err != nil {
-			return queryInfo{}, errBadRequest(err.Error())
+	if lint {
+		threshold := r.failOn
+		if spec.FailOn != "" {
+			threshold, err = parseFailOn(spec.FailOn)
+			if err != nil {
+				return nil, errBadRequest(err.Error())
+			}
 		}
-	}
-	if threshold > 0 {
-		for _, d := range diags {
-			if d.Severity >= threshold {
-				return queryInfo{}, &httpError{
-					status:  422,
-					message: fmt.Sprintf("lint rejected query %q: %s", name, d),
-					diags:   diags,
+		if threshold > 0 {
+			for _, d := range diags {
+				if d.Severity >= threshold {
+					return nil, &httpError{
+						status:  422,
+						message: fmt.Sprintf("lint rejected query %q: %s", name, d),
+						diags:   diags,
+					}
 				}
 			}
 		}
@@ -142,19 +154,66 @@ func (r *registry) register(name string, spec querySpec) (queryInfo, error) {
 	// Plan now (hash-consed through the shared plan cache), so the first
 	// evaluation pays no planning latency and a plan-level failure
 	// surfaces at registration.
-	p := &preparedQuery{
-		name:       name,
-		src:        spec.Src,
-		query:      q,
-		diags:      diags,
-		registered: time.Now(),
-	}
 	_ = q.Streaming()
+	return &preparedQuery{name: name, src: spec.Src, query: q, diags: diags}, nil
+}
+
+// parseQuerySpec decodes a registration body strictly (unknown fields
+// rejected), returning both the decoded spec and the canonical raw JSON
+// that the backend persists.
+func parseQuerySpec(raw []byte) (querySpec, error) {
+	var spec querySpec
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return spec, errBadRequest(fmt.Sprintf("bad JSON body: %s", err))
+	}
+	return spec, nil
+}
+
+// register parses, lints, and plans a query from its raw spec JSON,
+// persists the registration, and stores it under name.
+func (r *registry) register(name string, raw []byte) (queryInfo, error) {
+	spec, err := parseQuerySpec(raw)
+	if err != nil {
+		return queryInfo{}, err
+	}
+	p, err := r.prepare(name, spec, true)
+	if err != nil {
+		return queryInfo{}, err
+	}
+	p.registered = time.Now()
 
 	r.mu.Lock()
+	if err := r.backend.PutQuery(name, raw, p.registered); err != nil {
+		r.mu.Unlock()
+		return queryInfo{}, err
+	}
 	r.m[name] = p
 	r.mu.Unlock()
+	if err := r.backend.Sync(); err != nil {
+		return queryInfo{}, err
+	}
 	return p.info(), nil
+}
+
+// recover re-registers a persisted query through the same parse-and-plan
+// path, keeping its original registration time. No backend append: the
+// registration is already in the log or snapshot being recovered.
+func (r *registry) recover(qs storage.QueryState) error {
+	spec, err := parseQuerySpec(qs.Spec)
+	if err != nil {
+		return fmt.Errorf("recovering query %q: %w", qs.Name, err)
+	}
+	p, err := r.prepare(qs.Name, spec, false)
+	if err != nil {
+		return fmt.Errorf("recovering query %q: %w", qs.Name, err)
+	}
+	p.registered = qs.Registered
+	r.mu.Lock()
+	r.m[qs.Name] = p
+	r.mu.Unlock()
+	return nil
 }
 
 func (r *registry) get(name string) (*preparedQuery, error) {
@@ -169,12 +228,17 @@ func (r *registry) get(name string) (*preparedQuery, error) {
 
 func (r *registry) delete(name string) error {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	if _, ok := r.m[name]; !ok {
+		r.mu.Unlock()
 		return errNotFound(fmt.Sprintf("query %q", name))
 	}
+	if err := r.backend.DeleteQuery(name); err != nil {
+		r.mu.Unlock()
+		return err
+	}
 	delete(r.m, name)
-	return nil
+	r.mu.Unlock()
+	return r.backend.Sync()
 }
 
 func (r *registry) list() []queryInfo {

@@ -23,6 +23,7 @@ import (
 	"docspanner"
 	"docspanner/internal/plan"
 	"docspanner/internal/slpmatch"
+	"docspanner/internal/storage"
 	"docspanner/internal/views"
 )
 
@@ -60,6 +61,11 @@ type Config struct {
 	ViewHistory int
 	// Logger receives structured request logs; nil discards them.
 	Logger *slog.Logger
+	// Storage is the durability backend. Nil serves purely in-memory
+	// (storage.NewMemory()); a disk backend makes every mutation durable
+	// and recovers the store, registry, and views on New. The Server owns
+	// the backend from here on: Close closes it.
+	Storage storage.Backend
 }
 
 func (c Config) withDefaults() (Config, error) {
@@ -88,6 +94,9 @@ func (c Config) withDefaults() (Config, error) {
 	if c.Logger == nil {
 		c.Logger = slog.New(discardHandler{})
 	}
+	if c.Storage == nil {
+		c.Storage = storage.NewMemory()
+	}
 	return c, nil
 }
 
@@ -96,6 +105,7 @@ func (c Config) withDefaults() (Config, error) {
 // use by any number of concurrent requests.
 type Server struct {
 	cfg     Config
+	storage storage.Backend
 	store   *docStore
 	queries *registry
 	views   *views.Set
@@ -112,7 +122,8 @@ type Server struct {
 	closeOnce sync.Once
 }
 
-// New builds a Server from the config.
+// New builds a Server from the config, recovering the persisted state
+// (documents, prepared queries, live views) from the storage backend.
 func New(cfg Config) (*Server, error) {
 	cfg, err := cfg.withDefaults()
 	if err != nil {
@@ -122,14 +133,31 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	state, err := cfg.Storage.Load()
+	if err != nil {
+		return nil, fmt.Errorf("server: loading storage: %w", err)
+	}
+	store, err := newDocStore(state, cfg.Storage)
+	if err != nil {
+		return nil, err
+	}
 	s := &Server{
 		cfg:     cfg,
-		store:   newDocStore(),
-		queries: newRegistry(failOn),
+		storage: cfg.Storage,
+		store:   store,
+		queries: newRegistry(failOn, cfg.Storage),
 		views:   views.NewSet(views.Config{MaxMaterialize: cfg.MaxMaterialize, History: cfg.ViewHistory}),
 		metrics: newMetrics(),
 		sem:     make(chan struct{}, cfg.MaxConcurrent),
 		stop:    make(chan struct{}),
+	}
+	for _, qs := range state.SortedQueries() {
+		if err := s.queries.recover(qs); err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+	}
+	if err := s.rehydrateViews(state); err != nil {
+		return nil, err
 	}
 	if cfg.ViewRefresh == "async" {
 		s.refreshQ = make(chan string, 1024)
@@ -140,13 +168,42 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// Close stops the background view refresher (if any) and waits for it.
-// Safe to call multiple times; the Server keeps serving reads afterwards
-// but async view refreshes no longer run.
+// rehydrateViews re-registers the persisted live views and refreshes
+// each to the recovered document snapshot at its recovered version —
+// no version bump, no time.Now() stamp drift, no spurious /changes
+// delta: a client whose cursor is at the current version sees an empty
+// diff across the restart.
+func (s *Server) rehydrateViews(state *storage.State) error {
+	for _, k := range state.SortedViews() {
+		d, err := s.store.get(k.Doc)
+		if err != nil {
+			return fmt.Errorf("server: recovered view (%q, %q): document missing", k.Doc, k.Query)
+		}
+		p, err := s.queries.get(k.Query)
+		if err != nil {
+			return fmt.Errorf("server: recovered view (%q, %q): query missing", k.Doc, k.Query)
+		}
+		ix, err := p.query.Index()
+		if err != nil {
+			return fmt.Errorf("server: recovered view (%q, %q): %w", k.Doc, k.Query, err)
+		}
+		v, _ := s.views.Register(k.Doc, k.Query, ix)
+		v.Refresh(d.doc, d.version)
+	}
+	return nil
+}
+
+// Close stops the background view refresher (if any), waits for it, and
+// closes the storage backend — flushing the write-ahead log. Safe to
+// call multiple times; the Server keeps serving reads afterwards but
+// async view refreshes no longer run and mutations will fail.
 func (s *Server) Close() {
 	s.closeOnce.Do(func() {
 		close(s.stop)
 		s.wg.Wait()
+		if err := s.storage.Close(); err != nil {
+			s.cfg.Logger.Error("closing storage backend", slog.String("error", err.Error()))
+		}
 	})
 }
 
@@ -229,6 +286,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("POST /batch", s.wrap("batch", s.limited(s.handleBatch)))
 
 	s.mux.HandleFunc("POST /admin/flush-caches", s.wrap("admin.flush", s.handleFlushCaches))
+	s.mux.HandleFunc("POST /admin/snapshot", s.wrap("admin.snapshot", s.handleSnapshot))
 }
 
 // httpError is an error with an HTTP status; handlers return it to get
@@ -411,7 +469,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
-	s.metrics.writeProm(w, s.store.len(), s.queries.len(), s.views.Len())
+	s.metrics.writeProm(w, s.store.len(), s.queries.len(), s.views.Len(), s.storage.Stats())
 	return nil
 }
 
@@ -467,6 +525,25 @@ func (s *Server) handleFlushCaches(w http.ResponseWriter, _ *http.Request) error
 	plan.ResetCache()
 	slpmatch.ResetCaches()
 	writeJSON(w, 200, map[string]string{"status": "flushed"})
+	return nil
+}
+
+// handleSnapshot forces a storage snapshot and log rotation now (a
+// no-op on the memory backend). Useful before planned restarts: the
+// next recovery loads the snapshot instead of replaying the whole log.
+func (s *Server) handleSnapshot(w http.ResponseWriter, _ *http.Request) error {
+	if err := s.storage.Snapshot(); err != nil {
+		return fmt.Errorf("snapshot: %w", err)
+	}
+	st := s.storage.Stats()
+	writeJSON(w, 200, map[string]any{
+		"status":         "ok",
+		"backend":        st.Kind,
+		"persistent":     st.Persistent,
+		"snapshots":      st.Snapshots,
+		"snapshot_bytes": st.SnapshotBytes,
+		"wal_size_bytes": st.WALSizeBytes,
+	})
 	return nil
 }
 

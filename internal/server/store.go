@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"docspanner"
+	"docspanner/internal/storage"
 )
 
 // storedDoc is one immutable snapshot of a named document. The store
@@ -65,24 +66,49 @@ func (d *storedDoc) info() docInfo {
 }
 
 // docStore is the server's document store: named snapshots over a
-// shared SLP document database. The underlying slp.DB is not
+// shared SLP document database, teeing every mutation through the
+// storage backend before applying it (write-ahead order: a mutation the
+// backend refused never becomes visible). The underlying slp.DB is not
 // concurrency-safe, so every access to it (and to the name map) happens
 // under mu; evaluation never touches the DB — it runs on the immutable
 // snapshot taken under RLock.
 type docStore struct {
+	backend storage.Backend
+
 	mu   sync.RWMutex
 	db   *docspanner.DocDB
 	docs map[string]*storedDoc
 }
 
-func newDocStore() *docStore {
-	return &docStore{db: docspanner.NewDocDB(), docs: map[string]*storedDoc{}}
+// newDocStore rebuilds the serving store from a backend's recovered
+// state (empty for the memory backend). Versions and updated stamps
+// come from the recovered state, never from the clock — a restart must
+// be invisible to clients watching them.
+func newDocStore(state *storage.State, backend storage.Backend) (*docStore, error) {
+	s := &docStore{backend: backend, db: state.DB, docs: map[string]*storedDoc{}}
+	for name, ds := range state.Docs {
+		d, ok := state.DB.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("server: recovered state lists document %q without an SLP", name)
+		}
+		s.docs[name] = &storedDoc{
+			name:       name,
+			compressed: ds.Compressed,
+			version:    ds.Version,
+			updated:    ds.Updated,
+			doc:        d,
+		}
+	}
+	return s, nil
 }
 
 // put ingests (or replaces) a document. With compress set the bytes are
 // Re-Pair-compressed into a balanced SLP; otherwise the SLP form is the
 // uncompressed balanced parse (kept so CDE can reference the document).
-func (s *docStore) put(name string, data []byte, compress bool) *storedDoc {
+// Compression runs before taking the lock; the backend append happens
+// under it (log order is apply order), and the durability barrier after
+// releasing it.
+func (s *docStore) put(name string, data []byte, compress bool) (*storedDoc, error) {
 	var d *docspanner.Document
 	if compress {
 		d = docspanner.CompressDocument(data)
@@ -90,7 +116,6 @@ func (s *docStore) put(name string, data []byte, compress bool) *storedDoc {
 		d = docspanner.DocumentFromBytes(data)
 	}
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	version := 1
 	if old, ok := s.docs[name]; ok {
 		version = old.version + 1
@@ -103,35 +128,71 @@ func (s *docStore) put(name string, data []byte, compress bool) *storedDoc {
 		doc:        d,
 		plain:      data,
 	}
+	if err := s.backend.PutDoc(name, data, d, compress, version, sd.updated); err != nil {
+		s.mu.Unlock()
+		return nil, err
+	}
 	s.db.Add(name, d)
 	s.docs[name] = sd
-	return sd
+	s.mu.Unlock()
+	if err := s.backend.Sync(); err != nil {
+		return nil, err
+	}
+	return sd, nil
 }
 
 // compress re-ingests a plain document in compressed form, preserving
 // the version history. It is a no-op for already-compressed documents.
+//
+// Re-Pair is the expensive step, so it runs outside the store lock on
+// the immutable snapshot; the swap then re-checks under the write lock
+// that the document did not move on. If it did (a concurrent put or
+// edit), the compression is redone from the fresh snapshot rather than
+// clobbering the newer version with stale bytes.
 func (s *docStore) compress(name string) (*storedDoc, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	old, ok := s.docs[name]
-	if !ok {
-		return nil, errNotFound(fmt.Sprintf("document %q", name))
+	for {
+		s.mu.RLock()
+		old, ok := s.docs[name]
+		s.mu.RUnlock()
+		if !ok {
+			return nil, errNotFound(fmt.Sprintf("document %q", name))
+		}
+		if old.compressed {
+			return old, nil
+		}
+		data := old.bytes()
+		d := docspanner.CompressDocument(data)
+
+		s.mu.Lock()
+		cur, ok := s.docs[name]
+		if !ok {
+			s.mu.Unlock()
+			return nil, errNotFound(fmt.Sprintf("document %q", name))
+		}
+		if cur != old {
+			s.mu.Unlock()
+			continue // raced with a mutation; recompress the new snapshot
+		}
+		sd := &storedDoc{
+			name:       name,
+			compressed: true,
+			version:    old.version + 1,
+			updated:    time.Now(),
+			doc:        d,
+			plain:      data,
+		}
+		if err := s.backend.PutDoc(name, data, d, true, sd.version, sd.updated); err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		s.db.Add(name, d)
+		s.docs[name] = sd
+		s.mu.Unlock()
+		if err := s.backend.Sync(); err != nil {
+			return nil, err
+		}
+		return sd, nil
 	}
-	if old.compressed {
-		return old, nil
-	}
-	d := docspanner.CompressDocument(old.bytes())
-	sd := &storedDoc{
-		name:       name,
-		compressed: true,
-		version:    old.version + 1,
-		updated:    time.Now(),
-		doc:        d,
-		plain:      old.bytes(),
-	}
-	s.db.Add(name, d)
-	s.docs[name] = sd
-	return sd, nil
 }
 
 // edit evaluates a CDE expression over the store's SLP database and
@@ -140,15 +201,18 @@ func (s *docStore) compress(name string) (*storedDoc, error) {
 // the grammar and never decompresses anything. Parse and evaluation
 // failures come back as 422 with one structured diagnostic per the CDE
 // error taxonomy (CDE001 parse, CDE002 unknown document, CDE003 range).
+// The backend persists the expression text itself; replay re-evaluates
+// it against the recovered grammar.
 func (s *docStore) edit(name, expr string) (*storedDoc, error) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	old := s.docs[name] // nil when the edit creates the document
 	d, err := s.db.Edit(name, expr)
 	if err != nil {
+		s.mu.Unlock()
 		return nil, cdeHTTPError(err, expr)
 	}
 	version := 1
-	if old, ok := s.docs[name]; ok {
+	if old != nil {
 		version = old.version + 1
 	}
 	sd := &storedDoc{
@@ -158,7 +222,22 @@ func (s *docStore) edit(name, expr string) (*storedDoc, error) {
 		updated:    time.Now(),
 		doc:        d,
 	}
+	if err := s.backend.EditDoc(name, expr, d, version, sd.updated); err != nil {
+		// Edit already rebound name in the DB; restore the old binding so
+		// the refused mutation is invisible.
+		if old != nil {
+			s.db.Add(name, old.doc)
+		} else {
+			s.db.Remove(name)
+		}
+		s.mu.Unlock()
+		return nil, err
+	}
 	s.docs[name] = sd
+	s.mu.Unlock()
+	if err := s.backend.Sync(); err != nil {
+		return nil, err
+	}
 	return sd, nil
 }
 
@@ -203,13 +282,18 @@ func (s *docStore) get(name string) (*storedDoc, error) {
 
 func (s *docStore) delete(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if _, ok := s.docs[name]; !ok {
+		s.mu.Unlock()
 		return errNotFound(fmt.Sprintf("document %q", name))
+	}
+	if err := s.backend.DeleteDoc(name); err != nil {
+		s.mu.Unlock()
+		return err
 	}
 	delete(s.docs, name)
 	s.db.Remove(name)
-	return nil
+	s.mu.Unlock()
+	return s.backend.Sync()
 }
 
 func (s *docStore) list() []docInfo {

@@ -215,3 +215,62 @@ func TestCDEFuzzAgainstPlainModel(t *testing.T) {
 func sprintf(format string, args ...any) string {
 	return fmt.Sprintf(format, args...)
 }
+
+func TestSerializeCheckedRoundTrip(t *testing.T) {
+	db := figure1DB()
+	var buf bytes.Buffer
+	n, err := db.WriteToChecked(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("WriteToChecked reported %d bytes, wrote %d", n, buf.Len())
+	}
+	// The frame is length-prefixed: a reader consumes exactly the frame
+	// even when the stream continues past it.
+	buf.WriteString("trailing bytes of the enclosing file")
+	back, err := ReadDBChecked(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range db.Names() {
+		orig, _ := db.Get(name)
+		got, ok := back.Get(name)
+		if !ok {
+			t.Fatalf("document %s missing", name)
+		}
+		if string(got.Bytes()) != string(orig.Bytes()) {
+			t.Errorf("document %s content changed", name)
+		}
+	}
+	if back.Size() != db.Size() {
+		t.Errorf("DAG size %d, want %d (sharing lost)", back.Size(), db.Size())
+	}
+	if rest := buf.String(); rest != "trailing bytes of the enclosing file" {
+		t.Errorf("frame over-consumed; %q left", rest)
+	}
+}
+
+func TestSerializeCheckedDetectsCorruption(t *testing.T) {
+	db := figure1DB()
+	var buf bytes.Buffer
+	if _, err := db.WriteToChecked(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	// Every truncation point fails loudly (header, payload, or both).
+	for cut := 0; cut < len(full); cut += 7 {
+		if _, err := ReadDBChecked(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncation at %d of %d accepted", cut, len(full))
+		}
+	}
+	// A single flipped bit anywhere in the payload fails the CRC.
+	for _, pos := range []int{16, 20, len(full) / 2, len(full) - 1} {
+		bad := append([]byte(nil), full...)
+		bad[pos] ^= 0x40
+		if _, err := ReadDBChecked(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at %d accepted", pos)
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package storage
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"docspanner"
+)
+
+// TestCrashRecoveryEveryByteBoundary is the crash-consistency sweep: it
+// records the WAL a deterministic mutation sequence produces, then for
+// every prefix length of that log — every possible crash point of a
+// single-file history — reopens the directory and asserts the recovered
+// state equals the in-memory model after exactly the mutations whose
+// frames survived whole. Cutting inside a frame must recover as if the
+// mutation never happened (torn-tail truncation), and cutting between
+// frames must lose nothing.
+func TestCrashRecoveryEveryByteBoundary(t *testing.T) {
+	muts := script()
+
+	// Run the script once, capturing the model after every mutation and
+	// the WAL byte offset at which each mutation's frame ends.
+	srcDir := t.TempDir()
+	d := openDir(t, srcDir)
+	if _, err := d.Load(); err != nil {
+		t.Fatal(err)
+	}
+	want := NewState()
+	models := []model{snapshotModel(t, want)} // models[k] = state after k mutations
+	frameEnds := []int64{0}
+	for _, m := range muts {
+		m(t, d, want)
+		models = append(models, snapshotModel(t, want))
+		d.mu.Lock()
+		frameEnds = append(frameEnds, d.w.size)
+		d.mu.Unlock()
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(srcDir, walName(1))
+	full, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(full)) != frameEnds[len(frameEnds)-1] {
+		t.Fatalf("log is %d bytes, last frame ends at %d", len(full), frameEnds[len(frameEnds)-1])
+	}
+
+	applied := func(cut int64) int {
+		k := 0
+		for k+1 < len(frameEnds) && frameEnds[k+1] <= cut {
+			k++
+		}
+		return k
+	}
+
+	cutDir := t.TempDir()
+	cutWAL := filepath.Join(cutDir, walName(1))
+	for cut := int64(0); cut <= int64(len(full)); cut++ {
+		if err := os.WriteFile(cutWAL, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, err := OpenDisk(DiskOptions{Dir: cutDir, Fsync: FsyncNever, SnapshotBytes: -1})
+		if err != nil {
+			t.Fatalf("cut %d: open: %v", cut, err)
+		}
+		got, err := re.Load()
+		if err != nil {
+			t.Fatalf("cut %d: load: %v", cut, err)
+		}
+		k := applied(cut)
+		if got.Seq != uint64(k) {
+			t.Fatalf("cut %d: recovered seq %d, want %d", cut, got.Seq, k)
+		}
+		if gm := snapshotModel(t, got); !gm.equal(models[k]) {
+			t.Fatalf("cut %d: state after recovery diverges from model after %d mutations:\n got %+v\nwant %+v",
+				cut, k, gm, models[k])
+		}
+		st := re.Stats()
+		if wantTorn := cut != frameEnds[k]; st.RecoveredTornTail != wantTorn {
+			t.Fatalf("cut %d: torn = %v, want %v", cut, st.RecoveredTornTail, wantTorn)
+		}
+		if st.RecoveredRecords != uint64(k) {
+			t.Fatalf("cut %d: replayed %d records, want %d", cut, st.RecoveredRecords, k)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatalf("cut %d: close: %v", cut, err)
+		}
+	}
+}
+
+// TestCrashRecoveryReplayIdempotence reopens the same directory many
+// times without mutating and asserts recovery is a fixed point: same
+// state, no version or timestamp drift, and the torn tail (if any) is
+// truncated exactly once.
+func TestCrashRecoveryReplayIdempotence(t *testing.T) {
+	dir := t.TempDir()
+	d := openDir(t, dir)
+	if _, err := d.Load(); err != nil {
+		t.Fatal(err)
+	}
+	want := runScript(t, d, script())
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Tear the tail by hand: append half a frame of garbage.
+	walPath := filepath.Join(dir, walName(1))
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0x10, 0, 0, 0, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantModel := snapshotModel(t, want)
+	for round := 0; round < 4; round++ {
+		re := openDir(t, dir)
+		got, err := re.Load()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if gm := snapshotModel(t, got); !gm.equal(wantModel) {
+			t.Fatalf("round %d: recovery drifted", round)
+		}
+		if torn := re.Stats().RecoveredTornTail; torn != (round == 0) {
+			t.Fatalf("round %d: torn = %v (truncation must happen exactly once)", round, torn)
+		}
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCrashRecoveryRandomizedSequences runs randomized workloads (puts,
+// edits, deletes, query registrations, view flips) against disk
+// directories, cutting each resulting log at randomized boundaries —
+// a broader, sampled version of the exhaustive sweep above.
+func TestCrashRecoveryRandomizedSequences(t *testing.T) {
+	seeds := []int64{1, 7, 42}
+	if testing.Short() {
+		seeds = seeds[:1]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			dir := t.TempDir()
+			d := openDir(t, dir)
+			if _, err := d.Load(); err != nil {
+				t.Fatal(err)
+			}
+			want := NewState()
+			models := []model{snapshotModel(t, want)}
+			var frameEnds []int64
+			frameEnds = append(frameEnds, 0)
+
+			docNames := []string{"a", "b", "c"}
+			queryNames := []string{"q1", "q2"}
+			corpus := []string{"", "x", "abracadabra", "the quick brown fox", "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa"}
+			step := 0
+			stamp := func() time.Time { step++; return ts(step) }
+
+			for i := 0; i < 60; i++ {
+				name := docNames[rng.Intn(len(docNames))]
+				qname := queryNames[rng.Intn(len(queryNames))]
+				switch op := rng.Intn(10); {
+				case op < 4: // put
+					data := corpus[rng.Intn(len(corpus))]
+					compress := rng.Intn(2) == 0
+					var doc *docspanner.Document
+					if compress {
+						doc = docspanner.CompressDocument([]byte(data))
+					} else {
+						doc = docspanner.DocumentFromBytes([]byte(data))
+					}
+					at := stamp()
+					v := want.Docs[name].Version + 1
+					if err := d.PutDoc(name, []byte(data), doc, compress, v, at); err != nil {
+						t.Fatal(err)
+					}
+					want.applyDoc(name, doc, compress, v, at)
+				case op < 6: // edit, only when the doc exists and is long enough
+					ds, ok := want.Docs[name]
+					if !ok {
+						continue
+					}
+					cur, _ := want.DB.Get(name)
+					if cur.Len() < 2 {
+						continue
+					}
+					expr := "delete(" + name + ",1,1)"
+					doc, err := want.DB.Edit(name, expr)
+					if err != nil {
+						t.Fatalf("edit %q: %v", expr, err)
+					}
+					at := stamp()
+					if err := d.EditDoc(name, expr, doc, ds.Version+1, at); err != nil {
+						t.Fatal(err)
+					}
+					want.Docs[name] = DocState{Name: name, Compressed: true, Version: ds.Version + 1, Updated: at}
+				case op < 7: // delete doc
+					if _, ok := want.Docs[name]; !ok {
+						continue
+					}
+					if err := d.DeleteDoc(name); err != nil {
+						t.Fatal(err)
+					}
+					want.applyDeleteDoc(name)
+				case op < 8: // register query
+					spec := []byte(`{"src":"x{` + name + `}"}`)
+					at := stamp()
+					if err := d.PutQuery(qname, spec, at); err != nil {
+						t.Fatal(err)
+					}
+					want.applyPutQuery(qname, spec, at)
+				case op < 9: // view flip
+					if _, ok := want.Docs[name]; !ok {
+						continue
+					}
+					if _, ok := want.Queries[qname]; !ok {
+						continue
+					}
+					k := ViewKey{Doc: name, Query: qname}
+					if _, on := want.Views[k]; on {
+						if err := d.DeleteView(name, qname); err != nil {
+							t.Fatal(err)
+						}
+						delete(want.Views, k)
+					} else {
+						if err := d.PutView(name, qname); err != nil {
+							t.Fatal(err)
+						}
+						want.Views[k] = struct{}{}
+					}
+				default: // delete query
+					if _, ok := want.Queries[qname]; !ok {
+						continue
+					}
+					if err := d.DeleteQuery(qname); err != nil {
+						t.Fatal(err)
+					}
+					want.applyDeleteQuery(qname)
+				}
+				models = append(models, snapshotModel(t, want))
+				d.mu.Lock()
+				frameEnds = append(frameEnds, d.w.size)
+				d.mu.Unlock()
+			}
+			if err := d.Close(); err != nil {
+				t.Fatal(err)
+			}
+			full, err := os.ReadFile(filepath.Join(dir, walName(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			applied := func(cut int64) int {
+				k := 0
+				for k+1 < len(frameEnds) && frameEnds[k+1] <= cut {
+					k++
+				}
+				return k
+			}
+			cutDir := t.TempDir()
+			cutWAL := filepath.Join(cutDir, walName(1))
+			for trial := 0; trial < 40; trial++ {
+				cut := int64(rng.Intn(len(full) + 1))
+				if err := os.WriteFile(cutWAL, full[:cut], 0o644); err != nil {
+					t.Fatal(err)
+				}
+				re, err := OpenDisk(DiskOptions{Dir: cutDir, Fsync: FsyncNever, SnapshotBytes: -1})
+				if err != nil {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+				got, err := re.Load()
+				if err != nil {
+					t.Fatalf("cut %d: %v", cut, err)
+				}
+				k := applied(cut)
+				if gm := snapshotModel(t, got); !gm.equal(models[k]) {
+					t.Fatalf("seed %d cut %d: recovery diverges from model after %d mutations", seed, cut, k)
+				}
+				if err := re.Close(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,422 @@
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"docspanner"
+)
+
+// DiskOptions configures a disk backend.
+type DiskOptions struct {
+	// Dir is the data directory; created if missing.
+	Dir string
+	// Fsync is the durability policy (default FsyncAlways).
+	Fsync FsyncPolicy
+	// FsyncInterval is the background flush period under FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// SnapshotBytes triggers an automatic snapshot + log rotation when
+	// the live WAL grows past it (default 64 MiB; negative disables
+	// automatic snapshots).
+	SnapshotBytes int64
+	// Logf receives recovery and background-maintenance messages; nil
+	// discards them.
+	Logf func(format string, args ...any)
+}
+
+// Disk is the durable backend: every mutation appends one logical
+// record to a CRC-framed write-ahead log, a shadow State mirrors the
+// server's store (sharing the immutable SLP nodes of the documents the
+// server passes in), and snapshots serialize the shadow's grammar-sized
+// database so the log can rotate. See the package comment for the
+// recovery contract.
+type Disk struct {
+	opts DiskOptions
+
+	// mu serializes sequence assignment, log appends, shadow updates,
+	// and log rotation, so WAL order is exactly apply order.
+	mu     sync.Mutex
+	w      *wal
+	shadow *State
+	buf    []byte
+	closed bool
+
+	loadMu    sync.Mutex
+	recovered *State // handed out (cloned) by Load, then dropped
+
+	stats             walStats
+	recoveredRecords  uint64
+	recoveredTornTail bool
+
+	snapMu      sync.Mutex // serializes snapshot writes
+	snapPending atomic.Bool
+	snapWG      sync.WaitGroup
+	snapCount   atomic.Uint64
+	snapNanos   atomic.Int64
+	snapBytes   atomic.Int64
+	lastSnapSeq atomic.Uint64
+
+	tickStop chan struct{}
+	tickWG   sync.WaitGroup
+}
+
+// OpenDisk opens (or initializes) the data directory and recovers its
+// state: the newest loadable snapshot, then the log tail replayed in
+// sequence order. A torn final record — the legitimate residue of a
+// crash mid-append — is truncated; any other framing damage, sequence
+// gap, or replay failure is a hard error, because the directory then
+// does not describe a consistent store.
+func OpenDisk(opts DiskOptions) (*Disk, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("storage: disk backend needs a directory")
+	}
+	if opts.FsyncInterval <= 0 {
+		opts.FsyncInterval = 100 * time.Millisecond
+	}
+	if opts.SnapshotBytes == 0 {
+		opts.SnapshotBytes = 64 << 20
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, err
+	}
+
+	d := &Disk{opts: opts, tickStop: make(chan struct{})}
+
+	// Orphaned staging files from an interrupted snapshot are garbage.
+	if entries, err := os.ReadDir(opts.Dir); err == nil {
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".tmp") {
+				os.Remove(filepath.Join(opts.Dir, e.Name()))
+			}
+		}
+	}
+
+	state := NewState()
+	snaps, err := listSeqFiles(opts.Dir, snapPrefix, snapSuffix)
+	if err != nil {
+		return nil, err
+	}
+	for i := len(snaps) - 1; i >= 0; i-- {
+		path := filepath.Join(opts.Dir, snapName(snaps[i]))
+		s, serr := readSnapshot(path)
+		if serr != nil {
+			opts.Logf("storage: snapshot %s unusable, falling back: %v", filepath.Base(path), serr)
+			continue
+		}
+		state = s
+		d.lastSnapSeq.Store(snaps[i])
+		if fi, ferr := os.Stat(path); ferr == nil {
+			d.snapNanos.Store(fi.ModTime().UnixNano())
+			d.snapBytes.Store(fi.Size())
+		}
+		break
+	}
+
+	wals, err := listSeqFiles(opts.Dir, walPrefix, walSuffix)
+	if err != nil {
+		return nil, err
+	}
+	next := state.Seq + 1
+	var lastGood int64
+	var torn bool
+	for i, start := range wals {
+		name := walName(start)
+		good, t, serr := scanWAL(filepath.Join(opts.Dir, name), func(r *record) error {
+			switch {
+			case r.seq < next:
+				return nil // predates the snapshot; rotation hasn't collected it yet
+			case r.seq > next:
+				return fmt.Errorf("storage: %s: sequence gap (want %d, found %d); a log covering the gap is missing", name, next, r.seq)
+			}
+			if rerr := state.replay(r); rerr != nil {
+				return rerr
+			}
+			state.Seq = r.seq
+			next++
+			d.recoveredRecords++
+			return nil
+		})
+		if serr != nil {
+			return nil, serr
+		}
+		if t && i != len(wals)-1 {
+			return nil, fmt.Errorf("storage: %s: torn frame in a non-final log; refusing to drop interior history", name)
+		}
+		if i == len(wals)-1 {
+			lastGood, torn = good, t
+		}
+	}
+	d.recoveredTornTail = torn
+	if torn {
+		opts.Logf("storage: truncated torn final record in %s at offset %d", walName(wals[len(wals)-1]), lastGood)
+	}
+
+	var w *wal
+	if len(wals) > 0 {
+		w, err = openWAL(filepath.Join(opts.Dir, walName(wals[len(wals)-1])), lastGood, &d.stats)
+	} else {
+		w, err = openWAL(filepath.Join(opts.Dir, walName(state.Seq+1)), 0, &d.stats)
+	}
+	if err != nil {
+		return nil, err
+	}
+	d.w = w
+	d.shadow = state
+	d.recovered = state.clone()
+
+	if opts.Fsync == FsyncInterval {
+		d.tickWG.Add(1)
+		go d.flushLoop()
+	}
+	return d, nil
+}
+
+func (d *Disk) flushLoop() {
+	defer d.tickWG.Done()
+	t := time.NewTicker(d.opts.FsyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-d.tickStop:
+			return
+		case <-t.C:
+			d.mu.Lock()
+			w := d.w
+			d.mu.Unlock()
+			if err := w.sync(); err != nil {
+				d.opts.Logf("storage: background fsync: %v", err)
+			}
+		}
+	}
+}
+
+// Load hands the caller the recovered state exactly once. The returned
+// state is a clone of the backend's shadow — the server and the backend
+// mutate separate maps under separate locks, sharing only the immutable
+// SLP nodes.
+func (d *Disk) Load() (*State, error) {
+	d.loadMu.Lock()
+	defer d.loadMu.Unlock()
+	if d.recovered == nil {
+		return nil, errors.New("storage: Load called twice")
+	}
+	s := d.recovered
+	d.recovered = nil
+	return s, nil
+}
+
+// logAndApply assigns the next sequence number, appends the framed
+// record, and folds it into the shadow, all under one lock so log order
+// is apply order. It may kick off an automatic snapshot.
+func (d *Disk) logAndApply(r *record, apply func(*State)) error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("storage: backend is closed")
+	}
+	r.seq = d.shadow.Seq + 1
+	d.buf = appendFrame(d.buf[:0], r)
+	if err := d.w.append(d.buf); err != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: appending %s record: %w", r.kind, err)
+	}
+	apply(d.shadow)
+	d.shadow.Seq = r.seq
+	needSnap := d.opts.SnapshotBytes > 0 && d.w.size > d.opts.SnapshotBytes
+	d.mu.Unlock()
+
+	if needSnap && d.snapPending.CompareAndSwap(false, true) {
+		d.snapWG.Add(1)
+		go func() {
+			defer d.snapWG.Done()
+			defer d.snapPending.Store(false)
+			if err := d.Snapshot(); err != nil {
+				d.opts.Logf("storage: automatic snapshot: %v", err)
+			}
+		}()
+	}
+	return nil
+}
+
+func (d *Disk) PutDoc(name string, data []byte, doc *docspanner.Document, compressed bool, version int, updated time.Time) error {
+	var flags byte
+	if compressed {
+		flags = recFlagCompressed
+	}
+	r := &record{kind: recPutDoc, name: name, version: version, stamp: updated.UnixNano(), flags: flags, data: data}
+	return d.logAndApply(r, func(s *State) { s.applyDoc(name, doc, compressed, version, updated) })
+}
+
+func (d *Disk) EditDoc(name, expr string, doc *docspanner.Document, version int, updated time.Time) error {
+	r := &record{kind: recEditDoc, name: name, version: version, stamp: updated.UnixNano(), data: []byte(expr)}
+	return d.logAndApply(r, func(s *State) { s.applyDoc(name, doc, true, version, updated) })
+}
+
+func (d *Disk) DeleteDoc(name string) error {
+	return d.logAndApply(&record{kind: recDeleteDoc, name: name}, func(s *State) { s.applyDeleteDoc(name) })
+}
+
+func (d *Disk) PutQuery(name string, spec []byte, registered time.Time) error {
+	r := &record{kind: recPutQuery, name: name, stamp: registered.UnixNano(), data: spec}
+	return d.logAndApply(r, func(s *State) { s.applyPutQuery(name, spec, registered) })
+}
+
+func (d *Disk) DeleteQuery(name string) error {
+	return d.logAndApply(&record{kind: recDeleteQuery, name: name}, func(s *State) { s.applyDeleteQuery(name) })
+}
+
+func (d *Disk) PutView(doc, query string) error {
+	return d.logAndApply(&record{kind: recPutView, name: doc, query: query}, func(s *State) {
+		s.Views[ViewKey{Doc: doc, Query: query}] = struct{}{}
+	})
+}
+
+func (d *Disk) DeleteView(doc, query string) error {
+	return d.logAndApply(&record{kind: recDeleteView, name: doc, query: query}, func(s *State) {
+		delete(s.Views, ViewKey{Doc: doc, Query: query})
+	})
+}
+
+// Sync is the durability barrier: under FsyncAlways it blocks until
+// every record appended so far is on disk (group commit — concurrent
+// callers share one fsync). Interval and never policies return
+// immediately; their loss windows are documented on the policy.
+func (d *Disk) Sync() error {
+	if d.opts.Fsync != FsyncAlways {
+		return nil
+	}
+	d.mu.Lock()
+	w := d.w
+	d.mu.Unlock()
+	return w.sync()
+}
+
+// Snapshot rotates the log and writes a snapshot of the current state:
+// the live WAL is sealed (fsynced) and a fresh one opened under the
+// lock, then the sealed history is serialized outside it while appends
+// continue. Old logs and snapshots beyond two generations are collected
+// only after the new snapshot is durable.
+func (d *Disk) Snapshot() error {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return errors.New("storage: backend is closed")
+	}
+	if d.shadow.Seq == d.lastSnapSeq.Load() {
+		d.mu.Unlock()
+		return nil // nothing since the last snapshot
+	}
+	clone := d.shadow.clone()
+	oldW := d.w
+	neww, err := openWAL(filepath.Join(d.opts.Dir, walName(clone.Seq+1)), 0, &d.stats)
+	if err != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: rotating log: %w", err)
+	}
+	d.w = neww
+	d.mu.Unlock()
+
+	// Seal the outgoing log: its last frame is ≤ clone.Seq, and syncing
+	// it here is what lets Sync only ever touch the current file.
+	if err := oldW.close(); err != nil {
+		return fmt.Errorf("storage: sealing rotated log: %w", err)
+	}
+	size, err := writeSnapshot(d.opts.Dir, clone)
+	if err != nil {
+		// The sealed log survives on disk; recovery still replays it on
+		// top of the previous snapshot.
+		return fmt.Errorf("storage: writing snapshot: %w", err)
+	}
+	d.snapCount.Add(1)
+	d.snapNanos.Store(time.Now().UnixNano())
+	d.snapBytes.Store(size)
+	d.lastSnapSeq.Store(clone.Seq)
+	d.collect()
+	return nil
+}
+
+// collect removes snapshots beyond the two newest generations and every
+// log the retained snapshots no longer need. A log is dead once some
+// later log starts at or before the oldest retained snapshot's
+// successor — i.e. even a fallback to that snapshot replays from the
+// later log.
+func (d *Disk) collect() {
+	snaps, err := listSeqFiles(d.opts.Dir, snapPrefix, snapSuffix)
+	if err != nil || len(snaps) == 0 {
+		return
+	}
+	keep := snaps
+	if len(keep) > 2 {
+		for _, seq := range keep[:len(keep)-2] {
+			os.Remove(filepath.Join(d.opts.Dir, snapName(seq)))
+		}
+		keep = keep[len(keep)-2:]
+	}
+	oldest := keep[0]
+	wals, err := listSeqFiles(d.opts.Dir, walPrefix, walSuffix)
+	if err != nil {
+		return
+	}
+	for i, start := range wals {
+		if i+1 < len(wals) && wals[i+1] <= oldest+1 {
+			os.Remove(filepath.Join(d.opts.Dir, walName(start)))
+		}
+	}
+}
+
+// Stats reports the durability counters.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	size := d.w.size
+	d.mu.Unlock()
+	return Stats{
+		Kind:                 "disk",
+		Persistent:           true,
+		WALRecords:           d.stats.records.Load(),
+		WALAppendedBytes:     d.stats.bytes.Load(),
+		WALSizeBytes:         size,
+		Fsyncs:               d.stats.fsyncs.Load(),
+		FsyncTotalNanos:      d.stats.fsyncTot.Load(),
+		FsyncMaxNanos:        d.stats.fsyncMax.Load(),
+		Snapshots:            d.snapCount.Load(),
+		LastSnapshotUnixNano: d.snapNanos.Load(),
+		SnapshotBytes:        d.snapBytes.Load(),
+		RecoveredRecords:     d.recoveredRecords,
+		RecoveredTornTail:    d.recoveredTornTail,
+	}
+}
+
+// Close flushes the log and releases the backend. In-flight automatic
+// snapshots finish first.
+func (d *Disk) Close() error {
+	// Let a pending automatic snapshot finish before sealing; the caller
+	// has stopped mutating, so no new one can start after the wait.
+	d.snapWG.Wait()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	w := d.w
+	d.mu.Unlock()
+
+	if d.opts.Fsync == FsyncInterval {
+		close(d.tickStop)
+	}
+	d.tickWG.Wait()
+	return w.close()
+}

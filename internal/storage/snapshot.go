@@ -1,0 +1,175 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"docspanner"
+)
+
+// A snapshot file is
+//
+//	magic   "SPN1"
+//	uint32  metadata length (little-endian)
+//	uint32  CRC-32C of the metadata (little-endian)
+//	bytes   metadata: JSON snapMeta
+//	frame   the SLP database, as DocDB.WriteToChecked
+//
+// Metadata and database are independently checksummed, so any
+// truncation or corruption fails the load and recovery falls back to
+// the previous snapshot generation.
+
+const snapMagic = "SPN1"
+
+type snapMeta struct {
+	Seq     uint64         `json:"seq"`
+	Docs    []snapDoc      `json:"docs"`
+	Queries []snapQuery    `json:"queries"`
+	Views   []snapViewMeta `json:"views"`
+}
+
+type snapDoc struct {
+	Name       string `json:"name"`
+	Compressed bool   `json:"compressed"`
+	Version    int    `json:"version"`
+	Updated    int64  `json:"updated"` // unix nanos
+}
+
+type snapQuery struct {
+	Name       string          `json:"name"`
+	Spec       json.RawMessage `json:"spec"`
+	Registered int64           `json:"registered"` // unix nanos
+}
+
+type snapViewMeta struct {
+	Doc   string `json:"doc"`
+	Query string `json:"query"`
+}
+
+// writeSnapshot durably writes s as dir's snapshot for s.Seq: staged in
+// a temp file, fsynced, renamed into place, directory fsynced. Returns
+// the snapshot's size in bytes.
+func writeSnapshot(dir string, s *State) (int64, error) {
+	meta := snapMeta{Seq: s.Seq}
+	for _, d := range s.SortedDocs() {
+		meta.Docs = append(meta.Docs, snapDoc{Name: d.Name, Compressed: d.Compressed, Version: d.Version, Updated: d.Updated.UnixNano()})
+	}
+	for _, q := range s.SortedQueries() {
+		meta.Queries = append(meta.Queries, snapQuery{Name: q.Name, Spec: q.Spec, Registered: q.Registered.UnixNano()})
+	}
+	for _, v := range s.SortedViews() {
+		meta.Views = append(meta.Views, snapViewMeta{Doc: v.Doc, Query: v.Query})
+	}
+	metaJSON, err := json.Marshal(meta)
+	if err != nil {
+		return 0, err
+	}
+
+	final := filepath.Join(dir, snapName(s.Seq))
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return 0, err
+	}
+	defer os.Remove(tmp) // no-op after the rename succeeds
+
+	var size int64
+	bw := bufio.NewWriter(f)
+	head := make([]byte, 0, len(snapMagic)+8)
+	head = append(head, snapMagic...)
+	head = binary.LittleEndian.AppendUint32(head, uint32(len(metaJSON)))
+	head = binary.LittleEndian.AppendUint32(head, crc32.Checksum(metaJSON, castagnoli))
+	for _, chunk := range [][]byte{head, metaJSON} {
+		n, werr := bw.Write(chunk)
+		size += int64(n)
+		if werr != nil {
+			f.Close()
+			return size, werr
+		}
+	}
+	n, err := s.DB.WriteToChecked(bw)
+	size += n
+	if err != nil {
+		f.Close()
+		return size, err
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return size, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return size, err
+	}
+	if err := f.Close(); err != nil {
+		return size, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return size, err
+	}
+	return size, fsyncDir(dir)
+}
+
+// readSnapshot loads one snapshot file into a State, verifying both
+// checksums before trusting anything.
+func readSnapshot(path string) (*State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+
+	head := make([]byte, len(snapMagic)+8)
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("storage: reading snapshot header: %w", err)
+	}
+	if string(head[:4]) != snapMagic {
+		return nil, fmt.Errorf("storage: bad snapshot magic %q", head[:4])
+	}
+	metaLen := binary.LittleEndian.Uint32(head[4:8])
+	metaCRC := binary.LittleEndian.Uint32(head[8:12])
+	if metaLen > maxRecordBytes {
+		return nil, fmt.Errorf("storage: snapshot metadata length %d exceeds limit", metaLen)
+	}
+	metaJSON := make([]byte, metaLen)
+	if _, err := io.ReadFull(br, metaJSON); err != nil {
+		return nil, fmt.Errorf("storage: reading snapshot metadata: %w", err)
+	}
+	if got := crc32.Checksum(metaJSON, castagnoli); got != metaCRC {
+		return nil, fmt.Errorf("storage: snapshot metadata CRC mismatch (got %08x, want %08x)", got, metaCRC)
+	}
+	var meta snapMeta
+	if err := json.Unmarshal(metaJSON, &meta); err != nil {
+		return nil, fmt.Errorf("storage: decoding snapshot metadata: %w", err)
+	}
+
+	db, err := docspanner.ReadDocDBChecked(br)
+	if err != nil {
+		return nil, fmt.Errorf("storage: loading snapshot database: %w", err)
+	}
+
+	s := NewState()
+	s.Seq = meta.Seq
+	s.DB = db
+	for _, d := range meta.Docs {
+		if _, ok := db.Get(d.Name); !ok {
+			return nil, fmt.Errorf("storage: snapshot lists document %q absent from its database", d.Name)
+		}
+		s.Docs[d.Name] = DocState{Name: d.Name, Compressed: d.Compressed, Version: d.Version, Updated: time.Unix(0, d.Updated).UTC()}
+	}
+	for _, q := range meta.Queries {
+		s.Queries[q.Name] = QueryState{Name: q.Name, Spec: q.Spec, Registered: time.Unix(0, q.Registered).UTC()}
+	}
+	for _, v := range meta.Views {
+		s.Views[ViewKey{Doc: v.Doc, Query: v.Query}] = struct{}{}
+	}
+	return s, nil
+}

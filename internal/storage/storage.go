@@ -1,0 +1,249 @@
+// Package storage is the durability layer behind spannerd's document
+// store: a Backend interface over which the server tees every mutation —
+// document puts, CDE edit expressions, deletes, prepared-query and view
+// registrations — with two implementations. Memory keeps nothing
+// (today's in-process behavior, extracted behind the interface), and
+// Disk appends every mutation to a length-prefixed, CRC-checksummed
+// write-ahead log with a configurable fsync policy, plus periodic
+// snapshots that serialize the shared SLP database (grammar-sized, never
+// decompressed — Section 4 of the survey is what makes durability cheap)
+// and let the log be truncated.
+//
+// The WAL records logical operations, not states: a CDE edit persists as
+// its expression text and replays in O(|φ|·log d) against the recovered
+// grammar, exactly the dynamic-complexity argument for maintaining
+// spanner state under edits compactly. Recovery loads the newest valid
+// snapshot, replays the log tail in sequence order (tolerating a torn
+// final record, which a crash mid-append legitimately produces), and
+// fails loudly on anything else — a checksum mismatch mid-log or a
+// sequence gap means the directory does not describe a consistent store.
+package storage
+
+import (
+	"encoding/json"
+	"sort"
+	"time"
+
+	"docspanner"
+)
+
+// Backend persists the server's mutations and recovers its state. All
+// methods are safe for concurrent use; the caller must invoke Load
+// exactly once, before any mutation.
+//
+// Mutation calls only stage durability (an appended, CRC-framed log
+// record); Sync is the commit barrier. A caller that must not
+// acknowledge a mutation before it is on disk appends under its own
+// ordering lock, releases it, then calls Sync — concurrent callers share
+// one fsync (group commit).
+type Backend interface {
+	// Load recovers the persisted state (empty for a fresh directory or a
+	// memory backend). The returned State is the caller's to own: backends
+	// never mutate it after returning.
+	Load() (*State, error)
+
+	// PutDoc records ingesting (or replacing) a document from raw bytes.
+	// doc is the materialized SLP form the caller built — backends use it
+	// to keep their snapshot shadow structure-shared with the live store
+	// instead of re-compressing; the log itself records data, and replay
+	// re-derives the same SLP deterministically.
+	PutDoc(name string, data []byte, doc *docspanner.Document, compressed bool, version int, updated time.Time) error
+	// EditDoc records a CDE edit whose evaluation produced doc under name.
+	EditDoc(name, expr string, doc *docspanner.Document, version int, updated time.Time) error
+	// DeleteDoc records dropping a document (and, transitively, its views).
+	DeleteDoc(name string) error
+	// PutQuery records registering a prepared query from its JSON spec.
+	// Replay re-registers through the server's lint-at-registration path.
+	PutQuery(name string, spec []byte, registered time.Time) error
+	// DeleteQuery records unregistering a query (and its views).
+	DeleteQuery(name string) error
+	// PutView records registering a live (doc, query) view.
+	PutView(doc, query string) error
+	// DeleteView records dropping one view.
+	DeleteView(doc, query string) error
+
+	// Sync blocks until every mutation recorded so far is durable under
+	// the backend's fsync policy (a no-op for policies that do not promise
+	// per-mutation durability).
+	Sync() error
+	// Snapshot forces a snapshot and log rotation now. Backends without
+	// snapshots return nil.
+	Snapshot() error
+	// Stats reports durability counters for metrics exposition.
+	Stats() Stats
+	// Close flushes and releases the backend. The backend must not be
+	// used afterwards.
+	Close() error
+}
+
+// DocState is the persisted metadata of one document; the SLP form lives
+// in the State's shared DB under the same name.
+type DocState struct {
+	Name       string
+	Compressed bool
+	Version    int
+	Updated    time.Time
+}
+
+// QueryState is one persisted prepared-query registration: the raw JSON
+// spec the server re-registers through its lint path, plus the original
+// registration time so recovery does not re-stamp it.
+type QueryState struct {
+	Name       string
+	Spec       json.RawMessage
+	Registered time.Time
+}
+
+// ViewKey identifies a live (doc, query) view registration.
+type ViewKey struct {
+	Doc   string
+	Query string
+}
+
+// State is everything a backend recovers: the shared SLP document
+// database plus the metadata that turns it back into a serving store.
+type State struct {
+	// Seq is the sequence number of the last mutation folded into this
+	// state (0 for a fresh store).
+	Seq     uint64
+	DB      *docspanner.DocDB
+	Docs    map[string]DocState
+	Queries map[string]QueryState
+	Views   map[ViewKey]struct{}
+}
+
+// NewState returns an empty state.
+func NewState() *State {
+	return &State{
+		DB:      docspanner.NewDocDB(),
+		Docs:    map[string]DocState{},
+		Queries: map[string]QueryState{},
+		Views:   map[ViewKey]struct{}{},
+	}
+}
+
+// SortedDocs returns the document states sorted by name.
+func (s *State) SortedDocs() []DocState {
+	out := make([]DocState, 0, len(s.Docs))
+	for _, d := range s.Docs {
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SortedQueries returns the query states sorted by name.
+func (s *State) SortedQueries() []QueryState {
+	out := make([]QueryState, 0, len(s.Queries))
+	for _, q := range s.Queries {
+		out = append(out, q)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SortedViews returns the view keys sorted by (doc, query).
+func (s *State) SortedViews() []ViewKey {
+	out := make([]ViewKey, 0, len(s.Views))
+	for k := range s.Views {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Doc != out[j].Doc {
+			return out[i].Doc < out[j].Doc
+		}
+		return out[i].Query < out[j].Query
+	})
+	return out
+}
+
+// clone returns a deep copy of the state's maps sharing the immutable
+// SLP nodes — the cheap consistent cut a snapshot serializes while
+// appends continue.
+func (s *State) clone() *State {
+	c := NewState()
+	c.Seq = s.Seq
+	for _, name := range s.DB.Names() {
+		if d, ok := s.DB.Get(name); ok {
+			c.DB.Add(name, d)
+		}
+	}
+	for k, v := range s.Docs {
+		c.Docs[k] = v
+	}
+	for k, v := range s.Queries {
+		c.Queries[k] = v
+	}
+	for k := range s.Views {
+		c.Views[k] = struct{}{}
+	}
+	return c
+}
+
+// dropViewsIf removes views matching the predicate, mirroring the
+// server's cascade drops so replay converges to the live state.
+func (s *State) dropViewsIf(match func(ViewKey) bool) {
+	for k := range s.Views {
+		if match(k) {
+			delete(s.Views, k)
+		}
+	}
+}
+
+// applyDoc folds a materialized document mutation into the state.
+func (s *State) applyDoc(name string, doc *docspanner.Document, compressed bool, version int, updated time.Time) {
+	s.DB.Add(name, doc)
+	s.Docs[name] = DocState{Name: name, Compressed: compressed, Version: version, Updated: updated}
+}
+
+// applyDeleteDoc folds a document deletion (and its view cascade).
+func (s *State) applyDeleteDoc(name string) {
+	s.DB.Remove(name)
+	delete(s.Docs, name)
+	s.dropViewsIf(func(k ViewKey) bool { return k.Doc == name })
+}
+
+// applyPutQuery folds a query registration. Re-registration drops the
+// query's views, exactly as the server does.
+func (s *State) applyPutQuery(name string, spec []byte, registered time.Time) {
+	if _, existed := s.Queries[name]; existed {
+		s.dropViewsIf(func(k ViewKey) bool { return k.Query == name })
+	}
+	s.Queries[name] = QueryState{Name: name, Spec: append(json.RawMessage(nil), spec...), Registered: registered}
+}
+
+// applyDeleteQuery folds a query deletion (and its view cascade).
+func (s *State) applyDeleteQuery(name string) {
+	delete(s.Queries, name)
+	s.dropViewsIf(func(k ViewKey) bool { return k.Query == name })
+}
+
+// Stats are a backend's durability counters, rendered on /metrics.
+type Stats struct {
+	// Kind is "memory" or "disk"; Persistent reports whether state
+	// survives a restart.
+	Kind       string
+	Persistent bool
+
+	// WAL counters: records and bytes appended since open, and the
+	// current (post-rotation) log file size.
+	WALRecords       uint64
+	WALAppendedBytes uint64
+	WALSizeBytes     int64
+
+	// Fsync counters under the active policy.
+	Fsyncs          uint64
+	FsyncTotalNanos int64
+	FsyncMaxNanos   int64
+
+	// Snapshot counters. LastSnapshotUnixNano is 0 when no snapshot has
+	// been taken since open.
+	Snapshots            uint64
+	LastSnapshotUnixNano int64
+	SnapshotBytes        int64
+
+	// Recovery counters from Load: WAL records replayed on top of the
+	// snapshot, and whether a torn final record was truncated.
+	RecoveredRecords  uint64
+	RecoveredTornTail bool
+}

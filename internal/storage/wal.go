@@ -1,0 +1,268 @@
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// FsyncPolicy says when appended WAL records become durable.
+type FsyncPolicy int
+
+const (
+	// FsyncAlways fsyncs in Sync, i.e. before every mutation is
+	// acknowledged. Group commit: concurrent callers share one fsync.
+	FsyncAlways FsyncPolicy = iota
+	// FsyncInterval fsyncs on a background ticker; a crash loses at most
+	// the last interval of acknowledged mutations (never corrupts — the
+	// tail is torn, not wrong).
+	FsyncInterval
+	// FsyncNever leaves flushing to the OS. Crash loss is unbounded;
+	// useful for benchmarks and bulk loads.
+	FsyncNever
+)
+
+// ParseFsyncPolicy parses the -fsync flag value.
+func ParseFsyncPolicy(s string) (FsyncPolicy, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "always", "":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("storage: unknown fsync policy %q (want always, interval, or never)", s)
+}
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("policy(%d)", int(p))
+}
+
+const (
+	walPrefix  = "wal-"
+	walSuffix  = ".log"
+	snapPrefix = "snap-"
+	snapSuffix = ".snap"
+)
+
+// walName names the log whose first record has sequence number seq.
+func walName(seq uint64) string { return fmt.Sprintf("%s%016x%s", walPrefix, seq, walSuffix) }
+
+// snapName names the snapshot whose state includes every record up to
+// and including seq.
+func snapName(seq uint64) string { return fmt.Sprintf("%s%016x%s", snapPrefix, seq, snapSuffix) }
+
+// parseSeqName extracts the hex sequence number from a wal/snap file
+// name; ok is false for names that are not ours.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hex := name[len(prefix) : len(name)-len(suffix)]
+	if len(hex) != 16 {
+		return 0, false
+	}
+	v, err := strconv.ParseUint(hex, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// listSeqFiles returns the directory's wal or snapshot files sorted by
+// their embedded sequence number.
+func listSeqFiles(dir, prefix, suffix string) ([]uint64, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var seqs []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if v, ok := parseSeqName(e.Name(), prefix, suffix); ok {
+			seqs = append(seqs, v)
+		}
+	}
+	sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
+	return seqs, nil
+}
+
+// scanWAL streams the decoded records of one log file into fn, in order.
+// It returns the byte offset of the end of the last whole, checksummed
+// frame and whether bytes after it formed a torn (incomplete or
+// corrupt) final frame. An error from fn aborts the scan; framing
+// damage is not an error here — the caller decides whether a torn tail
+// is tolerable (it is only at the very end of the newest log).
+func scanWAL(path string, fn func(*record) error) (goodBytes int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, false, err
+	}
+	off := int64(0)
+	for int64(len(data))-off >= frameOverhead {
+		n := int64(binary.LittleEndian.Uint32(data[off:]))
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		if n > maxRecordBytes || off+frameOverhead+n > int64(len(data)) {
+			return off, true, nil
+		}
+		payload := data[off+frameOverhead : off+frameOverhead+n]
+		if crc32.Checksum(payload, castagnoli) != want {
+			return off, true, nil
+		}
+		r, derr := decodeRecord(payload)
+		if derr != nil {
+			// The checksum matched, so these bytes are what was written —
+			// an undecodable record is a bug or version skew, not a torn
+			// append. Fail loudly.
+			return off, false, fmt.Errorf("storage: %s at offset %d: %w", filepath.Base(path), off, derr)
+		}
+		if err := fn(r); err != nil {
+			return off, false, err
+		}
+		off += frameOverhead + n
+	}
+	return off, off != int64(len(data)), nil
+}
+
+// walStats are cumulative append/fsync counters, shared by every log
+// file generation a backend opens so /metrics sees monotone counters
+// across rotations.
+type walStats struct {
+	records  atomic.Uint64
+	bytes    atomic.Uint64
+	fsyncs   atomic.Uint64
+	fsyncTot atomic.Int64
+	fsyncMax atomic.Int64
+}
+
+// wal is an append-only log file plus the bookkeeping for group-commit
+// fsync. Appends are serialized by the owning backend's mutex; Sync is
+// called outside it and synchronizes independently.
+type wal struct {
+	f     *os.File
+	path  string
+	size  int64 // durable-scan end at open + bytes appended since
+	stats *walStats
+
+	appended atomic.Uint64 // appends completed
+	synced   atomic.Uint64 // appends covered by a finished fsync
+
+	syncMu chan struct{} // capacity-1 semaphore serializing fsyncs
+}
+
+// openWAL opens (creating if needed) the log at path for appending at
+// offset size — the end of its last whole frame, as found by scanWAL.
+// Any torn tail beyond it is truncated away so new frames start clean.
+func openWAL(path string, size int64, stats *walStats) (*wal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: truncating torn tail of %s: %w", filepath.Base(path), err)
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &wal{f: f, path: path, size: size, stats: stats, syncMu: make(chan struct{}, 1)}, nil
+}
+
+// append writes one framed record. Callers serialize appends (the
+// backend's mutex); the frame is written with a single Write so a crash
+// tears at most the final frame.
+func (w *wal) append(buf []byte) error {
+	n, err := w.f.Write(buf)
+	w.size += int64(n)
+	if err != nil {
+		return err
+	}
+	w.stats.records.Add(1)
+	w.stats.bytes.Add(uint64(len(buf)))
+	w.appended.Add(1)
+	return nil
+}
+
+// sync makes every append that completed before the call durable,
+// sharing fsyncs across concurrent callers: whoever holds the semaphore
+// syncs for everyone who arrived while they waited.
+func (w *wal) sync() error {
+	target := w.appended.Load()
+	for {
+		if w.synced.Load() >= target {
+			return nil
+		}
+		w.syncMu <- struct{}{}
+		if w.synced.Load() >= target {
+			<-w.syncMu
+			return nil
+		}
+		covers := w.appended.Load()
+		start := time.Now()
+		err := w.f.Sync()
+		d := time.Since(start).Nanoseconds()
+		w.stats.fsyncs.Add(1)
+		w.stats.fsyncTot.Add(d)
+		for {
+			prev := w.stats.fsyncMax.Load()
+			if d <= prev || w.stats.fsyncMax.CompareAndSwap(prev, d) {
+				break
+			}
+		}
+		if err == nil {
+			for {
+				cur := w.synced.Load()
+				if cur >= covers || w.synced.CompareAndSwap(cur, covers) {
+					break
+				}
+			}
+		}
+		<-w.syncMu
+		if err != nil {
+			return err
+		}
+	}
+}
+
+// close fsyncs and closes the file.
+func (w *wal) close() error {
+	err := w.sync()
+	if cerr := w.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// fsyncDir fsyncs a directory, making renames and creates inside it
+// durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
