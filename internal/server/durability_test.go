@@ -1,0 +1,158 @@
+package server
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"docspanner"
+	"docspanner/internal/storage"
+)
+
+// faultBackend wraps a backend with switchable failure injection for
+// the write-ahead (append) and durability (Sync) steps.
+type faultBackend struct {
+	storage.Backend
+	failAppend bool // every mutation append is refused
+	failSync   bool // appends succeed, the fsync barrier fails
+}
+
+var errInjected = errors.New("injected backend failure")
+
+func (f *faultBackend) append(call func() error) error {
+	if f.failAppend {
+		return errInjected
+	}
+	return call()
+}
+
+func (f *faultBackend) PutDoc(name string, data []byte, doc *docspanner.Document, compressed bool, version int, updated time.Time) error {
+	return f.append(func() error { return f.Backend.PutDoc(name, data, doc, compressed, version, updated) })
+}
+
+func (f *faultBackend) EditDoc(name, expr string, doc *docspanner.Document, version int, updated time.Time) error {
+	return f.append(func() error { return f.Backend.EditDoc(name, expr, doc, version, updated) })
+}
+
+func (f *faultBackend) DeleteDoc(name string) error {
+	return f.append(func() error { return f.Backend.DeleteDoc(name) })
+}
+
+func (f *faultBackend) PutQuery(name string, spec []byte, registered time.Time) error {
+	return f.append(func() error { return f.Backend.PutQuery(name, spec, registered) })
+}
+
+func (f *faultBackend) DeleteQuery(name string) error {
+	return f.append(func() error { return f.Backend.DeleteQuery(name) })
+}
+
+func (f *faultBackend) PutView(doc, query string) error {
+	return f.append(func() error { return f.Backend.PutView(doc, query) })
+}
+
+func (f *faultBackend) DeleteView(doc, query string) error {
+	return f.append(func() error { return f.Backend.DeleteView(doc, query) })
+}
+
+func (f *faultBackend) Sync() error {
+	if f.failSync {
+		return errInjected
+	}
+	return f.Backend.Sync()
+}
+
+func setupFaultViewServer(t *testing.T) (*Server, *faultBackend) {
+	t.Helper()
+	fb := &faultBackend{Backend: storage.NewMemory()}
+	s := setupViewServer(t, Config{Storage: fb})
+	code, _ := do(t, s, "PUT", "/docs/d/views/q", "")
+	mustStatus(t, code, 201, "create view")
+	return s, fb
+}
+
+// A refused DeleteView append must leave the view registered — the
+// write-ahead order every other mutation path follows. Dropping it from
+// memory first would let the view resurrect on restart after a failed
+// append.
+func TestViewDeleteRefusedAppendKeepsView(t *testing.T) {
+	s, fb := setupFaultViewServer(t)
+
+	fb.failAppend = true
+	code, _ := do(t, s, "DELETE", "/docs/d/views/q", "")
+	mustStatus(t, code, 500, "delete with refused append")
+	code, _ = do(t, s, "GET", "/docs/d/views/q", "")
+	mustStatus(t, code, 200, "view must survive a refused delete")
+
+	fb.failAppend = false
+	code, _ = do(t, s, "DELETE", "/docs/d/views/q", "")
+	mustStatus(t, code, 200, "delete after fault cleared")
+	code, _ = do(t, s, "GET", "/docs/d/views/q", "")
+	mustStatus(t, code, 404, "view gone after successful delete")
+}
+
+// A refused PutView append must leave no registration behind, and the
+// rollback happens inside the set lock — no concurrent request can
+// observe (and report success for) a view that is about to vanish.
+func TestViewPutRefusedAppendRollsBack(t *testing.T) {
+	s, fb := setupFaultViewServer(t)
+	code, _ := do(t, s, "DELETE", "/docs/d/views/q", "")
+	mustStatus(t, code, 200, "clear initial view")
+
+	fb.failAppend = true
+	code, _ = do(t, s, "PUT", "/docs/d/views/q", "")
+	mustStatus(t, code, 500, "put with refused append")
+	code, _ = do(t, s, "GET", "/docs/d/views/q", "")
+	mustStatus(t, code, 404, "refused registration must not be visible")
+}
+
+// A mutation whose append succeeded but whose fsync barrier failed is
+// applied and logged: the client gets an explicit error saying so, the
+// new state is visible, views still refresh (they must not silently
+// serve the pre-mutation version), and the failure is counted on
+// /metrics.
+func TestSyncFailureKeepsViewsFresh(t *testing.T) {
+	s, fb := setupFaultViewServer(t)
+
+	fb.failSync = true
+	code, body := do(t, s, "POST", "/docs/d/edit", `{"expr": "concat(d, d)"}`)
+	mustStatus(t, code, 500, "edit with failing fsync")
+	if msg, _ := body["error"].(string); !strings.Contains(msg, "applied and logged") {
+		t.Fatalf("durability failure not reported as applied-and-logged: %v", body)
+	}
+
+	// The edit is visible…
+	code, body = do(t, s, "GET", "/docs/d", "")
+	mustStatus(t, code, 200, "get doc")
+	if body["version"] != float64(2) {
+		t.Fatalf("edit not visible after sync failure: %v", body)
+	}
+	// …and its views refreshed along with it ("abbaabba" matches twice).
+	code, body = do(t, s, "GET", "/docs/d/views/q", "")
+	mustStatus(t, code, 200, "get view")
+	if body["version"] != float64(2) || body["count"] != float64(2) {
+		t.Fatalf("view stale after sync failure: %v", body)
+	}
+
+	if !strings.Contains(metricsBody(t, s), "spannerd_storage_sync_failures_total 1") {
+		t.Error("sync failure not counted on /metrics")
+	}
+}
+
+// A delete whose fsync barrier fails is still a delete: the document is
+// gone, its views cascade away, and the client learns the durability
+// barrier failed rather than being told the delete didn't happen.
+func TestSyncFailureStillCascadesDocDelete(t *testing.T) {
+	s, fb := setupFaultViewServer(t)
+
+	fb.failSync = true
+	code, _ := do(t, s, "DELETE", "/docs/d", "")
+	mustStatus(t, code, 500, "delete with failing fsync")
+	code, _ = do(t, s, "GET", "/docs/d", "")
+	mustStatus(t, code, 404, "document must be gone")
+	code, _ = do(t, s, "GET", "/views", "")
+	mustStatus(t, code, 200, "list views")
+	if s.views.Len() != 0 {
+		t.Fatalf("views not cascaded after sync-failed delete: %d left", s.views.Len())
+	}
+}

@@ -28,10 +28,14 @@ func (s *Server) handleDocPut(w http.ResponseWriter, r *http.Request) error {
 		return errBadRequest("reading body: " + err.Error())
 	}
 	sd, err := s.store.put(name, data, boolParam(r, "compress"))
+	// A non-nil snapshot means the mutation is visible (even when only
+	// its durability barrier failed): views must refresh regardless.
+	if sd != nil {
+		s.notifyDocChanged(name)
+	}
 	if err != nil {
 		return err
 	}
-	s.notifyDocChanged(name)
 	writeJSON(w, 200, sd.info())
 	return nil
 }
@@ -54,10 +58,14 @@ func (s *Server) handleDocGet(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleDocDelete(w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("name")
-	if err := s.store.delete(name); err != nil {
+	err := s.store.delete(name)
+	if err != nil && !isSyncFailed(err) {
 		return err
 	}
 	dropped := s.views.DropDoc(name)
+	if err != nil {
+		return err
+	}
 	writeJSON(w, 200, map[string]any{"status": "deleted", "views_dropped": dropped})
 	return nil
 }
@@ -65,10 +73,12 @@ func (s *Server) handleDocDelete(w http.ResponseWriter, r *http.Request) error {
 func (s *Server) handleDocCompress(w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("name")
 	sd, err := s.store.compress(name)
+	if sd != nil {
+		s.notifyDocChanged(name)
+	}
 	if err != nil {
 		return err
 	}
-	s.notifyDocChanged(name)
 	writeJSON(w, 200, sd.info())
 	return nil
 }
@@ -88,10 +98,12 @@ func (s *Server) handleDocEdit(w http.ResponseWriter, r *http.Request) error {
 	}
 	name := r.PathValue("name")
 	sd, err := s.store.edit(name, body.Expr)
+	if sd != nil {
+		s.notifyDocChanged(name)
+	}
 	if err != nil {
 		return err
 	}
-	s.notifyDocChanged(name)
 	writeJSON(w, 200, sd.info())
 	return nil
 }
@@ -141,12 +153,17 @@ func (s *Server) handleQueryPut(w http.ResponseWriter, r *http.Request) error {
 	}
 	name := r.PathValue("name")
 	info, err := s.queries.register(name, raw)
-	if err != nil {
+	if err != nil && !isSyncFailed(err) {
 		return err
 	}
 	// A re-registration may change the query's definition; views built on
 	// the old one are dropped rather than silently serving stale results.
+	// This cascade runs even when only the durability barrier failed —
+	// the registration is applied and logged.
 	s.views.DropQuery(name)
+	if err != nil {
+		return err
+	}
 	writeJSON(w, 200, info)
 	return nil
 }
@@ -162,10 +179,14 @@ func (s *Server) handleQueryGet(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleQueryDelete(w http.ResponseWriter, r *http.Request) error {
 	name := r.PathValue("name")
-	if err := s.queries.delete(name); err != nil {
+	err := s.queries.delete(name)
+	if err != nil && !isSyncFailed(err) {
 		return err
 	}
 	dropped := s.views.DropQuery(name)
+	if err != nil {
+		return err
+	}
 	writeJSON(w, 200, map[string]any{"status": "deleted", "views_dropped": dropped})
 	return nil
 }

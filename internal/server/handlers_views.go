@@ -59,20 +59,32 @@ func (s *Server) handleViewPut(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return &httpError{status: 422, message: err.Error()}
 	}
-	v, created := s.views.Register(d.name, p.name, ix)
+	// The backend append runs inside the registration lock: a concurrent
+	// PUT for the same (doc, query) either waits and creates the view
+	// itself, or observes a registration whose log record already exists
+	// — never one a failed append is about to roll back.
+	v, created, err := s.views.Register(d.name, p.name, ix, func() error {
+		return s.storage.PutView(d.name, p.name)
+	})
+	if err != nil {
+		return err
+	}
+	var syncErr error
 	if created {
-		if err := s.storage.PutView(d.name, p.name); err != nil {
-			s.views.Drop(d.name, p.name)
-			return err
-		}
 		if err := s.storage.Sync(); err != nil {
-			return err
+			// Registered and logged; only the fsync barrier failed. The
+			// view stays live (dropping it would contradict the log), the
+			// client gets the explicit durability error below.
+			syncErr = syncFailed(fmt.Sprintf("view (%q, %q)", d.name, p.name), err)
 		}
 	}
 	// The initial (or catch-up) refresh runs inline even in async mode:
 	// the response should carry a live result, not a promise.
 	if res, did := v.Refresh(d.doc, d.version); did {
 		s.metrics.viewRefresh(d.name, p.name, res.Elapsed)
+	}
+	if syncErr != nil {
+		return syncErr
 	}
 	body := viewJSON(v, v.Current())
 	body["created"] = created
@@ -124,14 +136,21 @@ func (s *Server) handleViewGet(w http.ResponseWriter, r *http.Request) error {
 
 func (s *Server) handleViewDelete(w http.ResponseWriter, r *http.Request) error {
 	doc, query := r.PathValue("name"), r.PathValue("query")
-	if !s.views.Drop(doc, query) {
+	// Write-ahead order, like every other mutation path: the DeleteView
+	// record is appended (under the set lock) before the view vanishes
+	// from memory, so a refused append leaves the view registered instead
+	// of resurrecting it on the next restart.
+	dropped, err := s.views.Drop(doc, query, func() error {
+		return s.storage.DeleteView(doc, query)
+	})
+	if err != nil {
+		return err
+	}
+	if !dropped {
 		return errNotFound(fmt.Sprintf("view (%q, %q)", doc, query))
 	}
-	if err := s.storage.DeleteView(doc, query); err != nil {
-		return err
-	}
 	if err := s.storage.Sync(); err != nil {
-		return err
+		return syncFailed(fmt.Sprintf("view (%q, %q) delete", doc, query), err)
 	}
 	writeJSON(w, 200, map[string]string{"status": "deleted"})
 	return nil

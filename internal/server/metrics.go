@@ -84,6 +84,7 @@ type metrics struct {
 	timeouts      atomic.Uint64 // requests cancelled by deadline
 	disconnects   atomic.Uint64 // streams aborted by client disconnect (499)
 	viewRefreshes atomic.Uint64 // view refreshes performed (stale skips excluded)
+	syncFailures  atomic.Uint64 // mutations applied and logged whose fsync barrier failed
 }
 
 func newMetrics() *metrics {
@@ -187,6 +188,9 @@ func (m *metrics) writeProm(w io.Writer, docs, queries, views int, st storage.St
 	fmt.Fprintf(w, "# HELP spannerd_client_disconnects_total Streams aborted because the client went away mid-response.\n")
 	fmt.Fprintf(w, "# TYPE spannerd_client_disconnects_total counter\n")
 	fmt.Fprintf(w, "spannerd_client_disconnects_total %d\n", m.disconnects.Load())
+	fmt.Fprintf(w, "# HELP spannerd_storage_sync_failures_total Mutations applied and logged whose durability barrier (fsync) failed; the write is visible but its on-disk persistence is uncertain.\n")
+	fmt.Fprintf(w, "# TYPE spannerd_storage_sync_failures_total counter\n")
+	fmt.Fprintf(w, "spannerd_storage_sync_failures_total %d\n", m.syncFailures.Load())
 
 	fmt.Fprintf(w, "# HELP spannerd_requests_total Requests served, by handler and status code.\n")
 	fmt.Fprintf(w, "# TYPE spannerd_requests_total counter\n")

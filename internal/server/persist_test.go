@@ -189,7 +189,11 @@ func TestServerRestartAfterCrash(t *testing.T) {
 	s := newDiskServer(t, dir, Config{})
 	populate(t, s)
 	before := observe(t, s)
-	// No s.Close() — simulate the process dying. Tear the log tail.
+	// No clean s.Close() — simulate the process dying: drop the directory
+	// lock and file handles without any flush, then tear the log tail.
+	if err := s.storage.(*storage.Disk).Crash(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
 	names, err := filepath.Glob(filepath.Join(dir, "wal-*.log"))
 	if err != nil || len(names) == 0 {
 		t.Fatalf("globbing wal files: %v %v", names, err)

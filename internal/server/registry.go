@@ -192,7 +192,9 @@ func (r *registry) register(name string, raw []byte) (queryInfo, error) {
 	r.m[name] = p
 	r.mu.Unlock()
 	if err := r.backend.Sync(); err != nil {
-		return queryInfo{}, err
+		// The registration is applied and logged; hand the info back with
+		// the durability failure so the handler still runs its cascades.
+		return p.info(), syncFailed(fmt.Sprintf("query %q registration", name), err)
 	}
 	return p.info(), nil
 }
@@ -238,7 +240,10 @@ func (r *registry) delete(name string) error {
 	}
 	delete(r.m, name)
 	r.mu.Unlock()
-	return r.backend.Sync()
+	if err := r.backend.Sync(); err != nil {
+		return syncFailed(fmt.Sprintf("query %q delete", name), err)
+	}
+	return nil
 }
 
 func (r *registry) list() []queryInfo {

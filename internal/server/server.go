@@ -187,7 +187,9 @@ func (s *Server) rehydrateViews(state *storage.State) error {
 		if err != nil {
 			return fmt.Errorf("server: recovered view (%q, %q): %w", k.Doc, k.Query, err)
 		}
-		v, _ := s.views.Register(k.Doc, k.Query, ix)
+		// No persist callback: the registration is already in the log or
+		// snapshot being recovered.
+		v, _, _ := s.views.Register(k.Doc, k.Query, ix, nil)
 		v.Refresh(d.doc, d.version)
 	}
 	return nil
@@ -303,6 +305,35 @@ func errNotFound(what string) error   { return &httpError{status: 404, message: 
 func errBadRequest(msg string) error  { return &httpError{status: 400, message: msg} }
 func errUnavailable(msg string) error { return &httpError{status: 503, message: msg} }
 
+// syncFailedError reports a mutation that was applied in memory and
+// appended to the write-ahead log before its durability barrier (fsync)
+// failed: the write is visible and replays if the log survives, but the
+// server cannot promise it is on disk. Handlers run their post-mutation
+// side effects (view maintenance, cascade drops) before surfacing it —
+// skipping them would leave memory inconsistent with a mutation that
+// actually happened — and renderError turns it into an explicit 500
+// plus the spannerd_storage_sync_failures_total counter, so the client
+// is never told the write didn't happen.
+type syncFailedError struct {
+	what string
+	err  error
+}
+
+func (e *syncFailedError) Error() string {
+	return fmt.Sprintf("%s applied and logged, but the durability barrier failed: %v", e.what, e.err)
+}
+
+func (e *syncFailedError) Unwrap() error { return e.err }
+
+func syncFailed(what string, err error) error { return &syncFailedError{what: what, err: err} }
+
+// isSyncFailed tells a handler whether an error still demands its
+// post-mutation side effects.
+func isSyncFailed(err error) bool {
+	var sf *syncFailedError
+	return errors.As(err, &sf)
+}
+
 // statusWriter records the response code for logs and metrics.
 type statusWriter struct {
 	http.ResponseWriter
@@ -386,7 +417,11 @@ func (s *Server) renderError(w *statusWriter, err error) {
 	if errors.As(err, &cast) {
 		he = cast
 	}
-	if errors.Is(err, context.DeadlineExceeded) {
+	var sf *syncFailedError
+	if errors.As(err, &sf) {
+		s.metrics.syncFailures.Add(1)
+		he = &httpError{status: 500, message: sf.Error()}
+	} else if errors.Is(err, context.DeadlineExceeded) {
 		he = &httpError{status: 504, message: "evaluation deadline exceeded"}
 		s.metrics.timeouts.Add(1)
 	} else if errors.Is(err, context.Canceled) {
@@ -496,6 +531,7 @@ func (s *Server) handleVarz(w http.ResponseWriter, _ *http.Request) error {
 		"queries":            s.queries.len(),
 		"views":              s.views.Len(),
 		"view_refreshes":     s.metrics.viewRefreshes.Load(),
+		"sync_failures":      s.metrics.syncFailures.Load(),
 		"warm_recomputed":    wr,
 		"warm_reused":        wu,
 		"grammar_nodes":      s.store.grammarSize(),

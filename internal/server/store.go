@@ -107,7 +107,9 @@ func newDocStore(state *storage.State, backend storage.Backend) (*docStore, erro
 // uncompressed balanced parse (kept so CDE can reference the document).
 // Compression runs before taking the lock; the backend append happens
 // under it (log order is apply order), and the durability barrier after
-// releasing it.
+// releasing it. A *syncFailedError comes back WITH the new snapshot:
+// the mutation is applied and logged, only its fsync failed, so callers
+// must still run their post-mutation side effects.
 func (s *docStore) put(name string, data []byte, compress bool) (*storedDoc, error) {
 	var d *docspanner.Document
 	if compress {
@@ -136,7 +138,7 @@ func (s *docStore) put(name string, data []byte, compress bool) (*storedDoc, err
 	s.docs[name] = sd
 	s.mu.Unlock()
 	if err := s.backend.Sync(); err != nil {
-		return nil, err
+		return sd, syncFailed(fmt.Sprintf("document %q v%d", name, sd.version), err)
 	}
 	return sd, nil
 }
@@ -189,7 +191,7 @@ func (s *docStore) compress(name string) (*storedDoc, error) {
 		s.docs[name] = sd
 		s.mu.Unlock()
 		if err := s.backend.Sync(); err != nil {
-			return nil, err
+			return sd, syncFailed(fmt.Sprintf("document %q v%d", name, sd.version), err)
 		}
 		return sd, nil
 	}
@@ -236,7 +238,7 @@ func (s *docStore) edit(name, expr string) (*storedDoc, error) {
 	s.docs[name] = sd
 	s.mu.Unlock()
 	if err := s.backend.Sync(); err != nil {
-		return nil, err
+		return sd, syncFailed(fmt.Sprintf("document %q v%d", name, sd.version), err)
 	}
 	return sd, nil
 }
@@ -293,7 +295,10 @@ func (s *docStore) delete(name string) error {
 	delete(s.docs, name)
 	s.db.Remove(name)
 	s.mu.Unlock()
-	return s.backend.Sync()
+	if err := s.backend.Sync(); err != nil {
+		return syncFailed(fmt.Sprintf("document %q delete", name), err)
+	}
+	return nil
 }
 
 func (s *docStore) list() []docInfo {

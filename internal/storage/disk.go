@@ -48,6 +48,8 @@ type Disk struct {
 	buf    []byte
 	closed bool
 
+	lock *dirLock // exclusive ownership of the data directory
+
 	loadMu    sync.Mutex
 	recovered *State // handed out (cloned) by Load, then dropped
 
@@ -72,7 +74,10 @@ type Disk struct {
 // sequence order. A torn final record — the legitimate residue of a
 // crash mid-append — is truncated; any other framing damage, sequence
 // gap, or replay failure is a hard error, because the directory then
-// does not describe a consistent store.
+// does not describe a consistent store. The directory is held under an
+// exclusive flock for the backend's lifetime, so a second process
+// pointed at the same -data-dir fails fast instead of interleaving
+// appends into the same log.
 func OpenDisk(opts DiskOptions) (*Disk, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("storage: disk backend needs a directory")
@@ -89,8 +94,18 @@ func OpenDisk(opts DiskOptions) (*Disk, error) {
 	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, err
 	}
+	lock, err := lockDir(opts.Dir)
+	if err != nil {
+		return nil, err
+	}
+	opened := false
+	defer func() {
+		if !opened {
+			lock.release()
+		}
+	}()
 
-	d := &Disk{opts: opts, tickStop: make(chan struct{})}
+	d := &Disk{opts: opts, lock: lock, tickStop: make(chan struct{})}
 
 	// Orphaned staging files from an interrupted snapshot are garbage.
 	if entries, err := os.ReadDir(opts.Dir); err == nil {
@@ -178,6 +193,7 @@ func OpenDisk(opts DiskOptions) (*Disk, error) {
 		d.tickWG.Add(1)
 		go d.flushLoop()
 	}
+	opened = true
 	return d, nil
 }
 
@@ -321,6 +337,17 @@ func (d *Disk) Snapshot() error {
 	}
 	clone := d.shadow.clone()
 	oldW := d.w
+	// Seal the outgoing log BEFORE publishing its successor: the moment
+	// d.w is swapped, Sync fsyncs only the new (empty) file and returns,
+	// so every record in the old one must already be durable — otherwise
+	// a writer whose append landed just before the swap would have its
+	// Sync come back immediately and acknowledge a mutation a crash could
+	// still lose. One fsync under the append lock per rotation is the
+	// price of that ordering.
+	if err := oldW.sync(); err != nil {
+		d.mu.Unlock()
+		return fmt.Errorf("storage: sealing rotated log: %w", err)
+	}
 	neww, err := openWAL(filepath.Join(d.opts.Dir, walName(clone.Seq+1)), 0, &d.stats)
 	if err != nil {
 		d.mu.Unlock()
@@ -329,10 +356,9 @@ func (d *Disk) Snapshot() error {
 	d.w = neww
 	d.mu.Unlock()
 
-	// Seal the outgoing log: its last frame is ≤ clone.Seq, and syncing
-	// it here is what lets Sync only ever touch the current file.
+	// Already synced above; this just releases the file handle.
 	if err := oldW.close(); err != nil {
-		return fmt.Errorf("storage: sealing rotated log: %w", err)
+		return fmt.Errorf("storage: closing rotated log: %w", err)
 	}
 	size, err := writeSnapshot(d.opts.Dir, clone)
 	if err != nil {
@@ -399,6 +425,35 @@ func (d *Disk) Stats() Stats {
 	}
 }
 
+// Crash abandons the backend the way a dying process would: the
+// directory lock and file handles are dropped with no flush and no
+// final fsync, leaving whatever the OS has (including an unsynced or
+// torn tail) for the next OpenDisk to recover. Crash-recovery tests use
+// it where a real deployment would take a kill -9; unlike a real crash
+// it does wait out an in-flight automatic snapshot, since an
+// in-process goroutine can't be killed mid-write.
+func (d *Disk) Crash() error {
+	d.snapWG.Wait()
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	w := d.w
+	d.mu.Unlock()
+
+	if d.opts.Fsync == FsyncInterval {
+		close(d.tickStop)
+	}
+	d.tickWG.Wait()
+	err := w.f.Close() // no sync — the point of a crash
+	if rerr := d.lock.release(); err == nil {
+		err = rerr
+	}
+	return err
+}
+
 // Close flushes the log and releases the backend. In-flight automatic
 // snapshots finish first.
 func (d *Disk) Close() error {
@@ -418,5 +473,9 @@ func (d *Disk) Close() error {
 		close(d.tickStop)
 	}
 	d.tickWG.Wait()
-	return w.close()
+	err := w.close()
+	if rerr := d.lock.release(); err == nil {
+		err = rerr
+	}
+	return err
 }

@@ -1,0 +1,11 @@
+//go:build !unix
+
+package storage
+
+// dirLock is a no-op on platforms without flock; single-writer
+// discipline is the operator's responsibility there.
+type dirLock struct{}
+
+func lockDir(string) (*dirLock, error) { return &dirLock{}, nil }
+
+func (l *dirLock) release() error { return nil }

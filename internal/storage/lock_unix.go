@@ -1,0 +1,43 @@
+//go:build unix
+
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"syscall"
+)
+
+// dirLock is an advisory exclusive lock on the data directory, held for
+// the backend's lifetime. Two spannerd processes pointed at the same
+// -data-dir would otherwise append to the same WAL through independent
+// file handles, interleaving frames into damage no torn-tail tolerance
+// can repair. flock (not an O_EXCL lock file) because the kernel drops
+// it when the process dies: a kill -9 never leaves a stale lock in the
+// way of the next recovery.
+type dirLock struct{ f *os.File }
+
+func lockDir(dir string) (*dirLock, error) {
+	f, err := os.OpenFile(filepath.Join(dir, "LOCK"), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("storage: data directory %s is locked by another process; two writers would corrupt the log", dir)
+	}
+	return &dirLock{f: f}, nil
+}
+
+func (l *dirLock) release() error {
+	if l == nil || l.f == nil {
+		return nil
+	}
+	err := syscall.Flock(int(l.f.Fd()), syscall.LOCK_UN)
+	if cerr := l.f.Close(); err == nil {
+		err = cerr
+	}
+	l.f = nil
+	return err
+}

@@ -250,16 +250,27 @@ func NewSet(cfg Config) *Set {
 // Register creates (or returns, idempotently) the view for (doc, query)
 // over the given compressed index. The view is registered unrefreshed;
 // the caller performs the first Refresh with the current snapshot.
-func (s *Set) Register(doc, query string, ix *docspanner.Index) (*View, bool) {
+//
+// persist, when non-nil, runs under the set lock for a newly created
+// view (typically teeing the registration into the storage backend); an
+// error undoes the creation before any other caller can observe it, so
+// a concurrent Register for the same key never sees — and reports
+// success for — a registration that is about to be rolled back.
+func (s *Set) Register(doc, query string, ix *docspanner.Index, persist func() error) (*View, bool, error) {
 	key := Key{Doc: doc, Query: query}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if v, ok := s.views[key]; ok {
-		return v, false
+		return v, false, nil
+	}
+	if persist != nil {
+		if err := persist(); err != nil {
+			return nil, false, err
+		}
 	}
 	v := &View{key: key, ix: ix, cfg: s.cfg}
 	s.views[key] = v
-	return v, true
+	return v, true, nil
 }
 
 // Get returns the view for (doc, query) if registered.
@@ -270,16 +281,24 @@ func (s *Set) Get(doc, query string) (*View, bool) {
 	return v, ok
 }
 
-// Drop removes one view, reporting whether it existed.
-func (s *Set) Drop(doc, query string) bool {
+// Drop removes one view, reporting whether it existed. persist, when
+// non-nil, runs under the set lock before the removal becomes visible
+// (write-ahead order: a drop the backend refused leaves the view
+// registered); it is not called for a view that does not exist.
+func (s *Set) Drop(doc, query string, persist func() error) (bool, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := Key{Doc: doc, Query: query}
 	if _, ok := s.views[key]; !ok {
-		return false
+		return false, nil
+	}
+	if persist != nil {
+		if err := persist(); err != nil {
+			return false, err
+		}
 	}
 	delete(s.views, key)
-	return true
+	return true, nil
 }
 
 // DropDoc removes every view over the named document (the document was

@@ -27,11 +27,11 @@ func TestViewRefreshTracksEdits(t *testing.T) {
 	db.Add("d", docspanner.CompressDocument([]byte("abba")))
 	doc, _ := db.Get("d")
 
-	v, created := set.Register("d", "q", ix)
+	v, created, _ := set.Register("d", "q", ix, nil)
 	if !created {
 		t.Fatal("Register did not create")
 	}
-	if _, again := set.Register("d", "q", ix); again {
+	if _, again, _ := set.Register("d", "q", ix, nil); again {
 		t.Fatal("Register not idempotent")
 	}
 	if v.Current() != nil {
@@ -75,7 +75,7 @@ func TestViewRefreshTracksEdits(t *testing.T) {
 
 func TestViewRefreshIsVersionMonotonic(t *testing.T) {
 	set := NewSet(Config{})
-	v, _ := set.Register("d", "q", testIndex(t, ".*!x{a}.*"))
+	v, _, _ := set.Register("d", "q", testIndex(t, ".*!x{a}.*"), nil)
 	d1 := docspanner.DocumentFromBytes([]byte("ab"))
 	d2 := docspanner.DocumentFromBytes([]byte("aab"))
 
@@ -97,7 +97,7 @@ func TestViewRefreshIsVersionMonotonic(t *testing.T) {
 
 func TestViewChanges(t *testing.T) {
 	set := NewSet(Config{})
-	v, _ := set.Register("d", "q", testIndex(t, ".*!x{ab}.*"))
+	v, _, _ := set.Register("d", "q", testIndex(t, ".*!x{ab}.*"), nil)
 
 	db := docspanner.NewDocDB()
 	db.Add("d", docspanner.CompressDocument([]byte("ab")))
@@ -134,7 +134,7 @@ func TestViewChanges(t *testing.T) {
 
 func TestViewChangesHistoryWindow(t *testing.T) {
 	set := NewSet(Config{History: 2})
-	v, _ := set.Register("d", "q", testIndex(t, ".*!x{ab}.*"))
+	v, _, _ := set.Register("d", "q", testIndex(t, ".*!x{ab}.*"), nil)
 	db := docspanner.NewDocDB()
 	db.Add("d", docspanner.CompressDocument([]byte("ab")))
 	d, _ := db.Get("d")
@@ -153,7 +153,7 @@ func TestViewChangesHistoryWindow(t *testing.T) {
 
 func TestViewMaterializationCap(t *testing.T) {
 	set := NewSet(Config{MaxMaterialize: 2})
-	v, _ := set.Register("d", "q", testIndex(t, ".*!x{a}.*"))
+	v, _, _ := set.Register("d", "q", testIndex(t, ".*!x{a}.*"), nil)
 	d := docspanner.DocumentFromBytes([]byte("aaaa")) // 4 matches > cap
 	res, _ := v.Refresh(d, 1)
 	if res.Materialized || res.Tuples != nil {
@@ -170,9 +170,9 @@ func TestViewMaterializationCap(t *testing.T) {
 func TestSetDropScopes(t *testing.T) {
 	set := NewSet(Config{})
 	ix := testIndex(t, ".*!x{a}.*")
-	set.Register("d1", "q1", ix)
-	set.Register("d1", "q2", ix)
-	set.Register("d2", "q1", ix)
+	set.Register("d1", "q1", ix, nil)
+	set.Register("d1", "q2", ix, nil)
+	set.Register("d2", "q1", ix, nil)
 	if set.Len() != 3 {
 		t.Fatalf("Len = %d", set.Len())
 	}
@@ -188,7 +188,7 @@ func TestSetDropScopes(t *testing.T) {
 	if set.Len() != 0 {
 		t.Fatalf("Len = %d after drops", set.Len())
 	}
-	if set.Drop("d1", "q1") {
+	if ok, _ := set.Drop("d1", "q1", nil); ok {
 		t.Fatal("Drop of missing view reported true")
 	}
 }
@@ -198,7 +198,7 @@ func TestSetDropScopes(t *testing.T) {
 // and snapshots must be internally consistent.
 func TestViewConcurrentRefreshAndRead(t *testing.T) {
 	set := NewSet(Config{})
-	v, _ := set.Register("d", "q", testIndex(t, ".*!x{ab}.*"))
+	v, _, _ := set.Register("d", "q", testIndex(t, ".*!x{ab}.*"), nil)
 
 	db := docspanner.NewDocDB()
 	db.Add("d", docspanner.CompressDocument([]byte("ab")))
