@@ -1,0 +1,267 @@
+package main
+
+// E23: cluster scaling benchmark (-cluster-bench). Spawns real worker
+// processes (this binary re-exec'd with -cluster-worker, each pinned to
+// GOMAXPROCS=1 so a "node" is one core's worth of spannerd), fronts
+// them with an in-process coordinator, and measures req/s for the same
+// workload against a direct single worker (no coordinator) and against
+// cluster configurations of 1, 2, and 4 workers. workers=1 vs direct
+// isolates the coordinator's proxy overhead; 2 and 4 measure scatter-
+// gather scaling. Results go to BENCH_pr10.json.
+//
+// Caveat recorded in the output: on a single-core host the worker
+// processes time-share one core, so cluster throughput cannot exceed
+// the direct baseline no matter how many workers run — the scaling
+// numbers are only meaningful when the host has at least one core per
+// worker.
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"docspanner/internal/server"
+)
+
+const clusterBenchDocs = 16
+
+type clusterBenchEntry struct {
+	ID        string  `json:"id"`
+	Workers   int     `json:"workers"` // 0 = direct, no coordinator
+	Requests  int     `json:"requests"`
+	ReqPerSec float64 `json:"req_per_sec"`
+	P50Us     float64 `json:"p50_us"`
+	P99Us     float64 `json:"p99_us"`
+	MeanUs    float64 `json:"mean_us"`
+}
+
+type clusterBenchFile struct {
+	Description string              `json:"description"`
+	Note        string              `json:"note"`
+	GoVersion   string              `json:"go_version"`
+	NumCPU      int                 `json:"num_cpu"`
+	GOMAXPROCS  int                 `json:"gomaxprocs_coordinator"`
+	WorkerProcs string              `json:"worker_processes"`
+	Clients     int                 `json:"clients"`
+	DurationMs  int                 `json:"duration_ms_per_scenario"`
+	Entries     []clusterBenchEntry `json:"entries"`
+}
+
+// runClusterWorker is the re-exec'd child: an in-memory spannerd on an
+// ephemeral port, address announced on stdout, serving until killed.
+func runClusterWorker() error {
+	srv, err := server.New(server.Config{MaxConcurrent: 64})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewUnstartedServer(srv)
+	ts.Start()
+	fmt.Printf("LISTENING %s\n", ts.URL)
+	select {} // parent kills the process
+}
+
+type benchWorker struct {
+	cmd *exec.Cmd
+	url string
+}
+
+func startBenchWorker() (*benchWorker, error) {
+	cmd := exec.Command(os.Args[0], "-cluster-worker")
+	cmd.Env = append(os.Environ(), "GOMAXPROCS=1")
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	sc := bufio.NewScanner(out)
+	for sc.Scan() {
+		if url, ok := strings.CutPrefix(sc.Text(), "LISTENING "); ok {
+			go io.Copy(io.Discard, out) //nolint:errcheck // drain forever
+			return &benchWorker{cmd: cmd, url: url}, nil
+		}
+	}
+	_ = cmd.Process.Kill()
+	_ = cmd.Wait()
+	return nil, fmt.Errorf("cluster-bench: worker never announced its address (scan err %v)", sc.Err())
+}
+
+func (w *benchWorker) stop() {
+	_ = w.cmd.Process.Kill()
+	_ = w.cmd.Wait()
+}
+
+func runClusterBench(path string) error {
+	f := clusterBenchFile{
+		Description: "E23: cluster scaling benchmark (cmd/benchrunner -cluster-bench): req/s against one directly-addressed worker process vs a coordinator fronting 1/2/4 worker processes, query .*!x{ab}.* over 16 4KiB documents; workers=1 vs direct isolates proxy overhead",
+		Note: fmt.Sprintf("worker processes are pinned to GOMAXPROCS=1; this host has %d CPU(s). "+
+			"With fewer cores than workers the processes time-share and cluster throughput cannot exceed the direct baseline — "+
+			"scaling factors here are meaningful only on hosts with at least one core per worker plus one for the coordinator.",
+			runtime.NumCPU()),
+		GoVersion:   runtime.Version(),
+		NumCPU:      runtime.NumCPU(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		WorkerProcs: "re-exec'd " + os.Args[0] + " -cluster-worker, GOMAXPROCS=1",
+		Clients:     serveBenchClients,
+		DurationMs:  int(serveBenchDuration / time.Millisecond),
+	}
+
+	fmt.Printf("\n== E23: cluster scaling benchmark (%d clients, %v per scenario, %d CPU) ==\n",
+		serveBenchClients, serveBenchDuration, runtime.NumCPU())
+	fmt.Printf("%-34s %-10s %-10s %-10s\n", "scenario", "req/s", "p50", "p99")
+
+	for _, n := range []int{0, 1, 2, 4} {
+		if err := clusterBenchConfig(&f, n); err != nil {
+			return err
+		}
+	}
+
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// clusterBenchConfig measures one topology: n == 0 is the direct
+// baseline (one worker, no coordinator); otherwise a coordinator over n
+// worker processes.
+func clusterBenchConfig(f *clusterBenchFile, n int) error {
+	nWorkers := n
+	if n == 0 {
+		nWorkers = 1
+	}
+	workers := make([]*benchWorker, 0, nWorkers)
+	defer func() {
+		for _, w := range workers {
+			w.stop()
+		}
+	}()
+	urls := make([]string, 0, nWorkers)
+	for i := 0; i < nWorkers; i++ {
+		w, err := startBenchWorker()
+		if err != nil {
+			return err
+		}
+		workers = append(workers, w)
+		urls = append(urls, w.url)
+	}
+
+	baseURL := urls[0]
+	label := "direct"
+	if n > 0 {
+		coord, err := server.NewCoordinator(server.CoordinatorConfig{
+			Workers:       urls,
+			ProbeInterval: 100 * time.Millisecond,
+		})
+		if err != nil {
+			return err
+		}
+		defer coord.Close()
+		front := httptest.NewServer(coord)
+		defer front.Close()
+		baseURL = front.URL
+		label = fmt.Sprintf("workers=%d", n)
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: 4 * serveBenchClients}}
+	request := func(method, path, body string) (int, []byte, error) {
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		req, err := http.NewRequest(method, baseURL+path, rd)
+		if err != nil {
+			return 0, nil, err
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+	mustOK := func(method, path, body string) {
+		code, b, err := request(method, path, body)
+		if err != nil || code != 200 {
+			panic(fmt.Sprintf("cluster-bench setup %s %s: %d %s %v", method, path, code, b, err))
+		}
+	}
+
+	// Fixture: the prepared query everywhere, 16 4KiB documents spread
+	// across the ring (or all on the single direct worker).
+	mustOK("PUT", "/queries/q", `{"src": ".*!x{ab}.*"}`)
+	names := make([]string, clusterBenchDocs)
+	quoted := make([]string, clusterBenchDocs)
+	for i := range names {
+		names[i] = fmt.Sprintf("c%d", i)
+		quoted[i] = fmt.Sprintf("%q", names[i])
+		mustOK("PUT", "/docs/"+names[i], string(randomDoc(1<<12, int64(200+i))))
+	}
+	batchBody := fmt.Sprintf(`{"query": "q", "docs": [%s], "content": false}`, strings.Join(quoted, ","))
+
+	scenarios := []struct {
+		id     string
+		method string
+		path   string
+		body   string
+	}{
+		{"eval/1doc", "GET", "/eval?query=q&doc=c0&content=0", ""},
+		{"count/1doc", "GET", "/count?query=q&doc=c0", ""},
+		{"batch/16x4KiB", "POST", "/batch", batchBody},
+	}
+	if n > 0 {
+		scenarios = append(scenarios, struct {
+			id     string
+			method string
+			path   string
+			body   string
+		}{"stream-merged/16docs", "GET", "/stream?query=q&docs=" + strings.Join(names, ",") + "&content=0", ""})
+	} else {
+		scenarios = append(scenarios, struct {
+			id     string
+			method string
+			path   string
+			body   string
+		}{"stream/1doc", "GET", "/stream?query=q&doc=c0&content=0", ""})
+	}
+
+	for _, sc := range scenarios {
+		lat, elapsed := hammerScenario(request, sc.method, sc.path, sc.body)
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		var sum time.Duration
+		for _, d := range lat {
+			sum += d
+		}
+		q := func(p float64) time.Duration {
+			if len(lat) == 0 {
+				return 0
+			}
+			return lat[int(p*float64(len(lat)-1))]
+		}
+		entry := clusterBenchEntry{
+			ID:        "E23/" + sc.id + "/" + label,
+			Workers:   n,
+			Requests:  len(lat),
+			ReqPerSec: round2(float64(len(lat)) / elapsed.Seconds()),
+			P50Us:     round2(float64(q(0.50).Nanoseconds()) / 1e3),
+			P99Us:     round2(float64(q(0.99).Nanoseconds()) / 1e3),
+			MeanUs:    round2(float64(sum.Nanoseconds()) / float64(max(1, len(lat))) / 1e3),
+		}
+		f.Entries = append(f.Entries, entry)
+		fmt.Printf("%-34s %-10.0f %-10v %-10v\n", entry.ID, entry.ReqPerSec, q(0.50), q(0.99))
+	}
+	return nil
+}

@@ -38,9 +38,19 @@ func main() {
 	serveBench := flag.String("serve-bench", "", "measure the E18/E19 spannerd load suite (req/s, p50/p99 per request kind) and write this JSON file (see BENCH_pr6.json), then exit")
 	editBench := flag.String("edit-bench", "", "measure the E21 incremental-view suite (edit→requery vs cold re-eval, plus mixed spannerd load) and write this JSON file (see BENCH_pr8.json), then exit")
 	storeBench := flag.String("store-bench", "", "measure the E22 persistence suite (WAL append overhead per fsync policy, cold-start recovery) and write this JSON file (see BENCH_pr9.json), then exit")
+	clusterBench := flag.String("cluster-bench", "", "measure the E23 cluster scaling suite (direct worker vs coordinator over 1/2/4 worker processes) and write this JSON file (see BENCH_pr10.json), then exit")
+	clusterWorker := flag.Bool("cluster-worker", false, "internal: run as a -cluster-bench worker process (in-memory spannerd on an ephemeral port, address printed to stdout)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the selected run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile at exit to this file")
 	flag.Parse()
+
+	if *clusterWorker {
+		if err := runClusterWorker(); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -93,6 +103,13 @@ func main() {
 	}
 	if *editBench != "" {
 		if err := runEditBench(*editBench); err != nil {
+			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clusterBench != "" {
+		if err := runClusterBench(*clusterBench); err != nil {
 			fmt.Fprintf(os.Stderr, "benchrunner: %v\n", err)
 			os.Exit(1)
 		}

@@ -18,13 +18,31 @@
 // document database are cut when the log outgrows -snapshot-bytes (or
 // on POST /admin/snapshot), and a restart pointed at the same DIR
 // recovers the full state: documents, versions, prepared queries, and
-// live views, with no spurious /changes deltas.
+// live views, with no spurious /changes deltas. The listener accepts
+// connections from the start: while recovery replays the log, /healthz
+// answers ok (alive) but /readyz answers 503 (not routable yet).
+//
+// Cluster mode:
+//
+//	spannerd -coordinator -workers http://h1:8081,http://h2:8082
+//	         [-vnodes 64] [-replication-probe 500ms]
+//
+// runs the same HTTP API as a coordinator that owns no documents:
+// each document name hashes onto one worker (consistent hashing with
+// virtual nodes), single-document requests are routed to the owner,
+// query registrations fan out to every shard, and /batch plus
+// /stream?docs=a,b (or docs=*) scatter-gather across the owning shards
+// with per-worker retries, circuit breaking, and bounded in-flight
+// fan-out. GET /cluster shows the ring; /cluster?key=NAME shows one
+// document's placement.
 //
 // Endpoints (see the README's Serving section for a walkthrough):
 //
 //	GET    /healthz                  liveness + object counts
+//	GET    /readyz                   readiness (503 while recovering)
 //	GET    /metrics                  Prometheus text format
 //	GET    /varz                     expvar JSON
+//	GET    /cluster                  ring + worker health (coordinator)
 //	GET    /docs                     list documents
 //	PUT    /docs/{name}[?compress=1] ingest body as a document
 //	GET    /docs/{name}[?content=1]  metadata, or the text itself
@@ -39,6 +57,7 @@
 //	GET    /eval?query=q&doc=d       materialized result (sorted JSON)
 //	GET    /count?query=q&doc=d      tuple count
 //	GET    /stream?query=q&doc=d     NDJSON, one tuple per line, streamed
+//	GET    /stream?query=q&docs=a,b  merged cross-document stream (coordinator)
 //	POST   /batch                    {"query", "docs": [...], "workers"}
 //	GET    /views                    list all live views
 //	PUT    /docs/{name}/views/{q}    register a live view, refresh inline
@@ -55,9 +74,11 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -79,6 +100,11 @@ func main() {
 		fsyncMode = flag.String("fsync", "always", "WAL durability: always | interval | never (with -data-dir)")
 		fsyncIvl  = flag.Duration("fsync-interval", 100*time.Millisecond, "background fsync period for -fsync interval")
 		snapBytes = flag.Int64("snapshot-bytes", 64<<20, "cut a snapshot when the WAL outgrows this many bytes (<0 disables)")
+
+		coordMode = flag.Bool("coordinator", false, "run as a cluster coordinator over -workers instead of serving documents")
+		workers   = flag.String("workers", "", "comma-separated worker base URLs, e.g. http://h1:8081,http://h2:8082 (coordinator mode; order is part of the placement)")
+		vnodes    = flag.Int("vnodes", 0, "virtual nodes per worker on the placement ring (0: default 64)")
+		probeIvl  = flag.Duration("replication-probe", 500*time.Millisecond, "per-worker health-probe interval (coordinator mode)")
 	)
 	flag.Parse()
 
@@ -93,6 +119,11 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "spannerd: unknown -log mode %q (want text, json, or off)\n", *logMode)
 		os.Exit(2)
+	}
+
+	if *coordMode {
+		runCoordinator(*addr, *workers, *vnodes, *probeIvl, *timeout, *maxTO, logger)
+		return
 	}
 
 	var backend storage.Backend
@@ -118,6 +149,25 @@ func main() {
 		}
 	}
 
+	// Accept connections before recovery: the BootGate answers /healthz
+	// ok (the process is alive) and everything else 503 "recovering"
+	// until the Server — which replays the WAL/snapshot inside New — is
+	// swapped in. A cluster coordinator probing /readyz sees exactly when
+	// this worker becomes routable.
+	gate := server.NewBootGate()
+	hs := &http.Server{
+		Handler:           gate,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spannerd:", err)
+		os.Exit(2)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "spannerd: listening on %s (recovering)\n", *addr)
+
 	srv, err := server.New(server.Config{
 		MaxConcurrent:  *maxConc,
 		RequestTimeout: *timeout,
@@ -129,22 +179,58 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spannerd:", err)
+		_ = hs.Close()
 		os.Exit(2)
 	}
 	defer srv.Close()
+	gate.Ready(srv)
+	fmt.Fprintf(os.Stderr, "spannerd: serving on %s\n", *addr)
+
+	waitAndShutdown(hs, errCh)
+}
+
+func runCoordinator(addr, workers string, vnodes int, probeIvl, timeout, maxTO time.Duration, logger *slog.Logger) {
+	var urls []string
+	for _, w := range strings.Split(workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			urls = append(urls, strings.TrimRight(w, "/"))
+		}
+	}
+	if len(urls) == 0 {
+		fmt.Fprintln(os.Stderr, "spannerd: -coordinator needs -workers (comma-separated base URLs)")
+		os.Exit(2)
+	}
+	coord, err := server.NewCoordinator(server.CoordinatorConfig{
+		Workers:        urls,
+		VNodes:         vnodes,
+		ProbeInterval:  probeIvl,
+		RequestTimeout: timeout,
+		MaxTimeout:     maxTO,
+		Logger:         logger,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spannerd:", err)
+		os.Exit(2)
+	}
+	defer coord.Close()
 
 	hs := &http.Server{
-		Addr:              *addr,
-		Handler:           srv,
+		Addr:              addr,
+		Handler:           coord,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "spannerd: listening on %s\n", *addr)
+	fmt.Fprintf(os.Stderr, "spannerd: coordinating %d workers on %s\n", len(urls), addr)
+
+	waitAndShutdown(hs, errCh)
+}
+
+// waitAndShutdown blocks until SIGINT/SIGTERM or a listener error, then
+// drains in-flight requests.
+func waitAndShutdown(hs *http.Server, errCh chan error) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	select {
 	case <-ctx.Done():

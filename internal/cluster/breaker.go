@@ -1,0 +1,125 @@
+package cluster
+
+import (
+	"sync"
+	"time"
+)
+
+// Breaker is a per-worker circuit breaker. Consecutive failures at or
+// past the threshold open it; while open, Allow fails fast without
+// touching the worker. After the cooldown one probe request is let
+// through (half-open): its success closes the breaker, its failure
+// re-opens it for another cooldown. This bounds the latency a dead
+// worker can inject into scatter-gather requests to one timeout per
+// cooldown instead of one per request.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook
+
+	mu       sync.Mutex
+	failures int
+	state    breakerState
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// NewBreaker builds a breaker; threshold <= 0 means 5 consecutive
+// failures, cooldown <= 0 means 1s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 5
+	}
+	if cooldown <= 0 {
+		cooldown = time.Second
+	}
+	return &Breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// Allow reports whether a request may proceed. In the open state it
+// returns false until the cooldown elapses, then admits exactly one
+// probe (half-open); further requests keep failing fast until that
+// probe settles via Success or Failure.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return true
+	case breakerOpen:
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// Success records a request that reached the worker and got a
+// non-5xx answer; it closes the breaker.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.state = breakerClosed
+	b.probing = false
+}
+
+// Failure records a transport error or 5xx from the worker. Reaching
+// the threshold — or failing the half-open probe — opens the breaker.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.state == breakerHalfOpen || b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.now()
+		b.probing = false
+	}
+}
+
+// Cancel records a request that was admitted but never got a verdict
+// from the worker (the caller's own deadline expired first). It only
+// un-wedges a half-open probe so the next request may probe again; it
+// neither closes nor opens the breaker.
+func (b *Breaker) Cancel() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.probing = false
+}
+
+// Open reports whether the breaker is currently open (failing fast).
+func (b *Breaker) Open() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && b.now().Sub(b.openedAt) < b.cooldown
+}
+
+// State returns "closed" | "open" | "half-open" for observability.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}

@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// --- ring ---
+
+func TestRingDeterministicAndBalanced(t *testing.T) {
+	workers := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r1, err := NewRing(workers, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := NewRing(workers, 0)
+	counts := make([]int, len(workers))
+	const docs = 4096
+	for i := 0; i < docs; i++ {
+		key := fmt.Sprintf("doc-%d", i)
+		o := r1.Owner(key)
+		if o2 := r2.Owner(key); o2 != o {
+			t.Fatalf("owner(%q) not deterministic: %d vs %d", key, o, o2)
+		}
+		counts[o]++
+	}
+	// With 64 vnodes per worker the shards should be within a factor of
+	// ~2 of the mean (the bound is loose on purpose; this guards gross
+	// imbalance, not perfection).
+	mean := docs / len(workers)
+	for i, c := range counts {
+		if c < mean/2 || c > mean*2 {
+			t.Fatalf("worker %d owns %d of %d docs (mean %d): imbalanced ring %v", i, c, docs, mean, counts)
+		}
+	}
+}
+
+func TestRingOwnershipIgnoresUpDown(t *testing.T) {
+	r, err := NewRing([]string{"http://a:1", "http://b:1"}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owners := map[string]int{}
+	for i := 0; i < 64; i++ {
+		k := fmt.Sprintf("k%d", i)
+		owners[k] = r.Owner(k)
+	}
+	r.SetUp(0, false)
+	for k, o := range owners {
+		if r.Owner(k) != o {
+			t.Fatalf("owner(%q) moved when a worker went down: placement must be static", k)
+		}
+	}
+	if r.UpCount() != 1 || r.FirstUp() != 1 {
+		t.Fatalf("UpCount=%d FirstUp=%d after downing worker 0", r.UpCount(), r.FirstUp())
+	}
+}
+
+func TestRingRejectsBadConfig(t *testing.T) {
+	if _, err := NewRing(nil, 4); err == nil {
+		t.Fatal("empty worker list accepted")
+	}
+	if _, err := NewRing([]string{"http://a", "http://a"}, 4); err == nil {
+		t.Fatal("duplicate worker accepted")
+	}
+}
+
+// --- breaker ---
+
+func TestBreakerOpensHalfOpensCloses(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(3, time.Second)
+	b.now = func() time.Time { return now }
+
+	for i := 0; i < 3; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused request %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != "open" {
+		t.Fatalf("state after threshold failures = %s, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a request before cooldown")
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if b.Allow() {
+		t.Fatal("breaker admitted a second concurrent probe")
+	}
+	b.Failure() // probe fails: re-open
+	if b.State() != "open" || b.Allow() {
+		t.Fatalf("failed probe should re-open (state=%s)", b.State())
+	}
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe after second cooldown")
+	}
+	b.Success()
+	if b.State() != "closed" || !b.Allow() {
+		t.Fatalf("successful probe should close (state=%s)", b.State())
+	}
+}
+
+func TestBreakerCancelUnwedgesProbe(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := NewBreaker(1, time.Second)
+	b.now = func() time.Time { return now }
+	b.Failure()
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("no probe admitted")
+	}
+	b.Cancel() // probe never reached the worker
+	if !b.Allow() {
+		t.Fatal("cancelled probe left the breaker wedged")
+	}
+}
+
+// --- frame scanner ---
+
+func TestFrameScannerCompleteStream(t *testing.T) {
+	body := `{"x":{"begin":1,"end":3}}` + "\n" +
+		`{"x":{"begin":2,"end":4}}` + "\n" +
+		`{"count":2,"done":true,"took":"1ms","version":3}` + "\n"
+	s := NewFrameScanner(strings.NewReader(body))
+	var frames []string
+	for {
+		f, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		frames = append(frames, string(f))
+	}
+	if len(frames) != 2 {
+		t.Fatalf("frames = %v, want 2 tuple lines", frames)
+	}
+	sum := s.Summary()
+	if sum == nil || !sum.Done || sum.Count != 2 || sum.Version != 3 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+func TestFrameScannerTornStreams(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"torn mid-line":     `{"x":{"begin":1,`,
+		"no trailer":        `{"x":{"begin":1,"end":3}}` + "\n",
+		"torn after tuples": `{"x":{"begin":1,"end":3}}` + "\n" + `{"x":{"beg`,
+	}
+	for name, body := range cases {
+		s := NewFrameScanner(strings.NewReader(body))
+		var got error
+		for {
+			_, err := s.Next()
+			if err != nil {
+				got = err
+				break
+			}
+		}
+		if !errors.Is(got, ErrNoSummary) {
+			t.Errorf("%s: error = %v, want ErrNoSummary", name, got)
+		}
+		if s.Summary() != nil {
+			t.Errorf("%s: summary should be nil on a torn stream", name)
+		}
+	}
+}
+
+func TestFrameScannerInBandAbort(t *testing.T) {
+	// A worker that hit its deadline mid-stream reports done:false on the
+	// trailer; the scanner surfaces that as a valid summary — the
+	// coordinator decides what partiality means.
+	body := `{"x":{"begin":1,"end":3}}` + "\n" +
+		`{"count":1,"done":false,"error":"evaluation deadline exceeded","took":"5ms"}` + "\n"
+	s := NewFrameScanner(strings.NewReader(body))
+	n := 0
+	for {
+		_, err := s.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	sum := s.Summary()
+	if n != 1 || sum == nil || sum.Done || sum.Error == "" {
+		t.Fatalf("n=%d summary=%+v", n, sum)
+	}
+}
+
+// --- client ---
+
+func TestClientRetriesTransportErrorThenSucceeds(t *testing.T) {
+	var calls atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Kill the connection without a response: a transport error at
+			// the client.
+			hj, _ := w.(http.Hijacker)
+			conn, _, _ := hj.Hijack()
+			conn.Close()
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	ring, _ := NewRing([]string{ts.URL}, 4)
+	c := NewClient(ring, ClientConfig{RetryMax: 2, RetryBase: time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, release, err := c.GetIdempotent(ctx, 0, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/x", nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	b, _ := io.ReadAll(resp.Body)
+	_ = resp.Body.Close()
+	if string(b) != "ok" || c.Retries.Load() != 1 {
+		t.Fatalf("body=%q retries=%d", b, c.Retries.Load())
+	}
+}
+
+func TestClientHonorsRetryAfter(t *testing.T) {
+	var calls atomic.Int32
+	var gap atomic.Int64
+	var last atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := calls.Add(1)
+		now := time.Now().UnixNano()
+		if prev := last.Swap(now); prev != 0 && n == 2 {
+			gap.Store(now - prev)
+		}
+		if n == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	ring, _ := NewRing([]string{ts.URL}, 4)
+	// RetryCap below Retry-After bounds the wait: the header is honored
+	// up to the cap, so the test stays fast while still proving the
+	// hint raises the backoff above its tiny base.
+	c := NewClient(ring, ClientConfig{RetryMax: 1, RetryBase: time.Millisecond, RetryCap: 150 * time.Millisecond})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	resp, release, err := c.GetIdempotent(ctx, 0, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/x", nil)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+	_, _ = io.Copy(io.Discard, resp.Body)
+	_ = resp.Body.Close()
+	if resp.StatusCode != 200 || calls.Load() != 2 {
+		t.Fatalf("status=%d calls=%d", resp.StatusCode, calls.Load())
+	}
+	// The second attempt must have waited at least ~RetryCap (the capped
+	// Retry-After), far above the 1ms base backoff.
+	if g := time.Duration(gap.Load()); g < 100*time.Millisecond {
+		t.Fatalf("retry gap %v: Retry-After hint not honored", g)
+	}
+}
+
+func TestClientFailsFastOnDownWorker(t *testing.T) {
+	ring, _ := NewRing([]string{"http://127.0.0.1:1"}, 4)
+	ring.SetUp(0, false)
+	c := NewClient(ring, ClientConfig{})
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, "http://127.0.0.1:1/x", nil)
+	_, _, err := c.Do(req, 0)
+	if !errors.Is(err, ErrWorkerDown) {
+		t.Fatalf("err = %v, want ErrWorkerDown", err)
+	}
+	if StatusFor(err) != http.StatusServiceUnavailable {
+		t.Fatalf("StatusFor(down) = %d, want 503", StatusFor(err))
+	}
+	if c.DownFastFails.Load() != 1 {
+		t.Fatalf("DownFastFails = %d", c.DownFastFails.Load())
+	}
+}
+
+func TestClientBreakerOpensAfterRepeatedFailures(t *testing.T) {
+	// Nothing listens on this port: every attempt is a transport error.
+	ring, _ := NewRing([]string{"http://127.0.0.1:1"}, 4)
+	c := NewClient(ring, ClientConfig{RetryMax: 0, BreakerThreshold: 3, BreakerCooldown: time.Hour})
+	for i := 0; i < 3; i++ {
+		req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, "http://127.0.0.1:1/x", nil)
+		if _, _, err := c.Do(req, 0); err == nil {
+			t.Fatal("dial to a closed port succeeded?")
+		}
+	}
+	req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, "http://127.0.0.1:1/x", nil)
+	_, _, err := c.Do(req, 0)
+	if !errors.Is(err, ErrBreakerOpen) {
+		t.Fatalf("err = %v, want ErrBreakerOpen after %d failures", err, 3)
+	}
+	if c.BreakerFastFails.Load() != 1 {
+		t.Fatalf("BreakerFastFails = %d", c.BreakerFastFails.Load())
+	}
+}
+
+func TestClientBoundsPerWorkerInflight(t *testing.T) {
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		<-release
+		fmt.Fprint(w, "ok")
+	}))
+	defer ts.Close()
+	defer close(release)
+	ring, _ := NewRing([]string{ts.URL}, 4)
+	c := NewClient(ring, ClientConfig{MaxInflight: 1})
+
+	started := make(chan struct{})
+	go func() {
+		req, _ := http.NewRequestWithContext(context.Background(), http.MethodGet, ts.URL+"/slow", nil)
+		close(started)
+		resp, rel, err := c.Do(req, 0)
+		if err == nil {
+			_, _ = io.Copy(io.Discard, resp.Body)
+			_ = resp.Body.Close()
+			rel()
+		}
+	}()
+	<-started
+	time.Sleep(20 * time.Millisecond) // let the first request take the slot
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/second", nil)
+	_, _, err := c.Do(req, 0)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("second request err = %v, want DeadlineExceeded (slot never freed)", err)
+	}
+}
+
+// --- scatter ---
+
+func TestScatterPreservesOrder(t *testing.T) {
+	tasks := make([]int, 100)
+	for i := range tasks {
+		tasks[i] = i * 3
+	}
+	got := Scatter(context.Background(), tasks, 7, func(_ context.Context, i, task int) int {
+		return task + i
+	})
+	for i, g := range got {
+		if g != i*4 {
+			t.Fatalf("result[%d] = %d, want %d", i, g, i*4)
+		}
+	}
+}
+
+func TestScatterStopsDispatchOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	tasks := make([]int, 1000)
+	_ = Scatter(ctx, tasks, 2, func(ctx context.Context, i, _ int) bool {
+		if ran.Add(1) == 2 {
+			cancel()
+		}
+		return true
+	})
+	if n := ran.Load(); n > 10 {
+		t.Fatalf("%d tasks ran after cancel; dispatch should stop promptly", n)
+	}
+}

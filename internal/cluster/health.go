@@ -1,0 +1,182 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// WorkerStatus is the prober's last verdict on one worker, plus the
+// object counts its /healthz reported — the coordinator aggregates
+// these into cluster-wide gauges without fanning out on every /metrics
+// scrape.
+type WorkerStatus struct {
+	URL       string        `json:"url"`
+	Up        bool          `json:"up"`
+	Err       string        `json:"error,omitempty"`
+	LastProbe time.Time     `json:"last_probe"`
+	RTT       time.Duration `json:"rtt_ns"`
+	Docs      int           `json:"docs"`
+	Queries   int           `json:"queries"`
+	Views     int           `json:"views"`
+	// Transitions counts up/down flips since the prober started — a
+	// flapping worker shows up here.
+	Transitions uint64 `json:"transitions"`
+}
+
+// Prober drives the ring's up/down bits: every interval it GETs each
+// worker's /readyz (which answers 503 while the worker is recovering
+// its WAL/snapshot, so a booting worker is not routed to until it is
+// actually serving) and, when ready, scrapes /healthz for object
+// counts. One goroutine per worker, jittered so N probes don't land in
+// lockstep.
+type Prober struct {
+	ring     *Ring
+	interval time.Duration
+	hc       *http.Client
+
+	mu     sync.Mutex
+	status []WorkerStatus
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+// NewProber builds the prober; interval <= 0 means 500ms. The probe
+// timeout is clamped to [1s, 2s] regardless of interval: a hung worker
+// cannot stall the loop for long, but an aggressive probe cadence must
+// not turn a momentarily slow (GC pause, load spike) worker into a
+// down one — down means refused or timed out on a generous deadline,
+// not "answered slower than the interval".
+func NewProber(ring *Ring, interval time.Duration) *Prober {
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	to := interval
+	if to < time.Second {
+		to = time.Second
+	}
+	if to > 2*time.Second {
+		to = 2 * time.Second
+	}
+	p := &Prober{
+		ring:     ring,
+		interval: interval,
+		hc:       &http.Client{Timeout: to},
+		status:   make([]WorkerStatus, ring.N()),
+		stop:     make(chan struct{}),
+	}
+	for i := range p.status {
+		p.status[i] = WorkerStatus{URL: ring.URL(i), Up: true}
+	}
+	return p
+}
+
+// Start probes every worker once synchronously (so the ring reflects
+// reality before the coordinator serves its first request) and then
+// launches the background loops.
+func (p *Prober) Start() {
+	for i := 0; i < p.ring.N(); i++ {
+		p.probe(i)
+	}
+	for i := 0; i < p.ring.N(); i++ {
+		p.wg.Add(1)
+		go p.loop(i)
+	}
+}
+
+// Stop halts the loops and waits for them.
+func (p *Prober) Stop() {
+	p.stopOnce.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+func (p *Prober) loop(i int) {
+	defer p.wg.Done()
+	// Spread worker i's first tick across the interval.
+	t := time.NewTimer(p.interval * time.Duration(i+1) / time.Duration(p.ring.N()+1))
+	defer t.Stop()
+	for {
+		select {
+		case <-p.stop:
+			return
+		case <-t.C:
+			p.probe(i)
+			t.Reset(p.interval)
+		}
+	}
+}
+
+// probe runs one readiness check against worker i and flips the ring.
+func (p *Prober) probe(i int) {
+	url := p.ring.URL(i)
+	start := time.Now()
+	up, errMsg := p.ready(url)
+	rtt := time.Since(start)
+
+	var counts struct {
+		Docs    int `json:"docs"`
+		Queries int `json:"queries"`
+		Views   int `json:"views"`
+	}
+	if up {
+		if resp, err := p.hc.Get(url + "/healthz"); err == nil {
+			_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&counts)
+			_ = resp.Body.Close()
+		}
+	}
+
+	p.ring.SetUp(i, up)
+
+	p.mu.Lock()
+	st := &p.status[i]
+	if st.Up != up {
+		st.Transitions++
+	}
+	st.Up = up
+	st.Err = errMsg
+	st.LastProbe = start
+	st.RTT = rtt
+	if up {
+		st.Docs, st.Queries, st.Views = counts.Docs, counts.Queries, counts.Views
+	}
+	p.mu.Unlock()
+}
+
+// ready GETs /readyz: 200 means serving; 503 means alive but still
+// recovering (not routable); anything else — including transport
+// errors — means down.
+func (p *Prober) ready(url string) (bool, string) {
+	ctx, cancel := context.WithTimeout(context.Background(), p.hc.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return false, err.Error()
+	}
+	resp, err := p.hc.Do(req)
+	if err != nil {
+		return false, err.Error()
+	}
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	_ = resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return true, ""
+	}
+	if resp.StatusCode == http.StatusServiceUnavailable {
+		return false, "recovering (readyz 503)"
+	}
+	return false, "readyz status " + resp.Status
+}
+
+// Status snapshots every worker's last probe result.
+func (p *Prober) Status() []WorkerStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]WorkerStatus, len(p.status))
+	copy(out, p.status)
+	return out
+}

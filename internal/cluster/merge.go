@@ -1,0 +1,130 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+// ErrNoSummary reports an NDJSON worker stream that ended without a
+// parseable summary trailer — the worker died (or the connection was
+// cut) mid-stream, so the tuple lines that did arrive may be a prefix
+// of the true result.
+var ErrNoSummary = errors.New("cluster: worker stream ended without a summary trailer")
+
+// StreamSummary is the trailer line a worker's /stream emits after its
+// tuples: {"done": true, "count": N, "took": "..."} (done=false with an
+// error when the worker aborted in-band).
+type StreamSummary struct {
+	Done    bool   `json:"done"`
+	Count   int    `json:"count"`
+	Took    string `json:"took"`
+	Version int    `json:"version"`
+	Error   string `json:"error"`
+}
+
+// FrameScanner splits a worker NDJSON stream into data frames and the
+// final summary without parsing tuple lines: it reads one line ahead,
+// so the line that turns out to be last — the summary — is never
+// surfaced as data. This keeps the merge path free of per-tuple JSON
+// parsing; the only line ever unmarshaled is the trailer.
+type FrameScanner struct {
+	br      *bufio.Reader
+	held    []byte // the candidate summary line (last line read)
+	started bool
+	summary *StreamSummary
+	err     error
+}
+
+// maxFrameBytes bounds one NDJSON line (a tuple can carry span contents
+// of a large document; 16 MiB is far past anything the encoder emits
+// for sane documents and stops a corrupt stream from buffering without
+// bound).
+const maxFrameBytes = 16 << 20
+
+// NewFrameScanner wraps a worker stream body.
+func NewFrameScanner(r io.Reader) *FrameScanner {
+	return &FrameScanner{br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// readLine returns the next complete line without its newline. A final
+// unterminated fragment (torn mid-line by a dying worker) is reported
+// as ErrNoSummary — it cannot be trusted as either tuple or trailer.
+func (s *FrameScanner) readLine() ([]byte, error) {
+	var line []byte
+	for {
+		chunk, err := s.br.ReadSlice('\n')
+		// ReadSlice's buffer is reused; accumulate into our own slice only
+		// when a line spans reads.
+		if err == nil {
+			if line == nil {
+				out := make([]byte, len(chunk)-1)
+				copy(out, chunk[:len(chunk)-1])
+				return out, nil
+			}
+			line = append(line, chunk[:len(chunk)-1]...)
+			return line, nil
+		}
+		if errors.Is(err, bufio.ErrBufferFull) {
+			line = append(line, chunk...)
+			if len(line) > maxFrameBytes {
+				return nil, errors.New("cluster: NDJSON frame exceeds 16MiB")
+			}
+			continue
+		}
+		if errors.Is(err, io.EOF) {
+			if len(chunk) > 0 || len(line) > 0 {
+				return nil, ErrNoSummary // torn final fragment
+			}
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+}
+
+// Next returns the next data frame. io.EOF means the stream completed
+// and Summary() is valid; any other error (including ErrNoSummary)
+// means the worker died mid-stream.
+func (s *FrameScanner) Next() ([]byte, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if !s.started {
+		s.started = true
+		first, err := s.readLine()
+		if err != nil {
+			// Zero lines at all: no data and no summary.
+			if errors.Is(err, io.EOF) {
+				err = ErrNoSummary
+			}
+			s.err = err
+			return nil, s.err
+		}
+		s.held = first
+	}
+	next, err := s.readLine()
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			// The held line is the trailer.
+			var sum StreamSummary
+			if jsonErr := json.Unmarshal(s.held, &sum); jsonErr != nil || !bytes.Contains(s.held, []byte(`"done"`)) {
+				s.err = ErrNoSummary
+			} else {
+				s.summary = &sum
+				s.err = io.EOF
+			}
+		} else {
+			s.err = err
+		}
+		return nil, s.err
+	}
+	frame := s.held
+	s.held = next
+	return frame, nil
+}
+
+// Summary returns the parsed trailer after Next returned io.EOF, nil
+// otherwise.
+func (s *FrameScanner) Summary() *StreamSummary { return s.summary }

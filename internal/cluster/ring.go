@@ -1,0 +1,157 @@
+// Package cluster implements the coordinator side of a sharded spannerd
+// deployment: consistent-hash placement of named documents across a set
+// of worker processes, a health-probed up/down view of those workers,
+// bounded per-worker fan-out with retries and circuit breaking, and the
+// NDJSON frame discipline for merging worker streams.
+//
+// Placement is static: a document's owner is determined by the hash
+// ring over the *configured* worker list, never by which workers are
+// currently up. Documents do not move when a worker dies (there is no
+// replication); a down worker makes its shard unavailable — requests
+// for its documents fail fast with 502/503 — while every other shard
+// keeps serving. This keeps ownership stable across worker restarts and
+// coordinator restarts alike: the same -workers list always produces
+// the same placement.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync/atomic"
+)
+
+// DefaultVNodes is the virtual-node count per worker when RingConfig
+// leaves it zero: enough points that the shard sizes stay within a few
+// percent of each other for realistic worker counts.
+const DefaultVNodes = 64
+
+// Ring is a consistent-hash ring over a fixed worker list with virtual
+// nodes, plus an up/down bit per worker maintained by the health prober.
+// Owner lookups and up/down flips are safe for concurrent use; the
+// worker list itself is immutable after New.
+type Ring struct {
+	workers []string
+	vnodes  int
+	points  []ringPoint // sorted by hash
+	up      []atomic.Bool
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker int
+}
+
+// NewRing builds the ring. Workers are base URLs (http://host:port) in
+// a stable order; vnodes <= 0 uses DefaultVNodes. Every worker starts
+// up — the prober downs them on its first failed probe.
+func NewRing(workers []string, vnodes int) (*Ring, error) {
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("cluster: ring needs at least one worker")
+	}
+	seen := map[string]bool{}
+	for _, w := range workers {
+		if w == "" {
+			return nil, fmt.Errorf("cluster: empty worker URL")
+		}
+		if seen[w] {
+			return nil, fmt.Errorf("cluster: duplicate worker URL %q", w)
+		}
+		seen[w] = true
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{
+		workers: workers,
+		vnodes:  vnodes,
+		points:  make([]ringPoint, 0, len(workers)*vnodes),
+		up:      make([]atomic.Bool, len(workers)),
+	}
+	for i, w := range workers {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: hashKey(fmt.Sprintf("%s#%d", w, v)), worker: i})
+		}
+		r.up[i].Store(true)
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		// Hash ties (astronomically rare with 64-bit FNV) break by worker
+		// index so the ring is deterministic regardless of sort stability.
+		return r.points[a].worker < r.points[b].worker
+	})
+	return r, nil
+}
+
+// hashKey is FNV-1a followed by the murmur3 fmix64 finalizer. Raw FNV
+// over near-identical strings ("url#0", "url#1", …) leaves the vnode
+// points visibly clustered — measured shard sizes varied by ~10x over
+// 4 workers × 64 vnodes; the avalanche step evens them to within a few
+// percent.
+func hashKey(s string) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(s))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// Owner returns the index of the worker that owns key: the first ring
+// point clockwise from the key's hash. Ownership ignores up/down state
+// — see the package comment.
+func (r *Ring) Owner(key string) int {
+	h := hashKey(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].worker
+}
+
+// N is the number of configured workers.
+func (r *Ring) N() int { return len(r.workers) }
+
+// URL returns the base URL of worker i.
+func (r *Ring) URL(i int) string { return r.workers[i] }
+
+// Workers returns the configured worker URLs (the caller must not
+// mutate the slice).
+func (r *Ring) Workers() []string { return r.workers }
+
+// VNodes is the virtual-node count per worker.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// SetUp flips worker i's availability bit (the health prober's verdict).
+func (r *Ring) SetUp(i int, up bool) { r.up[i].Store(up) }
+
+// Up reports whether worker i is currently considered available.
+func (r *Ring) Up(i int) bool { return r.up[i].Load() }
+
+// UpCount counts available workers.
+func (r *Ring) UpCount() int {
+	n := 0
+	for i := range r.up {
+		if r.up[i].Load() {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstUp returns the lowest-indexed available worker, or -1 when the
+// whole cluster is down. Used for shard-agnostic reads (query metadata
+// lives on every worker).
+func (r *Ring) FirstUp() int {
+	for i := range r.up {
+		if r.up[i].Load() {
+			return i
+		}
+	}
+	return -1
+}

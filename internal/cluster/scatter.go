@@ -1,0 +1,51 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+)
+
+// Scatter runs fn over every task on at most parallel goroutines and
+// returns the results in task order. It never fails as a whole: each
+// task's outcome (success or error) is encoded in its R by fn, so a
+// dead shard degrades its own slots instead of aborting the gather.
+// A cancelled ctx stops dispatching new tasks; already-running fn calls
+// observe ctx themselves. parallel <= 0 means len(tasks).
+//
+// The per-worker in-flight bound lives in Client, not here: Scatter
+// bounds the coordinator's own goroutine fan-out, Client.Do bounds what
+// actually lands on each worker.
+func Scatter[T, R any](ctx context.Context, tasks []T, parallel int, fn func(ctx context.Context, i int, task T) R) []R {
+	results := make([]R, len(tasks))
+	if len(tasks) == 0 {
+		return results
+	}
+	if parallel <= 0 || parallel > len(tasks) {
+		parallel = len(tasks)
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallel; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				results[i] = fn(ctx, i, tasks[i])
+			}
+		}()
+	}
+	for i := range tasks {
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			// Leave the remaining slots at their zero R; the caller's fn
+			// encoding treats an untouched slot as "not attempted".
+			close(idx)
+			wg.Wait()
+			return results
+		}
+	}
+	close(idx)
+	wg.Wait()
+	return results
+}

@@ -1,0 +1,45 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// BootGate lets spannerd accept connections before recovery finishes.
+// Until Ready is called it answers:
+//
+//   - GET /healthz → 200 (the process is alive — don't restart it)
+//   - GET /readyz  → 503 {"status":"recovering"} (don't route to it)
+//   - anything else → 503 with Retry-After
+//
+// so a cluster coordinator's health prober can tell "worker is
+// replaying its WAL/snapshot" from "worker is gone", and never routes a
+// request into a half-recovered store. Ready atomically swaps in the
+// real handler; requests racing the swap get either answer, both
+// correct.
+type BootGate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewBootGate returns a gate still in its booting state.
+func NewBootGate() *BootGate { return &BootGate{} }
+
+// Ready installs the recovered server as the live handler.
+func (g *BootGate) Ready(h http.Handler) { g.h.Store(&h) }
+
+func (g *BootGate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if hp := g.h.Load(); hp != nil {
+		(*hp).ServeHTTP(w, r)
+		return
+	}
+	switch {
+	case r.Method == http.MethodGet && r.URL.Path == "/healthz":
+		writeJSON(w, 200, map[string]any{"status": "ok", "phase": "booting"})
+	case r.Method == http.MethodGet && r.URL.Path == "/readyz":
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, 503, map[string]any{"status": "recovering"})
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, 503, map[string]any{"error": "server is recovering; not ready for requests"})
+	}
+}

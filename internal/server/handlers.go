@@ -290,11 +290,12 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) error {
 		doc = d.bytes()
 	}
 	writeJSON(w, 200, map[string]any{
-		"query":  p.name,
-		"doc":    d.name,
-		"count":  len(tuples),
-		"took":   took.String(),
-		"tuples": tuplesJSON(tuples, doc, wc),
+		"query":   p.name,
+		"doc":     d.name,
+		"version": d.version,
+		"count":   len(tuples),
+		"took":    took.String(),
+		"tuples":  tuplesJSON(tuples, doc, wc),
 	})
 	return nil
 }
@@ -353,10 +354,11 @@ func (s *Server) handleCount(w http.ResponseWriter, r *http.Request) error {
 	took := time.Since(start)
 	s.metrics.query(p.name, "count", n, took)
 	writeJSON(w, 200, map[string]any{
-		"query": p.name,
-		"doc":   d.name,
-		"count": n,
-		"took":  took.String(),
+		"query":   p.name,
+		"doc":     d.name,
+		"version": d.version,
+		"count":   n,
+		"took":    took.String(),
 	})
 	return nil
 }
@@ -419,7 +421,7 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) error {
 	if ioErr != nil {
 		return s.streamDisconnect(w)
 	}
-	summary := map[string]any{"done": true, "count": n, "took": took.String()}
+	summary := map[string]any{"done": true, "count": n, "took": took.String(), "version": d.version}
 	if err != nil {
 		// Headers are out; report the cancellation in-band on the trailer
 		// line so clients can distinguish truncation from completion.
@@ -530,9 +532,10 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) error {
 			doc = sl.d.bytes()
 		}
 		results[i] = map[string]any{
-			"doc":    sl.d.name,
-			"count":  len(tuples),
-			"tuples": tuplesJSON(tuples, doc, wc),
+			"doc":     sl.d.name,
+			"version": sl.d.version,
+			"count":   len(tuples),
+			"tuples":  tuplesJSON(tuples, doc, wc),
 		}
 	}
 	s.metrics.query(p.name, "batch", total, took)

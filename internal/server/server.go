@@ -11,13 +11,17 @@ package server
 
 import (
 	"context"
+	crand "crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"expvar"
 	"fmt"
 	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"docspanner"
@@ -259,6 +263,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.wrap("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /readyz", s.wrap("readyz", s.handleReadyz))
 	s.mux.HandleFunc("GET /metrics", s.wrap("metrics", s.handleMetrics))
 	s.mux.HandleFunc("GET /varz", s.wrap("varz", s.handleVarz))
 
@@ -292,18 +297,23 @@ func (s *Server) routes() {
 }
 
 // httpError is an error with an HTTP status; handlers return it to get
-// a structured JSON error response.
+// a structured JSON error response. retryAfter > 0 adds a Retry-After
+// header (seconds) — the coordinator's backoff honors it, so a loaded
+// worker can push fan-out pressure back instead of being hammered.
 type httpError struct {
-	status  int
-	message string
-	diags   []docspanner.Diagnostic
+	status     int
+	message    string
+	retryAfter int
+	diags      []docspanner.Diagnostic
 }
 
 func (e *httpError) Error() string { return e.message }
 
-func errNotFound(what string) error   { return &httpError{status: 404, message: what + " not found"} }
-func errBadRequest(msg string) error  { return &httpError{status: 400, message: msg} }
-func errUnavailable(msg string) error { return &httpError{status: 503, message: msg} }
+func errNotFound(what string) error  { return &httpError{status: 404, message: what + " not found"} }
+func errBadRequest(msg string) error { return &httpError{status: 400, message: msg} }
+func errUnavailable(msg string) error {
+	return &httpError{status: 503, message: msg, retryAfter: 1}
+}
 
 // syncFailedError reports a mutation that was applied in memory and
 // appended to the write-ahead log before its durability barrier (fsync)
@@ -332,6 +342,32 @@ func syncFailed(what string, err error) error { return &syncFailedError{what: wh
 func isSyncFailed(err error) bool {
 	var sf *syncFailedError
 	return errors.As(err, &sf)
+}
+
+// Request IDs are a random per-process prefix plus a counter: unique
+// across a cluster's processes without per-request entropy reads.
+var (
+	reqIDPrefix = func() string {
+		var b [6]byte
+		if _, err := crand.Read(b[:]); err != nil {
+			return "00deadbeef00"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	reqIDCounter atomic.Uint64
+)
+
+// requestID returns the request's X-Request-ID, minting one when the
+// client didn't send it. IDs are capped at 128 bytes so a hostile
+// header can't bloat every log line it transits.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-ID"); id != "" {
+		if len(id) > 128 {
+			id = id[:128]
+		}
+		return id
+	}
+	return reqIDPrefix + "-" + strconv.FormatUint(reqIDCounter.Add(1), 16)
 }
 
 // statusWriter records the response code for logs and metrics.
@@ -380,12 +416,18 @@ func (w *statusWriter) FlushError() error {
 
 // wrap adapts an error-returning handler: it bounds the body, tracks
 // inflight/latency metrics, renders httpErrors as JSON, and emits one
-// structured log line per request.
+// structured log line per request. Every request carries an
+// X-Request-ID — the client's if it sent one (the coordinator stamps
+// its own onto worker hops), freshly generated otherwise — echoed on
+// the response and logged on both sides, so one extraction can be
+// trace-stitched across the coordinator→worker boundary.
 func (s *Server) wrap(handler string, h func(http.ResponseWriter, *http.Request) error) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
 		s.metrics.inflight.Add(1)
 		defer s.metrics.inflight.Add(-1)
+		reqID := requestID(r)
+		w.Header().Set("X-Request-ID", reqID)
 		r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		sw := &statusWriter{ResponseWriter: w}
 		err := h(sw, r)
@@ -403,6 +445,7 @@ func (s *Server) wrap(handler string, h func(http.ResponseWriter, *http.Request)
 			slog.String("path", r.URL.Path),
 			slog.Int("status", sw.status),
 			slog.Duration("duration", d),
+			slog.String("request_id", reqID),
 		)
 	}
 }
@@ -426,6 +469,9 @@ func (s *Server) renderError(w *statusWriter, err error) {
 		s.metrics.timeouts.Add(1)
 	} else if errors.Is(err, context.Canceled) {
 		he = &httpError{status: 499, message: "request cancelled"}
+	}
+	if he.retryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(he.retryAfter))
 	}
 	body := map[string]any{"error": he.message}
 	if he.diags != nil {
@@ -466,7 +512,14 @@ func (s *Server) limited(h func(http.ResponseWriter, *http.Request) error) func(
 // requestContext derives the evaluation context: the client's context
 // plus the default or ?timeout= deadline (capped by MaxTimeout).
 func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
-	d := s.cfg.RequestTimeout
+	return requestContextFor(r, s.cfg.RequestTimeout, s.cfg.MaxTimeout)
+}
+
+// requestContextFor is the shared ?timeout= policy, used by both the
+// worker Server and the cluster Coordinator (whose whole fan-out runs
+// under the one deadline).
+func requestContextFor(r *http.Request, def, max time.Duration) (context.Context, context.CancelFunc, error) {
+	d := def
 	if t := r.URL.Query().Get("timeout"); t != "" {
 		td, err := time.ParseDuration(t)
 		if err != nil || td <= 0 {
@@ -474,8 +527,8 @@ func (s *Server) requestContext(r *http.Request) (context.Context, context.Cance
 		}
 		d = td
 	}
-	if d > s.cfg.MaxTimeout {
-		d = s.cfg.MaxTimeout
+	if d > max {
+		d = max
 	}
 	ctx, cancel := context.WithTimeout(r.Context(), d)
 	return ctx, cancel, nil
@@ -495,6 +548,22 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 	writeJSON(w, 200, map[string]any{
 		"status":  "ok",
 		"uptime":  time.Since(s.metrics.start).String(),
+		"docs":    s.store.len(),
+		"queries": s.queries.len(),
+		"views":   s.views.Len(),
+	})
+	return nil
+}
+
+// handleReadyz answers "route traffic here". A Server that exists is
+// by construction done recovering (New replays the WAL before
+// returning), so this always says serving; the recovering 503 comes
+// from the BootGate that fronts the listener while New runs. /healthz
+// stays liveness-only — it answers ok during recovery too, so process
+// supervisors don't kill a worker for replaying a long log.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) error {
+	writeJSON(w, 200, map[string]any{
+		"status":  "serving",
 		"docs":    s.store.len(),
 		"queries": s.queries.len(),
 		"views":   s.views.Len(),
